@@ -1,0 +1,47 @@
+"""Ablation: the cluster-32 workload (mentioned, not plotted, in §5).
+
+The paper states that "a similar relative performance difference was
+also observed for the cluster-32 uniform workload" (two 32-node
+binary-cube halves, Theorem 2's relaxation).  This bench runs all four
+networks under cluster-32 uniform traffic and checks the Fig. 18
+ordering transfers: DMIN best, TMIN worst.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.figures import FOUR_NETWORKS, uniform_workload
+from repro.experiments.runner import sweep
+from repro.traffic.clusters import cluster_32
+
+LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _run_all(bench_cfg):
+    cfg = replace(bench_cfg, loads=LOADS, measure_packets=1000)
+    wb = uniform_workload(cluster_32(), cfg)
+    return [sweep(net, wb, cfg, label=net.label) for net in FOUR_NETWORKS]
+
+
+def test_cluster32_ordering(benchmark, results_dir, bench_cfg):
+    sweeps = benchmark.pedantic(
+        _run_all, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    lines = ["cluster-32 uniform workload (two 32-node halves)", ""]
+    lines.append(f"{'network':<22} " + " ".join(f"{ld:>7.2f}" for ld in LOADS))
+    thr = {}
+    for s in sweeps:
+        vals = [p.measurement.throughput_percent for p in s.points]
+        lines.append(f"{s.label:<22} " + " ".join(f"{v:7.2f}" for v in vals))
+        thr[s.label.split("(")[0]] = s.max_sustained_throughput()
+    lines.append("")
+    lines.append(
+        "max sustained: "
+        + "  ".join(f"{k}={v:.1f}%" for k, v in thr.items())
+    )
+    save_and_print(results_dir, "ablation_cluster32", "\n".join(lines))
+
+    # The paper: "a similar relative performance difference was also
+    # observed for the cluster-32 uniform workload".
+    assert thr["DMIN"] == max(thr.values())
+    assert thr["TMIN"] == min(thr.values())

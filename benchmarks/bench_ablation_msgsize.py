@@ -1,0 +1,60 @@
+"""Ablation: message-size sensitivity (the paper's future-work study).
+
+Section 6 calls for "more simulation experiments ... to study the impact
+due to long, short, and bimodal message sizes".  This bench runs the
+four networks under global uniform traffic at one moderate load for
+three size models and records how the DMIN's advantage and the
+VMIN/BMIN ordering move with message length.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.figures import FOUR_NETWORKS, uniform_workload
+from repro.experiments.runner import run_point
+from repro.traffic.clusters import global_cluster
+from repro.traffic.workload import MessageSizeModel
+
+SIZE_MODELS = {
+    "short (fixed 16)": MessageSizeModel("fixed", low=16),
+    "long (fixed 256)": MessageSizeModel("fixed", low=256),
+    "bimodal (70% of 8-32, rest 33-512)": MessageSizeModel(
+        "bimodal", 8, 512, short_fraction=0.7, split=32
+    ),
+}
+
+LOAD = 0.6
+
+
+def _run_all(bench_cfg):
+    rows = []
+    for size_name, sizes in SIZE_MODELS.items():
+        cfg = replace(bench_cfg, sizes=sizes, measure_packets=800)
+        wb = uniform_workload(global_cluster(), cfg)
+        for net in FOUR_NETWORKS:
+            m = run_point(net, wb, LOAD, cfg)
+            rows.append((size_name, net.label, m))
+    return rows
+
+
+def test_message_size_ablation(benchmark, results_dir, bench_cfg):
+    rows = benchmark.pedantic(
+        _run_all, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    lines = [f"message-size ablation, global uniform @ load {LOAD:.0%}", ""]
+    lines.append(f"{'sizes':<36} {'network':<20} {'thr %':>7} {'lat':>9}")
+    for size_name, label, m in rows:
+        lines.append(
+            f"{size_name:<36} {label:<20} "
+            f"{m.throughput_percent:7.2f} {m.avg_latency:9.1f}"
+        )
+    save_and_print(results_dir, "ablation_msgsize", "\n".join(lines))
+
+    # DMIN's advantage over TMIN must hold at every message size.
+    by_size: dict[str, dict[str, float]] = {}
+    for size_name, label, m in rows:
+        by_size.setdefault(size_name, {})[label.split("(")[0]] = (
+            m.throughput_percent
+        )
+    for size_name, t in by_size.items():
+        assert t["DMIN"] > t["TMIN"], f"{size_name}: {t}"

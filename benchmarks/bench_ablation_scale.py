@@ -1,0 +1,66 @@
+"""Ablation: other network and switch sizes (the paper's future work).
+
+Runs the TMIN-vs-DMIN-vs-BMIN comparison at 16 nodes (4x4 switches, two
+stages), 64 nodes (the paper's geometry) and 64 nodes built from 2x2
+switches (six stages), checking that the paper's ordering is not an
+artifact of the single evaluated geometry.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.config import NetworkConfig
+from repro.experiments.runner import run_point
+from repro.traffic.clusters import global_cluster
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.workload import Workload
+
+GEOMETRIES = [
+    ("16 nodes, 4x4 switches", 4, 2),
+    ("64 nodes, 4x4 switches", 4, 3),
+    ("64 nodes, 2x2 switches", 2, 6),
+]
+
+LOAD = 0.7
+
+
+def _run_all(bench_cfg):
+    out = []
+    for geo_name, k, n in GEOMETRIES:
+        nbits = (k.bit_length() - 1) * n
+        cfg = replace(bench_cfg, measure_packets=800)
+
+        def wb(load, k=k, n=n, nbits=nbits, cfg=cfg):
+            return Workload(
+                global_cluster(nbits=nbits),
+                UniformPattern,
+                load,
+                cfg.sizes,
+            )
+
+        for kind in ("tmin", "dmin", "bmin"):
+            net = NetworkConfig(kind, k=k, n=n)
+            m = run_point(net, wb, LOAD, cfg)
+            out.append((geo_name, kind.upper(), m))
+    return out
+
+
+def test_geometry_ablation(benchmark, results_dir, bench_cfg):
+    rows = benchmark.pedantic(
+        _run_all, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    lines = [f"geometry ablation, global uniform @ load {LOAD:.0%}", ""]
+    lines.append(f"{'geometry':<26} {'network':<8} {'thr %':>7} {'lat':>9}")
+    for geo_name, kind, m in rows:
+        lines.append(
+            f"{geo_name:<26} {kind:<8} "
+            f"{m.throughput_percent:7.2f} {m.avg_latency:9.1f}"
+        )
+    save_and_print(results_dir, "ablation_scale", "\n".join(lines))
+
+    # The headline ordering (DMIN > TMIN) holds at every geometry.
+    by_geo: dict[str, dict[str, float]] = {}
+    for geo_name, kind, m in rows:
+        by_geo.setdefault(geo_name, {})[kind] = m.throughput_percent
+    for geo_name, t in by_geo.items():
+        assert t["DMIN"] > t["TMIN"], f"{geo_name}: {t}"

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the wormhole engine itself.
+
+These are classic pytest-benchmark timings (multiple rounds): simulation
+cycles per second for each network kind under a fixed uniform load, and
+the cost of network construction.  Useful for tracking simulator
+performance across changes; they make no claims about the paper.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.traffic.clusters import global_cluster
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.workload import MessageSizeModel, Workload
+from repro.wormhole import WormholeEngine, build_network
+
+KINDS = ["tmin", "dmin", "vmin", "bmin"]
+
+
+def _loaded_engine(kind: str, load: float = 0.5):
+    env = Environment()
+    engine = WormholeEngine(
+        env, build_network(kind, k=4, n=3), rng=RandomStream(1)
+    )
+    workload = Workload(
+        global_cluster(),
+        UniformPattern,
+        offered_load=load,
+        sizes=MessageSizeModel.scaled(),
+    )
+    workload.install(env, engine, RandomStream(2))
+    engine.start()
+    env.run(until=500)  # reach a loaded steady state before timing
+    return env, engine
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_cycles_per_second(benchmark, kind):
+    """Wall-clock cost of 200 loaded simulation cycles."""
+    env, engine = _loaded_engine(kind)
+
+    def run_chunk():
+        env.run(until=env.now + 200)
+
+    benchmark(run_chunk)
+    assert engine.stats.delivered_packets > 0
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_network_construction(benchmark, kind):
+    """Cost of building the 64-node network object."""
+    net = benchmark(lambda: build_network(kind, k=4, n=3))
+    assert net.channel_count > 0
+
+
+def test_single_packet_end_to_end(benchmark):
+    """Latency of simulating one uncontended 64-flit message."""
+
+    def one_packet():
+        env = Environment()
+        engine = WormholeEngine(
+            env, build_network("dmin", k=4, n=3), rng=RandomStream(3)
+        )
+        engine.offer(0, 63, 64)
+        engine.drain()
+        return engine
+
+    engine = benchmark(one_packet)
+    assert engine.stats.delivered_packets == 1

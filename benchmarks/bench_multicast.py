@@ -1,0 +1,58 @@
+"""Extension bench: software multicast on the BMIN (paper ref [32]).
+
+Measures broadcast completion time for the naive sequential plan vs.
+the binomial block plan across group sizes, on the paper's 64-node
+BMIN.  The binomial plan needs ``ceil(log2(m+1))`` phases and its
+phases are conflict-free on the fat tree, so it wins by ~m/log2(m).
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.multicast.runner import run_multicast
+from repro.multicast.schedule import binomial_schedule, sequential_schedule
+from repro.wormhole import build_network
+
+GROUP_SIZES = (3, 7, 15, 31, 63)
+MESSAGE = 64
+
+
+def _run_all():
+    rows = []
+    for m in GROUP_SIZES:
+        dests = list(range(1, m + 1))
+        seq = run_multicast(
+            build_network("bmin", 4, 3),
+            0,
+            dests,
+            sequential_schedule(0, dests),
+            message_length=MESSAGE,
+        )
+        bino = run_multicast(
+            build_network("bmin", 4, 3),
+            0,
+            dests,
+            binomial_schedule(0, dests),
+            message_length=MESSAGE,
+        )
+        rows.append((m, seq, bino))
+    return rows
+
+
+def test_multicast_broadcast(benchmark, results_dir):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [f"software multicast on the 64-node BMIN, {MESSAGE}-flit messages", ""]
+    lines.append(
+        f"{'group':>6} | {'seq phases':>10} {'cycles':>8} | "
+        f"{'bin phases':>10} {'cycles':>8} | speedup"
+    )
+    for m, seq, bino in rows:
+        lines.append(
+            f"{m:>6} | {seq.phases:>10} {seq.total_cycles:>8.0f} | "
+            f"{bino.phases:>10} {bino.total_cycles:>8.0f} | "
+            f"{seq.total_cycles / bino.total_cycles:5.2f}x"
+        )
+    save_and_print(results_dir, "multicast", "\n".join(lines))
+
+    for m, seq, bino in rows:
+        assert bino.total_cycles <= seq.total_cycles
+        if m >= 15:
+            assert seq.total_cycles / bino.total_cycles > 2.0

@@ -1,0 +1,44 @@
+"""Extension bench: bisected saturation loads of the four networks.
+
+Finds each network's highest sustainable offered load (queue <= 100)
+under global uniform traffic by bisection.  The ordering is the paper's
+headline in one number per design: DMIN > VMIN ~ BMIN > TMIN.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import save_and_print
+from repro.analysis.cost import cost_comparison
+from repro.experiments.figures import FOUR_NETWORKS, uniform_workload
+from repro.experiments.saturation import find_saturation
+from repro.traffic.clusters import global_cluster
+
+
+def _run_all(bench_cfg):
+    # Long measurement windows: the queue<=100 criterion needs time to
+    # bite at super-saturation loads.
+    cfg = replace(bench_cfg, measure_packets=3000)
+    wb = uniform_workload(global_cluster(), cfg)
+    return {
+        net.kind: (net.label, find_saturation(net, wb, cfg, tolerance=0.04))
+        for net in FOUR_NETWORKS
+    }
+
+
+def test_saturation_ordering(benchmark, results_dir, bench_cfg):
+    sats = benchmark.pedantic(_run_all, args=(bench_cfg,), rounds=1, iterations=1)
+    costs = cost_comparison(4, 3)
+    lines = ["bisected saturation loads, global uniform traffic", ""]
+    lines.append(
+        f"{'network':<22} {'sat load':>9} {'thr %':>7} {'latency':>9} {'gates':>7}"
+    )
+    for kind, (label, sat) in sats.items():
+        lines.append(
+            f"{label:<22} {sat.load:>9.3f} {sat.throughput_percent:>7.1f} "
+            f"{sat.avg_latency:>9.1f} {costs[kind].total_gate_proxy:>7.0f}"
+        )
+    save_and_print(results_dir, "saturation", "\n".join(lines))
+
+    load = {kind: sat.load for kind, (_, sat) in sats.items()}
+    assert load["dmin"] >= max(load["tmin"], load["vmin"], load["bmin"])
+    assert load["tmin"] <= min(load["dmin"], load["vmin"], load["bmin"]) + 0.05

@@ -1,0 +1,69 @@
+"""Extension bench: switching techniques (Section 1's motivation).
+
+Compares store-and-forward, circuit switching and wormhole switching on
+the same 64-node cube MIN across message lengths, reproducing the
+latency-structure argument that made wormhole the technique of choice:
+SAF multiplies hops by message length; circuit and wormhole pay hops
+once.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.switching.engines import CircuitSwitchedNetwork, StoreForwardNetwork
+from repro.topology.mins import cube_min
+from repro.wormhole import WormholeEngine, build_network
+
+LENGTHS = (8, 64, 512)
+PAIR = (0, 63)  # maximal-distance pair of the 64-node system
+
+
+def _one_message_latencies(length: int) -> dict[str, float]:
+    out = {}
+    env = Environment()
+    saf = StoreForwardNetwork(env, cube_min(4, 3))
+    r = saf.send(*PAIR, length)
+    env.run()
+    out["store-and-forward"] = r.latency
+
+    env = Environment()
+    cir = CircuitSwitchedNetwork(env, cube_min(4, 3))
+    r = cir.send(*PAIR, length)
+    env.run()
+    out["circuit"] = r.latency
+
+    env = Environment()
+    eng = WormholeEngine(env, build_network("tmin", 4, 3), rng=RandomStream(0))
+    p = eng.offer(*PAIR, length)
+    eng.drain()
+    out["wormhole"] = p.network_latency
+    return out
+
+
+def _run_all():
+    return {length: _one_message_latencies(length) for length in LENGTHS}
+
+
+def test_switching_comparison(benchmark, results_dir):
+    data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "switching techniques, uncontended 0->63 on the 64-node cube MIN",
+        "",
+        f"{'flits':>6} | {'SAF':>8} | {'circuit':>8} | {'wormhole':>8} | SAF/wormhole",
+    ]
+    for length, lat in data.items():
+        lines.append(
+            f"{length:>6} | {lat['store-and-forward']:>8.0f} | "
+            f"{lat['circuit']:>8.0f} | {lat['wormhole']:>8.0f} | "
+            f"{lat['store-and-forward'] / lat['wormhole']:6.2f}x"
+        )
+    save_and_print(results_dir, "switching", "\n".join(lines))
+
+    for length, lat in data.items():
+        hops = 4
+        assert lat["store-and-forward"] == hops * (length + 1)
+        assert lat["circuit"] == hops + length
+        assert lat["wormhole"] == hops + length - 2
+    # The SAF penalty approaches the hop count for long messages.
+    long = data[512]
+    assert long["store-and-forward"] / long["wormhole"] > 3.5

@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_figXX`` module regenerates one of the paper's evaluation
+figures at the SCALED preset (short messages, the paper's geometry and
+workloads), prints the series rows the figure would be plotted from,
+writes them to ``benchmarks/results/``, and evaluates the paper's
+qualitative shape claims.
+
+Fidelity can be raised with ``REPRO_BENCH_MODE=full`` (the paper's
+8-1024-flit messages; hours of CPU) or lowered with
+``REPRO_BENCH_MODE=smoke``.
+"""
+
+import os
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import PRESETS, SCALED
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_MODE = os.environ.get("REPRO_BENCH_MODE", "scaled")
+
+if _MODE == "scaled":
+    # Trim the load ladder so the whole harness stays in the minutes
+    # range; the retained points still cover the knee of every curve.
+    BENCH_CFG = replace(
+        SCALED,
+        loads=(0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        measure_packets=1200,
+    )
+else:
+    BENCH_CFG = PRESETS[_MODE]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def bench_cfg():
+    return BENCH_CFG
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

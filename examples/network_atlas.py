@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Network atlas: text renderings of every topology in the paper.
+
+Prints the 8-node versions of the paper's structural figures:
+the two TMIN wirings (Fig. 4), the connection patterns behind them
+(Definitions 1-2), the butterfly BMIN (Fig. 6) and its fat-tree view
+(Fig. 13).
+
+Run:  python examples/network_atlas.py [k] [n]
+"""
+
+import sys
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.drawing import (
+    connection_table,
+    render_bmin,
+    render_fat_tree,
+    render_min,
+)
+from repro.topology.fattree import FatTree
+from repro.topology.mins import butterfly_min, cube_min, omega_min
+from repro.topology.permutations import ButterflyPermutation, PerfectShuffle
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    print("=" * 64)
+    print("Connection patterns (Definitions 1 and 2)")
+    print("=" * 64)
+    print(connection_table(PerfectShuffle(k, n), k, n))
+    print()
+    print(connection_table(ButterflyPermutation(k, n, n - 1), k, n))
+    print()
+
+    for builder in (cube_min, butterfly_min, omega_min):
+        print("=" * 64)
+        print(render_min(builder(k, n)))
+        print()
+
+    print("=" * 64)
+    bmin = BidirectionalMIN(k, n)
+    print(render_bmin(bmin))
+    print()
+    print("=" * 64)
+    print(render_fat_tree(FatTree(bmin)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Network partitionability demo (Section 4, Figs. 14-15, Theorems 2-4).
+
+Shows, constructively, why the cube MIN partitions cleanly into cube
+clusters while the butterfly MIN must either shrink or share channels --
+and why the butterfly BMIN (fat tree) localizes base-cube traffic.
+
+Run:  python examples/partitioning_demo.py
+"""
+
+from repro.partition.analysis import (
+    bmin_cluster_line_usage,
+    bmin_clusters_are_contention_free,
+    check_partition,
+)
+from repro.partition.cubes import Cube
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.mins import butterfly_min, cube_min
+
+
+def show(title: str, report) -> None:
+    print(f"--- {title}")
+    print(report)
+    print()
+
+
+def main() -> None:
+    print("=" * 70)
+    print("8-node networks of 2x2 switches (the paper's Figs. 14 and 15)")
+    print("=" * 70)
+    clusters = [Cube.from_kary(p, 2) for p in ("0XX", "1X0", "1X1")]
+    show(
+        "Fig. 14: cube MIN with clusters 0XX, 1X0, 1X1",
+        check_partition(cube_min(2, 3), clusters),
+    )
+    show(
+        "Fig. 15a: butterfly MIN, channel-reduced clustering 0XX, 10X, 11X",
+        check_partition(
+            butterfly_min(2, 3),
+            [Cube.from_kary(p, 2) for p in ("0XX", "10X", "11X")],
+        ),
+    )
+    show(
+        "Fig. 15b: butterfly MIN, channel-shared clustering XX0, XX1",
+        check_partition(
+            butterfly_min(2, 3),
+            [Cube.from_kary(p, 2) for p in ("XX0", "XX1")],
+        ),
+    )
+
+    print("=" * 70)
+    print("The paper's 64-node system (4x4 switches): Section 5.1 clusterings")
+    print("=" * 70)
+    cl16 = [Cube.from_kary(f"{i}XX", 4) for i in range(4)]
+    show("cube MIN, cluster-16 (0XX..3XX)", check_partition(cube_min(4, 3), cl16))
+    show(
+        "butterfly MIN, the same clusters (channel-reduced: 16 -> 4 channels)",
+        check_partition(butterfly_min(4, 3), cl16),
+    )
+    shared = [Cube.from_kary(f"XX{i}", 4) for i in range(4)]
+    show(
+        "butterfly MIN, channel-shared (XX0..XX3: spread over all 64)",
+        check_partition(butterfly_min(4, 3), shared),
+    )
+    halves = [Cube.from_bits("0XXXXX"), Cube.from_bits("1XXXXX")]
+    show(
+        "Theorem 2: cube MIN with *binary* cubes (two 32-node halves)",
+        check_partition(cube_min(4, 3), halves),
+    )
+
+    print("=" * 70)
+    print("Theorem 4: the butterfly BMIN localizes base-cube traffic")
+    print("=" * 70)
+    bmin = BidirectionalMIN(2, 3)
+    base = [Cube.from_kary(p, 2) for p in ("0XX", "10X", "11X")]
+    print(
+        "base cubes 0XX, 10X, 11X contention-free:",
+        bmin_clusters_are_contention_free(bmin, base),
+    )
+    for cube in base:
+        usage = bmin_cluster_line_usage(bmin, cube)
+        counts = [len(usage[b]) for b in range(bmin.n)]
+        print(
+            f"  {cube.pattern(2)}: lines used per boundary {counts} "
+            f"(traffic never climbs above its subtree)"
+        )
+    nonbase = [Cube.from_kary("XX0", 2), Cube.from_kary("XX1", 2)]
+    print(
+        "non-base cubes XX0, XX1 contention-free:",
+        bmin_clusters_are_contention_free(bmin, nonbase),
+        "(they must share the upper stages)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Permutation traffic showdown (Fig. 20) with its static explanation.
+
+First computes the *static* channel contention of the shuffle and
+2nd-butterfly permutations on the 64-node cube MIN -- the 4-way channel
+sharing that dooms TMIN and VMIN -- then simulates all four networks at
+one heavy load and shows the dynamic consequence.
+
+Run:  python examples/permutation_showdown.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import SCALED
+from repro.experiments.figures import (
+    FOUR_NETWORKS,
+    butterfly_workload,
+    shuffle_workload,
+)
+from repro.experiments.runner import run_point
+from repro.topology.equivalence import admissible, max_channel_contention
+from repro.topology.mins import cube_min
+from repro.topology.permutations import ButterflyPermutation, PerfectShuffle
+
+
+def static_analysis() -> None:
+    spec = cube_min(4, 3)
+    for name, perm in (
+        ("perfect shuffle", PerfectShuffle(4, 3)),
+        ("2nd butterfly", ButterflyPermutation(4, 3, 2)),
+    ):
+        pairs = [(s, perm(s)) for s in range(64) if s != perm(s)]
+        contention = max_channel_contention(spec, pairs)
+        ok = admissible(spec, [perm(s) for s in range(64)])
+        print(
+            f"  {name:16}: {len(pairs)} active pairs, worst channel shared "
+            f"by {contention} paths, admissible={ok}"
+        )
+        print(
+            f"    -> a single-channel network (TMIN/VMIN) caps at "
+            f"~{100 // contention}% throughput for this pattern"
+        )
+
+
+def main() -> None:
+    print("Static contention on the 64-node cube MIN (Section 5.3.3):")
+    static_analysis()
+    print()
+
+    cfg = replace(SCALED, warmup_packets=200, measure_packets=1000)
+    load = 0.9
+    for wb_name, wb in (
+        ("shuffle", shuffle_workload(cfg)),
+        ("2nd butterfly", butterfly_workload(cfg, i=2)),
+    ):
+        print(f"simulated at offered load {load:.0%} ({wb_name} pattern):")
+        for net in FOUR_NETWORKS:
+            m = run_point(net, wb, load, cfg)
+            print(
+                f"  {net.label:20} thr={m.throughput_percent:5.1f}%  "
+                f"lat={m.avg_latency:8.1f} cyc"
+            )
+        print()
+    print("DMIN's spare lanes and the BMIN's multiple up-paths dodge the")
+    print("static conflicts; TMIN serializes on them and VMIN's fair")
+    print("flit-multiplexing makes every contender equally slow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Saturation search: where does each network stop keeping up?
+
+Bisects the offered load for the paper's sustainability criterion
+(source queues <= 100 messages) under global uniform traffic, printing
+the per-network saturation load, throughput and latency -- the single
+headline number per design.
+
+Run:  python examples/saturation_search.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.cost import cost_comparison
+from repro.experiments.config import SCALED
+from repro.experiments.figures import FOUR_NETWORKS, uniform_workload
+from repro.experiments.saturation import find_saturation
+from repro.traffic.clusters import global_cluster
+
+
+def main() -> None:
+    # Long windows: the queue<=100 criterion needs time to bite at
+    # super-saturation loads (short windows under-detect saturation).
+    cfg = replace(SCALED, warmup_packets=200, measure_packets=3500)
+    wb = uniform_workload(global_cluster(), cfg)
+    costs = cost_comparison(4, 3)
+
+    print("global uniform traffic, 64-node networks, scaled messages")
+    print(f"{'network':<22} {'sat load':>9} {'thr %':>7} {'latency':>9} "
+          f"{'gates':>7} {'thr/gate':>9}")
+    for net in FOUR_NETWORKS:
+        sat = find_saturation(net, wb, cfg, tolerance=0.04)
+        gates = costs[net.kind].total_gate_proxy
+        print(
+            f"{net.label:<22} {sat.load:>9.3f} "
+            f"{sat.throughput_percent:>7.1f} {sat.avg_latency:>9.1f} "
+            f"{gates:>7.0f} {sat.throughput_percent / gates:>9.4f}"
+        )
+    print()
+    print("Reading: the TMIN is cheapest per gate but saturates first; the")
+    print("paper's cost argument compares the two equal-hardware designs --")
+    print("DMIN (d=2) vs BMIN, ~6.1k vs ~6.0k gate proxy, same 384 wires --")
+    print("where the DMIN's higher sustained throughput makes it the more")
+    print("cost-effective choice (the paper's conclusion).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Thin shim so `pip install -e .` works on environments without the
+`wheel` package (legacy `setup.py develop` path). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

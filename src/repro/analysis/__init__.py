@@ -1,0 +1,43 @@
+"""Analytic cross-checks for the simulation results.
+
+* :mod:`repro.analysis.kruskal_snir` -- the classic Kruskal & Snir /
+  Patel probabilistic throughput model for unbuffered Delta networks
+  (the paper's reference [5]); an analytic anchor for the uniform-load
+  saturation ordering.
+* :mod:`repro.analysis.bounds` -- exact structural throughput ceilings
+  implied by the paper's workloads: the hot-spot delivery cap, the
+  static permutation-contention cap, and cluster-ratio caps.  The
+  simulator must respect all of them (property-tested), and they explain
+  the knees in Figs. 19-20.
+* :mod:`repro.analysis.cost` -- a Chien-style hardware/packaging cost
+  model making Section 6's complexity claims ("DMIN and BMIN have
+  similar hardware and packaging complexity") computable.
+"""
+
+from repro.analysis.bounds import (
+    cluster_ratio_cap,
+    hot_spot_cap,
+    permutation_cap,
+)
+from repro.analysis.cost import (
+    NetworkCost,
+    SwitchCost,
+    cost_comparison,
+    network_cost,
+)
+from repro.analysis.kruskal_snir import (
+    delta_network_throughput,
+    stage_acceptance,
+)
+
+__all__ = [
+    "NetworkCost",
+    "SwitchCost",
+    "cluster_ratio_cap",
+    "cost_comparison",
+    "delta_network_throughput",
+    "hot_spot_cap",
+    "network_cost",
+    "permutation_cap",
+    "stage_acceptance",
+]

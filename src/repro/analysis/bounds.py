@@ -1,0 +1,82 @@
+"""Exact structural throughput ceilings for the paper's workloads.
+
+These are conservation-law bounds -- no simulation model can beat them:
+
+* **hot-spot cap**: the hot node is served by one delivery channel
+  (1 flit/cycle), so once its demand share saturates that channel the
+  aggregate throughput is pinned (tree saturation then develops behind
+  it; Pfister & Norton).
+* **permutation cap**: if some channel is statically shared by ``c``
+  source/destination pairs of a permutation, a network with ``m``
+  parallel channels (or fair-shared virtual channels) on that wire
+  sustains at most ``m/c`` of the pattern's full rate.
+* **cluster-ratio cap**: with per-cluster rate ratios, only the active
+  share of nodes can inject; aggregate throughput is bounded by the
+  weighted node fraction.
+
+The simulator is property-tested against all three.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def hot_spot_cap(n_nodes: int, hot_fraction: float) -> float:
+    """Max aggregate throughput fraction under the paper's hot-spot model.
+
+    With ``y = N * x``, the hot node receives share
+    ``p = (1+y)/(N+y)`` of all delivered flits; its delivery channel
+    carries at most 1 flit/cycle, so aggregate delivered flits/cycle
+    <= 1/p, i.e. a fraction ``1 / (N * p)`` of the N-channel maximum.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if hot_fraction < 0:
+        raise ValueError("hot fraction must be non-negative")
+    y = n_nodes * hot_fraction
+    p_hot = (1 + y) / (n_nodes + y)
+    return min(1.0, 1.0 / (n_nodes * p_hot))
+
+
+def permutation_cap(
+    max_contention: int, channels_per_wire: int = 1, active_fraction: float = 1.0
+) -> float:
+    """Max aggregate throughput fraction under a fixed permutation.
+
+    ``max_contention`` is the static path count on the busiest channel
+    (see :func:`repro.topology.equivalence.max_channel_contention`);
+    ``channels_per_wire`` is the dilation (or usable VC count) of that
+    wire; ``active_fraction`` the share of nodes the permutation keeps
+    active (fixed points are silent).
+    """
+    if max_contention < 1:
+        raise ValueError("contention must be at least 1 (the path itself)")
+    if channels_per_wire < 1:
+        raise ValueError("need at least one channel per wire")
+    if not 0 < active_fraction <= 1:
+        raise ValueError("active fraction must be in (0, 1]")
+    return min(active_fraction, channels_per_wire / max_contention)
+
+
+def cluster_ratio_cap(
+    cluster_sizes: Sequence[int], ratios: Sequence[float]
+) -> float:
+    """Max aggregate throughput fraction under per-cluster rate ratios.
+
+    Rates are normalized so the busiest cluster's nodes inject at full
+    bandwidth (the convention of
+    :meth:`repro.traffic.clusters.ClusterSpec.node_rate_factors`);
+    aggregate injection is then the weighted node fraction.  Ratio
+    1:0:0:0 over four 16-node clusters gives the paper's ~25% ceiling.
+    """
+    if len(cluster_sizes) != len(ratios) or not cluster_sizes:
+        raise ValueError("need matching, non-empty sizes and ratios")
+    if any(s <= 0 for s in cluster_sizes):
+        raise ValueError("cluster sizes must be positive")
+    if any(r < 0 for r in ratios) or max(ratios) <= 0:
+        raise ValueError("ratios must be non-negative with a positive max")
+    top = max(ratios)
+    total = sum(cluster_sizes)
+    weighted = sum(s * r / top for s, r in zip(cluster_sizes, ratios))
+    return weighted / total

@@ -1,0 +1,148 @@
+"""Hardware cost and complexity model for the four switch designs.
+
+Section 6 rests the paper's conclusion on a cost argument: "both DMINs
+(dilation two) and BMINs have a similar hardware and packaging
+complexity", and footnote 4 notes the BMIN's crossbar is slightly more
+complex because an input has more legal outputs.  This module makes
+those statements computable with a simple, explicit model in the style
+of Chien's router cost model (the paper's reference [22]):
+
+* **crossbar cost** grows with (inputs x legal outputs) -- the number
+  of crosspoints actually implemented;
+* **buffer cost** counts flit buffers (one per virtual channel per
+  input, per the paper's 1-flit assumption);
+* **arbitration cost** grows with the number of requesters an output
+  port must arbitrate among, times the number of arbiters;
+* **wiring (packaging) cost** counts unidirectional inter-switch
+  channels, each ``W`` bits wide.
+
+The absolute units are arbitrary (crosspoints / flits / requester
+inputs / wires); the *ratios* between designs are the model's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwitchCost:
+    """Per-switch complexity of one design point."""
+
+    design: str
+    crosspoints: int
+    flit_buffers: int
+    arbiter_inputs: int
+
+    @property
+    def gate_proxy(self) -> float:
+        """A single scalar: crosspoints + buffers + arbitration.
+
+        Buffers are weighted by 4 (a flit buffer is several registers
+        wide) -- the weights are explicit so they can be challenged.
+        """
+        return self.crosspoints + 4 * self.flit_buffers + self.arbiter_inputs
+
+
+def unidirectional_switch_cost(
+    k: int, dilation: int = 1, virtual_channels: int = 1
+) -> SwitchCost:
+    """TMIN (d=1, v=1), DMIN (d>1) or VMIN (v>1) switch.
+
+    A d-dilated k x k switch is physically a (dk) x (dk) crossbar; a
+    v-VC switch keeps the k x k crossbar but multiplies buffers and
+    arbitration (each output port arbitrates among k inputs x v VCs).
+    """
+    if dilation > 1 and virtual_channels > 1:
+        raise ValueError("dilated and virtual-channel designs are distinct")
+    inputs = k * dilation
+    outputs = k * dilation
+    name = "tmin"
+    if dilation > 1:
+        name = f"dmin(d={dilation})"
+    if virtual_channels > 1:
+        name = f"vmin(v={virtual_channels})"
+    return SwitchCost(
+        design=name,
+        crosspoints=inputs * outputs,
+        flit_buffers=k * dilation * virtual_channels,
+        arbiter_inputs=outputs * (k * virtual_channels),
+    )
+
+
+def bidirectional_switch_cost(k: int, virtual_channels: int = 1) -> SwitchCost:
+    """BMIN switch: 2k inputs, 2k outputs, but the r->r quadrant of the
+    crossbar is forbidden (Fig. 2), so only 3k^2 crosspoints exist:
+    forward (k x k), backward (k x k) and turnaround (k x (k-1),
+    rounded up to k x k here as implementations do).
+
+    Footnote 4's point appears as arbitration cost: each left output
+    arbitrates among right inputs *and* turnaround requests (2k - 1
+    requesters), each right output among k left inputs.
+    """
+    v = virtual_channels
+    return SwitchCost(
+        design="bmin" if v == 1 else f"bmin(v={v})",
+        crosspoints=3 * k * k,
+        flit_buffers=2 * k * v,
+        arbiter_inputs=(k * (2 * k - 1) + k * k) * v,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Whole-network complexity: N = k**n nodes, n stages of N/k switches."""
+
+    design: str
+    switches: int
+    switch: SwitchCost
+    inter_switch_channels: int
+
+    @property
+    def total_gate_proxy(self) -> float:
+        """Whole-network switch-hardware proxy (switches x per-switch)."""
+        return self.switches * self.switch.gate_proxy
+
+    @property
+    def wiring_cost(self) -> int:
+        """Unidirectional inter-switch channels (packaging complexity)."""
+        return self.inter_switch_channels
+
+
+def network_cost(
+    kind: str,
+    k: int,
+    n: int,
+    dilation: int = 2,
+    virtual_channels: int = 2,
+) -> NetworkCost:
+    """Network-level cost for one of the paper's four designs."""
+    N = k**n
+    switches = n * (N // k)
+    if kind == "tmin":
+        switch = unidirectional_switch_cost(k)
+        channels = (n - 1) * N + 2 * N  # inner boundaries + edge links
+    elif kind == "dmin":
+        switch = unidirectional_switch_cost(k, dilation=dilation)
+        channels = (n - 1) * N * dilation + 2 * N
+    elif kind == "vmin":
+        switch = unidirectional_switch_cost(k, virtual_channels=virtual_channels)
+        channels = (n - 1) * N + 2 * N  # VCs share the same wires
+    elif kind == "bmin":
+        switch = bidirectional_switch_cost(k)
+        # Every boundary 1..n-1 carries N line *pairs*; the node side
+        # carries N pairs as well.
+        channels = 2 * ((n - 1) * N + N)
+    else:
+        raise ValueError(f"unknown design {kind!r}")
+    return NetworkCost(
+        design=kind,
+        switches=switches,
+        switch=switch,
+        inter_switch_channels=channels,
+    )
+
+
+def cost_comparison(k: int = 4, n: int = 3) -> dict[str, NetworkCost]:
+    """The paper's four designs at its evaluation geometry."""
+    return {kind: network_cost(kind, k, n) for kind in ("tmin", "dmin", "vmin", "bmin")}

@@ -1,0 +1,65 @@
+"""Probabilistic throughput model for unbuffered Delta networks.
+
+Patel's analysis (and Kruskal & Snir's refinement -- the paper's
+reference [5]) models a k x k unbuffered crossbar stage under uniform
+random traffic: if each input port carries a packet with probability
+``p`` in a cycle, each output port emits one with probability::
+
+    accept(p, k) = 1 - (1 - p/k) ** k
+
+Chaining ``n`` stages gives the network's acceptance rate, an upper
+bound on sustainable uniform throughput for single-channel (TMIN-like)
+networks.  Wormhole switching with 1-flit buffers behaves differently
+in detail (worms hold paths), but the model anchors the right order of
+magnitude and the diminishing-returns shape as stages multiply.
+"""
+
+from __future__ import annotations
+
+
+def stage_acceptance(p: float, k: int) -> float:
+    """Probability an output port is busy given input-port load ``p``.
+
+    Each of the k inputs requests this output with probability ``p/k``
+    (uniform routing); the output is busy unless all abstain.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"port load p={p} must be within [0, 1]")
+    if k < 1:
+        raise ValueError("switch radix must be positive")
+    return 1.0 - (1.0 - p / k) ** k
+
+
+def delta_network_throughput(load: float, k: int, n: int) -> float:
+    """Accepted load per output after ``n`` stages of k x k switches.
+
+    Monotone in ``load`` and decreasing in ``n``; at ``load = 1`` this
+    is the classical saturation bandwidth of the unbuffered Delta
+    network (e.g. ~0.57 for k=4, n=3).
+    """
+    if n < 0:
+        raise ValueError("stage count must be non-negative")
+    p = load
+    for _ in range(n):
+        p = stage_acceptance(p, k)
+    return p
+
+
+def saturation_bandwidth(k: int, n: int) -> float:
+    """Saturation throughput fraction: acceptance at full offered load."""
+    return delta_network_throughput(1.0, k, n)
+
+
+def asymptotic_bandwidth(k: int, n: int) -> float:
+    """Kruskal & Snir's large-n approximation ``2k / ((k-1) * n)``.
+
+    (For k = 2 this is the classical 4/n.)  Valid for large n; shows
+    the 1/n decay of unbuffered banyan bandwidth -- the motivation for
+    buffering and for the dilated and bidirectional designs the paper
+    compares.
+    """
+    if k < 2:
+        raise ValueError("asymptotic form needs k >= 2")
+    if n < 1:
+        raise ValueError("need at least one stage")
+    return min(1.0, 2 * k / ((k - 1) * n))

@@ -1,0 +1,69 @@
+"""The paper's simulation experiments (Section 5), reproducible end to end.
+
+* :mod:`repro.experiments.config` -- network / run configurations, with
+  ``SCALED`` (quick, short messages) and ``FULL_FIDELITY`` (the paper's
+  8-1024-flit messages and longer windows) presets;
+* :mod:`repro.experiments.runner` -- run one simulation point
+  (warmup, measure) or a whole offered-load sweep;
+* :mod:`repro.experiments.figures` -- one builder per evaluation figure
+  (Fig. 16 through Fig. 20), each returning a
+  :class:`~repro.experiments.figures.FigureResult` with all series;
+* :mod:`repro.experiments.report` -- aligned text tables and the
+  shape-checks recorded in EXPERIMENTS.md.
+
+Command line: ``python -m repro.experiments --figure 18 --mode scaled``.
+"""
+
+from repro.experiments.config import (
+    FULL_FIDELITY,
+    SCALED,
+    SMOKE,
+    NetworkConfig,
+    RunConfig,
+)
+from repro.experiments.figures import (
+    FIGURE_BUILDERS,
+    FigureResult,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+)
+from repro.experiments.runner import LoadPoint, SweepResult, run_point, sweep
+from repro.experiments.report import render_figure, shape_checks
+from repro.experiments.plotting import ascii_curve_plot, plot_figure
+from repro.experiments.export import write_figure_csv, write_figure_json
+from repro.experiments.saturation import SaturationPoint, find_saturation
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.experiments.parallel import parallel_matrix, parallel_sweep
+
+__all__ = [
+    "FIGURE_BUILDERS",
+    "FULL_FIDELITY",
+    "FigureResult",
+    "LoadPoint",
+    "NetworkConfig",
+    "RunConfig",
+    "SCALED",
+    "SMOKE",
+    "SaturationPoint",
+    "SweepResult",
+    "WorkloadSpec",
+    "ascii_curve_plot",
+    "parallel_matrix",
+    "parallel_sweep",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "find_saturation",
+    "plot_figure",
+    "render_figure",
+    "run_point",
+    "shape_checks",
+    "sweep",
+    "write_figure_csv",
+    "write_figure_json",
+]

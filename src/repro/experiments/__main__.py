@@ -1,0 +1,87 @@
+"""CLI: regenerate the paper's figures.
+
+    python -m repro.experiments --figure fig18 --mode scaled
+    python -m repro.experiments --all --mode smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import PRESETS
+from repro.experiments.figures import FIGURE_BUILDERS
+from repro.experiments.report import render_figure, shape_checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a shell exit code (1 on failed checks)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the evaluation figures of Ni, Gui & Moore.",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=sorted(FIGURE_BUILDERS),
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="regenerate every figure"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=sorted(PRESETS),
+        default="scaled",
+        help="fidelity preset (default: scaled)",
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="draw ASCII latency/throughput curves"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write <DIR>/<figure>.csv and .json exports",
+    )
+    args = parser.parse_args(argv)
+    if not args.all and not args.figure:
+        parser.error("pick --figure <id> or --all")
+
+    run_cfg = PRESETS[args.mode]
+    targets = sorted(FIGURE_BUILDERS) if args.all else [args.figure]
+    failures = 0
+    for name in targets:
+        start = time.perf_counter()
+        fig = FIGURE_BUILDERS[name](run_cfg)
+        elapsed = time.perf_counter() - start
+        print(render_figure(fig))
+        if args.plot:
+            from repro.experiments.plotting import plot_figure
+
+            print()
+            print(plot_figure(fig))
+        if args.csv:
+            import pathlib
+
+            from repro.experiments.export import (
+                write_figure_csv,
+                write_figure_json,
+            )
+
+            out = pathlib.Path(args.csv)
+            out.mkdir(parents=True, exist_ok=True)
+            write_figure_csv(fig, out / f"{name}.csv")
+            write_figure_json(fig, out / f"{name}.json")
+            print(f"\n(exports written to {out}/{name}.csv and .json)")
+        print(f"\n({name} regenerated in {elapsed:.1f}s, mode={args.mode})")
+        print("\nshape checks:")
+        for chk in shape_checks(fig):
+            print(f"  {chk}")
+            if not chk.passed:
+                failures += 1
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

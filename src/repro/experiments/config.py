@@ -1,0 +1,113 @@
+"""Configuration records for the simulation experiments.
+
+Every experiment in the paper uses the same geometry: 64 nodes, 4x4
+switches, three stages of 16 switches (Section 5).  The experiment
+presets trade statistical depth for wall-clock time:
+
+* ``SMOKE`` -- a few dozen packets per point; for tests.
+* ``SCALED`` -- the default for the benchmark harness: the paper's
+  geometry and workloads, but 8-64-flit messages and ~1-2k measured
+  packets per point.  Curve *shapes* (who wins, saturation ordering)
+  match the paper; absolute latencies scale with message length.
+* ``FULL_FIDELITY`` -- the paper's 8-1024-flit messages and long
+  windows.  Hours of CPU for a full figure; use for final numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.traffic.workload import MessageSizeModel
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Which of the four networks to simulate, and its geometry."""
+
+    kind: str                 # "tmin" | "dmin" | "vmin" | "bmin"
+    k: int = 4
+    n: int = 3
+    topology: str = "cube"    # unidirectional kinds only
+    dilation: int = 2         # DMIN
+    virtual_channels: int = 2  # VMIN
+    bmin_virtual_channels: int = 1
+
+    @property
+    def N(self) -> int:
+        """Number of processor nodes."""
+        return self.k**self.n
+
+    @property
+    def label(self) -> str:
+        """Display name, e.g. 'DMIN(d=2, cube)'."""
+        base = self.kind.upper()
+        if self.kind == "bmin":
+            return base
+        if self.kind == "dmin":
+            return f"{base}(d={self.dilation}, {self.topology})"
+        if self.kind == "vmin":
+            return f"{base}(v={self.virtual_channels}, {self.topology})"
+        return f"{base}({self.topology})"
+
+    def build(self):
+        """Construct the simulated network this config describes."""
+        from repro.wormhole.network import build_network
+
+        return build_network(
+            self.kind,
+            k=self.k,
+            n=self.n,
+            topology=self.topology,
+            dilation=self.dilation,
+            virtual_channels=self.virtual_channels,
+            bmin_virtual_channels=self.bmin_virtual_channels,
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How long to warm up and measure each simulation point."""
+
+    name: str
+    warmup_packets: int
+    measure_packets: int
+    max_cycles: int
+    sizes: MessageSizeModel
+    seed: int = 20250707
+    loads: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+    def with_loads(self, loads: tuple[float, ...]) -> "RunConfig":
+        """Copy with a different offered-load ladder."""
+        return replace(self, loads=loads)
+
+    def with_seed(self, seed: int) -> "RunConfig":
+        """Copy with a different master seed (for replication runs)."""
+        return replace(self, seed=seed)
+
+
+SMOKE = RunConfig(
+    name="smoke",
+    warmup_packets=30,
+    measure_packets=120,
+    max_cycles=30_000,
+    sizes=MessageSizeModel("uniform", 4, 16),
+    loads=(0.2, 0.6),
+)
+
+SCALED = RunConfig(
+    name="scaled",
+    warmup_packets=300,
+    measure_packets=1_500,
+    max_cycles=120_000,
+    sizes=MessageSizeModel.scaled(),  # uniform [8, 64] flits
+)
+
+FULL_FIDELITY = RunConfig(
+    name="full",
+    warmup_packets=500,
+    measure_packets=5_000,
+    max_cycles=5_000_000,
+    sizes=MessageSizeModel.paper(),  # uniform [8, 1024] flits
+)
+
+PRESETS = {"smoke": SMOKE, "scaled": SCALED, "full": FULL_FIDELITY}

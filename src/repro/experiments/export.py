@@ -1,0 +1,131 @@
+"""Machine-readable export of sweeps and figures (CSV and JSON).
+
+Every regenerated figure can be dumped for downstream plotting::
+
+    fig = fig18(SCALED)
+    write_figure_csv(fig, "fig18.csv")
+    write_figure_json(fig, "fig18.json")
+
+The CSV is long-form (one row per series x load point) so it loads
+directly into pandas/R; the JSON mirrors the dataclasses.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import SweepResult
+
+#: Column order of the long-form CSV.
+CSV_FIELDS = [
+    "series",
+    "offered_load",
+    "throughput_percent",
+    "avg_latency",
+    "avg_network_latency",
+    "p95_latency",
+    "latency_ci_half",
+    "delivered_packets",
+    "delivered_flits",
+    "offered_packets",
+    "max_queue_len",
+    "sustainable",
+    "cycles",
+]
+
+
+def sweep_rows(sweep: SweepResult) -> list[dict]:
+    """Long-form dict rows of one sweep."""
+    rows = []
+    for p in sweep.points:
+        m = p.measurement
+        rows.append(
+            {
+                "series": sweep.label,
+                "offered_load": p.offered_load,
+                "throughput_percent": m.throughput_percent,
+                "avg_latency": m.avg_latency,
+                "avg_network_latency": m.avg_network_latency,
+                "p95_latency": m.p95_latency,
+                "latency_ci_half": m.latency_ci_half,
+                "delivered_packets": m.delivered_packets,
+                "delivered_flits": m.delivered_flits,
+                "offered_packets": m.offered_packets,
+                "max_queue_len": m.max_queue_len,
+                "sustainable": m.sustainable,
+                "cycles": m.cycles,
+            }
+        )
+    return rows
+
+
+def write_figure_csv(fig: FigureResult, path: Union[str, Path]) -> Path:
+    """Write every series of a figure as long-form CSV; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for sweep in fig.series:
+            writer.writerows(sweep_rows(sweep))
+    return path
+
+
+def _jsonable(value):
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return None
+    return value
+
+
+def write_figure_json(fig: FigureResult, path: Union[str, Path]) -> Path:
+    """Write a figure (metadata + all points) as JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "expectation": fig.expectation,
+        "series": [
+            {
+                "label": sweep.label,
+                "points": [
+                    {k: _jsonable(v) for k, v in row.items()}
+                    for row in sweep_rows(sweep)
+                ],
+            }
+            for sweep in fig.series
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def read_figure_csv(path: Union[str, Path]) -> list[dict]:
+    """Read a long-form CSV back into typed dict rows (round-trip aid)."""
+    rows = []
+    with Path(path).open() as fh:
+        for raw in csv.DictReader(fh):
+            row: dict = dict(raw)
+            for key in (
+                "offered_load",
+                "throughput_percent",
+                "avg_latency",
+                "avg_network_latency",
+                "p95_latency",
+                "latency_ci_half",
+                "cycles",
+            ):
+                row[key] = float(row[key])
+            for key in (
+                "delivered_packets",
+                "delivered_flits",
+                "offered_packets",
+                "max_queue_len",
+            ):
+                row[key] = int(row[key])
+            row["sustainable"] = raw["sustainable"] == "True"
+            rows.append(row)
+    return rows

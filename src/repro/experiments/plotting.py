@@ -1,0 +1,87 @@
+"""Text plots of latency-throughput curves.
+
+The paper's figures are latency-vs-throughput curves; this module draws
+them as ASCII scatter plots so a terminal-only reproduction run can
+still *see* the shapes (saturation knees, who sits below whom).  One
+character per series; shared axes across the figure for honest
+comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import SweepResult
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if not math.isnan(v) and not math.isinf(v)]
+
+
+def ascii_curve_plot(
+    series: Sequence[SweepResult],
+    width: int = 64,
+    height: int = 20,
+    max_latency: Optional[float] = None,
+) -> str:
+    """Latency (y) vs. throughput % (x) for up to 8 sweeps.
+
+    ``max_latency`` clips the y axis (deep-saturation latencies grow
+    with the simulated window and would squash the interesting region).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if len(series) > len(GLYPHS):
+        raise ValueError(f"at most {len(GLYPHS)} series per plot")
+
+    points: list[tuple[float, float, str]] = []
+    for glyph, sweep in zip(GLYPHS, series):
+        for p in sweep.points:
+            m = p.measurement
+            if math.isnan(m.avg_latency):
+                continue
+            points.append((m.throughput_percent, m.avg_latency, glyph))
+    if not points:
+        raise ValueError("no finite points to plot")
+
+    xs = _finite([x for x, _, _ in points])
+    ys = _finite([y for _, y, _ in points])
+    x_max = max(xs) * 1.05 or 1.0
+    y_cap = max_latency if max_latency is not None else max(ys)
+    y_cap = max(y_cap, 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = min(width - 1, int(x / x_max * (width - 1)))
+        row = min(height - 1, int(min(y, y_cap) / y_cap * (height - 1)))
+        grid[height - 1 - row][col] = glyph
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_label = y_cap * (height - 1 - i) / (height - 1)
+        lines.append(f"{y_label:8.0f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"0%{'':{width - 12}}{x_max:5.1f}%  (throughput; y = avg latency, cycles)"
+    )
+    legend = "  ".join(
+        f"{glyph}={sweep.label}" for glyph, sweep in zip(GLYPHS, series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_figure(fig: FigureResult, per_plot: int = 4, **kwargs) -> str:
+    """Plot a whole figure, ``per_plot`` series per panel."""
+    panels = []
+    for start in range(0, len(fig.series), per_plot):
+        chunk = fig.series[start : start + per_plot]
+        panels.append(ascii_curve_plot(chunk, **kwargs))
+    header = f"{fig.figure_id}: {fig.title}"
+    return header + "\n\n" + "\n\n".join(panels)

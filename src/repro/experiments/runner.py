@@ -1,0 +1,120 @@
+"""Run simulation points and offered-load sweeps.
+
+One *point* = one (network, workload, offered load) simulation:
+warm up until ``warmup_packets`` deliveries, open a measurement window,
+run until ``measure_packets`` more deliveries (or the cycle budget runs
+out -- which near saturation it will; the window is still valid, the
+throughput simply reflects what the network sustained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.config import NetworkConfig, RunConfig
+from repro.metrics.collector import Measurement, MeasurementWindow
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStream
+from repro.traffic.workload import Workload
+from repro.wormhole.engine import WormholeEngine
+
+#: A workload builder maps an offered load to a ready-to-install Workload.
+WorkloadBuilder = Callable[[float], Workload]
+
+#: env.run() chunk size between progress checks.
+_CHUNK = 512
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One sweep point: requested load plus the measured window."""
+
+    offered_load: float
+    measurement: Measurement
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full offered-load sweep for one (network, workload) series."""
+
+    label: str
+    points: tuple[LoadPoint, ...]
+
+    def max_sustained_throughput(self) -> float:
+        """Highest throughput % over the *sustainable* points.
+
+        Falls back to the overall maximum when every point saturated
+        (the series' sustainable region lies below the lightest load).
+        """
+        sustained = [
+            p.measurement.throughput_percent
+            for p in self.points
+            if p.measurement.sustainable
+        ]
+        if sustained:
+            return max(sustained)
+        return max(p.measurement.throughput_percent for p in self.points)
+
+    def latency_at(self, load: float) -> float:
+        """Average latency measured at an exact sweep load."""
+        for p in self.points:
+            if p.offered_load == load:
+                return p.measurement.avg_latency
+        raise KeyError(f"no point at load {load}")
+
+
+def _run_until_delivered(
+    engine: WormholeEngine, target: int, deadline: float
+) -> None:
+    env = engine.env
+    while engine.stats.delivered_packets < target and env.now < deadline:
+        env.run(until=min(env.now + _CHUNK, deadline))
+
+
+def run_point(
+    network: NetworkConfig,
+    workload_builder: WorkloadBuilder,
+    offered_load: float,
+    run_cfg: RunConfig,
+) -> Measurement:
+    """Simulate one point and return its measurement window."""
+    env = Environment()
+    root = RandomStream(run_cfg.seed, name="root")
+    engine = WormholeEngine(
+        env,
+        network.build(),
+        rng=root.fork(f"engine/{network.label}/{offered_load}"),
+    )
+    workload = workload_builder(offered_load)
+    installed = workload.install(
+        env, engine, root.fork(f"workload/{network.label}/{offered_load}")
+    )
+    if installed == 0:
+        raise RuntimeError("workload installed no traffic sources")
+    engine.start()
+
+    warmup_deadline = env.now + run_cfg.max_cycles / 4
+    _run_until_delivered(engine, run_cfg.warmup_packets, warmup_deadline)
+
+    window = MeasurementWindow(engine)
+    window.begin()
+    deadline = env.now + run_cfg.max_cycles
+    _run_until_delivered(engine, run_cfg.measure_packets, deadline)
+    return window.finish()
+
+
+def sweep(
+    network: NetworkConfig,
+    workload_builder: WorkloadBuilder,
+    run_cfg: RunConfig,
+    loads: Sequence[float] | None = None,
+    label: str | None = None,
+) -> SweepResult:
+    """Sweep the offered load for one (network, workload) series."""
+    loads = tuple(loads) if loads is not None else run_cfg.loads
+    points = tuple(
+        LoadPoint(load, run_point(network, workload_builder, load, run_cfg))
+        for load in loads
+    )
+    return SweepResult(label or network.label, points)

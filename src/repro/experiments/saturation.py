@@ -1,0 +1,81 @@
+"""Saturation-point search.
+
+The single most quoted number per (network, workload) pair is the
+*saturation load*: the highest offered load the network sustains (no
+source queue exceeding the paper's 100-message criterion).  This module
+finds it by bisection over offered load -- cheaper and more precise
+than reading it off a fixed load ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import NetworkConfig, RunConfig
+from repro.experiments.runner import WorkloadBuilder, run_point
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """Result of a saturation search."""
+
+    load: float               # highest sustainable offered load found
+    throughput_percent: float  # measured throughput there
+    avg_latency: float
+    iterations: int
+
+    def __str__(self) -> str:
+        return (
+            f"saturates near load {self.load:.3f} "
+            f"({self.throughput_percent:.1f}% throughput, "
+            f"latency {self.avg_latency:.0f} cyc)"
+        )
+
+
+def find_saturation(
+    network: NetworkConfig,
+    workload_builder: WorkloadBuilder,
+    run_cfg: RunConfig,
+    lo: float = 0.02,
+    hi: float = 1.0,
+    tolerance: float = 0.02,
+    max_iterations: int = 12,
+) -> SaturationPoint:
+    """Bisect offered load for the sustainability boundary.
+
+    Assumes sustainability is monotone in load (true up to simulation
+    noise; the tolerance bounds how finely we chase the boundary).
+    Raises if even ``lo`` saturates.
+    """
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < lo < hi")
+
+    def probe(load: float):
+        return run_point(network, workload_builder, load, run_cfg)
+
+    best = probe(lo)
+    if not best.sustainable:
+        raise RuntimeError(
+            f"{network.label} saturates below load {lo}; lower `lo`"
+        )
+    best_load = lo
+    iterations = 1
+
+    top = probe(hi)
+    iterations += 1
+    if top.sustainable:
+        return SaturationPoint(
+            hi, top.throughput_percent, top.avg_latency, iterations
+        )
+
+    while hi - best_load > tolerance and iterations < max_iterations:
+        mid = (best_load + hi) / 2
+        m = probe(mid)
+        iterations += 1
+        if m.sustainable:
+            best, best_load = m, mid
+        else:
+            hi = mid
+    return SaturationPoint(
+        best_load, best.throughput_percent, best.avg_latency, iterations
+    )

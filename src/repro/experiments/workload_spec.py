@@ -1,0 +1,99 @@
+"""Declarative, picklable workload descriptions.
+
+The figure builders use closures as workload builders, which cannot
+cross process boundaries.  A :class:`WorkloadSpec` is a frozen record
+naming the same workloads (pattern + clustering + parameters); it
+rebuilds the identical closure on demand, so single-process and
+multi-process sweeps are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.config import RunConfig
+from repro.experiments.runner import WorkloadBuilder
+from repro.traffic.clusters import ClusterSpec, cluster_16, cluster_32, global_cluster
+from repro.traffic.patterns import (
+    ButterflyPermutationPattern,
+    HotSpotPattern,
+    ShufflePattern,
+    UniformPattern,
+)
+from repro.traffic.workload import Workload
+
+#: Valid pattern / clustering names.
+PATTERNS = ("uniform", "hotspot", "shuffle", "butterfly")
+CLUSTERINGS = ("global", "cluster16", "cluster16-shared", "cluster32")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: everything the figure builders can express."""
+
+    pattern: str = "uniform"
+    clustering: str = "global"
+    ratios: Optional[tuple[float, ...]] = None
+    hot_fraction: float = 0.05
+    butterfly_i: int = 2
+    k: int = 4
+    n: int = 3
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.clustering not in CLUSTERINGS:
+            raise ValueError(f"unknown clustering {self.clustering!r}")
+        if self.pattern in ("shuffle", "butterfly") and self.clustering != "global":
+            raise ValueError("permutation patterns are global workloads")
+
+    def clusters(self) -> ClusterSpec:
+        """Materialize the named clustering."""
+        if self.clustering == "global":
+            nbits = self.n * (self.k.bit_length() - 1)
+            return global_cluster(nbits=nbits)
+        if self.clustering == "cluster16":
+            return cluster_16("cube", self.ratios)
+        if self.clustering == "cluster16-shared":
+            return cluster_16("shared", self.ratios)
+        return cluster_32(self.ratios)
+
+    def builder(self, run_cfg: RunConfig) -> WorkloadBuilder:
+        """The closure the runner consumes (rebuilt identically anywhere)."""
+        clusters = self.clusters()
+        if self.pattern == "uniform":
+            factory = UniformPattern
+        elif self.pattern == "hotspot":
+            hot = self.hot_fraction
+
+            def factory(members):
+                return HotSpotPattern(members, hot)
+
+        elif self.pattern == "shuffle":
+            k, n = self.k, self.n
+
+            def factory(members):
+                return ShufflePattern(k, n)
+
+        else:
+            k, n, i = self.k, self.n, self.butterfly_i
+
+            def factory(members):
+                return ButterflyPermutationPattern(k, n, i)
+
+        return lambda load: Workload(clusters, factory, load, run_cfg.sizes)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name, e.g. 'hotspot 5% cluster16'."""
+        bits = [self.pattern]
+        if self.pattern == "hotspot":
+            bits.append(f"{self.hot_fraction:.0%}")
+        if self.pattern == "butterfly":
+            bits.append(f"i={self.butterfly_i}")
+        if self.clustering != "global":
+            bits.append(self.clustering)
+        if self.ratios:
+            bits.append(":".join(f"{r:g}" for r in self.ratios))
+        return " ".join(bits)

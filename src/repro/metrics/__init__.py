@@ -1,0 +1,37 @@
+"""Performance measurement: latency, throughput and sustainability.
+
+Implements the paper's two headline metrics (Section 5):
+
+* **average communication latency** -- from the source making a message
+  available to the destination consuming its tail flit (source queueing
+  included);
+* **sustained network throughput** -- flits delivered per node-cycle as
+  a percentage of the theoretical maximum (every delivery channel
+  streaming continuously), *sustainable* only while no source queue
+  exceeds 100 messages.
+
+:mod:`repro.metrics.stats` holds the numeric helpers (means,
+percentiles, batch-means confidence intervals);
+:mod:`repro.metrics.collector` turns an engine's measurement window into
+a :class:`~repro.metrics.collector.Measurement` record.
+"""
+
+from repro.metrics.collector import (
+    SUSTAINABILITY_QUEUE_LIMIT,
+    Measurement,
+    MeasurementWindow,
+)
+from repro.metrics.stats import batch_means, mean, percentile, stddev
+from repro.metrics.timeseries import IntervalSample, ThroughputSampler
+
+__all__ = [
+    "IntervalSample",
+    "SUSTAINABILITY_QUEUE_LIMIT",
+    "Measurement",
+    "MeasurementWindow",
+    "ThroughputSampler",
+    "batch_means",
+    "mean",
+    "percentile",
+    "stddev",
+]

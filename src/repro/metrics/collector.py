@@ -1,0 +1,122 @@
+"""Measurement windows over a running engine.
+
+Usage::
+
+    window = MeasurementWindow(engine)
+    ...  # run warmup cycles
+    window.begin()
+    ...  # run measurement cycles
+    m = window.finish()
+    print(m.avg_latency, m.throughput_percent, m.sustainable)
+
+The window resets the engine's counters at :meth:`begin` so warmup
+traffic never contaminates the measurement, matching the standard
+steady-state methodology the paper's experiments imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.stats import batch_means, mean, percentile
+from repro.wormhole.engine import FLITS_PER_MICROSECOND, WormholeEngine
+
+#: "The throughput is considered sustainable when the number of messages
+#: queued at their source nodes does not exceed some small limit, 100 in
+#: the simulations." (Section 5)
+SUSTAINABILITY_QUEUE_LIMIT = 100
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Steady-state metrics over one measurement window."""
+
+    cycles: float
+    delivered_packets: int
+    delivered_flits: int
+    offered_packets: int
+    offered_flits: int
+    avg_latency: float            # cycles, incl. source queueing
+    avg_network_latency: float    # cycles, excl. source queueing
+    p95_latency: float
+    latency_ci_half: float        # 95% CI half-width (batch means)
+    throughput: float             # flits per node-cycle, 0..1
+    max_queue_len: int
+    sustainable: bool
+
+    @property
+    def throughput_percent(self) -> float:
+        """The paper's unit: % of maximum theoretical throughput."""
+        return 100.0 * self.throughput
+
+    @property
+    def avg_latency_us(self) -> float:
+        """Latency in the paper's microseconds (20 flits/us channels)."""
+        return self.avg_latency / FLITS_PER_MICROSECOND
+
+    def __str__(self) -> str:
+        status = "" if self.sustainable else "  [UNSUSTAINABLE]"
+        return (
+            f"thr={self.throughput_percent:5.1f}%  "
+            f"lat={self.avg_latency:8.1f}cyc (net {self.avg_network_latency:.1f}, "
+            f"p95 {self.p95_latency:.0f}, ±{self.latency_ci_half:.1f})  "
+            f"pkts={self.delivered_packets}{status}"
+        )
+
+
+class MeasurementWindow:
+    """Collects one warmup-then-measure window from an engine."""
+
+    def __init__(
+        self,
+        engine: WormholeEngine,
+        queue_limit: int = SUSTAINABILITY_QUEUE_LIMIT,
+    ) -> None:
+        self.engine = engine
+        self.queue_limit = queue_limit
+        self._started_at: Optional[float] = None
+
+    def begin(self) -> None:
+        """Discard warmup statistics and open the window."""
+        self.engine.stats.reset_window(self.engine.env.now)
+        self._started_at = self.engine.env.now
+
+    def finish(self) -> Measurement:
+        """Close the window and summarize it."""
+        if self._started_at is None:
+            raise RuntimeError("begin() must be called before finish()")
+        stats = self.engine.stats
+        now = self.engine.env.now
+        cycles = now - self._started_at
+        if cycles <= 0:
+            raise RuntimeError("measurement window has zero length")
+
+        latencies = [r.latency for r in stats.records]
+        net_latencies = [r.network_latency for r in stats.records]
+        if latencies:
+            avg = mean(latencies)
+            avg_net = mean(net_latencies)
+            p95 = percentile(latencies, 95)
+            if len(latencies) >= 20:
+                _, ci = batch_means(latencies, batches=10)
+            else:
+                ci = float("nan")
+        else:
+            avg = avg_net = p95 = ci = float("nan")
+
+        return Measurement(
+            cycles=cycles,
+            delivered_packets=stats.delivered_packets,
+            delivered_flits=stats.delivered_flits,
+            offered_packets=stats.offered_packets,
+            offered_flits=stats.offered_flits,
+            avg_latency=avg,
+            avg_network_latency=avg_net,
+            p95_latency=p95,
+            latency_ci_half=ci,
+            throughput=stats.delivered_flits
+            / (self.engine.network.N * cycles),
+            max_queue_len=stats.max_queue_len,
+            sustainable=stats.max_queue_len <= self.queue_limit,
+        )

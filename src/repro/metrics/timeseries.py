@@ -1,0 +1,89 @@
+"""Interval time series of a running engine's throughput and backlog.
+
+A :class:`ThroughputSampler` is a kernel process that snapshots an
+engine every ``interval`` cycles, yielding per-interval delivered-flit
+rates and queue depths.  This is the tool for *transient* phenomena the
+steady-state window hides -- chiefly hot-spot tree saturation, where
+early intervals deliver far above the structural cap before the
+saturation tree builds up (the likely source of the paper's high
+Fig. 19 numbers; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.core import Environment
+from repro.wormhole.engine import WormholeEngine
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """One sampling interval's aggregates."""
+
+    start: float
+    end: float
+    delivered_flits: int
+    offered_flits: int
+    in_flight: int        # packets in the network at interval end
+    total_queued: int     # messages in source queues at interval end
+
+    @property
+    def throughput(self) -> float:
+        """Delivered flits per node-cycle needs N; see sampler method."""
+        return self.delivered_flits / (self.end - self.start)
+
+
+class ThroughputSampler:
+    """Samples an engine every ``interval`` cycles.
+
+    Start with :meth:`install` (before or after ``engine.start()``);
+    samples accumulate in :attr:`samples`.
+    """
+
+    def __init__(self, engine: WormholeEngine, interval: float = 500.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.interval = interval
+        self.samples: list[IntervalSample] = []
+        self._installed = False
+
+    def install(self, env: Environment) -> None:
+        """Start the sampling process (once per sampler)."""
+        if self._installed:
+            raise RuntimeError("sampler already installed")
+        self._installed = True
+        env.process(self._run(env), name="throughput-sampler")
+
+    def _run(self, env: Environment):
+        last_delivered = self.engine.stats.delivered_flits
+        last_offered = self.engine.stats.offered_flits
+        while True:
+            start = env.now
+            yield env.timeout(self.interval)
+            delivered = self.engine.stats.delivered_flits
+            offered = self.engine.stats.offered_flits
+            queued = sum(
+                len(q) for q in self.engine.queues
+            )
+            self.samples.append(
+                IntervalSample(
+                    start=start,
+                    end=env.now,
+                    delivered_flits=delivered - last_delivered,
+                    offered_flits=offered - last_offered,
+                    in_flight=self.engine.in_flight,
+                    total_queued=queued,
+                )
+            )
+            last_delivered, last_offered = delivered, offered
+
+    def throughput_fractions(self) -> list[float]:
+        """Per-interval delivered flits per node-cycle (0..1)."""
+        n = self.engine.network.N
+        return [s.delivered_flits / (n * (s.end - s.start)) for s in self.samples]
+
+    def backlog_series(self) -> list[int]:
+        """Per-interval total source-queue depth (tree-saturation curve)."""
+        return [s.total_queued for s in self.samples]

@@ -1,0 +1,33 @@
+"""Software multicast on wormhole MINs (the paper's future-work item).
+
+Section 6 points to the authors' own work on *optimal software multicast
+in wormhole-routed multistage networks* [32]: a multicast is implemented
+as phases of unicasts, where every node that already holds the message
+forwards it to one new destination per phase (recursive doubling:
+``ceil(log2(m+1))`` phases reach ``m`` destinations).
+
+* :mod:`repro.multicast.schedule` -- planners: naive sequential
+  (``m`` phases from the source) and binomial block splitting
+  (logarithmic, and arranged so that a phase's unicasts use disjoint
+  BMIN subtrees wherever possible), plus a static conflict analysis.
+* :mod:`repro.multicast.runner` -- executes a schedule on the wormhole
+  engine with phase barriers and reports the end-to-end multicast
+  latency.
+"""
+
+from repro.multicast.runner import MulticastResult, run_multicast
+from repro.multicast.schedule import (
+    UnicastStep,
+    binomial_schedule,
+    phase_conflicts,
+    sequential_schedule,
+)
+
+__all__ = [
+    "MulticastResult",
+    "UnicastStep",
+    "binomial_schedule",
+    "phase_conflicts",
+    "run_multicast",
+    "sequential_schedule",
+]

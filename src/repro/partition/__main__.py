@@ -1,0 +1,93 @@
+"""CLI: check a clustering against a network's partitionability.
+
+    python -m repro.partition --topology cube -k 4 -n 3 0XX 1XX 2XX 3XX
+    python -m repro.partition --topology butterfly -k 2 -n 3 XX0 XX1
+    python -m repro.partition --bmin -k 2 -n 3 0XX 10X 11X
+
+Patterns are most-significant-first; digits fix a radix-k digit, X (or
+*) frees one.  Pure-binary patterns (over n*log2(k) bits) are accepted
+too, e.g. 0XXXXX for half of a 64-node machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.partition.analysis import (
+    bmin_cluster_line_usage,
+    bmin_clusters_are_contention_free,
+    bmin_is_channel_balanced,
+    check_partition,
+)
+from repro.partition.cubes import Cube
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.mins import TOPOLOGY_BUILDERS, build_min
+
+
+def _parse_cube(pattern: str, k: int, n: int) -> Cube:
+    import math
+
+    nbits = n * int(math.log2(k))
+    if len(pattern) == n:
+        return Cube.from_kary(pattern, k)
+    if len(pattern) == nbits:
+        return Cube.from_bits(pattern)
+    raise ValueError(
+        f"pattern {pattern!r} must have {n} radix-{k} digits or {nbits} bits"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; exit code 0 iff the partition is clean."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.partition",
+        description="Contention-free / channel-balanced partition checks "
+        "(the paper's Section 4).",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=sorted(TOPOLOGY_BUILDERS),
+        default="cube",
+        help="unidirectional MIN topology (default: cube)",
+    )
+    parser.add_argument(
+        "--bmin",
+        action="store_true",
+        help="check against the bidirectional butterfly MIN instead",
+    )
+    parser.add_argument("-k", type=int, default=4, help="switch radix")
+    parser.add_argument("-n", type=int, default=3, help="stages")
+    parser.add_argument("patterns", nargs="+", help="cluster patterns (e.g. 0XX)")
+    args = parser.parse_args(argv)
+
+    try:
+        clusters = [_parse_cube(p, args.k, args.n) for p in args.patterns]
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.bmin:
+        bmin = BidirectionalMIN(args.k, args.n)
+        cf = bmin_clusters_are_contention_free(bmin, clusters)
+        print(
+            f"butterfly BMIN (k={args.k}, n={args.n}): "
+            f"{'contention-free' if cf else 'CONTENDING'}"
+        )
+        ok = cf
+        for cube, pattern in zip(clusters, args.patterns):
+            balanced = bmin_is_channel_balanced(bmin, cube)
+            usage = bmin_cluster_line_usage(bmin, cube)
+            counts = [len(usage[b]) for b in range(bmin.n)]
+            tag = "balanced" if balanced else "unbalanced"
+            print(f"  {pattern}: lines/boundary {counts} ({tag})")
+            ok = ok and balanced
+        return 0 if ok else 1
+
+    spec = build_min(args.topology, args.k, args.n)
+    report = check_partition(spec, clusters)
+    print(report)
+    return 0 if report.contention_free and all(report.channel_balanced) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Channel-usage analysis of cluster partitions (Lemma 1, Theorems 2-4).
+
+For a cluster ``C`` and a MIN, the *channel usage* at stage boundary
+``b`` is the set of channels that intra-cluster traffic (every ordered
+pair of distinct members) can touch.  The paper's two partition-quality
+predicates are then:
+
+* **channel-balanced** (Lemma 1): ``|usage at b| == |C|`` at every
+  boundary -- the cluster owns exactly its share of the bandwidth;
+* **contention-free** (Lemma 1 / Theorem 2): usages of different
+  clusters are disjoint at every boundary.
+
+For unidirectional MINs channels are the ``(boundary, position)`` pairs
+of :meth:`MINSpec.channels_of_path`.  For the BMIN (Theorem 4), usage is
+computed over *all* shortest turnaround paths, since the adaptive
+forward phase may use any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.partition.cubes import Cube
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.spec import MINSpec
+
+
+def _check_members(N: int, cluster: Cube) -> list[int]:
+    if (1 << cluster.nbits) != N:
+        raise ValueError(
+            f"cluster {cluster!r} is over a {1 << cluster.nbits}-node address "
+            f"space, not this network's {N}"
+        )
+    return cluster.member_list()
+
+
+def cluster_channel_usage(
+    spec: MINSpec, cluster: Cube
+) -> dict[int, set[tuple[int, int]]]:
+    """Channels per boundary touched by intra-cluster traffic."""
+    members = _check_members(spec.N, cluster)
+    usage: dict[int, set[tuple[int, int]]] = {b: set() for b in range(spec.n + 1)}
+    for s in members:
+        for d in members:
+            if s == d:
+                continue
+            for boundary, pos in spec.channels_of_path(s, d):
+                usage[boundary].add((boundary, pos))
+    return usage
+
+
+def is_channel_balanced(spec: MINSpec, cluster: Cube) -> bool:
+    """Lemma 1's quota: exactly ``|cluster|`` channels at every boundary.
+
+    Boundaries 0 and n (injection/delivery) trivially hold; the
+    interesting ones are the ``n - 1`` inter-stage boundaries.
+    """
+    if cluster.size < 2:
+        raise ValueError("a 1-node cluster generates no traffic to measure")
+    usage = cluster_channel_usage(spec, cluster)
+    return all(len(usage[b]) == cluster.size for b in range(spec.n + 1))
+
+
+def clusters_are_contention_free(
+    spec: MINSpec, clusters: Sequence[Cube]
+) -> bool:
+    """No two clusters' intra-cluster traffic shares any channel."""
+    usages = [cluster_channel_usage(spec, c) for c in clusters]
+    for b in range(spec.n + 1):
+        seen: set[tuple[int, int]] = set()
+        for usage in usages:
+            if seen & usage[b]:
+                return False
+            seen |= usage[b]
+    return True
+
+
+def bmin_cluster_line_usage(
+    bmin: BidirectionalMIN, cluster: Cube
+) -> dict[int, set[int]]:
+    """Lines per boundary that intra-cluster BMIN traffic can touch.
+
+    The union is over all shortest turnaround paths (the adaptive
+    forward phase may pick any); a line counts if either its forward or
+    its backward channel is used.
+    """
+    members = _check_members(bmin.N, cluster)
+    usage: dict[int, set[int]] = {b: set() for b in range(bmin.n)}
+    for s in members:
+        for d in members:
+            if s == d:
+                continue
+            for path in bmin.enumerate_shortest_paths(s, d):
+                for b, line in enumerate(path.up):
+                    usage[b].add(line)
+                for b, line in enumerate(path.down):
+                    usage[b].add(line)
+    return usage
+
+
+def bmin_is_channel_balanced(bmin: BidirectionalMIN, cluster: Cube) -> bool:
+    """Theorem 4's quota: a base cube of size c uses exactly c lines at
+    every boundary its traffic crosses (and none above)."""
+    if cluster.size < 2:
+        raise ValueError("a 1-node cluster generates no traffic to measure")
+    usage = bmin_cluster_line_usage(bmin, cluster)
+    members = cluster.member_list()
+    top = max(
+        bmin.turn_stage(s, d) for s in members for d in members if s != d
+    )
+    for b in range(bmin.n):
+        expected = cluster.size if b <= top else 0
+        if len(usage[b]) != expected:
+            return False
+    return True
+
+
+def bmin_clusters_are_contention_free(
+    bmin: BidirectionalMIN, clusters: Sequence[Cube]
+) -> bool:
+    """No two clusters' BMIN traffic can touch a common line."""
+    usages = [bmin_cluster_line_usage(bmin, c) for c in clusters]
+    for b in range(bmin.n):
+        seen: set[int] = set()
+        for usage in usages:
+            if seen & usage[b]:
+                return False
+            seen |= usage[b]
+    return True
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Summary of a partition's quality on one network."""
+
+    network: str
+    cluster_patterns: tuple[str, ...]
+    contention_free: bool
+    channel_balanced: tuple[bool, ...]
+    channels_per_boundary: tuple[tuple[int, ...], ...]
+    """``channels_per_boundary[c][b]``: channels cluster ``c`` uses at ``b``."""
+
+    def __str__(self) -> str:
+        lines = [
+            f"partition of {self.network}: "
+            f"{'contention-free' if self.contention_free else 'CONTENDING'}"
+        ]
+        for pat, balanced, counts in zip(
+            self.cluster_patterns, self.channel_balanced, self.channels_per_boundary
+        ):
+            tag = "balanced" if balanced else "unbalanced"
+            lines.append(f"  {pat}: channels/boundary {list(counts)} ({tag})")
+        return "\n".join(lines)
+
+
+def check_partition(
+    spec: MINSpec, clusters: Sequence[Cube]
+) -> PartitionReport:
+    """Full report for a unidirectional MIN partition (Figs. 14 and 15)."""
+    usages = [cluster_channel_usage(spec, c) for c in clusters]
+    balanced = tuple(
+        all(len(u[b]) == c.size for b in range(spec.n + 1))
+        for c, u in zip(clusters, usages)
+    )
+    counts = tuple(
+        tuple(len(u[b]) for b in range(spec.n + 1)) for u in usages
+    )
+    def render(c: Cube) -> str:
+        try:
+            return c.pattern(spec.k)
+        except ValueError:  # binary cube not aligned to k-ary digits
+            return c.pattern(2)
+
+    return PartitionReport(
+        network=f"{spec.name} MIN (k={spec.k}, n={spec.n})",
+        cluster_patterns=tuple(render(c) for c in clusters),
+        contention_free=clusters_are_contention_free(spec, clusters),
+        channel_balanced=balanced,
+        channels_per_boundary=counts,
+    )

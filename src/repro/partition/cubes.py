@@ -1,0 +1,218 @@
+"""k-ary and binary cube clusters (Definitions 5 and 6).
+
+A *k-ary m-cube* in an ``N = k**n`` node system is the set of ``k**m``
+nodes sharing the same digits in ``n - m`` fixed positions.  A *base*
+cube fixes the most significant positions.  When ``k = 2**j`` the
+notion relaxes to *binary* cubes: any subset of the ``n * j`` address
+bits may be fixed (Theorem 2 holds at bit granularity).
+
+:class:`Cube` therefore works on the binary expansion of node
+addresses.  Patterns are written most-significant-first, matching the
+paper's notation: ``Cube.from_kary("21**", k=4)`` is the base four-ary
+two-cube (2100)..(2133) of the Section 4 example, and
+``Cube.from_bits("0XXXXX")`` is the 32-node half of a 64-node system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+
+def _log2(k: int) -> int:
+    j = k.bit_length() - 1
+    if k != 1 << j:
+        raise ValueError(f"k={k} is not a power of two; binary cubes need k = 2**j")
+    return j
+
+
+class Cube:
+    """A (binary) cube cluster of node addresses.
+
+    Internally a cube is a pair of bit masks over the ``nbits``-wide
+    binary address: ``fixed_mask`` selects the fixed bit positions and
+    ``fixed_bits`` their required values.
+    """
+
+    def __init__(self, nbits: int, fixed_mask: int, fixed_bits: int) -> None:
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        full = (1 << nbits) - 1
+        if fixed_mask & ~full or fixed_bits & ~full:
+            raise ValueError("mask/bits exceed the address width")
+        if fixed_bits & ~fixed_mask:
+            raise ValueError("fixed_bits sets a bit outside fixed_mask")
+        self.nbits = nbits
+        self.fixed_mask = fixed_mask
+        self.fixed_bits = fixed_bits
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, pattern: str) -> "Cube":
+        """Parse a most-significant-first bit pattern of 0, 1, X/*.
+
+        ``Cube.from_bits("1X0")`` fixes bit 2 = 1 and bit 0 = 0.
+        """
+        pattern = pattern.strip().upper().replace("*", "X")
+        nbits = len(pattern)
+        mask = bits = 0
+        for pos, ch in enumerate(pattern):
+            bit = nbits - 1 - pos
+            if ch == "X":
+                continue
+            if ch not in "01":
+                raise ValueError(f"invalid pattern character {ch!r}")
+            mask |= 1 << bit
+            if ch == "1":
+                bits |= 1 << bit
+        return cls(nbits, mask, bits)
+
+    @classmethod
+    def from_kary(cls, pattern: str, k: int) -> "Cube":
+        """Parse a most-significant-first k-ary digit pattern.
+
+        Digits are single characters interpreted in radix k (so k <= 16
+        with digits 0-9, A-F); X or * marks a free digit.  Each fixed
+        digit fixes ``log2(k)`` address bits (Definition 5).
+        """
+        j = _log2(k)
+        pattern = pattern.strip().upper().replace("*", "X")
+        n = len(pattern)
+        mask = bits = 0
+        for pos, ch in enumerate(pattern):
+            digit_index = n - 1 - pos
+            if ch == "X":
+                continue
+            value = int(ch, 16)
+            if value >= k:
+                raise ValueError(f"digit {ch!r} out of range for radix {k}")
+            digit_mask = ((1 << j) - 1) << (digit_index * j)
+            mask |= digit_mask
+            bits |= value << (digit_index * j)
+        return cls(n * j, mask, bits)
+
+    @classmethod
+    def whole_system(cls, nbits: int) -> "Cube":
+        """The cube containing every node (no fixed bits)."""
+        return cls(nbits, 0, 0)
+
+    # -- Definition 5 / 6 properties -----------------------------------------
+
+    @property
+    def free_bits(self) -> int:
+        """Number of free (unfixed) bit positions: the binary 'm'."""
+        return self.nbits - bin(self.fixed_mask).count("1")
+
+    @property
+    def size(self) -> int:
+        """Number of member nodes: ``2**free_bits``."""
+        return 1 << self.free_bits
+
+    def is_base(self) -> bool:
+        """Definition 6: the fixed bits occupy the most significant positions."""
+        if self.fixed_mask == 0:
+            return True
+        m = self.free_bits
+        expected = ((1 << self.nbits) - 1) & ~((1 << m) - 1)
+        return self.fixed_mask == expected
+
+    def is_kary(self, k: int) -> bool:
+        """True if the fixed bits align to whole radix-k digits."""
+        j = _log2(k)
+        if self.nbits % j:
+            return False
+        for digit in range(self.nbits // j):
+            digit_mask = ((1 << j) - 1) << (digit * j)
+            part = self.fixed_mask & digit_mask
+            if part not in (0, digit_mask):
+                return False
+        return True
+
+    # -- membership ------------------------------------------------------------
+
+    def __contains__(self, address: int) -> bool:
+        if not 0 <= address < (1 << self.nbits):
+            return False
+        return (address & self.fixed_mask) == self.fixed_bits
+
+    def members(self) -> Iterator[int]:
+        """All member addresses, ascending."""
+        free_positions = [
+            b for b in range(self.nbits) if not self.fixed_mask & (1 << b)
+        ]
+        for combo in range(1 << len(free_positions)):
+            addr = self.fixed_bits
+            for i, b in enumerate(free_positions):
+                if combo & (1 << i):
+                    addr |= 1 << b
+            yield addr
+
+    def member_list(self) -> list[int]:
+        """Member addresses as a sorted list."""
+        return sorted(self.members())
+
+    # -- relations ---------------------------------------------------------------
+
+    def is_disjoint_from(self, other: "Cube") -> bool:
+        """No common member: the fixed bits conflict somewhere."""
+        if self.nbits != other.nbits:
+            raise ValueError("cubes over different address widths")
+        common = self.fixed_mask & other.fixed_mask
+        return (self.fixed_bits & common) != (other.fixed_bits & common)
+
+    def is_subcube_of(self, other: "Cube") -> bool:
+        """Every member of self is a member of other."""
+        if self.nbits != other.nbits:
+            raise ValueError("cubes over different address widths")
+        if other.fixed_mask & ~self.fixed_mask:
+            return False
+        return (self.fixed_bits & other.fixed_mask) == other.fixed_bits
+
+    @staticmethod
+    def partitions(cubes: Sequence["Cube"], nbits: Optional[int] = None) -> bool:
+        """True iff the cubes are pairwise disjoint and cover all nodes."""
+        if not cubes:
+            return False
+        nbits = nbits if nbits is not None else cubes[0].nbits
+        if any(c.nbits != nbits for c in cubes):
+            return False
+        for i, a in enumerate(cubes):
+            for b in cubes[i + 1 :]:
+                if not a.is_disjoint_from(b):
+                    return False
+        return sum(c.size for c in cubes) == 1 << nbits
+
+    # -- misc ---------------------------------------------------------------------
+
+    def pattern(self, k: int = 2) -> str:
+        """Render as a most-significant-first pattern in radix ``k``."""
+        j = _log2(k)
+        if self.nbits % j:
+            raise ValueError(f"width {self.nbits} not divisible by log2({k})")
+        out = []
+        for digit in range(self.nbits // j - 1, -1, -1):
+            digit_mask = ((1 << j) - 1) << (digit * j)
+            part = self.fixed_mask & digit_mask
+            if part == digit_mask:
+                value = (self.fixed_bits & digit_mask) >> (digit * j)
+                out.append("0123456789ABCDEF"[value])
+            elif part == 0:
+                out.append("X")
+            else:
+                raise ValueError(
+                    "cube does not align to whole digits; render with k=2"
+                )
+        return "".join(out)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cube)
+            and (self.nbits, self.fixed_mask, self.fixed_bits)
+            == (other.nbits, other.fixed_mask, other.fixed_bits)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nbits, self.fixed_mask, self.fixed_bits))
+
+    def __repr__(self) -> str:
+        return f"<Cube {self.pattern(2)} ({self.size} nodes)>"

@@ -1,0 +1,49 @@
+"""Destination-tag routing for the unidirectional MINs.
+
+TMIN, DMIN and VMIN all use the same self-routing rule: stage ``G_i``
+forwards a packet out of port ``t_i``, where the tag ``t_0 .. t_{n-1}``
+is a fixed function of the destination address (butterfly vs. cube MINs
+differ only in that function and in the connection patterns).  The
+networks differ *behind* the chosen port:
+
+* TMIN -- one channel per port (block if busy);
+* DMIN -- ``d`` channels per port (random free one; block if all busy);
+* VMIN -- ``v`` virtual channels over one wire (any free VC; block if
+  none).
+
+Those multiplicities live in the wormhole engine; this router only maps
+(stage, destination) to the output port.
+"""
+
+from __future__ import annotations
+
+from repro.topology.spec import MINSpec
+
+
+class TagRouter:
+    """Per-switch destination-tag routing over a :class:`MINSpec`."""
+
+    def __init__(self, spec: MINSpec) -> None:
+        self.spec = spec
+        # Tags are pure functions of the destination: precompute all N.
+        self._tags: tuple[tuple[int, ...], ...] = tuple(
+            spec.routing_tag(d) for d in range(spec.N)
+        )
+
+    def output_port(self, stage: int, destination: int) -> int:
+        """The port ``t_stage`` a packet for ``destination`` must take."""
+        if not 0 <= stage < self.spec.n:
+            raise ValueError(f"stage {stage} out of range")
+        if not 0 <= destination < self.spec.N:
+            raise ValueError(f"destination {destination} out of range")
+        return self._tags[destination][stage]
+
+    def tag(self, destination: int) -> tuple[int, ...]:
+        """The full routing tag for ``destination``."""
+        if not 0 <= destination < self.spec.N:
+            raise ValueError(f"destination {destination} out of range")
+        return self._tags[destination]
+
+    def hops(self) -> int:
+        """Switch traversals for any route: always ``n`` (plus delivery)."""
+        return self.spec.n

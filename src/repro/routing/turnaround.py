@@ -1,0 +1,136 @@
+"""The turnaround routing algorithm of Fig. 7, as per-switch decisions.
+
+Each switch at stage ``j`` inspects only the source/destination
+addresses carried by the message and the side the message arrived on:
+
+1. ``t = FirstDifference(S, D)`` (``j <= t`` always holds en route);
+2. if ``j == t``: turnaround connection to left output port ``l_{d_j}``;
+3. if ``j < t`` and the message arrived on a *left* input port: forward
+   connection to any available right port (adaptive — the engine picks
+   randomly among the free ones);
+4. if ``j < t`` and the message arrived on a *right* input port:
+   backward connection to left output port ``l_{d_j}``.
+
+The decision is purely local; no switch needs global traffic knowledge
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.topology.bmin import BidirectionalMIN, first_difference
+from repro.topology.permutations import to_digits
+
+
+class Move(Enum):
+    """Connection type selected inside a bidirectional switch (Fig. 2)."""
+
+    FORWARD = "forward"        # left input  -> right output
+    BACKWARD = "backward"      # right input -> left output
+    TURNAROUND = "turnaround"  # left input  -> left output
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Outcome of a per-switch routing step.
+
+    ``ports`` lists candidate output port indices on the side implied by
+    ``move`` (right side for FORWARD, left side otherwise).  A
+    deterministic step has exactly one candidate; the adaptive forward
+    step lists all k right ports, to be filtered by availability.
+    """
+
+    move: Move
+    ports: tuple[int, ...]
+
+    @property
+    def is_adaptive(self) -> bool:
+        """More than one legal output (the forward phase's freedom)."""
+        return len(self.ports) > 1
+
+
+class TurnaroundRouter:
+    """Executes Fig. 7 for every switch of a :class:`BidirectionalMIN`."""
+
+    def __init__(self, bmin: BidirectionalMIN) -> None:
+        self.bmin = bmin
+        self.k, self.n = bmin.k, bmin.n
+
+    def turn_stage(self, source: int, destination: int) -> int:
+        """``FirstDifference(S, D)``; raises for S == D."""
+        return first_difference(source, destination, self.k, self.n)
+
+    def decide(
+        self,
+        stage: int,
+        came_from_left: bool,
+        source: int,
+        destination: int,
+    ) -> RouteDecision:
+        """One execution of the Fig. 7 algorithm at stage ``stage``.
+
+        Parameters
+        ----------
+        stage:
+            The stage ``j`` of the switch executing the step.
+        came_from_left:
+            True if the message entered on a left (lower) input port --
+            i.e. it is still in its forward phase or about to turn.
+        source, destination:
+            Addresses carried in the message header.
+        """
+        if not 0 <= stage < self.n:
+            raise ValueError(f"stage {stage} out of range")
+        t = self.turn_stage(source, destination)
+        if stage > t:
+            raise ValueError(
+                f"message for t={t} can never reach stage {stage} "
+                "(turnaround routing ascends exactly to FirstDifference)"
+            )
+        d_digits = to_digits(destination, self.k, self.n)
+        if stage == t:
+            if not came_from_left:
+                raise ValueError(
+                    "a message arriving on a right port at its turn stage "
+                    "would have overshot; the r->r connection is forbidden"
+                )
+            return RouteDecision(Move.TURNAROUND, (d_digits[stage],))
+        if came_from_left:
+            return RouteDecision(Move.FORWARD, tuple(range(self.k)))
+        return RouteDecision(Move.BACKWARD, (d_digits[stage],))
+
+    def hops(self, source: int, destination: int) -> int:
+        """Number of switch traversals: ``t + 1`` up (incl. turn) + ``t`` down."""
+        t = self.turn_stage(source, destination)
+        return 2 * t + 1
+
+    def walk(
+        self, source: int, destination: int, forward_choices: Optional[list[int]] = None
+    ) -> list[tuple[int, Move, int]]:
+        """Full route as ``(stage, move, output_port)`` steps.
+
+        ``forward_choices[j]`` fixes the right port taken at stage ``j``
+        (defaults to all zeros).  Mainly a verification helper: the walk
+        must visit stages ``0..t..0`` and end on the destination's line.
+        """
+        t = self.turn_stage(source, destination)
+        if forward_choices is None:
+            forward_choices = [0] * t
+        if len(forward_choices) != t:
+            raise ValueError(f"need exactly t={t} forward choices")
+        steps: list[tuple[int, Move, int]] = []
+        for j in range(t):
+            decision = self.decide(j, True, source, destination)
+            port = forward_choices[j]
+            if port not in decision.ports:
+                raise ValueError(f"choice {port} invalid at stage {j}")
+            steps.append((j, Move.FORWARD, port))
+        decision = self.decide(t, True, source, destination)
+        steps.append((t, Move.TURNAROUND, decision.ports[0]))
+        for j in range(t - 1, -1, -1):
+            decision = self.decide(j, False, source, destination)
+            steps.append((j, Move.BACKWARD, decision.ports[0]))
+        return steps

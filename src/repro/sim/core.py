@@ -1,0 +1,173 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    ProcessCrash,
+    Timeout,
+)
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at an event."""
+
+
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment of a simulation.
+
+    Keeps the current simulation time (:attr:`now`) and a priority queue
+    of scheduled events.  Time advances by processing events in
+    ``(time, priority, insertion order)`` order.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default 0).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock and introspection ------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def __len__(self) -> int:
+        """Number of scheduled (not yet processed) events."""
+        return len(self._queue)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = PRIORITY_NORMAL, delay: float = 0.0
+    ) -> None:
+        """Schedule ``event`` to be processed ``delay`` time units from now."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event occurring ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering once all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering once any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- run loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events are left, and
+        :class:`ProcessCrash` if the event failed with nobody handling it.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event.defused:
+            exc = event._value
+            raise ProcessCrash(
+                f"unhandled failure in {event!r}: {exc!r}"
+            ) from exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until ``until``.
+
+        * ``None`` -- run until no events remain.
+        * a number -- run until the clock reaches that time.
+        * an :class:`Event` -- run until the event is processed and
+          return its value (re-raising its exception on failure).
+        """
+        stop: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:
+                # Already processed: nothing to run.
+                if stop._ok:
+                    return stop._value
+                raise stop._value
+            stop.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until ({at}) must not be before now ({self._now})")
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            # Urgent priority: stop before any same-time normal event.
+            heappush(self._queue, (at, -1, next(self._eid), stop))
+            stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation:
+            assert stop is not None
+            if stop._ok:
+                return stop._value
+            raise stop._value from None
+        except EmptySchedule:
+            if stop is not None and not stop.processed:
+                raise RuntimeError(
+                    f"no scheduled events left but {stop!r} was not triggered"
+                ) from None
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event)

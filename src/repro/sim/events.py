@@ -1,0 +1,338 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is a one-shot occurrence with a value.  Processes wait
+on events by ``yield``-ing them; when the event is *triggered* (succeeds
+or fails), every registered callback runs and waiting processes resume.
+
+The lifecycle of an event is::
+
+    untriggered --> triggered (scheduled) --> processed (callbacks ran)
+
+Events may *succeed* with a value or *fail* with an exception.  A failed
+event re-raises its exception inside every process that waits on it,
+unless the failure was explicitly marked as *defused* (e.g. because a
+condition event already consumed it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.core import Environment
+
+# Scheduling priorities: lower value runs earlier at equal times.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+_PENDING = object()  #: sentinel for "no value yet"
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class ProcessCrash(RuntimeError):
+    """Raised by :meth:`Environment.run` when a process dies unhandled."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The environment the event lives in.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks invoked (with the event) once the event is processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: A failed event whose exception was handled elsewhere sets this
+        #: to avoid crashing the environment.
+        self.defused = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to occur."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise AttributeError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is _PENDING:
+            raise AttributeError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule the event to occur now with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule the event to occur now, failing with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} ({state}) at {id(self):#x}>"
+
+    # -- composition -----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that occurs ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal: starts a process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; the event triggers when the generator finishes.
+
+    The generator yields :class:`Event` instances; it is resumed with the
+    event's value (or the event's exception is thrown into it).  The
+    value of a ``StopIteration`` / ``return`` becomes the process value.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (None when running).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not exited."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        # If we were interrupted while waiting, detach from the old target
+        # so its eventual trigger does not resume us twice.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._target = None
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                # Misuse: yielded a non-event.  Kill the process loudly.
+                self._ok = False
+                self._value = TypeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Not yet processed: register and go to sleep.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: continue immediately with its outcome.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Base for events composed of several sub-events (AllOf / AnyOf)."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        # Register on sub-events (immediately check processed ones).
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        """Values of all processed, successful sub-events, in order."""
+        return {
+            event: event._value
+            for event in self._events
+            if event.callbacks is None and event._ok
+        }
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when *all* sub-events have triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self._events)
+
+
+class AnyOf(Condition):
+    """Triggers when *any* sub-event has triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1

@@ -1,0 +1,33 @@
+"""Alternative switching techniques for comparison (Section 1).
+
+The paper motivates wormhole switching against the two older
+techniques: *store-and-forward* (packet switching: the whole packet is
+buffered at every hop -- latency grows multiplicatively with distance)
+and *circuit switching* (a setup probe reserves the whole path, then
+the payload streams -- used by the BBN GP-1000/TC-2000).
+
+These simulators run on the :mod:`repro.sim` kernel with channels as
+resources; they model contention at packet granularity (not flit
+level), which is the right fidelity for the latency-structure
+comparison:
+
+* store-and-forward: ``latency ~ hops * (L + 1)``;
+* circuit switching: ``latency ~ hops (setup) + L (stream)``;
+* wormhole (the flit-level engine): ``latency ~ hops + L``.
+
+The wormhole/SAF/circuit contrast -- and wormhole's
+distance-insensitivity -- is benchmarked in
+``benchmarks/bench_switching.py``.
+"""
+
+from repro.switching.engines import (
+    CircuitSwitchedNetwork,
+    StoreForwardNetwork,
+    SwitchedResult,
+)
+
+__all__ = [
+    "CircuitSwitchedNetwork",
+    "StoreForwardNetwork",
+    "SwitchedResult",
+]

@@ -1,0 +1,119 @@
+"""Text renderings of MIN structures (the paper's Figs. 4-6 and 13).
+
+Produces deterministic, diff-friendly text: connection-pattern tables,
+stage-by-stage switch wiring for unidirectional MINs and BMINs, and an
+indented fat-tree view.  Used by ``examples/network_atlas.py`` and by
+documentation; everything is derived from the same topology objects the
+simulator uses, so the pictures cannot drift from the model.
+"""
+
+from __future__ import annotations
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.fattree import FatTree, FatTreeVertex
+from repro.topology.permutations import Permutation
+from repro.topology.spec import MINSpec
+
+
+def _addr(x: int, k: int, n: int) -> str:
+    """Radix-k address string, most significant digit first."""
+    digits = []
+    for _ in range(n):
+        digits.append("0123456789ABCDEF"[x % k])
+        x //= k
+    return "".join(reversed(digits))
+
+
+def connection_table(perm: Permutation, k: int, n: int) -> str:
+    """The permutation as 'position -> position' rows (radix-k labels)."""
+    rows = [f"{perm.name}:"]
+    rows.extend(
+        f"  {_addr(i, k, n)} -> {_addr(perm(i), k, n)}"
+        for i in range(perm.size)
+    )
+    return "\n".join(rows)
+
+
+def render_min(spec: MINSpec) -> str:
+    """Stage-by-stage wiring of a unidirectional MIN.
+
+    For every stage, lists each switch with the link positions feeding
+    its input ports (after the incoming connection pattern) and the
+    positions its output ports drive (before the outgoing pattern).
+    """
+    k, n = spec.k, spec.n
+    lines = [
+        f"{spec.name} MIN: N={spec.N} nodes, {n} stages of "
+        f"{spec.switches_per_stage} {k}x{k} switches",
+        "connections: "
+        + "  ".join(f"C{i}={c.name}" for i, c in enumerate(spec.connections)),
+    ]
+    inverse = [c.inverse() for c in spec.connections]
+    for stage in range(n):
+        lines.append(f"stage G{stage}:")
+        for w in range(spec.switches_per_stage):
+            in_positions = [
+                _addr(inverse[stage](w * k + port), k, n) for port in range(k)
+            ]
+            out_positions = [
+                _addr(spec.connections[stage + 1](w * k + port), k, n)
+                for port in range(k)
+            ]
+            lines.append(
+                f"  switch {w:>2}: in<-{','.join(in_positions)}  "
+                f"out->{','.join(out_positions)}"
+            )
+    return "\n".join(lines)
+
+
+def render_bmin(bmin: BidirectionalMIN) -> str:
+    """Stage-by-stage wiring of a bidirectional butterfly MIN.
+
+    Every listed line is a channel *pair* (forward + backward).  Left
+    lines of stage 0 attach to the processor nodes.
+    """
+    k, n = bmin.k, bmin.n
+    lines = [
+        f"butterfly BMIN: N={bmin.N} nodes, {n} stages of "
+        f"{bmin.switches_per_stage} bidirectional {k}x{k} switches",
+    ]
+    for stage in range(n):
+        lines.append(f"stage G{stage}:")
+        for w in range(bmin.switches_per_stage):
+            left = [
+                _addr(line, k, n) for line in bmin.left_lines_of_switch(stage, w)
+            ]
+            right = bmin.right_lines_of_switch(stage, w)
+            right_s = (
+                ",".join(_addr(line, k, n) for line in right)
+                if right
+                else "(network edge)"
+            )
+            lines.append(
+                f"  switch {w:>2}: left<->{','.join(left)}  right<->{right_s}"
+            )
+    return "\n".join(lines)
+
+
+def render_fat_tree(ft: FatTree) -> str:
+    """Indented fat-tree of a BMIN (Fig. 13): capacities grow to the root."""
+    lines = [
+        f"fat tree over {ft.N}-node butterfly BMIN "
+        f"(k={ft.k}): leaves at level 0",
+    ]
+
+    def visit(vertex: FatTreeVertex, depth: int) -> None:
+        leaves = ft.leaves(vertex)
+        span = f"nodes {leaves[0]}..{leaves[-1]}"
+        links = ft.parent_link_count(vertex)
+        up = f", {links} parent links" if links else " (root)"
+        lines.append(
+            "  " * depth
+            + f"level {vertex.level} vertex[{vertex.prefix}]: {span}"
+            + f", {len(ft.switch_group(vertex))} switches{up}"
+        )
+        for child in ft.children(vertex):
+            visit(child, depth + 1)
+
+    visit(ft.root(), 0)
+    return "\n".join(lines)

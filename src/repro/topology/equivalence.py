@@ -1,0 +1,98 @@
+"""Executable equivalence and admissibility checks for Delta MINs.
+
+The paper cites Wu & Feng's result that the Delta-class MINs (Omega,
+flip, cube, butterfly, baseline) are topologically and functionally
+equivalent, yet shows they are *not* equivalent in partitionability.
+This module provides the executable side of those statements:
+
+* :func:`is_banyan` -- unique-path property (exactly one path per
+  source/destination pair under destination-tag routing, and routing is
+  correct for every pair);
+* :func:`functionally_equivalent` -- two MINs connect the same set of
+  (source, destination) pairs (trivially true for full Delta MINs; the
+  check matters for trimmed or faulty variants);
+* :func:`admissible` -- whether a full node permutation can be routed
+  with no shared channel (used to reason about Fig. 20's permutation
+  workloads: e.g. the shuffle permutation is inadmissible in a TMIN);
+* :func:`channel_load` -- per-channel path counts for a traffic set,
+  the static congestion signature behind the dynamic results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.topology.spec import MINSpec
+
+
+def is_banyan(spec: MINSpec) -> bool:
+    """Check destination-tag routing delivers every (s, d) pair.
+
+    Delta networks have a unique path per pair by construction (one tag
+    per destination); the content of this check is that the tag rule
+    and the connection patterns agree, i.e. the network is correctly
+    wired.
+    """
+    return all(
+        spec.delivers(s, d) for s in range(spec.N) for d in range(spec.N)
+    )
+
+
+def functionally_equivalent(a: MINSpec, b: MINSpec) -> bool:
+    """Same (source, destination) connectivity under self-routing."""
+    if a.N != b.N:
+        return False
+    return all(
+        a.delivers(s, d) == b.delivers(s, d)
+        for s in range(a.N)
+        for d in range(a.N)
+    )
+
+
+def channel_load(
+    spec: MINSpec, pairs: Iterable[tuple[int, int]]
+) -> Counter:
+    """Count how many (s, d) paths cross each channel.
+
+    Channels are identified as ``(boundary, producer-side position)``
+    per :meth:`MINSpec.channels_of_path`.
+    """
+    load: Counter = Counter()
+    for s, d in pairs:
+        for ch in spec.channels_of_path(s, d):
+            load[ch] += 1
+    return load
+
+
+def max_channel_contention(
+    spec: MINSpec, pairs: Iterable[tuple[int, int]]
+) -> int:
+    """The largest number of paths sharing any single channel."""
+    load = channel_load(spec, pairs)
+    return max(load.values(), default=0)
+
+
+def admissible(spec: MINSpec, permutation: Sequence[int]) -> bool:
+    """True iff the node permutation routes with pairwise-disjoint channels.
+
+    ``permutation[s]`` is the destination of source ``s``.  In a
+    blocking network an inadmissible permutation forces channel sharing
+    and therefore serialization -- the static cause of the TMIN/VMIN
+    collapse in Fig. 20.
+    """
+    if sorted(permutation) != list(range(spec.N)):
+        raise ValueError("not a permutation of the node set")
+    pairs = [(s, d) for s, d in enumerate(permutation) if s != d]
+    return max_channel_contention(spec, pairs) <= 1
+
+
+def admissible_fraction(
+    spec: MINSpec, permutations: Iterable[Sequence[int]]
+) -> float:
+    """Fraction of the given permutations that are admissible."""
+    perms = list(permutations)
+    if not perms:
+        raise ValueError("no permutations given")
+    good = sum(1 for p in perms if admissible(spec, p))
+    return good / len(perms)

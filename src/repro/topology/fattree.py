@@ -1,0 +1,154 @@
+"""Fat-tree view of a butterfly BMIN (Section 3.3, Fig. 13).
+
+A butterfly BMIN with turnaround routing is a fat tree: processors are
+leaves, each group of switches that serves the same address prefix is an
+interior vertex, and routing ascends to the least common ancestor (LCA)
+of source and destination before descending.
+
+Vertex naming
+-------------
+Level 0 holds the N leaves (the processor nodes).  An interior vertex at
+level ``l`` (1 <= l <= n) is identified by the address *prefix* of
+length ``n - l`` shared by every leaf in its subtree (digits
+``l .. n-1``).  The vertex aggregates the ``k**(l-1)`` stage-``l-1``
+switches whose lines carry that prefix, so its capacity grows toward the
+root exactly as a fat tree's does:
+
+* leaves in the subtree of a level-l vertex: ``k**l``;
+* outgoing parent connections from that vertex: ``k**l`` (equal, as the
+  paper observes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.bmin import BidirectionalMIN, first_difference
+from repro.topology.permutations import from_digits, to_digits
+
+
+@dataclass(frozen=True)
+class FatTreeVertex:
+    """An interior vertex: ``level`` in 1..n, ``prefix`` of digits l..n-1."""
+
+    level: int
+    prefix: int
+
+    def __repr__(self) -> str:
+        return f"<FatTreeVertex level={self.level} prefix={self.prefix}>"
+
+
+class FatTree:
+    """Fat-tree abstraction over a :class:`BidirectionalMIN`."""
+
+    def __init__(self, bmin: BidirectionalMIN) -> None:
+        self.bmin = bmin
+        self.k, self.n, self.N = bmin.k, bmin.n, bmin.N
+
+    # -- structure -----------------------------------------------------------
+
+    def vertices_at_level(self, level: int) -> list[FatTreeVertex]:
+        """All interior vertices at ``level`` (1..n)."""
+        self._check_level(level)
+        count = self.k ** (self.n - level)
+        return [FatTreeVertex(level, p) for p in range(count)]
+
+    def root(self) -> FatTreeVertex:
+        """The single vertex at level n (empty prefix)."""
+        return FatTreeVertex(self.n, 0)
+
+    def parent(self, vertex: FatTreeVertex) -> FatTreeVertex:
+        """The enclosing vertex one level up."""
+        self._check_vertex(vertex)
+        if vertex.level == self.n:
+            raise ValueError("the root has no parent")
+        return FatTreeVertex(vertex.level + 1, vertex.prefix // self.k)
+
+    def children(self, vertex: FatTreeVertex) -> list[FatTreeVertex]:
+        """The k sub-vertices one level down ([] for level 1)."""
+        self._check_vertex(vertex)
+        if vertex.level == 1:
+            return []
+        return [
+            FatTreeVertex(vertex.level - 1, vertex.prefix * self.k + d)
+            for d in range(self.k)
+        ]
+
+    def leaves(self, vertex: FatTreeVertex) -> list[int]:
+        """Processor nodes in the subtree: prefix ++ (any low digits)."""
+        self._check_vertex(vertex)
+        low_width = vertex.level
+        base = vertex.prefix * self.k**low_width
+        return list(range(base, base + self.k**low_width))
+
+    def leaf_count(self, vertex: FatTreeVertex) -> int:
+        """Processor nodes in the vertex's subtree: k**level."""
+        return self.k**vertex.level
+
+    def parent_link_count(self, vertex: FatTreeVertex) -> int:
+        """Lines from the vertex's switch group up to its parent's.
+
+        These are the boundary-``level`` lines whose digits
+        ``level..n-1`` equal the prefix: ``k**level`` of them -- equal
+        to :meth:`leaf_count`, the defining fat-tree property.
+        """
+        self._check_vertex(vertex)
+        if vertex.level == self.n:
+            return 0  # the root's right-hand lines leave the network
+        return self.k**vertex.level
+
+    def switch_group(self, vertex: FatTreeVertex) -> list[tuple[int, int]]:
+        """The ``(stage, index)`` switches aggregated by the vertex.
+
+        A stage-``l-1`` switch index packs the line-address digits other
+        than digit ``l-1``; the vertex's switches are those whose digits
+        ``l..n-1`` equal the prefix, with digits ``0..l-2`` free.
+        """
+        self._check_vertex(vertex)
+        stage = vertex.level - 1
+        k, n = self.k, self.n
+        free_width = stage  # digits 0..stage-1 of the switch index
+        prefix_digits = to_digits(vertex.prefix, k, n - vertex.level)
+        switches = []
+        for low in range(k**free_width):
+            low_digits = to_digits(low, k, free_width)
+            switches.append(
+                (stage, from_digits(low_digits + prefix_digits, k))
+            )
+        return switches
+
+    # -- routing -----------------------------------------------------------
+
+    def vertex_of_leaf(self, leaf: int, level: int) -> FatTreeVertex:
+        """The level-``level`` ancestor vertex of a processor node."""
+        self._check_level(level)
+        if not 0 <= leaf < self.N:
+            raise ValueError(f"leaf {leaf} out of range")
+        return FatTreeVertex(level, leaf // self.k**level)
+
+    def lca(self, source: int, destination: int) -> FatTreeVertex:
+        """Least common ancestor of two distinct leaves.
+
+        Its level is ``FirstDifference(S, D) + 1`` -- i.e. LCA routing
+        through the fat tree *is* turnaround routing through the BMIN.
+        """
+        t = first_difference(source, destination, self.k, self.n)
+        return self.vertex_of_leaf(source, t + 1)
+
+    def route_length(self, source: int, destination: int) -> int:
+        """Channels traversed via the LCA: 2 * lca-level, = BMIN's 2(t+1)."""
+        return 2 * self.lca(source, destination).level
+
+    # -- validation helpers -----------------------------------------------
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.n:
+            raise ValueError(f"level {level} out of range 1..{self.n}")
+
+    def _check_vertex(self, vertex: FatTreeVertex) -> None:
+        self._check_level(vertex.level)
+        if not 0 <= vertex.prefix < self.k ** (self.n - vertex.level):
+            raise ValueError(f"prefix {vertex.prefix} out of range at level {vertex.level}")
+
+    def __repr__(self) -> str:
+        return f"<FatTree over {self.bmin!r}>"

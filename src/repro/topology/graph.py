@@ -1,0 +1,148 @@
+"""Graph exports of the MIN topologies (networkx).
+
+Builds directed channel graphs of the unidirectional MINs and the BMIN
+so that graph algorithms can verify the constructive code
+independently: the banyan unique-path property becomes "exactly one
+simple path per (source, destination)", Theorem 1 becomes a
+``k**t`` path count, and the fat-tree analogy becomes a reachability
+statement -- all checked with networkx rather than our own routing.
+
+Node naming:
+
+* ``("node", i)`` -- processor nodes (both ends for unidirectional
+  MINs: sources inject on the left, and the same label re-appears as
+  ``("sink", i)`` for the output side to keep the graph acyclic);
+* ``("sw", stage, w)`` -- switches.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.spec import MINSpec
+
+
+def min_to_digraph(spec: MINSpec) -> "nx.DiGraph":
+    """Directed channel graph of a unidirectional MIN.
+
+    Edges carry ``boundary`` and ``position`` attributes matching
+    :meth:`MINSpec.channels_of_path`'s channel identities.
+    """
+    g = nx.DiGraph(name=f"{spec.name}-min", k=spec.k, n=spec.n)
+    k, n = spec.k, spec.n
+    for source in range(spec.N):
+        dest_pos = spec.connections[0](source)
+        g.add_edge(
+            ("node", source),
+            ("sw", 0, dest_pos // k),
+            boundary=0,
+            position=source,
+        )
+    for boundary in range(1, n):
+        for pos in range(spec.N):
+            dest_pos = spec.connections[boundary](pos)
+            g.add_edge(
+                ("sw", boundary - 1, pos // k),
+                ("sw", boundary, dest_pos // k),
+                boundary=boundary,
+                position=pos,
+            )
+    for pos in range(spec.N):
+        sink = spec.connections[n](pos)
+        g.add_edge(
+            ("sw", n - 1, pos // k),
+            ("sink", sink),
+            boundary=n,
+            position=pos,
+        )
+    return g
+
+
+def bmin_to_digraph(bmin: BidirectionalMIN) -> "nx.DiGraph":
+    """Directed channel graph of a BMIN under turnaround routing.
+
+    Forward and backward channels are separate edges; switches are
+    split into an "up" and a "down" face with turnaround edges between
+    them, so every directed path in the graph is a legal turnaround
+    route and the graph stays acyclic.
+    """
+    g = nx.DiGraph(name="bmin", k=bmin.k, n=bmin.n)
+    for stage in range(bmin.n):
+        for w in range(bmin.switches_per_stage):
+            up, down = ("up", stage, w), ("down", stage, w)
+            # Turnaround inside the switch.
+            g.add_edge(up, down, kind="turnaround", stage=stage)
+            for line in bmin.left_lines_of_switch(stage, w):
+                if stage == 0:
+                    g.add_edge(
+                        ("node", line), up, kind="fwd", boundary=0, line=line
+                    )
+                    g.add_edge(
+                        down, ("sink", line), kind="bwd", boundary=0, line=line
+                    )
+                else:
+                    below = bmin.switch_of_line(stage, line, "lower")
+                    g.add_edge(
+                        ("up", stage - 1, below),
+                        up,
+                        kind="fwd",
+                        boundary=stage,
+                        line=line,
+                    )
+                    g.add_edge(
+                        down,
+                        ("down", stage - 1, below),
+                        kind="bwd",
+                        boundary=stage,
+                        line=line,
+                    )
+    return g
+
+
+def count_paths(
+    g: "nx.DiGraph", source: int, dest: int, cutoff: int | None = None
+) -> int:
+    """Number of simple directed paths node -> sink.
+
+    ``cutoff`` limits the path length in *edges*.  For a BMIN graph,
+    counting with ``cutoff = 2t + 3`` (t = FirstDifference) yields the
+    shortest turnaround paths of Theorem 1; without a cutoff the count
+    also includes the longer Definition-4 routes that overshoot the
+    turn stage.
+    """
+    return sum(
+        1
+        for _ in nx.all_simple_paths(
+            g, ("node", source), ("sink", dest), cutoff=cutoff
+        )
+    )
+
+
+def is_acyclic(g: "nx.DiGraph") -> bool:
+    """True iff the channel graph has no directed cycles."""
+    return nx.is_directed_acyclic_graph(g)
+
+
+def network_diameter_hops(g: "nx.DiGraph", N: int) -> int:
+    """Longest shortest node->sink path, in channel hops.
+
+    Channel hops = graph edges minus any turnaround edges (which are
+    switch-internal connections, not channels).
+    """
+    worst = 0
+    for s in range(N):
+        lengths = nx.single_source_shortest_path(g, ("node", s))
+        for d in range(N):
+            if s == d:
+                continue
+            path = lengths.get(("sink", d))
+            if path is None:
+                raise ValueError(f"no route {s} -> {d}")
+            hops = sum(
+                1
+                for a, b in zip(path, path[1:])
+                if g.edges[a, b].get("kind") != "turnaround"
+            )
+            worst = max(worst, hops)
+    return worst

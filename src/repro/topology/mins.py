@@ -1,0 +1,131 @@
+"""Builders for the Delta-class unidirectional MINs in the paper.
+
+Each builder returns a :class:`~repro.topology.spec.MINSpec` for an
+``N = k**n`` node network of ``k x k`` switches.  The two MINs the paper
+evaluates are the **butterfly MIN** and the **cube MIN** (Fig. 4); the
+Omega, flip and baseline networks are included because the paper's
+conclusions discuss their partitionability equivalence classes.
+
+Routing tags (Section 2):
+
+* butterfly MIN: ``t_i = d_{i+1}`` for ``0 <= i <= n-2`` and
+  ``t_{n-1} = d_0``;
+* cube MIN (and Omega, baseline): ``t_i = d_{n-i-1}`` — destination
+  digits consumed most-significant first;
+* flip network: ``t_i = d_i`` — least-significant first.
+"""
+
+from __future__ import annotations
+
+from repro.topology.permutations import (
+    BlockInverseShuffle,
+    ButterflyPermutation,
+    Identity,
+    InverseShuffle,
+    PerfectShuffle,
+    to_digits,
+)
+from repro.topology.spec import MINSpec
+
+
+def _validate(k: int, n: int) -> int:
+    if k < 2:
+        raise ValueError("switch radix k must be >= 2")
+    if n < 1:
+        raise ValueError("need at least one stage")
+    return k**n
+
+
+def butterfly_min(k: int, n: int) -> MINSpec:
+    """The butterfly MIN: ``C_i = beta_i`` (``beta_0 = I`` as ``C_0``/``C_n``)."""
+    N = _validate(k, n)
+    connections = [Identity(N)]  # C_0 = beta_0
+    connections.extend(ButterflyPermutation(k, n, i) for i in range(1, n))
+    connections.append(Identity(N))  # C_n = beta_0
+
+    def tag(d: int) -> tuple[int, ...]:
+        digits = to_digits(d, k, n)
+        return tuple(digits[i + 1] for i in range(n - 1)) + (digits[0],)
+
+    return MINSpec(k, n, connections, tag, name="butterfly")
+
+
+def cube_min(k: int, n: int) -> MINSpec:
+    """The cube MIN (indirect cube): ``C_0 = sigma``, ``C_i = beta_{n-i}``.
+
+    The leading perfect shuffle is what gives the cube MIN its superior
+    partitionability (Theorem 2 vs. Theorem 3).
+    """
+    N = _validate(k, n)
+    connections = [PerfectShuffle(k, n)]
+    connections.extend(ButterflyPermutation(k, n, n - i) for i in range(1, n))
+    connections.append(Identity(N))  # C_n = beta_0
+
+    def tag(d: int) -> tuple[int, ...]:
+        digits = to_digits(d, k, n)
+        return tuple(digits[n - i - 1] for i in range(n))
+
+    return MINSpec(k, n, connections, tag, name="cube")
+
+
+def omega_min(k: int, n: int) -> MINSpec:
+    """The Omega network: every inter-stage connection is ``sigma``."""
+    N = _validate(k, n)
+    connections = [PerfectShuffle(k, n) for _ in range(n)]
+    connections.append(Identity(N))
+
+    def tag(d: int) -> tuple[int, ...]:
+        digits = to_digits(d, k, n)
+        return tuple(digits[n - i - 1] for i in range(n))
+
+    return MINSpec(k, n, connections, tag, name="omega")
+
+
+def flip_min(k: int, n: int) -> MINSpec:
+    """The flip network: every connection is the inverse shuffle."""
+    N = _validate(k, n)
+    connections = [InverseShuffle(k, n) for _ in range(n + 1)]
+
+    def tag(d: int) -> tuple[int, ...]:
+        return to_digits(d, k, n)
+
+    return MINSpec(k, n, connections, tag, name="flip")
+
+
+def baseline_min(k: int, n: int) -> MINSpec:
+    """The baseline network: ``C_i`` unshuffles the low ``n - i + 1`` digits.
+
+    ``C_0`` and ``C_n`` are the identity; the recursive block structure
+    halves (k-ths) the unshuffled block at each stage.
+    """
+    N = _validate(k, n)
+    connections = [Identity(N)]
+    connections.extend(BlockInverseShuffle(k, n, n - i + 1) for i in range(1, n))
+    connections.append(Identity(N))
+
+    def tag(d: int) -> tuple[int, ...]:
+        digits = to_digits(d, k, n)
+        return tuple(digits[n - i - 1] for i in range(n))
+
+    return MINSpec(k, n, connections, tag, name="baseline")
+
+
+#: Builders by topology name, for configuration files and CLIs.
+TOPOLOGY_BUILDERS = {
+    "butterfly": butterfly_min,
+    "cube": cube_min,
+    "omega": omega_min,
+    "flip": flip_min,
+    "baseline": baseline_min,
+}
+
+
+def build_min(name: str, k: int, n: int) -> MINSpec:
+    """Build a unidirectional MIN by topology name."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(k, n)

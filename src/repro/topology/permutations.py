@@ -1,0 +1,187 @@
+"""k-ary digit permutations used as MIN connection patterns.
+
+Addresses are integers in ``[0, k**n)`` viewed as n-digit radix-k
+numbers ``x_{n-1} ... x_1 x_0`` (digit 0 is least significant).  The
+paper's two interconnection patterns are:
+
+* the i-th k-ary **butterfly** permutation (Definition 1)::
+
+      beta_i(x_{n-1} ... x_{i+1} x_i x_{i-1} ... x_1 x_0)
+          = x_{n-1} ... x_{i+1} x_0 x_{i-1} ... x_1 x_i
+
+  i.e. digits 0 and i are exchanged (``beta_0`` is the identity);
+
+* the **perfect k-shuffle** (Definition 2)::
+
+      sigma(x_{n-1} x_{n-2} ... x_1 x_0) = x_{n-2} ... x_1 x_0 x_{n-1}
+
+  i.e. a left rotation of the digit string.
+
+All permutation objects are callable on addresses, precompute their
+mapping table, and support composition (``@``), inversion and equality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def to_digits(x: int, k: int, n: int) -> tuple[int, ...]:
+    """Digits of ``x`` in radix ``k``; index ``i`` is digit ``i`` (LSB first)."""
+    if not 0 <= x < k**n:
+        raise ValueError(f"address {x} out of range for k={k}, n={n}")
+    digits = []
+    for _ in range(n):
+        digits.append(x % k)
+        x //= k
+    return tuple(digits)
+
+
+def from_digits(digits: Sequence[int], k: int) -> int:
+    """Inverse of :func:`to_digits` (digits given LSB first)."""
+    x = 0
+    for i, d in enumerate(digits):
+        if not 0 <= d < k:
+            raise ValueError(f"digit {d} out of range for radix {k}")
+        x += d * k**i
+    return x
+
+
+class Permutation:
+    """A permutation of ``[0, size)`` given by an explicit table."""
+
+    def __init__(self, table: Sequence[int], name: str = "perm") -> None:
+        self.table = tuple(table)
+        self.size = len(self.table)
+        self.name = name
+        if sorted(self.table) != list(range(self.size)):
+            raise ValueError(f"{name}: table is not a permutation of 0..{self.size - 1}")
+
+    @classmethod
+    def from_function(
+        cls, size: int, fn: Callable[[int], int], name: str = "perm"
+    ) -> "Permutation":
+        """Tabulate ``fn`` over [0, size)."""
+        return cls([fn(x) for x in range(size)], name=name)
+
+    def __call__(self, x: int) -> int:
+        return self.table[x]
+
+    def inverse(self) -> "Permutation":
+        """The permutation undoing this one."""
+        inv = [0] * self.size
+        for x, y in enumerate(self.table):
+            inv[y] = x
+        return Permutation(inv, name=f"{self.name}^-1")
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        """Composition: ``(p @ q)(x) == p(q(x))``."""
+        if self.size != other.size:
+            raise ValueError("cannot compose permutations of different sizes")
+        return Permutation(
+            [self.table[other.table[x]] for x in range(self.size)],
+            name=f"{self.name}∘{other.name}",
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Permutation) and self.table == other.table
+
+    def __hash__(self) -> int:
+        return hash(self.table)
+
+    def is_identity(self) -> bool:
+        """True iff every element maps to itself."""
+        return all(self.table[x] == x for x in range(self.size))
+
+    def order(self) -> int:
+        """Smallest m >= 1 with ``self**m == identity``."""
+        m, current = 1, self
+        ident = Identity(self.size)
+        while current != ident:
+            current = current @ self
+            m += 1
+        return m
+
+    def fixed_points(self) -> list[int]:
+        """Elements mapped to themselves."""
+        return [x for x in range(self.size) if self.table[x] == x]
+
+    def __repr__(self) -> str:
+        return f"<Permutation {self.name!r} size={self.size}>"
+
+
+class Identity(Permutation):
+    """The identity permutation (also ``beta_0``)."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(range(size), name="I")
+
+
+class ButterflyPermutation(Permutation):
+    """The i-th k-ary butterfly permutation ``beta_i^k`` (Definition 1)."""
+
+    def __init__(self, k: int, n: int, i: int) -> None:
+        if not 0 <= i <= n - 1:
+            raise ValueError(f"butterfly index i={i} must satisfy 0 <= i <= n-1={n - 1}")
+        self.k, self.n, self.i = k, n, i
+
+        def fn(x: int) -> int:
+            digits = list(to_digits(x, k, n))
+            digits[0], digits[i] = digits[i], digits[0]
+            return from_digits(digits, k)
+
+        table = [fn(x) for x in range(k**n)]
+        super().__init__(table, name=f"beta_{i}")
+
+
+class PerfectShuffle(Permutation):
+    """The perfect k-shuffle ``sigma`` (Definition 2): left digit rotation."""
+
+    def __init__(self, k: int, n: int) -> None:
+        self.k, self.n = k, n
+
+        def fn(x: int) -> int:
+            digits = to_digits(x, k, n)
+            # new digit 0 = old digit n-1; new digit j = old digit j-1
+            rotated = (digits[n - 1],) + digits[: n - 1]
+            return from_digits(rotated, k)
+
+        super().__init__([fn(x) for x in range(k**n)], name="sigma")
+
+
+class InverseShuffle(Permutation):
+    """``sigma^{-1}``: right digit rotation (the unshuffle)."""
+
+    def __init__(self, k: int, n: int) -> None:
+        self.k, self.n = k, n
+
+        def fn(x: int) -> int:
+            digits = to_digits(x, k, n)
+            # new digit n-1 = old digit 0; new digit j = old digit j+1
+            rotated = digits[1:] + (digits[0],)
+            return from_digits(rotated, k)
+
+        super().__init__([fn(x) for x in range(k**n)], name="sigma^-1")
+
+
+class BlockInverseShuffle(Permutation):
+    """Inverse k-shuffle applied independently to the low ``m`` digits.
+
+    Digits ``m .. n-1`` are fixed; digits ``0 .. m-1`` are right-rotated.
+    This is the connection pattern of the baseline network: connection
+    ``C_i`` of an n-stage baseline MIN unshuffles the low ``n - i + 1``
+    digits (Wu & Feng's recursive block structure).
+    """
+
+    def __init__(self, k: int, n: int, m: int) -> None:
+        if not 1 <= m <= n:
+            raise ValueError(f"block width m={m} must satisfy 1 <= m <= n={n}")
+        self.k, self.n, self.m = k, n, m
+
+        def fn(x: int) -> int:
+            digits = to_digits(x, k, n)
+            low = digits[:m]
+            rotated_low = low[1:] + (low[0],)
+            return from_digits(rotated_low + digits[m:], k)
+
+        super().__init__([fn(x) for x in range(k**n)], name=f"sigma^-1[0:{m}]")

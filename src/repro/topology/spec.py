@@ -1,0 +1,169 @@
+"""Declarative description of an n-stage unidirectional MIN.
+
+The paper (Section 2) writes an N-node MIN built from ``k x k`` switches
+as::
+
+    C_0(N) G_0(N/k) C_1(N) ... C_{n-1}(N/k) G_{n-1}(N/k) C_n(N)
+
+where ``G_i`` is a stage of ``N/k`` switches and ``C_i`` a connection
+pattern (a permutation of the N link positions between adjacent stages).
+
+Link-position convention
+------------------------
+Between any two stages there are N *link positions* numbered 0..N-1.
+Connection ``C_i`` maps the position on its producer side to the
+position on its consumer side.  At a stage, link position ``a`` attaches
+to switch ``a // k``, port ``a % k``; a switch forwards a packet that
+routes with tag digit ``t`` to output position ``(a // k) * k + t``
+(i.e. it replaces the least-significant digit of the position with the
+tag digit).
+
+A :class:`MINSpec` bundles the connection patterns with the network's
+destination-tag rule and offers exact path tracing, which the simulator,
+the partitionability analysis and the tests all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.topology.permutations import Permutation, to_digits
+
+
+@dataclass(frozen=True)
+class TracedPath:
+    """The exact channels a (source, destination) pair uses.
+
+    Attributes
+    ----------
+    source, destination:
+        Node addresses.
+    entering:
+        ``entering[i]`` is the link position on which the packet enters
+        stage ``G_i`` (after connection ``C_i``), for i in 0..n-1.
+    exiting:
+        ``exiting[i]`` is the link position on which the packet leaves
+        stage ``G_i`` (before connection ``C_{i+1}``).
+    """
+
+    source: int
+    destination: int
+    entering: tuple[int, ...]
+    exiting: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of channels traversed: always n + 1 (Section 3.2.3)."""
+        return len(self.entering) + 1
+
+    def switches(self, k: int) -> tuple[int, ...]:
+        """Index of the switch visited in each stage."""
+        return tuple(a // k for a in self.entering)
+
+
+class MINSpec:
+    """An n-stage unidirectional Delta MIN with destination-tag routing.
+
+    Parameters
+    ----------
+    k, n:
+        Switch radix and number of stages; the network has ``N = k**n``
+        nodes.
+    connections:
+        The ``n + 1`` connection patterns ``C_0 .. C_n``.
+    tag_fn:
+        Maps a destination address to the routing tag digits
+        ``(t_0, ..., t_{n-1})``, where ``t_i`` steers stage ``G_i``.
+    name:
+        Human-readable topology name (e.g. ``"cube"``).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        connections: Sequence[Permutation],
+        tag_fn: Callable[[int], tuple[int, ...]],
+        name: str,
+    ) -> None:
+        if k < 2:
+            raise ValueError("switch radix k must be >= 2")
+        if n < 1:
+            raise ValueError("need at least one stage")
+        self.k, self.n = k, n
+        self.N = k**n
+        if len(connections) != n + 1:
+            raise ValueError(f"need n+1={n + 1} connection patterns, got {len(connections)}")
+        for c in connections:
+            if c.size != self.N:
+                raise ValueError(f"connection {c!r} has size {c.size}, expected {self.N}")
+        self.connections = tuple(connections)
+        self.tag_fn = tag_fn
+        self.name = name
+
+    @property
+    def switches_per_stage(self) -> int:
+        """N/k switches per stage."""
+        return self.N // self.k
+
+    def routing_tag(self, destination: int) -> tuple[int, ...]:
+        """The tag digits ``t_0 .. t_{n-1}`` for ``destination``."""
+        if not 0 <= destination < self.N:
+            raise ValueError(f"destination {destination} out of range")
+        tag = self.tag_fn(destination)
+        if len(tag) != self.n or any(not 0 <= t < self.k for t in tag):
+            raise ValueError(f"tag function returned invalid tag {tag!r}")
+        return tuple(tag)
+
+    def trace(self, source: int, destination: int) -> TracedPath:
+        """Exact link positions used by the unique (s, d) path."""
+        if not 0 <= source < self.N:
+            raise ValueError(f"source {source} out of range")
+        tag = self.routing_tag(destination)
+        entering: list[int] = []
+        exiting: list[int] = []
+        pos = source
+        for i in range(self.n):
+            pos = self.connections[i](pos)
+            entering.append(pos)
+            pos = (pos // self.k) * self.k + tag[i]
+            exiting.append(pos)
+        return TracedPath(source, destination, tuple(entering), tuple(exiting))
+
+    def delivers(self, source: int, destination: int) -> bool:
+        """True iff destination-tag routing reaches ``destination``."""
+        path = self.trace(source, destination)
+        return self.connections[self.n](path.exiting[-1]) == destination
+
+    def stage_channel(self, boundary: int, position: int) -> tuple[int, int]:
+        """Identify the channel at ``(boundary, position)``.
+
+        Boundary 0 is node->G_0, boundary i (1..n-1) is G_{i-1}->G_i and
+        boundary n is G_{n-1}->node.  This pair is the channel-identity
+        used throughout the partitionability analysis.
+        """
+        if not 0 <= boundary <= self.n:
+            raise ValueError(f"boundary {boundary} out of range 0..{self.n}")
+        if not 0 <= position < self.N:
+            raise ValueError(f"position {position} out of range")
+        return (boundary, position)
+
+    def channels_of_path(self, source: int, destination: int) -> list[tuple[int, int]]:
+        """All ``(boundary, producer-side position)`` channels of a path.
+
+        The producer-side position of boundary ``i`` is the link position
+        before ``C_i`` is applied: the source address for boundary 0 and
+        ``exiting[i-1]`` for boundary i >= 1.
+        """
+        path = self.trace(source, destination)
+        channels = [(0, source)]
+        channels.extend((i + 1, path.exiting[i]) for i in range(self.n))
+        return channels
+
+    def destination_digits(self, destination: int) -> tuple[int, ...]:
+        """Radix-k digits of an address (LSB first); convenience."""
+        return to_digits(destination, self.k, self.n)
+
+    def __repr__(self) -> str:
+        return f"<MINSpec {self.name!r} k={self.k} n={self.n} N={self.N}>"

@@ -1,0 +1,127 @@
+"""Node clusterings and per-cluster traffic ratios (Sections 5.1-5.2).
+
+The simulation experiments use three clusterings of the 64-node system:
+
+* **global** -- one 64-node cluster;
+* **cluster-16** -- four 16-node clusters.  On cube networks the
+  channel-balanced choice is 0XX, 1XX, 2XX, 3XX; on butterfly networks
+  the same patterns give the *channel-reduced* clustering while
+  XX0, XX1, XX2, XX3 give the *channel-shared* clustering;
+* **cluster-32** -- two 32-node binary-cube halves (top address bit).
+
+A :class:`ClusterSpec` bundles the clusters with their relative traffic
+ratio ``a:b:c:d`` (Fig. 17); traffic stays inside each cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.partition.cubes import Cube
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A clustering plus per-cluster relative traffic rates."""
+
+    name: str
+    cubes: tuple[Cube, ...]
+    ratios: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cubes) != len(self.ratios):
+            raise ValueError("need one ratio per cluster")
+        if not self.cubes:
+            raise ValueError("need at least one cluster")
+        if any(r < 0 for r in self.ratios):
+            raise ValueError("ratios must be non-negative")
+        if max(self.ratios) <= 0:
+            raise ValueError("at least one cluster must generate traffic")
+        if not Cube.partitions(list(self.cubes)):
+            raise ValueError("clusters must partition the node set")
+
+    @property
+    def nbits(self) -> int:
+        """Binary address width of the node space."""
+        return self.cubes[0].nbits
+
+    @property
+    def N(self) -> int:
+        """Number of nodes covered by the clustering."""
+        return 1 << self.nbits
+
+    def member_lists(self) -> list[list[int]]:
+        """Sorted member addresses, one list per cluster."""
+        return [c.member_list() for c in self.cubes]
+
+    def node_rate_factors(self) -> dict[int, float]:
+        """Per-node load multiplier in [0, 1].
+
+        Normalized so the busiest cluster's nodes run at factor 1.0 --
+        sweeping offered load then drives the busiest cluster from idle
+        to its injection limit, with the others scaled by the ratio.
+        """
+        top = max(self.ratios)
+        factors: dict[int, float] = {}
+        for cube, ratio in zip(self.cubes, self.ratios):
+            f = ratio / top
+            for node in cube.members():
+                factors[node] = f
+        return factors
+
+    def cluster_of(self, node: int) -> int:
+        """Index of the cluster containing ``node``."""
+        for i, cube in enumerate(self.cubes):
+            if node in cube:
+                return i
+        raise ValueError(f"node {node} not in any cluster")
+
+    def with_ratios(self, ratios: Sequence[float]) -> "ClusterSpec":
+        """Copy with different relative traffic rates (Fig. 17)."""
+        label = ":".join(f"{r:g}" for r in ratios)
+        return ClusterSpec(
+            f"{self.name} [{label}]", self.cubes, tuple(ratios)
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def global_cluster(nbits: int = 6) -> ClusterSpec:
+    """One cluster spanning the whole machine (default: 64 nodes)."""
+    return ClusterSpec(
+        "global", (Cube.whole_system(nbits),), (1.0,)
+    )
+
+
+def cluster_16(
+    style: str = "cube", ratios: Optional[Sequence[float]] = None
+) -> ClusterSpec:
+    """Four 16-node clusters of the 64-node, k=4 system.
+
+    ``style``:
+
+    * ``"cube"`` -- 0XX..3XX: channel-balanced on the cube MIN
+      (also the *channel-reduced* clustering on the butterfly MIN);
+    * ``"shared"`` -- XX0..XX3: the butterfly *channel-shared*
+      clustering.
+    """
+    if style == "cube":
+        patterns = [f"{i}XX" for i in range(4)]
+        name = "cluster-16 (0XX..3XX)"
+    elif style == "shared":
+        patterns = [f"XX{i}" for i in range(4)]
+        name = "cluster-16 (XX0..XX3)"
+    else:
+        raise ValueError(f"unknown style {style!r}; use 'cube' or 'shared'")
+    cubes = tuple(Cube.from_kary(p, 4) for p in patterns)
+    r = tuple(ratios) if ratios is not None else (1.0,) * 4
+    return ClusterSpec(name, cubes, r)
+
+
+def cluster_32(ratios: Optional[Sequence[float]] = None) -> ClusterSpec:
+    """Two 32-node halves by top address bit (binary cubes, Theorem 2)."""
+    cubes = (Cube.from_bits("0XXXXX"), Cube.from_bits("1XXXXX"))
+    r = tuple(ratios) if ratios is not None else (1.0, 1.0)
+    return ClusterSpec("cluster-32", cubes, r)

@@ -1,0 +1,129 @@
+"""Destination-selection patterns (Section 5.1).
+
+A pattern answers one question: *given that node ``src`` generates a
+message now, where does it go?*  Patterns operate within a member set
+(a cluster); the uniform and hot-spot patterns never select the source
+itself ("sent to any of the *other* nodes").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.rng import RandomStream
+from repro.topology.permutations import ButterflyPermutation, PerfectShuffle, Permutation
+
+
+class TrafficPattern:
+    """Base class: pick a destination for ``src`` using ``rng``."""
+
+    def pick(self, src: int, rng: RandomStream) -> Optional[int]:
+        """Destination node, or None if ``src`` generates no traffic."""
+        raise NotImplementedError
+
+    def generates_traffic(self, src: int) -> bool:
+        """False for sources this pattern silences (e.g. fixed points)."""
+        return True
+
+
+class UniformPattern(TrafficPattern):
+    """Uniform over the other members of the source's cluster."""
+
+    def __init__(self, members: Sequence[int]) -> None:
+        if len(members) < 2:
+            raise ValueError("uniform traffic needs at least two members")
+        self.members = list(members)
+        self._index = {m: i for i, m in enumerate(self.members)}
+
+    def pick(self, src: int, rng: RandomStream) -> int:
+        """Uniform choice among the cluster's other members."""
+        idx = self._index.get(src)
+        if idx is None:
+            raise ValueError(f"{src} is not a member of this cluster")
+        # Uniform over members minus self: draw from n-1 slots, skip self.
+        j = rng.uniform_int(0, len(self.members) - 2)
+        if j >= idx:
+            j += 1
+        return self.members[j]
+
+
+class HotSpotPattern(TrafficPattern):
+    """The x% hot-spot distribution of Pfister & Norton (Section 5.1).
+
+    With ``y = N * x`` (N = cluster size, x the hot fraction, e.g. 0.05
+    for "5% more traffic"), the hot node is chosen with probability
+    ``(1 + y) / (N + y)`` and every other node with ``1 / (N + y)``.
+    The source never picks itself; its probability mass is re-drawn.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        hot_fraction: float,
+        hot_node: Optional[int] = None,
+    ) -> None:
+        if len(members) < 2:
+            raise ValueError("hot-spot traffic needs at least two members")
+        if hot_fraction < 0:
+            raise ValueError("hot_fraction must be >= 0")
+        self.members = list(members)
+        # "the first node in each cluster" is the default hot node.
+        self.hot_node = self.members[0] if hot_node is None else hot_node
+        if self.hot_node not in self.members:
+            raise ValueError("hot node must belong to the cluster")
+        self.hot_fraction = hot_fraction
+        n = len(self.members)
+        self.y = n * hot_fraction
+        self.p_hot = (1 + self.y) / (n + self.y)
+
+    def pick(self, src: int, rng: RandomStream) -> int:
+        """Hot node with probability p_hot, else uniform (never self)."""
+        if src not in self.members:
+            raise ValueError(f"{src} is not a member of this cluster")
+        while True:
+            if rng.random() < self.p_hot:
+                dest = self.hot_node
+            else:
+                others = len(self.members) - 1
+                j = rng.uniform_int(0, others - 1)
+                # skip the hot node's slot
+                hot_idx = self.members.index(self.hot_node)
+                if j >= hot_idx:
+                    j += 1
+                dest = self.members[j]
+            if dest != src:
+                return dest
+
+
+class PermutationPattern(TrafficPattern):
+    """Fixed destination per source: ``dest = perm(src)``.
+
+    Sources mapped to themselves generate no traffic (the paper's
+    permutation workloads simply have no message for those pairs).
+    """
+
+    def __init__(self, permutation: Permutation) -> None:
+        self.permutation = permutation
+
+    def pick(self, src: int, rng: RandomStream) -> Optional[int]:
+        """The permutation's fixed destination (None at fixed points)."""
+        dest = self.permutation(src)
+        return None if dest == src else dest
+
+    def generates_traffic(self, src: int) -> bool:
+        """False at the permutation's fixed points."""
+        return self.permutation(src) != src
+
+
+class ShufflePattern(PermutationPattern):
+    """Perfect k-shuffle permutation traffic (Fig. 20a)."""
+
+    def __init__(self, k: int, n: int) -> None:
+        super().__init__(PerfectShuffle(k, n))
+
+
+class ButterflyPermutationPattern(PermutationPattern):
+    """i-th butterfly permutation traffic (Fig. 20b uses i = 2)."""
+
+    def __init__(self, k: int, n: int, i: int) -> None:
+        super().__init__(ButterflyPermutation(k, n, i))

@@ -1,0 +1,150 @@
+"""Arrival processes and message-size models (Section 5.1).
+
+Each node generates messages at negative-exponentially distributed
+intervals and queues them FCFS at the source (the engine owns the
+queues).  *Offered load* is expressed as a fraction of a node's
+injection bandwidth: load 0.4 means the node offers 0.4 flits per cycle
+on average, i.e. mean inter-arrival time = mean message length / 0.4.
+
+Message sizes: the paper draws lengths uniformly from [8, 1024] flits;
+fixed and bimodal models cover the short/long/bimodal study it lists as
+future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStream
+from repro.traffic.clusters import ClusterSpec
+from repro.traffic.patterns import TrafficPattern
+from repro.wormhole.engine import WormholeEngine
+
+
+@dataclass(frozen=True)
+class MessageSizeModel:
+    """Distribution of message lengths in flits."""
+
+    kind: str = "uniform"  # "uniform" | "fixed" | "bimodal"
+    low: int = 8
+    high: int = 1024
+    short_fraction: float = 0.5   # bimodal only
+    split: int = 32               # bimodal only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "fixed", "bimodal"):
+            raise ValueError(f"unknown size model {self.kind!r}")
+        if self.low < 1 or self.high < self.low:
+            raise ValueError("need 1 <= low <= high")
+
+    @property
+    def mean(self) -> float:
+        """Expected message length in flits."""
+        if self.kind == "fixed":
+            return float(self.low)
+        if self.kind == "uniform":
+            return (self.low + self.high) / 2
+        # bimodal: mixture of two uniforms
+        short_mean = (self.low + self.split) / 2
+        long_mean = (self.split + 1 + self.high) / 2
+        return (
+            self.short_fraction * short_mean
+            + (1 - self.short_fraction) * long_mean
+        )
+
+    def draw(self, rng: RandomStream) -> int:
+        """Sample one message length."""
+        if self.kind == "fixed":
+            return self.low
+        if self.kind == "uniform":
+            return rng.uniform_int(self.low, self.high)
+        return rng.bimodal_int(
+            self.low, self.high, self.short_fraction, self.split
+        )
+
+    @classmethod
+    def paper(cls) -> "MessageSizeModel":
+        """The paper's model: uniform on [8, 1024] flits."""
+        return cls("uniform", 8, 1024)
+
+    @classmethod
+    def scaled(cls) -> "MessageSizeModel":
+        """Shorter messages for quick runs; same qualitative behaviour."""
+        return cls("uniform", 8, 64)
+
+
+class Workload:
+    """Installs per-node Poisson sources into an engine's environment.
+
+    Parameters
+    ----------
+    clusters:
+        The clustering (members + traffic ratios); traffic stays inside
+        each cluster.
+    pattern_factory:
+        Builds the destination pattern for one cluster's member list:
+        ``pattern_factory(members) -> TrafficPattern``.  Permutation
+        patterns typically ignore the member list and act globally.
+    offered_load:
+        Flits per cycle per node in the busiest cluster (0..~1).
+    sizes:
+        Message-length model.
+    """
+
+    def __init__(
+        self,
+        clusters: ClusterSpec,
+        pattern_factory: Callable[[list[int]], TrafficPattern],
+        offered_load: float,
+        sizes: Optional[MessageSizeModel] = None,
+    ) -> None:
+        if offered_load <= 0:
+            raise ValueError("offered_load must be positive")
+        self.clusters = clusters
+        self.pattern_factory = pattern_factory
+        self.offered_load = offered_load
+        self.sizes = sizes if sizes is not None else MessageSizeModel.paper()
+
+    def install(
+        self, env: Environment, engine: WormholeEngine, rng: RandomStream
+    ) -> int:
+        """Create the source processes; returns how many nodes generate."""
+        if engine.network.N != self.clusters.N:
+            raise ValueError(
+                f"clustering is for {self.clusters.N} nodes, "
+                f"network has {engine.network.N}"
+            )
+        factors = self.clusters.node_rate_factors()
+        active = 0
+        for members in self.clusters.member_lists():
+            pattern = self.pattern_factory(members)
+            for node in members:
+                factor = factors[node]
+                if factor <= 0 or not pattern.generates_traffic(node):
+                    continue
+                mean_iat = self.sizes.mean / (self.offered_load * factor)
+                stream = rng.fork(f"src-{node}")
+                env.process(
+                    self._source(env, engine, node, pattern, mean_iat, stream),
+                    name=f"source-{node}",
+                )
+                active += 1
+        return active
+
+    def _source(
+        self,
+        env: Environment,
+        engine: WormholeEngine,
+        node: int,
+        pattern: TrafficPattern,
+        mean_iat: float,
+        stream: RandomStream,
+    ):
+        while True:
+            yield env.timeout(stream.exponential(mean_iat))
+            dest = pattern.pick(node, stream)
+            if dest is None:  # pragma: no cover - silenced sources skipped
+                continue
+            engine.offer(node, dest, self.sizes.draw(stream))

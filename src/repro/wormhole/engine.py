@@ -1,0 +1,401 @@
+"""The two-phase cycle engine driving a simulated wormhole network.
+
+Each simulation cycle (= the time to move one flit across one channel;
+0.05 us at the paper's 20 flits/us):
+
+* **Phase A (allocation)** -- in random order (the paper's asynchronous
+  switches), every header waiting at a switch input tries to acquire a
+  lane for its next hop: the tag-determined channel (TMIN), a random
+  free lane of the tag-determined port (DMIN dilated lanes / VMIN
+  virtual channels), or a random free forward channel / the
+  deterministic turnaround & backward channel (BMIN).  Nodes whose FCFS
+  queue is non-empty start injecting when their injection channel
+  frees.
+* **Phase B (advance)** -- every busy physical channel, processed
+  downstream-first, transmits at most one flit (round-robin over its
+  ready lanes, so active virtual channels share the wire's bandwidth
+  equally).  A full pipeline thus moves every flit of a worm one hop
+  per cycle -- the paper's synchronized worm transmission.
+
+The engine runs inside a :class:`repro.sim.Environment`: a clock process
+steps cycles, fast-forwarding across idle gaps, while workload processes
+call :meth:`WormholeEngine.offer` to submit messages.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole.channel import Lane, PhysChannel
+from repro.wormhole.network import SimNetwork
+from repro.wormhole.packet import Packet, PacketState
+
+#: Channel bandwidth in the paper's units; one cycle is 1/20 us.
+FLITS_PER_MICROSECOND = 20.0
+
+
+class DeadlockError(RuntimeError):
+    """Raised by the watchdog: packets in flight but zero progress.
+
+    The paper's four networks cannot reach this state (feed-forward /
+    acyclic turnaround dependencies); the watchdog protects users who
+    wire custom topologies through :class:`repro.wormhole.network.SimNetwork`.
+    """
+
+
+@dataclass
+class DeliveryRecord:
+    """Immutable facts about one delivered packet."""
+
+    pid: int
+    src: int
+    dst: int
+    length: int
+    created: float
+    inject_start: float
+    delivered_at: float
+
+    @property
+    def latency(self) -> float:
+        """Creation to tail delivery, in cycles (queueing included)."""
+        return self.delivered_at - self.created
+
+    @property
+    def network_latency(self) -> float:
+        """Injection start to tail delivery, in cycles."""
+        return self.delivered_at - self.inject_start
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine maintains; resettable at warmup boundaries."""
+
+    offered_packets: int = 0
+    offered_flits: int = 0
+    delivered_packets: int = 0
+    delivered_flits: int = 0
+    failed_packets: int = 0
+    max_queue_len: int = 0
+    records: list[DeliveryRecord] = field(default_factory=list)
+    window_start: float = 0.0
+
+    def reset_window(self, now: float) -> None:
+        """Start a fresh measurement window (keeps nothing)."""
+        self.offered_packets = 0
+        self.offered_flits = 0
+        self.delivered_packets = 0
+        self.delivered_flits = 0
+        self.failed_packets = 0
+        self.max_queue_len = 0
+        self.records = []
+        self.window_start = now
+
+
+class WormholeEngine:
+    """Simulates one network instance under an externally offered load."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: SimNetwork,
+        rng: Optional[RandomStream] = None,
+        record_deliveries: bool = True,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.rng = rng if rng is not None else RandomStream(0, name="engine")
+        self.record_deliveries = record_deliveries
+        self.stats = EngineStats()
+        #: Optional :class:`repro.wormhole.trace.Tracer` for per-packet
+        #: event timelines; None (the default) costs nothing.
+        self.tracer = None
+        #: Cycles of zero progress (no flit moved, no lane granted,
+        #: packets in flight) before :class:`DeadlockError` is raised.
+        #: 0 disables the watchdog (the default: the paper's networks
+        #: are deadlock-free by construction).
+        self.deadlock_watchdog = 0
+        self._stalled_cycles = 0
+        self._progressed = False
+
+        self.queues: list[deque[Packet]] = [deque() for _ in range(network.N)]
+        #: Nodes with a non-empty queue (avoids scanning all N each cycle).
+        self._backlogged: set[int] = set()
+        self._pending_route: list[Packet] = []
+        self._active_packets = 0
+        self._next_pid = 0
+        self.cycles_run = 0
+        self._clock_started = False
+        self._wakeup = None  # event the idle clock sleeps on, if any
+
+    # -- workload interface ---------------------------------------------------
+
+    def offer(self, src: int, dst: int, length: int) -> Packet:
+        """Submit a message at the current simulation time (FCFS queue)."""
+        p = Packet(self._next_pid, src, dst, length, created=self.env.now)
+        self._next_pid += 1
+        self.queues[src].append(p)
+        self._backlogged.add(src)
+        if self._wakeup is not None:
+            self._wakeup.succeed()
+            self._wakeup = None
+        self.stats.offered_packets += 1
+        self.stats.offered_flits += length
+        qlen = len(self.queues[src])
+        if qlen > self.stats.max_queue_len:
+            self.stats.max_queue_len = qlen
+        if self.tracer is not None:
+            self.tracer.on_offer(self.env.now, p)
+        return p
+
+    @property
+    def idle(self) -> bool:
+        """No packet in the network and no packet queued."""
+        return self._active_packets == 0 and not self._backlogged
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently inside the network (not queued, not done)."""
+        return self._active_packets
+
+    def queue_length(self, node: int) -> int:
+        """Messages waiting in one node's FCFS source queue."""
+        return len(self.queues[node])
+
+    # -- the cycle -------------------------------------------------------------
+
+    def step_cycle(self) -> None:
+        """Run one cycle: allocation, then flit advance."""
+        self._progressed = False
+        self._phase_allocate()
+        self._phase_advance()
+        self.cycles_run += 1
+        if self.deadlock_watchdog:
+            if self._progressed or self._active_packets == 0:
+                self._stalled_cycles = 0
+            else:
+                self._stalled_cycles += 1
+                if self._stalled_cycles >= self.deadlock_watchdog:
+                    raise DeadlockError(
+                        f"{self._active_packets} packets in flight made no "
+                        f"progress for {self._stalled_cycles} cycles at "
+                        f"t={self.env.now}; held channels: "
+                        + ", ".join(
+                            f"{ch.label}(pkt#{lane.owner.pid})"
+                            for ch in self.network.topo_channels
+                            for lane in ch.lanes
+                            if lane.owner is not None
+                        )
+                    )
+
+    def _phase_allocate(self) -> None:
+        # Start injections: one-port nodes begin transmitting the next
+        # queued message once their single injection lane frees.
+        if self._backlogged:
+            drained = []
+            for node in self._backlogged:
+                inj = self.network.injection_channel(node)
+                if inj.faulty:
+                    # The node is cut off: every queued message dies.
+                    while self.queues[node]:
+                        p = self.queues[node].popleft()
+                        p.state = PacketState.FAILED
+                        self.stats.failed_packets += 1
+                    drained.append(node)
+                    continue
+                lane = inj.lanes[0]
+                if lane.owner is not None:
+                    continue
+                p = self.queues[node].popleft()
+                p.state = PacketState.ACTIVE
+                p.inject_start = self.env.now
+                self.network.prepare(p)
+                lane.acquire(p)
+                self._active_packets += 1
+                self._progressed = True
+                if self.tracer is not None:
+                    self.tracer.on_inject(self.env.now, p)
+                    self.tracer.on_acquire(self.env.now, p, inj, lane.index)
+                if not self.queues[node]:
+                    drained.append(node)
+            for node in drained:
+                self._backlogged.discard(node)
+
+        if not self._pending_route:
+            return
+        # Random service order models switches acting asynchronously.
+        self.rng.shuffle(self._pending_route)
+        still_pending = []
+        for p in self._pending_route:
+            candidates = self.network.candidates(p)
+            usable = [ch for ch in candidates if not ch.faulty]
+            if not usable:
+                # Every possible next hop is faulty: the route is dead.
+                # Kill the worm and reclaim its channels and buffers
+                # (the paper's fault-tolerance motivation: a unique-path
+                # network cannot survive this; DMIN/BMIN rarely get here).
+                self._abort(p)
+                continue
+            free = [lane for ch in usable for lane in ch.lanes if lane.owner is None]
+            if not free:
+                if self.tracer is not None:
+                    self.tracer.on_blocked(self.env.now, p, usable)
+                still_pending.append(p)
+                continue
+            if len(free) == 1:
+                lane = free[0]
+            else:
+                # Networks may bias adaptive choices (e.g. the BMIN
+                # "properly chosen forward channel" experiment); the
+                # default returns None -> uniform random, the paper's
+                # policy.
+                lane = self.network.preferred_lane(p, free, self.rng)
+                if lane is None:
+                    lane = self.rng.choice(free)
+            lane.acquire(p)
+            self.network.advance(p, lane.channel)
+            p.needs_route = False
+            self._progressed = True
+            if self.tracer is not None:
+                self.tracer.on_acquire(self.env.now, p, lane.channel, lane.index)
+        self._pending_route = still_pending
+
+    def _phase_advance(self) -> None:
+        pending = self._pending_route
+        for ch in self.network.topo_channels:
+            if ch.owned_count == 0:
+                continue
+            lane = ch.transmit()
+            if lane is None:
+                continue
+            self._progressed = True
+            p = lane.owner
+            assert p is not None
+            if ch.is_delivery:
+                if lane.sent == p.length:
+                    lane.release()
+                    self._finalize(p)
+            else:
+                if lane.sent == 1 and lane.route_idx == len(p.lanes) - 1:
+                    # Header just reached the next switch input buffer.
+                    p.needs_route = True
+                    pending.append(p)
+                if lane.sent == p.length:
+                    lane.release()
+
+    def transmit(self, ch: PhysChannel) -> Optional[Lane]:
+        """Move one flit across ``ch`` if possible (split out for tests)."""
+        if not ch.busy:
+            return None
+        return ch.transmit()
+
+    def _abort(self, p: Packet) -> None:
+        """Kill an in-flight worm whose every next hop is faulty.
+
+        Its flits are flushed from the buffers along its chain (each
+        lane's buffer holds ``sent(lane) - sent(next lane)`` of this
+        packet's flits) and its still-owned lanes are released, so other
+        traffic is unaffected.
+        """
+        for i, lane in enumerate(p.lanes):
+            next_sent = p.lanes[i + 1].sent if i + 1 < len(p.lanes) else 0
+            lane.buf -= lane.sent - next_sent
+            assert lane.buf >= 0, "abort flushed a flit it did not own"
+            if lane.owner is p:
+                lane.release()
+        p.state = PacketState.FAILED
+        p.needs_route = False
+        self._active_packets -= 1
+        self.stats.failed_packets += 1
+        if self.tracer is not None:
+            self.tracer.on_abort(self.env.now, p)
+
+    def _finalize(self, p: Packet) -> None:
+        p.state = PacketState.DELIVERED
+        p.delivered_at = self.env.now
+        self._active_packets -= 1
+        self.stats.delivered_packets += 1
+        self.stats.delivered_flits += p.length
+        if self.tracer is not None:
+            self.tracer.on_deliver(self.env.now, p)
+        if self.record_deliveries:
+            assert p.inject_start is not None
+            self.stats.records.append(
+                DeliveryRecord(
+                    p.pid,
+                    p.src,
+                    p.dst,
+                    p.length,
+                    p.created,
+                    p.inject_start,
+                    p.delivered_at,
+                )
+            )
+
+    # -- clock process -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the clock process in the environment (idempotent)."""
+        if self._clock_started:
+            return
+        self._clock_started = True
+        self.env.process(self._clock(), name="wormhole-clock")
+
+    def _clock(self):
+        env = self.env
+        while True:
+            if self.idle:
+                # Fast-forward to the next external event (an arrival);
+                # with nothing scheduled, sleep until someone offers.
+                nxt = env.peek()
+                if nxt == float("inf"):
+                    self._wakeup = env.event()
+                    yield self._wakeup
+                else:
+                    yield env.timeout(max(1.0, math.ceil(nxt - env.now)))
+            else:
+                yield env.timeout(1.0)
+            self.step_cycle()
+
+    # -- convenience for tests and examples -----------------------------------------
+
+    def run_cycles(self, cycles: int) -> None:
+        """Start the clock (if needed) and advance ``cycles`` cycles."""
+        self.start()
+        self.env.run(until=self.env.now + cycles)
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Run until the network is empty (or the cycle budget runs out)."""
+        self.start()
+        deadline = self.env.now + max_cycles
+        while not self.idle and self.env.now < deadline:
+            self.env.run(until=min(self.env.now + 256, deadline))
+        if not self.idle:
+            raise RuntimeError(
+                f"network failed to drain within {max_cycles} cycles "
+                f"({self._active_packets} packets in flight) -- "
+                "this would indicate deadlock or livelock"
+            )
+
+    # -- throughput helpers ------------------------------------------------------------
+
+    def throughput_fraction(self) -> float:
+        """Delivered flits per node-cycle over the current window.
+
+        1.0 would mean every delivery channel streamed a flit every
+        cycle -- the paper's '% of maximum theoretical throughput'.
+        """
+        elapsed = self.env.now - self.stats.window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.stats.delivered_flits / (self.network.N * elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WormholeEngine {self.network.kind.value} N={self.network.N} "
+            f"t={self.env.now} active={self._active_packets}>"
+        )

@@ -1,0 +1,108 @@
+"""Messages (packets) and their lifecycle in the wormhole simulator.
+
+The paper does not packetize: a message is one packet, serialized into
+``length`` flits.  The header flit carries source/destination addresses
+and governs the route; body flits follow in a pipeline.  A packet's
+latency runs from the instant the source makes the message available
+(``created``) until the tail flit is consumed at the destination
+(Section 1's definition, which therefore includes source queueing).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.channel import Lane
+
+
+class PacketState(Enum):
+    """Lifecycle of a message."""
+
+    QUEUED = "queued"        # waiting in the source's FCFS queue
+    ACTIVE = "active"        # header routing / flits moving
+    DELIVERED = "delivered"  # tail consumed at the destination
+    FAILED = "failed"        # killed: every next-hop channel is faulty
+
+
+class Packet:
+    """One message in flight.
+
+    Only the engine mutates packets; everything else treats them as
+    read-only records.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "length",
+        "created",
+        "inject_start",
+        "delivered_at",
+        "state",
+        "lanes",
+        "delivered_flits",
+        "needs_route",
+        "hop",
+        "bmin_going_up",
+        "bmin_boundary",
+        "bmin_line",
+        "bmin_turn",
+        "slots",
+    )
+
+    def __init__(
+        self, pid: int, src: int, dst: int, length: int, created: float
+    ) -> None:
+        if length < 1:
+            raise ValueError("a packet needs at least one flit")
+        if src == dst:
+            raise ValueError("the paper's traffic never sends to self")
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.created = created
+        self.inject_start: Optional[float] = None
+        self.delivered_at: Optional[float] = None
+        self.state = PacketState.QUEUED
+
+        #: Channels lanes acquired so far, source side first.
+        self.lanes: list["Lane"] = []
+        self.delivered_flits = 0
+        #: True while the header waits at a switch input for allocation.
+        self.needs_route = False
+        #: Next hop index (unidirectional: index into ``slots``).
+        self.hop = 0
+
+        # BMIN routing state (unused for unidirectional networks).
+        self.bmin_going_up = True
+        self.bmin_boundary = 0
+        self.bmin_line = src
+        self.bmin_turn = -1
+
+        #: Unidirectional networks: precomputed (boundary, position)
+        #: slots of the unique path (set by the network at injection).
+        self.slots: Optional[list[tuple[int, int]]] = None
+
+    @property
+    def latency(self) -> float:
+        """Total latency (queueing + network) in cycles; None until done."""
+        if self.delivered_at is None:
+            raise AttributeError("packet not yet delivered")
+        return self.delivered_at - self.created
+
+    @property
+    def network_latency(self) -> float:
+        """Latency excluding source queueing (inject start to tail out)."""
+        if self.delivered_at is None or self.inject_start is None:
+            raise AttributeError("packet not yet delivered")
+        return self.delivered_at - self.inject_start
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.pid} {self.src}->{self.dst} len={self.length} "
+            f"{self.state.value}>"
+        )

@@ -1,0 +1,128 @@
+"""Per-packet event tracing for the wormhole engine.
+
+Attach a :class:`Tracer` to an engine to record the life of every
+message -- queued, injected, each channel acquisition, blocking spells,
+delivery or abort -- and render per-packet timelines.  Used by the
+debugging example and handy when studying *why* a configuration
+saturates (e.g. which channel a permutation's losers block on).
+
+    engine.tracer = Tracer()
+    ...
+    print(engine.tracer.format_timeline(pid))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.channel import PhysChannel
+    from repro.wormhole.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event of one packet."""
+
+    time: float
+    kind: str      # offered | injected | acquired | blocked | delivered | failed
+    pid: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:<8g} {self.kind:<9} {self.detail}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` streams, indexed per packet.
+
+    ``max_events`` bounds memory for long runs (oldest packets keep
+    their events; new events are dropped once the cap is hit and
+    :attr:`truncated` is set).
+    """
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self._by_pid: dict[int, list[TraceEvent]] = {}
+        #: pid -> channel label currently blocking it (dedup of repeats)
+        self._blocked_on: dict[int, str] = {}
+        self.truncated = False
+
+    # -- hooks the engine calls -------------------------------------------
+
+    def on_offer(self, time: float, packet: "Packet") -> None:
+        """Message submitted to its source queue."""
+        self._record(
+            time,
+            "offered",
+            packet.pid,
+            f"{packet.src}->{packet.dst} len={packet.length}",
+        )
+
+    def on_inject(self, time: float, packet: "Packet") -> None:
+        """Message started transmitting (left the FCFS queue)."""
+        self._record(time, "injected", packet.pid, f"from node {packet.src}")
+
+    def on_acquire(
+        self, time: float, packet: "Packet", channel: "PhysChannel", lane_index: int
+    ) -> None:
+        """Header acquired a (virtual) channel."""
+        self._blocked_on.pop(packet.pid, None)
+        lane = f".vc{lane_index}" if channel.num_lanes > 1 else ""
+        self._record(time, "acquired", packet.pid, channel.label + lane)
+
+    def on_blocked(
+        self, time: float, packet: "Packet", channels: list["PhysChannel"]
+    ) -> None:
+        """Header found every candidate busy (deduped per spell)."""
+        key = ",".join(ch.label for ch in channels)
+        if self._blocked_on.get(packet.pid) == key:
+            return  # still stuck on the same hop: no new event
+        self._blocked_on[packet.pid] = key
+        self._record(time, "blocked", packet.pid, f"waiting for {key}")
+
+    def on_deliver(self, time: float, packet: "Packet") -> None:
+        """Tail flit consumed at the destination."""
+        self._blocked_on.pop(packet.pid, None)
+        self._record(
+            time, "delivered", packet.pid, f"latency {time - packet.created:g}"
+        )
+
+    def on_abort(self, time: float, packet: "Packet") -> None:
+        """Worm killed by fault handling."""
+        self._blocked_on.pop(packet.pid, None)
+        self._record(time, "failed", packet.pid, "all next-hop channels faulty")
+
+    # -- queries ---------------------------------------------------------
+
+    def packet_timeline(self, pid: int) -> list[TraceEvent]:
+        """All events of one packet, in time order."""
+        return list(self._by_pid.get(pid, ()))
+
+    def format_timeline(self, pid: int) -> str:
+        """Human-readable one-line-per-event rendering."""
+        events = self.packet_timeline(pid)
+        if not events:
+            return f"packet #{pid}: no events recorded"
+        header = f"packet #{pid}:"
+        return "\n".join([header] + [f"  {e}" for e in events])
+
+    def blocking_hotspots(self, top: int = 5) -> list[tuple[str, int]]:
+        """Channels most often named in blocked events (congestion map)."""
+        from collections import Counter
+
+        counts: Counter[str] = Counter()
+        for e in self.events:
+            if e.kind == "blocked":
+                counts[e.detail.removeprefix("waiting for ")] += 1
+        return counts.most_common(top)
+
+    def _record(self, time: float, kind: str, pid: int, detail: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        event = TraceEvent(time, kind, pid, detail)
+        self.events.append(event)
+        self._by_pid.setdefault(pid, []).append(event)

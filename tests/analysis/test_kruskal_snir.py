@@ -1,0 +1,118 @@
+"""Tests for the Delta-network analytic throughput model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kruskal_snir import (
+    asymptotic_bandwidth,
+    delta_network_throughput,
+    saturation_bandwidth,
+    stage_acceptance,
+)
+
+
+def test_stage_acceptance_extremes():
+    assert stage_acceptance(0.0, 4) == 0.0
+    # Full load on a 2x2 switch: 1 - (1/2)^2 = 0.75
+    assert math.isclose(stage_acceptance(1.0, 2), 0.75)
+    # k=1 passes traffic through untouched.
+    assert math.isclose(stage_acceptance(0.3, 1), 0.3)
+
+
+def test_stage_acceptance_validation():
+    with pytest.raises(ValueError):
+        stage_acceptance(1.5, 4)
+    with pytest.raises(ValueError):
+        stage_acceptance(-0.1, 4)
+    with pytest.raises(ValueError):
+        stage_acceptance(0.5, 0)
+
+
+def test_known_saturation_values():
+    """Classical results: 2x2 single stage 0.75; the paper's 64-node
+    geometry (k=4, n=3) saturates near 0.43 in the unbuffered model."""
+    assert math.isclose(saturation_bandwidth(2, 1), 0.75)
+    assert abs(saturation_bandwidth(4, 3) - 0.432) < 0.005
+
+
+def test_zero_stages_is_identity():
+    assert delta_network_throughput(0.42, 4, 0) == 0.42
+
+
+def test_throughput_validation():
+    with pytest.raises(ValueError):
+        delta_network_throughput(0.5, 4, -1)
+
+
+def test_more_stages_lose_more():
+    values = [saturation_bandwidth(4, n) for n in range(1, 8)]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_larger_switches_lose_more_per_stage():
+    """At full load a bigger crossbar has more output contention."""
+    assert saturation_bandwidth(2, 1) > saturation_bandwidth(4, 1) > saturation_bandwidth(8, 1)
+
+
+def test_asymptotic_bandwidth():
+    assert asymptotic_bandwidth(2, 100) == pytest.approx(4 / 100)
+    assert asymptotic_bandwidth(2, 1) == 1.0  # clamped
+    with pytest.raises(ValueError):
+        asymptotic_bandwidth(1, 10)
+    with pytest.raises(ValueError):
+        asymptotic_bandwidth(2, 0)
+
+
+def test_asymptotic_tracks_exact_for_large_n():
+    k, n = 2, 64
+    exact = saturation_bandwidth(k, n)
+    approx = asymptotic_bandwidth(k, n)
+    assert abs(exact - approx) / exact < 0.30
+
+
+@given(
+    st.floats(min_value=0, max_value=1),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_throughput_bounded_by_load_property(load, k, n):
+    out = delta_network_throughput(load, k, n)
+    assert 0.0 <= out <= load + 1e-12
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=6),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_throughput_monotone_in_load_property(k, n, data):
+    a = data.draw(st.floats(min_value=0, max_value=1))
+    b = data.draw(st.floats(min_value=0, max_value=1))
+    lo, hi = sorted((a, b))
+    assert delta_network_throughput(lo, k, n) <= delta_network_throughput(
+        hi, k, n
+    ) + 1e-12
+
+
+def test_model_anchors_simulated_tmin_saturation():
+    """The unbuffered model (43%) anchors the wormhole TMIN's simulated
+    uniform saturation (~35-40% with 1-flit buffers): same order of
+    magnitude, and the model is not wildly exceeded."""
+    from dataclasses import replace
+
+    from repro.experiments.config import SMOKE, NetworkConfig
+    from repro.experiments.figures import uniform_workload
+    from repro.experiments.runner import run_point
+    from repro.traffic.clusters import global_cluster
+
+    cfg = replace(SMOKE, measure_packets=400)
+    wb = uniform_workload(global_cluster(), cfg)
+    m = run_point(NetworkConfig("tmin"), wb, 1.0, cfg)
+    model = saturation_bandwidth(4, 3)
+    assert m.throughput < model + 0.05
+    assert m.throughput > model / 3

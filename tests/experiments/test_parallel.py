@@ -1,0 +1,85 @@
+"""Tests for the declarative workload specs and the parallel runner."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.parallel import parallel_matrix, parallel_sweep
+from repro.experiments.runner import sweep
+from repro.experiments.workload_spec import WorkloadSpec
+
+QUICK = replace(SMOKE, warmup_packets=20, measure_packets=100, loads=(0.2, 0.5))
+
+
+# ------------------------------------------------------------- WorkloadSpec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(pattern="tsunami")
+    with pytest.raises(ValueError):
+        WorkloadSpec(clustering="ring")
+    with pytest.raises(ValueError):
+        WorkloadSpec(pattern="shuffle", clustering="cluster16")
+
+
+def test_spec_labels():
+    assert WorkloadSpec().label == "uniform"
+    assert WorkloadSpec(pattern="hotspot", hot_fraction=0.1).label == "hotspot 10%"
+    assert "cluster16" in WorkloadSpec(clustering="cluster16").label
+    assert "4:1:1:1" in WorkloadSpec(
+        clustering="cluster16", ratios=(4, 1, 1, 1)
+    ).label
+    assert "i=2" in WorkloadSpec(pattern="butterfly").label
+
+
+def test_spec_clusters():
+    assert WorkloadSpec().clusters().N == 64
+    assert WorkloadSpec(clustering="cluster32").clusters().name == "cluster-32"
+    shared = WorkloadSpec(clustering="cluster16-shared").clusters()
+    assert "XX0" in shared.name
+
+
+def test_spec_builder_matches_figure_builder():
+    """The spec rebuilds the exact closure the figure builders use:
+    identical measurements."""
+    from repro.experiments.figures import uniform_workload
+    from repro.experiments.runner import run_point
+    from repro.traffic.clusters import global_cluster
+
+    net = NetworkConfig("tmin")
+    a = run_point(net, uniform_workload(global_cluster(), QUICK), 0.3, QUICK)
+    b = run_point(net, WorkloadSpec().builder(QUICK), 0.3, QUICK)
+    assert a == b
+
+
+def test_spec_is_picklable():
+    import pickle
+
+    spec = WorkloadSpec(pattern="hotspot", hot_fraction=0.1)
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+# ----------------------------------------------------------- parallel runner
+
+
+def test_parallel_sweep_matches_sequential():
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    seq = sweep(net, spec.builder(QUICK), QUICK, label="x")
+    par = parallel_sweep(net, spec, QUICK, label="x", max_workers=2)
+    assert par == seq
+
+
+def test_parallel_matrix_structure():
+    nets = [NetworkConfig("tmin", k=2, n=3), NetworkConfig("bmin", k=2, n=3)]
+    spec = WorkloadSpec(k=2, n=3)
+    results = parallel_matrix(nets, spec, QUICK, max_workers=2)
+    assert len(results) == 2
+    assert [len(r.points) for r in results] == [2, 2]
+    assert results[0].label.startswith("TMIN")
+    assert results[1].label.startswith("BMIN")
+    # Matrix points equal per-network parallel sweeps.
+    solo = parallel_sweep(nets[1], spec, QUICK, max_workers=2)
+    assert results[1].points == solo.points

@@ -1,0 +1,133 @@
+"""Tests for ASCII plotting, CSV/JSON export and saturation search."""
+
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.export import (
+    CSV_FIELDS,
+    read_figure_csv,
+    sweep_rows,
+    write_figure_csv,
+    write_figure_json,
+)
+from repro.experiments.figures import FigureResult, uniform_workload
+from repro.experiments.plotting import ascii_curve_plot, plot_figure
+from repro.experiments.runner import sweep
+from repro.experiments.saturation import find_saturation
+from repro.traffic.clusters import global_cluster
+
+QUICK = replace(SMOKE, warmup_packets=20, measure_packets=100, loads=(0.2, 0.5))
+
+
+@pytest.fixture(scope="module")
+def small_fig():
+    nets = [NetworkConfig("tmin", k=2, n=3), NetworkConfig("dmin", k=2, n=3)]
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    series = tuple(sweep(n, wb, QUICK, label=n.kind.upper()) for n in nets)
+    return FigureResult("figX", "test figure", "dmin wins", series)
+
+
+# ------------------------------------------------------------------ plotting
+
+
+def test_ascii_plot_structure(small_fig):
+    text = ascii_curve_plot(small_fig.series)
+    lines = text.splitlines()
+    assert len(lines) == 20 + 3  # grid + axis + x labels + legend
+    assert "legend: o=TMIN  x=DMIN" in text
+    # Every point lands somewhere: both glyphs appear.
+    assert "o" in text and "x" in text
+
+
+def test_ascii_plot_max_latency_clip(small_fig):
+    clipped = ascii_curve_plot(small_fig.series, max_latency=10.0)
+    # y axis labels respect the cap.
+    assert clipped.splitlines()[0].strip().startswith("10")
+
+
+def test_ascii_plot_validation(small_fig):
+    with pytest.raises(ValueError):
+        ascii_curve_plot([])
+    with pytest.raises(ValueError):
+        ascii_curve_plot(list(small_fig.series) * 5)  # > 8 series
+
+
+def test_plot_figure_panels(small_fig):
+    text = plot_figure(small_fig, per_plot=1)
+    assert text.count("legend:") == 2
+    assert text.startswith("figX:")
+
+
+# -------------------------------------------------------------------- export
+
+
+def test_sweep_rows_fields(small_fig):
+    rows = sweep_rows(small_fig.series[0])
+    assert len(rows) == 2
+    assert set(rows[0]) == set(CSV_FIELDS)
+    assert rows[0]["series"] == "TMIN"
+    assert rows[0]["offered_load"] == 0.2
+
+
+def test_csv_roundtrip(small_fig, tmp_path):
+    path = write_figure_csv(small_fig, tmp_path / "fig.csv")
+    rows = read_figure_csv(path)
+    assert len(rows) == 4  # 2 series x 2 loads
+    original = sweep_rows(small_fig.series[0])[0]
+    back = rows[0]
+    for key in ("throughput_percent", "avg_latency", "offered_load"):
+        if math.isnan(original[key]):
+            continue
+        assert back[key] == pytest.approx(original[key])
+    assert isinstance(back["sustainable"], bool)
+    assert isinstance(back["delivered_packets"], int)
+
+
+def test_json_export(small_fig, tmp_path):
+    path = write_figure_json(small_fig, tmp_path / "fig.json")
+    payload = json.loads(path.read_text())
+    assert payload["figure_id"] == "figX"
+    assert [s["label"] for s in payload["series"]] == ["TMIN", "DMIN"]
+    assert len(payload["series"][0]["points"]) == 2
+    # NaN CIs become null (strict JSON).
+    for point in payload["series"][0]["points"]:
+        assert point["latency_ci_half"] is None or isinstance(
+            point["latency_ci_half"], float
+        )
+
+
+# ---------------------------------------------------------------- saturation
+
+
+def test_find_saturation_tmin():
+    cfg = replace(SMOKE, warmup_packets=30, measure_packets=200)
+    net = NetworkConfig("tmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), cfg)
+    sat = find_saturation(net, wb, cfg, tolerance=0.1)
+    # An 8-node TMIN sustains a substantial uniform load.
+    assert 0.2 <= sat.load <= 1.0
+    assert sat.throughput_percent > 10
+    assert sat.iterations >= 2
+    assert "saturates" in str(sat)
+
+
+def test_find_saturation_full_sustainable_short_circuit():
+    """A workload the network fully sustains returns load = hi."""
+    cfg = replace(SMOKE, warmup_packets=20, measure_packets=120)
+    net = NetworkConfig("dmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), cfg)
+    sat = find_saturation(net, wb, cfg, lo=0.05, hi=0.15, tolerance=0.05)
+    assert sat.load == 0.15
+    assert sat.iterations == 2
+
+
+def test_find_saturation_validation():
+    cfg = QUICK
+    net = NetworkConfig("tmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), cfg)
+    with pytest.raises(ValueError):
+        find_saturation(net, wb, cfg, lo=0.5, hi=0.4)

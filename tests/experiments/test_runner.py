@@ -1,0 +1,115 @@
+"""Tests for the experiment runner and sweep mechanics."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import PRESETS, SMOKE, NetworkConfig, RunConfig
+from repro.experiments.figures import uniform_workload
+from repro.experiments.runner import LoadPoint, SweepResult, run_point, sweep
+from repro.traffic.clusters import global_cluster
+
+QUICK = replace(SMOKE, warmup_packets=20, measure_packets=80, loads=(0.2, 0.5))
+
+
+def test_network_config_labels():
+    assert NetworkConfig("tmin").label == "TMIN(cube)"
+    assert NetworkConfig("dmin").label == "DMIN(d=2, cube)"
+    assert NetworkConfig("vmin").label == "VMIN(v=2, cube)"
+    assert NetworkConfig("bmin").label == "BMIN"
+    assert NetworkConfig("tmin").N == 64
+
+
+def test_network_config_build_kinds():
+    from repro.wormhole.network import NetworkKind
+
+    assert NetworkConfig("bmin").build().kind is NetworkKind.BMIN
+    assert NetworkConfig("dmin", topology="butterfly").build().spec.name == "butterfly"
+
+
+def test_run_config_presets():
+    assert set(PRESETS) == {"smoke", "scaled", "full"}
+    assert PRESETS["full"].sizes.high == 1024
+    assert PRESETS["scaled"].sizes.high == 64
+
+
+def test_run_config_with_loads_and_seed():
+    cfg = SMOKE.with_loads((0.3,)).with_seed(7)
+    assert cfg.loads == (0.3,) and cfg.seed == 7
+    assert SMOKE.loads != (0.3,)  # original untouched
+
+
+def test_run_point_produces_measurement():
+    net = NetworkConfig("tmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    m = run_point(net, wb, 0.3, QUICK)
+    assert m.delivered_packets >= QUICK.measure_packets
+    assert m.throughput > 0
+    assert m.avg_latency > 0
+
+
+def test_run_point_is_deterministic():
+    net = NetworkConfig("dmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    m1 = run_point(net, wb, 0.3, QUICK)
+    m2 = run_point(net, wb, 0.3, QUICK)
+    assert m1 == m2
+
+
+def test_run_point_seed_changes_outcome():
+    net = NetworkConfig("dmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    m1 = run_point(net, wb, 0.3, QUICK)
+    m2 = run_point(net, wb, 0.3, QUICK.with_seed(1))
+    assert m1.avg_latency != m2.avg_latency
+
+
+def test_sweep_structure():
+    net = NetworkConfig("tmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    result = sweep(net, wb, QUICK, label="series-x")
+    assert isinstance(result, SweepResult)
+    assert result.label == "series-x"
+    assert [p.offered_load for p in result.points] == list(QUICK.loads)
+    assert all(isinstance(p, LoadPoint) for p in result.points)
+
+
+def test_sweep_latency_at():
+    net = NetworkConfig("tmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    result = sweep(net, wb, QUICK)
+    assert result.latency_at(0.2) == result.points[0].measurement.avg_latency
+    with pytest.raises(KeyError):
+        result.latency_at(0.99)
+
+
+def test_sweep_max_sustained_throughput_monotone_loads():
+    """Throughput at the higher sustainable load dominates."""
+    net = NetworkConfig("dmin", k=2, n=3)
+    wb = uniform_workload(global_cluster(nbits=3), QUICK)
+    result = sweep(net, wb, QUICK)
+    sustained = [
+        p.measurement.throughput_percent
+        for p in result.points
+        if p.measurement.sustainable
+    ]
+    assert result.max_sustained_throughput() == max(sustained)
+
+
+def test_empty_workload_rejected():
+    from repro.traffic.patterns import PermutationPattern
+    from repro.topology.permutations import Identity
+    from repro.traffic.workload import Workload
+
+    net = NetworkConfig("tmin", k=2, n=3)
+
+    def wb(load):
+        return Workload(
+            global_cluster(nbits=3),
+            lambda members: PermutationPattern(Identity(8)),
+            load,
+            QUICK.sizes,
+        )
+
+    with pytest.raises(RuntimeError):
+        run_point(net, wb, 0.3, QUICK)

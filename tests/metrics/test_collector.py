@@ -1,0 +1,144 @@
+"""Tests for measurement windows over a live engine."""
+
+import math
+
+import pytest
+
+from repro.metrics.collector import (
+    SUSTAINABILITY_QUEUE_LIMIT,
+    Measurement,
+    MeasurementWindow,
+)
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+
+
+def _engine(seed=0):
+    env = Environment()
+    net = build_network("tmin", 2, 3)
+    return env, WormholeEngine(env, net, rng=RandomStream(seed))
+
+
+def test_window_requires_begin():
+    env, eng = _engine()
+    window = MeasurementWindow(eng)
+    with pytest.raises(RuntimeError):
+        window.finish()
+
+
+def test_window_zero_length_rejected():
+    env, eng = _engine()
+    window = MeasurementWindow(eng)
+    window.begin()
+    with pytest.raises(RuntimeError):
+        window.finish()
+
+
+def test_window_measures_single_packet():
+    env, eng = _engine()
+    window = MeasurementWindow(eng)
+    window.begin()
+    p = eng.offer(0, 5, 16)
+    eng.drain()
+    m = window.finish()
+    assert m.delivered_packets == 1
+    assert m.delivered_flits == 16
+    assert m.avg_latency == p.latency
+    assert m.avg_network_latency == p.network_latency
+    assert m.p95_latency == p.latency
+    assert math.isnan(m.latency_ci_half)  # too few packets for batches
+    assert m.sustainable
+    assert 0 < m.throughput <= 1.0
+    assert m.throughput_percent == 100 * m.throughput
+
+
+def test_window_excludes_warmup_traffic():
+    env, eng = _engine()
+    eng.offer(0, 5, 16)
+    eng.drain()
+    window = MeasurementWindow(eng)
+    window.begin()
+    eng.offer(1, 6, 16)
+    eng.drain()
+    m = window.finish()
+    assert m.delivered_packets == 1  # the warmup packet is not counted
+
+
+def test_unsustainable_flag():
+    env, eng = _engine()
+    window = MeasurementWindow(eng, queue_limit=3)
+    window.begin()
+    for _ in range(6):
+        eng.offer(0, 5, 8)
+    eng.drain()
+    m = window.finish()
+    assert not m.sustainable
+    assert m.max_queue_len == 6
+
+
+def test_default_queue_limit_is_the_papers():
+    assert SUSTAINABILITY_QUEUE_LIMIT == 100
+
+
+def test_latency_microseconds_conversion():
+    """20 flits/us -> one cycle is 0.05 us."""
+    env, eng = _engine()
+    window = MeasurementWindow(eng)
+    window.begin()
+    eng.offer(0, 5, 16)
+    eng.drain()
+    m = window.finish()
+    assert math.isclose(m.avg_latency_us, m.avg_latency / 20.0)
+
+
+def test_ci_computed_with_enough_packets():
+    env, eng = _engine(seed=2)
+    window = MeasurementWindow(eng)
+    window.begin()
+    rs = RandomStream(3)
+    for _ in range(30):
+        s = rs.uniform_int(0, 7)
+        d = rs.uniform_int(0, 6)
+        if d >= s:
+            d += 1
+        eng.offer(s, d, rs.uniform_int(4, 20))
+        eng.drain()
+    m = window.finish()
+    assert m.delivered_packets == 30
+    assert not math.isnan(m.latency_ci_half)
+    assert m.latency_ci_half >= 0
+
+
+def test_measurement_str_rendering():
+    m = Measurement(
+        cycles=1000,
+        delivered_packets=10,
+        delivered_flits=100,
+        offered_packets=12,
+        offered_flits=120,
+        avg_latency=55.5,
+        avg_network_latency=50.0,
+        p95_latency=80.0,
+        latency_ci_half=2.0,
+        throughput=0.5,
+        max_queue_len=3,
+        sustainable=True,
+    )
+    text = str(m)
+    assert "50.0" in text and "UNSUSTAINABLE" not in text
+    bad = Measurement(
+        cycles=1000,
+        delivered_packets=10,
+        delivered_flits=100,
+        offered_packets=12,
+        offered_flits=120,
+        avg_latency=55.5,
+        avg_network_latency=50.0,
+        p95_latency=80.0,
+        latency_ci_half=2.0,
+        throughput=0.5,
+        max_queue_len=500,
+        sustainable=False,
+    )
+    assert "UNSUSTAINABLE" in str(bad)

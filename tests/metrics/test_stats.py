@@ -1,0 +1,82 @@
+"""Tests for the numeric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import batch_means, mean, percentile, stddev
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3]) == 2
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_stddev_basic():
+    assert stddev([5]) == 0.0
+    assert math.isclose(stddev([2, 4, 4, 4, 5, 5, 7, 9]), 2.138, rel_tol=1e-3)
+    with pytest.raises(ValueError):
+        stddev([])
+
+
+def test_percentile_interpolation():
+    values = [10, 20, 30, 40]
+    assert percentile(values, 0) == 10
+    assert percentile(values, 100) == 40
+    assert percentile(values, 50) == 25
+    assert percentile([7], 95) == 7
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_batch_means_constant_data():
+    m, half = batch_means([5.0] * 100, batches=10)
+    assert m == 5.0
+    assert half == 0.0
+
+
+def test_batch_means_ci_contains_true_mean():
+    import random
+
+    r = random.Random(0)
+    data = [r.gauss(50, 5) for _ in range(1000)]
+    m, half = batch_means(data, batches=10)
+    assert abs(m - 50) < half + 1.0
+
+
+def test_batch_means_validation():
+    with pytest.raises(ValueError):
+        batch_means([1, 2, 3], batches=1)
+    with pytest.raises(ValueError):
+        batch_means([1, 2, 3], batches=5)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_mean_bounds_property(xs):
+    m = mean(xs)
+    assert min(xs) - 1e-9 <= m <= max(xs) + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    st.floats(min_value=0, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_percentile_bounds_property(xs, q):
+    p = percentile(xs, q)
+    assert min(xs) - 1e-9 <= p <= max(xs) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=20, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_batch_means_mean_close_to_plain_mean(xs):
+    m, _ = batch_means(xs, batches=10)
+    size = len(xs) // 10
+    used = xs[: size * 10]
+    assert math.isclose(m, mean(used), rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,93 @@
+"""Tests for multicast execution on the wormhole engine."""
+
+import pytest
+
+from repro.multicast.runner import run_multicast
+from repro.multicast.schedule import (
+    UnicastStep,
+    binomial_schedule,
+    sequential_schedule,
+)
+from repro.wormhole import build_network
+
+
+def test_single_destination_multicast():
+    net = build_network("bmin", 2, 3)
+    sched = sequential_schedule(0, [5])
+    result = run_multicast(net, 0, [5], sched, message_length=16)
+    assert result.phases == 1
+    assert result.unicasts == 1
+    assert result.total_cycles > 16
+
+
+def test_invalid_schedule_rejected():
+    net = build_network("bmin", 2, 3)
+    with pytest.raises(ValueError):
+        run_multicast(net, 0, [1, 2], [[UnicastStep(1, 2)]])
+
+
+def test_binomial_beats_sequential_broadcast():
+    """The log-phase schedule finishes a broadcast far sooner than the
+    source trickling out unicasts (the point of software multicast)."""
+    dests = list(range(1, 8))
+    seq = run_multicast(
+        build_network("bmin", 2, 3),
+        0,
+        dests,
+        sequential_schedule(0, dests),
+        message_length=64,
+    )
+    bin_ = run_multicast(
+        build_network("bmin", 2, 3),
+        0,
+        dests,
+        binomial_schedule(0, dests),
+        message_length=64,
+    )
+    assert bin_.phases == 3 and seq.phases == 7
+    assert bin_.total_cycles < seq.total_cycles
+    # With 64-flit messages the 7 serial sends cost ~7L; the binomial
+    # tree costs ~3L: expect at least a 1.8x win.
+    assert seq.total_cycles / bin_.total_cycles > 1.8
+
+
+def test_phase_cycles_reported():
+    dests = [1, 2, 3]
+    result = run_multicast(
+        build_network("bmin", 2, 3),
+        0,
+        dests,
+        binomial_schedule(0, dests),
+        message_length=32,
+    )
+    assert len(result.phase_cycles) == result.phases
+    assert sum(result.phase_cycles) == result.total_cycles
+    assert "phases" in str(result)
+
+
+def test_multicast_runs_on_all_network_kinds():
+    dests = [2, 5, 7]
+    sched = binomial_schedule(0, dests)
+    for kind in ("tmin", "dmin", "vmin", "bmin"):
+        result = run_multicast(
+            build_network(kind, 2, 3), 0, dests, sched, message_length=16
+        )
+        assert result.unicasts == 3
+
+
+def test_broadcast_64_nodes_on_bmin():
+    dests = list(range(1, 64))
+    result = run_multicast(
+        build_network("bmin", 4, 3),
+        0,
+        dests,
+        binomial_schedule(0, dests),
+        message_length=32,
+        seed=7,
+    )
+    assert result.phases == 6
+    assert result.unicasts == 63
+    # Conflict-free phases of 32-flit messages: each phase takes about
+    # one message time (32 + path + sync); the whole broadcast should
+    # be far below the 63 serial message times.
+    assert result.total_cycles < 63 * 32

@@ -1,0 +1,211 @@
+"""Tests for Lemma 1 and Theorems 2-4 via channel-usage analysis."""
+
+import pytest
+
+from repro.partition.analysis import (
+    bmin_cluster_line_usage,
+    bmin_clusters_are_contention_free,
+    bmin_is_channel_balanced,
+    check_partition,
+    cluster_channel_usage,
+    clusters_are_contention_free,
+    is_channel_balanced,
+)
+from repro.partition.cubes import Cube
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.mins import butterfly_min, cube_min, omega_min, baseline_min
+
+
+def kary(pattern: str, k: int = 2) -> Cube:
+    return Cube.from_kary(pattern, k)
+
+
+# ------------------------------------------------- Lemma 1 / Theorem 2 (cube)
+
+
+def test_fig14_partition_is_contention_free_and_balanced():
+    """Fig. 14: the 8-node cube MIN splits into 0XX, 1X0, 1X1 cleanly."""
+    spec = cube_min(2, 3)
+    clusters = [kary("0XX"), kary("1X0"), kary("1X1")]
+    assert Cube.partitions(clusters)
+    assert clusters_are_contention_free(spec, clusters)
+    for c in clusters:
+        assert is_channel_balanced(spec, c)
+
+
+def test_lemma1_kary_cubes_on_cube_min():
+    """Lemma 1 at k=4: every k-ary cube cluster is balanced, and the
+    4 x 16-node clustering of Section 5 is contention-free."""
+    spec = cube_min(4, 3)
+    clusters = [kary(f"{i}XX", 4) for i in range(4)]
+    assert clusters_are_contention_free(spec, clusters)
+    for c in clusters:
+        assert is_channel_balanced(spec, c)
+    # A non-base k-ary cube is balanced too (Lemma 1 needs no base-ness).
+    assert is_channel_balanced(spec, kary("X2X", 4))
+
+
+def test_theorem2_binary_cubes_on_cube_min():
+    """Theorem 2: with k = 2^j the cube MIN partitions into *binary* cubes.
+
+    The cluster-32 partitioning of Section 5 (two 32-node halves by top
+    bit) is contention-free and channel-balanced even though the halves
+    are not 4-ary cubes."""
+    spec = cube_min(4, 3)
+    halves = [Cube.from_bits("0XXXXX"), Cube.from_bits("1XXXXX")]
+    assert not halves[0].is_kary(4)
+    assert clusters_are_contention_free(spec, halves)
+    for c in halves:
+        assert is_channel_balanced(spec, c)
+
+
+def test_theorem2_mixed_size_binary_partition():
+    spec = cube_min(4, 3)
+    clusters = [
+        Cube.from_bits("0XXXXX"),   # 32 nodes
+        Cube.from_bits("10XXXX"),   # 16 nodes
+        Cube.from_bits("11XXXX"),   # 16 nodes
+    ]
+    assert Cube.partitions(clusters)
+    assert clusters_are_contention_free(spec, clusters)
+    assert all(is_channel_balanced(spec, c) for c in clusters)
+
+
+def test_omega_shares_cube_partitionability():
+    """Paper Section 6: Omega and cube have the same partitionability."""
+    spec = omega_min(2, 3)
+    clusters = [kary("0XX"), kary("1X0"), kary("1X1")]
+    assert clusters_are_contention_free(spec, clusters)
+    assert all(is_channel_balanced(spec, c) for c in clusters)
+
+
+# ------------------------------------------------------ Theorem 3 (butterfly)
+
+
+def test_fig15a_channel_reduced_clustering():
+    """Fig. 15a: 0XX, 10X, 11X on the butterfly MIN are contention-free
+    but channel counts halve at some stage (not balanced)."""
+    spec = butterfly_min(2, 3)
+    clusters = [kary("0XX"), kary("10X"), kary("11X")]
+    report = check_partition(spec, clusters)
+    assert report.contention_free
+    assert not any(report.channel_balanced)
+    # 0XX uses only 2 channels at boundary 2 instead of 4.
+    assert report.channels_per_boundary[0] == (4, 4, 2, 4)
+    # The two 2-node clusters squeeze to a single channel mid-network.
+    assert report.channels_per_boundary[1] == (2, 1, 1, 2)
+    assert report.channels_per_boundary[2] == (2, 1, 1, 2)
+
+
+def test_fig15b_channel_shared_clustering():
+    """Fig. 15b: XX0 and XX1 on the butterfly MIN share eight channels."""
+    spec = butterfly_min(2, 3)
+    clusters = [kary("XX0"), kary("XX1")]
+    report = check_partition(spec, clusters)
+    assert not report.contention_free
+    # Each 4-node cluster spreads over all 8 channels at inner boundaries.
+    assert report.channels_per_boundary[0] == (4, 8, 8, 4)
+    usage0 = cluster_channel_usage(spec, clusters[0])
+    usage1 = cluster_channel_usage(spec, clusters[1])
+    shared = usage0[1] & usage1[1]
+    assert len(shared) == 8
+
+
+def test_same_clusters_fine_on_cube_min():
+    """The XX0/XX1 split that breaks the butterfly is clean on the cube."""
+    spec = cube_min(2, 3)
+    clusters = [kary("XX0"), kary("XX1")]
+    report = check_partition(spec, clusters)
+    assert report.contention_free
+    assert all(report.channel_balanced)
+
+
+def test_section5_64node_butterfly_clusterings():
+    """Section 5.1: channel-reduced clustering drops 16 channels to 4;
+    channel-shared clustering spreads each cluster over all 64."""
+    spec = butterfly_min(4, 3)
+    reduced = [kary(f"{i}XX", 4) for i in range(4)]
+    rep = check_partition(spec, reduced)
+    assert rep.contention_free
+    assert all(counts[2] == 4 for counts in rep.channels_per_boundary)
+
+    shared = [kary(f"XX{i}", 4) for i in range(4)]
+    rep = check_partition(spec, shared)
+    assert not rep.contention_free
+    assert all(
+        counts[1] == 64 and counts[2] == 64 for counts in rep.channels_per_boundary
+    )
+
+
+def test_baseline_shares_butterfly_partitionability():
+    """Paper Section 6: baseline behaves like the butterfly -- the same
+    low-digit clustering is not contention-free."""
+    spec = baseline_min(2, 3)
+    clusters = [kary("XX0"), kary("XX1")]
+    assert not clusters_are_contention_free(spec, clusters)
+
+
+# -------------------------------------------------------- Theorem 4 (BMIN)
+
+
+def test_theorem4_base_cubes_on_bmin():
+    bmin = BidirectionalMIN(2, 3)
+    clusters = [kary("0XX"), kary("10X"), kary("11X")]
+    assert bmin_clusters_are_contention_free(bmin, clusters)
+    for c in clusters:
+        assert bmin_is_channel_balanced(bmin, c)
+
+
+def test_theorem4_64node_bmin():
+    bmin = BidirectionalMIN(4, 3)
+    clusters = [kary(f"{i}XX", 4) for i in range(4)]
+    assert bmin_clusters_are_contention_free(bmin, clusters)
+    assert all(bmin_is_channel_balanced(bmin, c) for c in clusters)
+
+
+def test_non_base_cubes_share_bmin_channels():
+    """Non-base cubes must climb past their prefix and share lines."""
+    bmin = BidirectionalMIN(2, 3)
+    clusters = [kary("XX0"), kary("XX1")]
+    assert not bmin_clusters_are_contention_free(bmin, clusters)
+    assert not bmin_is_channel_balanced(bmin, clusters[0])
+
+
+def test_bmin_traffic_stays_inside_subtree():
+    """Base-cube traffic never touches boundaries above its subtree --
+    the traffic-localization property of the fat tree (Section 4)."""
+    bmin = BidirectionalMIN(2, 3)
+    usage = bmin_cluster_line_usage(bmin, kary("10X"))
+    assert len(usage[0]) == 2
+    assert len(usage[1]) == 0 and len(usage[2]) == 0
+
+
+# ------------------------------------------------------------- housekeeping
+
+
+def test_cluster_must_fit_network():
+    with pytest.raises(ValueError):
+        cluster_channel_usage(cube_min(2, 2), kary("0XX"))
+    with pytest.raises(ValueError):
+        bmin_cluster_line_usage(BidirectionalMIN(2, 2), kary("0XX"))
+
+
+def test_singleton_cluster_rejected():
+    with pytest.raises(ValueError):
+        is_channel_balanced(cube_min(2, 3), kary("010"))
+    with pytest.raises(ValueError):
+        bmin_is_channel_balanced(BidirectionalMIN(2, 3), kary("010"))
+
+
+def test_report_rendering():
+    spec = cube_min(2, 3)
+    report = check_partition(spec, [kary("0XX"), kary("1XX")])
+    text = str(report)
+    assert "contention-free" in text
+    assert "0XX" in text and "balanced" in text
+
+
+def test_report_renders_binary_fallback_patterns():
+    spec = cube_min(4, 3)
+    report = check_partition(spec, [Cube.from_bits("0XXXXX"), Cube.from_bits("1XXXXX")])
+    assert "0XXXXX" in str(report)

@@ -1,0 +1,44 @@
+"""Tests for the partition-check CLI."""
+
+import pytest
+
+from repro.partition.__main__ import main
+
+
+def test_cli_fig14_passes(capsys):
+    rc = main(["--topology", "cube", "-k", "2", "-n", "3", "0XX", "1X0", "1X1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "contention-free" in out
+
+
+def test_cli_butterfly_shared_fails(capsys):
+    rc = main(["--topology", "butterfly", "-k", "2", "-n", "3", "XX0", "XX1"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "CONTENDING" in out
+
+
+def test_cli_binary_patterns(capsys):
+    rc = main(["-k", "4", "-n", "3", "0XXXXX", "1XXXXX"])
+    assert rc == 0
+    assert "balanced" in capsys.readouterr().out
+
+
+def test_cli_bmin_base_cubes(capsys):
+    rc = main(["--bmin", "-k", "2", "-n", "3", "0XX", "10X", "11X"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "butterfly BMIN" in out and "balanced" in out
+
+
+def test_cli_bmin_non_base_fails(capsys):
+    rc = main(["--bmin", "-k", "2", "-n", "3", "XX0", "XX1"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "CONTENDING" in out
+
+
+def test_cli_bad_pattern_length():
+    with pytest.raises(SystemExit):
+        main(["-k", "4", "-n", "3", "0XXX"])

@@ -1,0 +1,160 @@
+"""Tests for k-ary / binary cube clusters (Definitions 5 and 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.cubes import Cube
+
+
+def test_paper_example_base_cube():
+    """Section 4: cluster (21**) in an N=4^4 system is a base 4-ary 2-cube
+    with 16 nodes from (2100) to (2133)."""
+    cube = Cube.from_kary("21**", k=4)
+    members = cube.member_list()
+    assert len(members) == cube.size == 16
+    assert members[0] == int("2100", 4)
+    assert members[-1] == int("2133", 4)
+    assert cube.is_base()
+    assert cube.is_kary(4)
+
+
+def test_paper_example_non_base_cube():
+    """Cluster (3*1*) is a 4-ary 2-cube from (3010) to (3313), not base."""
+    cube = Cube.from_kary("3*1*", k=4)
+    members = cube.member_list()
+    assert len(members) == 16
+    assert members[0] == int("3010", 4)
+    assert members[-1] == int("3313", 4)
+    assert not cube.is_base()
+    assert cube.is_kary(4)
+
+
+def test_from_bits():
+    cube = Cube.from_bits("1X0")
+    assert cube.member_list() == [0b100, 0b110]
+    assert 0b100 in cube and 0b101 not in cube
+    assert not cube.is_base()
+
+
+def test_from_bits_accepts_star_and_lowercase():
+    assert Cube.from_bits("1*0") == Cube.from_bits("1x0")
+
+
+def test_from_bits_rejects_garbage():
+    with pytest.raises(ValueError):
+        Cube.from_bits("102")
+
+
+def test_from_kary_rejects_out_of_range_digit():
+    with pytest.raises(ValueError):
+        Cube.from_kary("4XX", k=4)
+
+
+def test_from_kary_requires_power_of_two_radix():
+    with pytest.raises(ValueError):
+        Cube.from_kary("0XX", k=3)
+
+
+def test_whole_system():
+    cube = Cube.whole_system(6)
+    assert cube.size == 64
+    assert cube.is_base()
+    assert all(a in cube for a in range(64))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Cube(0, 0, 0)
+    with pytest.raises(ValueError):
+        Cube(3, 0b001, 0b010)  # bit set outside mask
+    with pytest.raises(ValueError):
+        Cube(3, 0b1111, 0)  # mask exceeds width
+
+
+def test_membership_range():
+    cube = Cube.from_bits("XXX")
+    assert 7 in cube and 8 not in cube and -1 not in cube
+
+
+def test_disjointness():
+    a = Cube.from_kary("0XX", k=2)
+    b = Cube.from_kary("1X0", k=2)
+    c = Cube.from_kary("1X1", k=2)
+    assert a.is_disjoint_from(b)
+    assert b.is_disjoint_from(c)
+    assert not a.is_disjoint_from(a)
+    overlapping = Cube.from_kary("XX0", k=2)
+    assert not a.is_disjoint_from(overlapping)
+
+
+def test_disjointness_width_mismatch():
+    with pytest.raises(ValueError):
+        Cube.from_bits("0X").is_disjoint_from(Cube.from_bits("0XX"))
+
+
+def test_subcube():
+    big = Cube.from_kary("1XX", k=2)
+    small = Cube.from_kary("1X0", k=2)
+    assert small.is_subcube_of(big)
+    assert not big.is_subcube_of(small)
+    assert big.is_subcube_of(big)
+
+
+def test_partitions_predicate():
+    parts = [Cube.from_kary(p, 2) for p in ("0XX", "1X0", "1X1")]
+    assert Cube.partitions(parts)
+    assert not Cube.partitions(parts[:2])  # doesn't cover
+    overlap = [Cube.from_kary(p, 2) for p in ("0XX", "XX0", "1X1")]
+    assert not Cube.partitions(overlap)
+    assert not Cube.partitions([])
+
+
+def test_is_kary_detects_misalignment():
+    # k=4: fixing a single bit is binary but not 4-ary
+    half = Cube.from_bits("0XXXXX")
+    assert not half.is_kary(4)
+    assert half.is_kary(2)
+    aligned = Cube.from_kary("1XX", 4)
+    assert aligned.is_kary(4)
+
+
+def test_pattern_rendering_roundtrip():
+    cube = Cube.from_kary("2X1", k=4)
+    assert cube.pattern(4) == "2X1"
+    assert Cube.from_kary(cube.pattern(4), 4) == cube
+    with pytest.raises(ValueError):
+        Cube.from_bits("0XXXXX").pattern(4)
+
+
+def test_repr_and_hash():
+    a = Cube.from_bits("1X0")
+    assert "1X0" in repr(a)
+    assert hash(a) == hash(Cube.from_bits("1X0"))
+    assert a != "1X0"
+
+
+@given(st.integers(min_value=2, max_value=8), st.data())
+@settings(max_examples=60, deadline=None)
+def test_members_match_definition_property(nbits, data):
+    """Every generated member agrees with __contains__, count == size."""
+    pattern = "".join(
+        data.draw(st.sampled_from("01X")) for _ in range(nbits)
+    )
+    cube = Cube.from_bits(pattern)
+    members = cube.member_list()
+    assert len(members) == cube.size
+    assert all(m in cube for m in members)
+    outside = set(range(1 << nbits)) - set(members)
+    assert all(o not in cube for o in outside)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_disjoint_iff_no_common_member_property(data):
+    nbits = 5
+    p1 = "".join(data.draw(st.sampled_from("01X")) for _ in range(nbits))
+    p2 = "".join(data.draw(st.sampled_from("01X")) for _ in range(nbits))
+    a, b = Cube.from_bits(p1), Cube.from_bits(p2)
+    brute = not (set(a.members()) & set(b.members()))
+    assert a.is_disjoint_from(b) == brute

@@ -1,0 +1,57 @@
+"""Tests for destination-tag routing."""
+
+import pytest
+
+from repro.routing.tags import TagRouter
+from repro.topology.mins import butterfly_min, cube_min, omega_min
+
+
+def test_tag_matches_spec():
+    spec = cube_min(4, 3)
+    router = TagRouter(spec)
+    for d in range(spec.N):
+        assert router.tag(d) == spec.routing_tag(d)
+
+
+def test_output_port_per_stage():
+    spec = cube_min(2, 3)
+    router = TagRouter(spec)
+    d = 0b110  # tag (d2, d1, d0) = (1, 1, 0)
+    assert [router.output_port(i, d) for i in range(3)] == [1, 1, 0]
+
+
+def test_butterfly_ports():
+    spec = butterfly_min(2, 3)
+    router = TagRouter(spec)
+    d = 0b110  # tag (d1, d2, d0) = (1, 1, 0)
+    assert [router.output_port(i, d) for i in range(3)] == [1, 1, 0]
+    d = 0b011  # digits d0=1, d1=1, d2=0 -> tag (1, 0, 1)
+    assert [router.output_port(i, d) for i in range(3)] == [1, 0, 1]
+
+
+def test_range_validation():
+    router = TagRouter(omega_min(2, 3))
+    with pytest.raises(ValueError):
+        router.output_port(3, 0)
+    with pytest.raises(ValueError):
+        router.output_port(0, 8)
+    with pytest.raises(ValueError):
+        router.tag(-1)
+
+
+def test_hops_is_stage_count():
+    assert TagRouter(cube_min(4, 3)).hops() == 3
+
+
+@pytest.mark.parametrize("builder", [cube_min, butterfly_min, omega_min])
+def test_following_ports_reaches_destination(builder):
+    """Walking the tag ports through the spec's connections delivers."""
+    spec = builder(2, 3)
+    router = TagRouter(spec)
+    for s in range(spec.N):
+        for d in range(spec.N):
+            pos = s
+            for i in range(spec.n):
+                pos = spec.connections[i](pos)
+                pos = (pos // spec.k) * spec.k + router.output_port(i, d)
+            assert spec.connections[spec.n](pos) == d

@@ -1,0 +1,142 @@
+"""Tests for the distributed turnaround routing algorithm (Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.turnaround import Move, RouteDecision, TurnaroundRouter
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.permutations import from_digits, to_digits
+
+
+@pytest.fixture
+def router8():
+    return TurnaroundRouter(BidirectionalMIN(2, 3))
+
+
+@pytest.fixture
+def router64():
+    return TurnaroundRouter(BidirectionalMIN(4, 3))
+
+
+def test_turn_stage_matches_first_difference(router8):
+    assert router8.turn_stage(0b001, 0b101) == 2  # Fig. 8
+
+
+def test_turnaround_decision_at_turn_stage(router8):
+    d = 0b101
+    decision = router8.decide(2, True, 0b001, d)
+    assert decision.move is Move.TURNAROUND
+    assert decision.ports == (to_digits(d, 2, 3)[2],)
+    assert not decision.is_adaptive
+
+
+def test_forward_decision_is_adaptive(router64):
+    decision = router64.decide(0, True, 0, 63)
+    assert decision.move is Move.FORWARD
+    assert decision.ports == (0, 1, 2, 3)
+    assert decision.is_adaptive
+
+
+def test_backward_decision_is_deterministic(router8):
+    d = 0b110
+    decision = router8.decide(1, False, 0b000, d)
+    assert decision.move is Move.BACKWARD
+    assert decision.ports == (1,)  # l_{d_1}, d_1 = 1
+
+
+def test_overshoot_rejected(router8):
+    # FirstDifference(000, 001) = 0; stage 1 is unreachable.
+    with pytest.raises(ValueError):
+        router8.decide(1, True, 0b000, 0b001)
+
+
+def test_right_arrival_at_turn_stage_rejected(router8):
+    """The forbidden r->r connection (Section 1) can never be needed."""
+    with pytest.raises(ValueError):
+        router8.decide(2, False, 0b001, 0b101)
+
+
+def test_stage_range_check(router8):
+    with pytest.raises(ValueError):
+        router8.decide(3, True, 0, 1)
+
+
+def test_hops_count(router8):
+    assert router8.hops(0b001, 0b101) == 5  # t=2: 3 up (incl. turn) + 2 down
+    assert router8.hops(0b000, 0b001) == 1  # same switch
+
+
+def test_walk_structure(router8):
+    steps = router8.walk(0b001, 0b101, forward_choices=[1, 0])
+    moves = [m for _, m, _ in steps]
+    assert moves == [
+        Move.FORWARD,
+        Move.FORWARD,
+        Move.TURNAROUND,
+        Move.BACKWARD,
+        Move.BACKWARD,
+    ]
+    stages = [s for s, _, _ in steps]
+    assert stages == [0, 1, 2, 1, 0]
+
+
+def test_walk_choice_validation(router8):
+    with pytest.raises(ValueError):
+        router8.walk(0b001, 0b101, forward_choices=[0])  # wrong length
+    with pytest.raises(ValueError):
+        router8.walk(0b001, 0b101, forward_choices=[0, 5])  # bad port
+
+
+def test_walk_default_choices(router8):
+    steps = router8.walk(0b001, 0b101)
+    assert all(port == 0 for _, m, port in steps if m is Move.FORWARD)
+
+
+@given(
+    st.sampled_from([(2, 3), (4, 2), (4, 3)]),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_walk_reaches_destination_property(kn, data):
+    """Replaying walk() against the BMIN wiring lands on the destination."""
+    k, n = kn
+    bmin = BidirectionalMIN(k, n)
+    router = TurnaroundRouter(bmin)
+    s = data.draw(st.integers(min_value=0, max_value=bmin.N - 1))
+    d = data.draw(st.integers(min_value=0, max_value=bmin.N - 1))
+    if s == d:
+        return
+    t = router.turn_stage(s, d)
+    choices = [
+        data.draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(t)
+    ]
+    digits = list(to_digits(s, k, n))
+    for stage, move, port in router.walk(s, d, forward_choices=choices):
+        # Exiting stage `stage` on a given port sets digit `stage` of the
+        # current line address (both forward and backward/turnaround).
+        digits[stage] = port
+    assert from_digits(digits, k) == d
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_decisions_consistent_with_enumerated_paths(data):
+    """walk() must generate exactly the paths Theorem 1 enumerates."""
+    bmin = BidirectionalMIN(2, 3)
+    router = TurnaroundRouter(bmin)
+    s = data.draw(st.integers(min_value=0, max_value=7))
+    d = data.draw(st.integers(min_value=0, max_value=7))
+    if s == d:
+        return
+    t = router.turn_stage(s, d)
+    paths = bmin.enumerate_shortest_paths(s, d)
+    assert len(paths) == 2**t
+    for p in paths:
+        assert p.turn_stage == t
+
+
+def test_route_decision_dataclass():
+    d = RouteDecision(Move.FORWARD, (0, 1))
+    assert d.is_adaptive
+    assert RouteDecision(Move.BACKWARD, (1,)).is_adaptive is False

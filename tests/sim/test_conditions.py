@@ -1,0 +1,138 @@
+"""Tests for AllOf / AnyOf condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    t1, t2, t3 = env.timeout(1, "a"), env.timeout(5, "b"), env.timeout(3, "c")
+    done = []
+
+    def proc():
+        result = yield AllOf(env, [t1, t2, t3])
+        done.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(5, ["a", "b", "c"])]
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+    t1, t2 = env.timeout(4, "slow"), env.timeout(1, "fast")
+    done = []
+
+    def proc():
+        result = yield AnyOf(env, [t1, t2])
+        done.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(1, ["fast"])]
+
+
+def test_operator_and_builds_all_of():
+    env = Environment()
+    got = []
+
+    def proc():
+        res = yield env.timeout(2, "x") & env.timeout(3, "y")
+        got.append((env.now, sorted(res.values())))
+
+    env.process(proc())
+    env.run()
+    assert got == [(3, ["x", "y"])]
+
+
+def test_operator_or_builds_any_of():
+    env = Environment()
+    got = []
+
+    def proc():
+        res = yield env.timeout(2, "x") | env.timeout(9, "y")
+        got.append((env.now, list(res.values())))
+
+    env.process(proc())
+    env.run()
+    assert got == [(2, ["x"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    got = []
+
+    def proc():
+        res = yield AllOf(env, [])
+        got.append((env.now, res))
+
+    env.process(proc())
+    env.run()
+    assert got == [(0, {})]
+
+
+def test_all_of_fails_if_any_child_fails():
+    env = Environment()
+    ev = env.event()
+    t = env.timeout(10)
+    caught = []
+
+    def proc():
+        try:
+            yield AllOf(env, [ev, t])
+        except ValueError as exc:
+            caught.append((env.now, str(exc)))
+
+    env.process(proc())
+
+    def failer():
+        yield env.timeout(2)
+        ev.fail(ValueError("child broke"))
+
+    env.process(failer())
+    env.run()
+    assert caught == [(2, "child broke")]
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    pre = env.event()
+    pre.succeed("early")
+    env.run()  # process `pre`
+    got = []
+
+    def proc():
+        res = yield AnyOf(env, [pre, env.timeout(50)])
+        got.append((env.now, list(res.values())))
+
+    env.process(proc())
+    env.run(until=10)
+    assert got == [(0, ["early"])]
+
+
+def test_condition_rejects_mixed_environments():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+def test_late_failure_after_any_of_satisfied_is_defused():
+    """A child failing after the AnyOf fired must not crash the run."""
+    env = Environment()
+    ev = env.event()
+    done = []
+
+    def proc():
+        res = yield AnyOf(env, [env.timeout(1, "ok"), ev])
+        done.append(list(res.values()))
+
+    env.process(proc())
+
+    def failer():
+        yield env.timeout(5)
+        ev.fail(RuntimeError("too late"))
+
+    env.process(failer())
+    env.run()
+    assert done == [["ok"]]

@@ -1,0 +1,167 @@
+"""Tests for the preemptive resource."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Preempted, PreemptiveResource
+
+
+def test_high_priority_evicts_low():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def low():
+        req = res.request(priority=5)
+        yield req
+        log.append(("low-got", env.now))
+        try:
+            yield env.timeout(100)
+            res.release(req)
+        except Interrupt as i:
+            assert isinstance(i.cause, Preempted)
+            log.append(("low-evicted", env.now, i.cause.usage_since))
+
+    def high():
+        yield env.timeout(10)
+        req = res.request(priority=1)
+        yield req
+        log.append(("high-got", env.now))
+        yield env.timeout(5)
+        res.release(req)
+
+    env.process(low())
+    env.process(high())
+    env.run()
+    assert ("low-got", 0) in log
+    assert ("low-evicted", 10, 0) in log
+    assert ("high-got", 10) in log
+
+
+def test_equal_priority_does_not_preempt():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    order = []
+
+    def user(tag, prio, start):
+        yield env.timeout(start)
+        req = res.request(priority=prio)
+        yield req
+        order.append((tag, env.now))
+        yield env.timeout(20)
+        res.release(req)
+
+    env.process(user("a", 3, 0))
+    env.process(user("b", 3, 5))
+    env.run()
+    assert order == [("a", 0), ("b", 20)]
+
+
+def test_preempt_false_waits_politely():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    got = []
+
+    def low():
+        req = res.request(priority=9)
+        yield req
+        yield env.timeout(30)
+        res.release(req)
+        got.append(("low-done", env.now))
+
+    def high_polite():
+        yield env.timeout(1)
+        req = res.request(priority=0, preempt=False)
+        yield req
+        got.append(("high-got", env.now))
+        res.release(req)
+
+    env.process(low())
+    env.process(high_polite())
+    env.run()
+    assert got == [("low-done", 30), ("high-got", 30)]
+
+
+def test_victim_context_manager_exit_is_safe():
+    """A victim using `with` must not crash on double release."""
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    outcome = []
+
+    def low():
+        with res.request(priority=5) as req:
+            try:
+                yield req
+                yield env.timeout(100)
+            except Interrupt:
+                outcome.append("evicted")
+        outcome.append("exited-cleanly")
+
+    def high():
+        yield env.timeout(3)
+        req = res.request(priority=1)
+        yield req
+        res.release(req)
+
+    env.process(low())
+    env.process(high())
+    env.run()
+    assert outcome == ["evicted", "exited-cleanly"]
+
+
+def test_preemption_picks_worst_victim():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=2)
+    evicted = []
+
+    def holder(tag, prio):
+        req = res.request(priority=prio)
+        yield req
+        try:
+            yield env.timeout(100)
+            res.release(req)
+        except Interrupt:
+            evicted.append(tag)
+
+    def intruder():
+        yield env.timeout(5)
+        req = res.request(priority=0)
+        yield req
+
+    env.process(holder("mild", 4))
+    env.process(holder("worst", 9))
+    env.process(intruder())
+    env.run(until=50)
+    assert evicted == ["worst"]
+
+
+def test_queued_preemptive_request_granted_on_release():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def first():
+        req = res.request(priority=1)
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def second():
+        yield env.timeout(1)
+        # Same priority: cannot preempt, must queue.
+        req = res.request(priority=1)
+        yield req
+        log.append(env.now)
+        res.release(req)
+
+    env.process(first())
+    env.process(second())
+    env.run()
+    assert log == [10]
+
+
+def test_preempted_repr():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    req = res.request(priority=2)
+    cause = Preempted(req, usage_since=4.0)
+    assert "priority 2" in repr(cause)

@@ -1,0 +1,133 @@
+"""Tests for the store-and-forward and circuit-switched simulators,
+including the Section 1 latency-structure comparison with wormhole."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.switching.engines import CircuitSwitchedNetwork, StoreForwardNetwork
+from repro.topology.mins import cube_min
+from repro.wormhole import WormholeEngine, build_network
+
+
+def _saf(k=2, n=3, dilation=1):
+    env = Environment()
+    return env, StoreForwardNetwork(env, cube_min(k, n), dilation=dilation)
+
+
+def _circuit(k=2, n=3):
+    env = Environment()
+    return env, CircuitSwitchedNetwork(env, cube_min(k, n))
+
+
+def test_saf_uncontended_latency_formula():
+    """SAF pays (L + 1) per hop: latency = (n+1) * (L+1)."""
+    env, net = _saf()
+    r = net.send(1, 6, 20)
+    env.run()
+    assert r.latency == 4 * (20 + 1)
+
+
+def test_circuit_uncontended_latency_formula():
+    """Circuit: (n+1) setup cycles + L streaming cycles."""
+    env, net = _circuit()
+    r = net.send(1, 6, 20)
+    env.run()
+    assert r.latency == 4 + 20
+
+
+def test_wormhole_vs_saf_vs_circuit_structure():
+    """Section 1: wormhole and circuit are distance-insensitive-ish and
+    linear in L; store-and-forward multiplies hops by message length."""
+    L, hops = 100, 4
+
+    env, saf = _saf()
+    saf_r = saf.send(0, 7, L)
+    env.run()
+
+    env, cir = _circuit()
+    cir_r = cir.send(0, 7, L)
+    env.run()
+
+    wenv = Environment()
+    weng = WormholeEngine(wenv, build_network("tmin", 2, 3), rng=RandomStream(0))
+    wp = weng.offer(0, 7, L)
+    weng.drain()
+
+    assert saf_r.latency == hops * (L + 1)
+    assert cir_r.latency == hops + L
+    assert wp.network_latency == hops + L - 2
+    # The headline: SAF is ~hops times worse for long messages.
+    assert saf_r.latency > 3.5 * wp.network_latency
+
+
+def test_saf_distance_sensitivity_vs_wormhole():
+    """Doubling the path length doubles SAF latency but barely moves
+    wormhole's (the distance-insensitivity claim)."""
+    L = 64
+    env, saf_short = _saf(n=2)
+    a = saf_short.send(0, 3, L)
+    env.run()
+    env, saf_long = _saf(n=4)
+    b = saf_long.send(0, 15, L)
+    env.run()
+    assert b.latency / a.latency > 1.6  # ~5/3 from 3 -> 5 hops
+
+    wenv = Environment()
+    short = WormholeEngine(wenv, build_network("tmin", 2, 2), rng=RandomStream(0))
+    p1 = short.offer(0, 3, L)
+    short.drain()
+    wenv2 = Environment()
+    long = WormholeEngine(wenv2, build_network("tmin", 2, 4), rng=RandomStream(0))
+    p2 = long.offer(0, 15, L)
+    long.drain()
+    assert p2.network_latency / p1.network_latency < 1.05
+
+
+def test_saf_contention_serializes_per_channel():
+    env, net = _saf()
+    a = net.send(0, 7, 30)
+    b = net.send(1, 7, 30)  # shares at least the delivery channel
+    env.run()
+    first, second = sorted(r.delivered_at for r in (a, b))
+    assert second >= first + 30  # the loser waits a full transfer
+
+
+def test_saf_dilation_allows_parallel_transfers():
+    env, net = _saf(dilation=2)
+    # Two messages sharing an inner slot but not the delivery channel.
+    a = net.send(0, 6, 50)
+    b = net.send(1, 7, 50)
+    env.run()
+    # With 2 lanes per inner slot neither waits a full message time.
+    assert max(a.latency, b.latency) <= 4 * 51 + 2
+
+
+def test_circuit_holds_channels_while_waiting():
+    """A blocked setup probe keeps its partial circuit -- a third
+    message needing those channels queues behind it (head-of-line)."""
+    env, net = _circuit()
+    a = net.send(0, 7, 200)   # establishes a long-lived circuit
+    env.run(until=6)
+    b = net.send(1, 7, 10)    # blocks at the delivery channel
+    env.run(until=8)
+    c = net.send(1, 6, 10)    # needs node 1's injection channel: held by b
+    env.run()
+    assert a.delivered_at < b.delivered_at
+    assert c.delivered_at >= b.created  # c waited behind b's held probe
+
+
+def test_validation():
+    env, net = _saf()
+    with pytest.raises(ValueError):
+        net.send(0, 5, 0)
+    with pytest.raises(ValueError):
+        StoreForwardNetwork(env, cube_min(2, 2), dilation=0)
+
+
+def test_delivered_listing():
+    env, net = _saf()
+    net.send(0, 5, 10)
+    assert net.delivered() == []
+    env.run()
+    assert len(net.delivered()) == 1

@@ -1,0 +1,48 @@
+"""Tests for the repository tooling (report assembler)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).parent.parent / "tools"
+
+
+def test_make_report_assembles_results(tmp_path, monkeypatch, capsys):
+    # Point the tool at a fabricated results directory.
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "make_report", TOOLS / "make_report.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig18.txt").write_text("fig18 data rows\n")
+    (results / "custom_extra.txt").write_text("extra study\n")
+    monkeypatch.setattr(mod, "RESULTS", results)
+
+    out = tmp_path / "REPORT.md"
+    monkeypatch.setattr(sys, "argv", ["make_report.py", str(out)])
+    assert mod.main() == 0
+    text = out.read_text()
+    assert "Figure 18" in text
+    assert "fig18 data rows" in text
+    # Unknown result files are appended under their stem.
+    assert "custom_extra" in text and "extra study" in text
+
+
+def test_make_report_handles_missing_results(tmp_path, monkeypatch):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "make_report", TOOLS / "make_report.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    monkeypatch.setattr(mod, "RESULTS", tmp_path / "nope")
+    monkeypatch.setattr(sys, "argv", ["make_report.py", str(tmp_path / "r.md")])
+    assert mod.main() == 1

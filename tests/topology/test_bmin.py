@@ -1,0 +1,306 @@
+"""Tests for the bidirectional butterfly MIN and turnaround routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.bmin import (
+    BidirectionalMIN,
+    first_difference,
+    insert_digit,
+    remove_digit,
+)
+from repro.topology.permutations import to_digits
+
+SIZES = [(2, 2), (2, 3), (2, 4), (4, 2), (4, 3)]
+
+
+# ------------------------------------------------------------- digit helpers
+
+
+def test_remove_insert_digit_examples():
+    # address 0b101, remove digit 1 -> digits (1, _, 1) -> 0b11
+    assert remove_digit(0b101, 1, 2, 3) == 0b11
+    assert insert_digit(0b11, 1, 0, 2, 3) == 0b101
+    assert insert_digit(0b11, 1, 1, 2, 3) == 0b111
+
+
+@given(
+    st.sampled_from(SIZES),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_remove_insert_roundtrip(kn, data):
+    k, n = kn
+    a = data.draw(st.integers(min_value=0, max_value=k**n - 1))
+    j = data.draw(st.integers(min_value=0, max_value=n - 1))
+    digit = to_digits(a, k, n)[j]
+    assert insert_digit(remove_digit(a, j, k, n), j, digit, k, n) == a
+
+
+def test_insert_digit_validation():
+    with pytest.raises(ValueError):
+        insert_digit(0, 0, 2, 2, 3)
+
+
+# ----------------------------------------------------------- FirstDifference
+
+
+def test_first_difference_paper_example():
+    """Fig. 8: FirstDifference(001, 101) = 2."""
+    assert first_difference(0b001, 0b101, 2, 3) == 2
+
+
+def test_first_difference_small_cases():
+    assert first_difference(0b000, 0b001, 2, 3) == 0
+    assert first_difference(0b010, 0b000, 2, 3) == 1
+    assert first_difference(0b011, 0b111, 2, 3) == 2
+
+
+def test_first_difference_kary():
+    # base-4 digits: s = (1, 2, 3), d = (0, 2, 3): differ only in digit 0
+    s = 3 * 16 + 2 * 4 + 1
+    d = 3 * 16 + 2 * 4 + 0
+    assert first_difference(s, d, 4, 3) == 0
+
+
+def test_first_difference_equal_rejected():
+    with pytest.raises(ValueError):
+        first_difference(5, 5, 2, 3)
+
+
+@given(st.sampled_from(SIZES), st.data())
+@settings(max_examples=100, deadline=None)
+def test_first_difference_is_symmetric_and_correct(kn, data):
+    k, n = kn
+    s = data.draw(st.integers(min_value=0, max_value=k**n - 1))
+    d = data.draw(st.integers(min_value=0, max_value=k**n - 1))
+    if s == d:
+        return
+    t = first_difference(s, d, k, n)
+    assert t == first_difference(d, s, k, n)
+    sd, dd = to_digits(s, k, n), to_digits(d, k, n)
+    assert sd[t] != dd[t]
+    assert sd[t + 1 :] == dd[t + 1 :]
+
+
+# -------------------------------------------------------------- construction
+
+
+def test_bmin_paper_configuration():
+    bmin = BidirectionalMIN(4, 3)
+    assert bmin.N == 64
+    assert bmin.switches_per_stage == 16
+
+
+def test_bmin_validation():
+    with pytest.raises(ValueError):
+        BidirectionalMIN(1, 3)
+    with pytest.raises(ValueError):
+        BidirectionalMIN(2, 0)
+
+
+def test_left_lines_partition_boundary():
+    """Each boundary's N lines split into N/k switches of k lines each."""
+    bmin = BidirectionalMIN(2, 3)
+    for stage in range(bmin.n):
+        seen = []
+        for w in range(bmin.switches_per_stage):
+            lines = bmin.left_lines_of_switch(stage, w)
+            assert len(lines) == bmin.k
+            seen.extend(lines)
+        assert sorted(seen) == list(range(bmin.N))
+
+
+def test_stage0_groups_consecutive_nodes():
+    """Nodes attach to stage 0 in blocks of k (one-port architecture)."""
+    bmin = BidirectionalMIN(4, 3)
+    assert bmin.left_lines_of_switch(0, 0) == [0, 1, 2, 3]
+    assert bmin.left_lines_of_switch(0, 1) == [4, 5, 6, 7]
+
+
+def test_line_attachment_consistency():
+    """A boundary-b line's two endpoints agree via switch_of_line."""
+    bmin = BidirectionalMIN(2, 3)
+    for b in range(1, bmin.n):
+        for line in range(bmin.N):
+            upper = bmin.switch_of_line(b, line, "upper")
+            lower = bmin.switch_of_line(b, line, "lower")
+            assert line in bmin.left_lines_of_switch(b, upper)
+            assert line in bmin.right_lines_of_switch(b - 1, lower)
+
+
+def test_switch_of_line_validation():
+    bmin = BidirectionalMIN(2, 3)
+    with pytest.raises(ValueError):
+        bmin.switch_of_line(0, 0, "lower")
+    with pytest.raises(ValueError):
+        bmin.switch_of_line(1, 0, "sideways")
+    with pytest.raises(ValueError):
+        bmin.switch_of_line(5, 0, "upper")
+
+
+def test_top_stage_has_no_internal_right_lines():
+    bmin = BidirectionalMIN(2, 3)
+    assert bmin.right_lines_of_switch(bmin.n - 1, 0) == []
+
+
+# --------------------------------------------------------- turnaround routing
+
+
+@pytest.mark.parametrize("k,n", SIZES)
+def test_theorem_1_path_count(k, n):
+    """Theorem 1: exactly k**t shortest paths, t = FirstDifference(S, D)."""
+    bmin = BidirectionalMIN(k, n)
+    nodes = range(bmin.N)
+    for s in nodes:
+        for d in nodes:
+            if s == d:
+                continue
+            t = bmin.turn_stage(s, d)
+            paths = bmin.enumerate_shortest_paths(s, d)
+            assert len(paths) == k**t == bmin.shortest_path_count(s, d)
+            # All paths must be distinct.
+            assert len({(p.up, p.down) for p in paths}) == len(paths)
+
+
+@pytest.mark.parametrize("k,n", [(2, 3), (4, 2)])
+def test_paths_start_and_end_correctly(k, n):
+    bmin = BidirectionalMIN(k, n)
+    for s in range(bmin.N):
+        for d in range(bmin.N):
+            if s == d:
+                continue
+            for p in bmin.enumerate_shortest_paths(s, d):
+                assert p.up[0] == s  # injection uses the source's line
+                assert p.down[0] == d  # delivery uses the destination's line
+
+
+@pytest.mark.parametrize("k,n", [(2, 3), (4, 2)])
+def test_paths_follow_switch_adjacency(k, n):
+    """Consecutive lines of a path must meet inside a single switch."""
+    bmin = BidirectionalMIN(k, n)
+    for s in range(bmin.N):
+        for d in range(bmin.N):
+            if s == d:
+                continue
+            for p in bmin.enumerate_shortest_paths(s, d):
+                t = p.turn_stage
+                # Upward: line at boundary j and boundary j+1 share the
+                # stage-j switch.
+                for j in range(t):
+                    w_in = bmin.switch_of_line(j, p.up[j], "upper")
+                    w_out = bmin.switch_of_line(j + 1, p.up[j + 1], "lower")
+                    assert w_in == w_out
+                # Turn: up[t] and down[t] meet in the stage-t switch.
+                assert bmin.switch_of_line(t, p.up[t], "upper") == bmin.switch_of_line(
+                    t, p.down[t], "upper"
+                )
+                # Downward: line at boundary j+1 and boundary j share the
+                # stage-j switch.
+                for j in range(t):
+                    w_in = bmin.switch_of_line(j + 1, p.down[j + 1], "lower")
+                    w_out = bmin.switch_of_line(j, p.down[j], "upper")
+                    assert w_in == w_out
+
+
+def test_path_length_law():
+    """Section 3.2.3: path length is 2(t+1)."""
+    bmin = BidirectionalMIN(2, 3)
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            t = bmin.turn_stage(s, d)
+            assert bmin.path_length(s, d) == 2 * (t + 1)
+            for p in bmin.enumerate_shortest_paths(s, d):
+                assert p.length == 2 * (t + 1)
+                assert len(p.channels()) == p.length
+
+
+def test_paths_never_reuse_a_line_both_ways():
+    """Definition 4's third condition holds for all generated paths."""
+    bmin = BidirectionalMIN(2, 3)
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            for p in bmin.enumerate_shortest_paths(s, d):
+                assert not p.uses_paired_channels()
+
+
+def test_self_route_rejected():
+    with pytest.raises(ValueError):
+        BidirectionalMIN(2, 3).enumerate_shortest_paths(3, 3)
+
+
+def test_fig8_example_turn_stage():
+    """Fig. 8: S=001, D=101 turns at stage G_2 in the 8-node BMIN."""
+    bmin = BidirectionalMIN(2, 3)
+    assert bmin.turn_stage(0b001, 0b101) == 2
+    assert len(bmin.enumerate_shortest_paths(0b001, 0b101)) == 4
+
+
+def test_fig9_path_counts():
+    """Fig. 9: FirstDifference 2 -> 4 paths; FirstDifference 1 -> 2 paths."""
+    bmin = BidirectionalMIN(2, 3)
+    # any pair differing first at digit 1
+    assert bmin.shortest_path_count(0b000, 0b010) == 2
+    assert bmin.shortest_path_count(0b000, 0b100) == 4
+
+
+def test_fig10_4ary_path_counts():
+    """Fig. 10: a 16-node BMIN of 4x4 switches has 1 or 4 shortest paths."""
+    bmin = BidirectionalMIN(4, 2)
+    assert bmin.shortest_path_count(0, 1) == 1  # same switch, t=0
+    assert bmin.shortest_path_count(0, 5) == 4  # t=1
+
+
+def test_blocking_network_example():
+    """Fig. 11: (011->111) and (001->110) can contend on a backward line.
+
+    Both pairs turn at stage 2; their unique down paths share the
+    boundary-2 backward line into the switch serving 11x when forward
+    choices collide.  We verify the two destination-determined down
+    ports coincide at stage 2 for some forward choice, i.e. the path
+    sets intersect on a backward channel.
+    """
+    bmin = BidirectionalMIN(2, 3)
+    paths_a = bmin.enumerate_shortest_paths(0b011, 0b111)
+    paths_b = bmin.enumerate_shortest_paths(0b001, 0b110)
+    down_a = {("bwd", b, line) for p in paths_a for (dir_, b, line) in p.channels() if dir_ == "bwd"}
+    down_b = {("bwd", b, line) for p in paths_b for (dir_, b, line) in p.channels() if dir_ == "bwd"}
+    assert down_a & down_b, "expected shared backward channels (blocking network)"
+
+
+def test_deadlock_free_dependency_graph():
+    """Section 3.2.1: the turnaround dependency graph is acyclic."""
+    for k, n in [(2, 2), (2, 3), (4, 2)]:
+        assert BidirectionalMIN(k, n).is_deadlock_free()
+
+
+def test_rightmost_stage_pairs_differ_in_top_digit():
+    """Fig. 12: for k=2 the top stage pairs lines differing in digit n-1."""
+    bmin = BidirectionalMIN(2, 3)
+    for pair in bmin.rightmost_stage_pairs():
+        assert len(pair) == 2
+        a, b = pair
+        assert a ^ b == 1 << (bmin.n - 1)
+
+
+@given(st.sampled_from(SIZES), st.data())
+@settings(max_examples=60, deadline=None)
+def test_down_path_is_destination_determined(kn, data):
+    """All shortest paths share the same *ports* downward: the down line
+    at boundary b always has digits >= b equal to the destination's."""
+    k, n = kn
+    bmin = BidirectionalMIN(k, n)
+    s = data.draw(st.integers(min_value=0, max_value=bmin.N - 1))
+    d = data.draw(st.integers(min_value=0, max_value=bmin.N - 1))
+    if s == d:
+        return
+    d_digits = to_digits(d, k, n)
+    for p in bmin.enumerate_shortest_paths(s, d):
+        for b, line in enumerate(p.down):
+            line_digits = to_digits(line, k, n)
+            assert line_digits[b:] == d_digits[b:]

@@ -1,0 +1,82 @@
+"""Tests for the text renderings of network structures."""
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.drawing import (
+    connection_table,
+    render_bmin,
+    render_fat_tree,
+    render_min,
+)
+from repro.topology.fattree import FatTree
+from repro.topology.mins import butterfly_min, cube_min
+from repro.topology.permutations import PerfectShuffle
+
+
+def test_connection_table_shuffle():
+    text = connection_table(PerfectShuffle(2, 3), 2, 3)
+    assert text.startswith("sigma:")
+    # sigma(110) = 101 (left rotation)
+    assert "110 -> 101" in text
+    assert "000 -> 000" in text
+    assert len(text.splitlines()) == 9  # header + 8 rows
+
+
+def test_render_min_structure():
+    text = render_min(cube_min(2, 3))
+    assert "cube MIN: N=8 nodes, 3 stages of 4 2x2 switches" in text
+    assert "C0=sigma" in text
+    assert text.count("stage G") == 3
+    assert text.count("  switch") == 12  # 3 stages x 4 switches
+
+
+def test_render_min_input_positions_respect_connection():
+    """Stage 0 of a cube MIN receives the *shuffled* node order."""
+    text = render_min(cube_min(2, 3))
+    g0 = text.split("stage G0:")[1].split("stage G1:")[0]
+    # Switch 0 ports 0,1 receive positions sigma^{-1}(0)=000 and
+    # sigma^{-1}(1)=100 (the shuffle pairs node 0 with node 4).
+    assert "switch  0: in<-000,100" in g0
+
+
+def test_render_min_butterfly_straight_input():
+    text = render_min(butterfly_min(2, 3))
+    g0 = text.split("stage G0:")[1].split("stage G1:")[0]
+    assert "switch  0: in<-000,001" in g0
+
+
+def test_render_bmin_structure():
+    text = render_bmin(BidirectionalMIN(2, 3))
+    assert "N=8 nodes" in text
+    assert text.count("  switch") == 12
+    # The top stage's right side leaves the network.
+    top = text.split("stage G2:")[1]
+    assert top.count("(network edge)") == 4
+
+
+def test_render_bmin_stage0_groups_nodes():
+    text = render_bmin(BidirectionalMIN(2, 3))
+    g0 = text.split("stage G0:")[1].split("stage G1:")[0]
+    assert "left<->000,001" in g0
+
+
+def test_render_fat_tree():
+    ft = FatTree(BidirectionalMIN(2, 3))
+    text = render_fat_tree(ft)
+    assert "(root)" in text
+    assert "nodes 0..7" in text
+    # 1 root + 2 level-2 + 4 level-1 vertices
+    assert text.count("vertex[") == 7
+    assert "2 parent links" in text
+
+
+def test_renderings_are_deterministic():
+    a = render_min(cube_min(4, 2))
+    b = render_min(cube_min(4, 2))
+    assert a == b
+
+
+def test_kary_addresses_rendered_in_radix_k():
+    text = render_min(cube_min(4, 2))
+    g0 = text.split("stage G0:")[1].split("stage G1:")[0]
+    # 16 nodes in radix 4: two-digit labels like 00, 13, 32...
+    assert "in<-00,10,20,30" in g0  # shuffle groups stride-4 nodes

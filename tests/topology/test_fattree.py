@@ -1,0 +1,133 @@
+"""Tests for the fat-tree view of a BMIN (Section 3.3)."""
+
+import pytest
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.fattree import FatTree, FatTreeVertex
+
+
+@pytest.fixture
+def ft8():
+    return FatTree(BidirectionalMIN(2, 3))
+
+
+@pytest.fixture
+def ft16():
+    """The 16-node fat tree of Fig. 13."""
+    return FatTree(BidirectionalMIN(2, 4))
+
+
+def test_vertex_counts_per_level(ft8):
+    assert len(ft8.vertices_at_level(1)) == 4
+    assert len(ft8.vertices_at_level(2)) == 2
+    assert len(ft8.vertices_at_level(3)) == 1
+    with pytest.raises(ValueError):
+        ft8.vertices_at_level(0)
+    with pytest.raises(ValueError):
+        ft8.vertices_at_level(4)
+
+
+def test_root_and_parent_chain(ft8):
+    root = ft8.root()
+    assert root.level == 3 and root.prefix == 0
+    v = FatTreeVertex(1, 3)
+    assert ft8.parent(v) == FatTreeVertex(2, 1)
+    assert ft8.parent(ft8.parent(v)) == root
+    with pytest.raises(ValueError):
+        ft8.parent(root)
+
+
+def test_children_partition_subtree(ft8):
+    v = FatTreeVertex(2, 1)
+    kids = ft8.children(v)
+    assert kids == [FatTreeVertex(1, 2), FatTreeVertex(1, 3)]
+    leaves = sorted(leaf for kid in kids for leaf in ft8.leaves(kid))
+    assert leaves == ft8.leaves(v)
+    assert ft8.children(FatTreeVertex(1, 0)) == []
+
+
+def test_leaves_are_prefix_blocks(ft8):
+    assert ft8.leaves(FatTreeVertex(1, 2)) == [4, 5]
+    assert ft8.leaves(FatTreeVertex(2, 1)) == [4, 5, 6, 7]
+    assert ft8.leaves(ft8.root()) == list(range(8))
+
+
+def test_fat_tree_property_links_equal_leaves(ft16):
+    """Fig. 13: outgoing parent connections == leaves in the subtree."""
+    for level in range(1, ft16.n):  # root's right lines leave the network
+        for v in ft16.vertices_at_level(level):
+            assert ft16.parent_link_count(v) == ft16.leaf_count(v)
+    assert ft16.parent_link_count(ft16.root()) == 0
+
+
+def test_switch_group_sizes(ft16):
+    """A level-l vertex aggregates k**(l-1) switches of stage l-1."""
+    for level in range(1, ft16.n + 1):
+        for v in ft16.vertices_at_level(level):
+            group = ft16.switch_group(v)
+            assert len(group) == ft16.k ** (level - 1)
+            assert all(stage == level - 1 for stage, _ in group)
+
+
+def test_switch_groups_partition_each_stage(ft16):
+    for level in range(1, ft16.n + 1):
+        stage_switches = []
+        for v in ft16.vertices_at_level(level):
+            stage_switches.extend(w for _, w in ft16.switch_group(v))
+        assert sorted(stage_switches) == list(range(ft16.bmin.switches_per_stage))
+
+
+def test_switch_group_serves_exactly_subtree_lines(ft16):
+    """The left lines of a vertex's switches are its subtree's boundary lines."""
+    bmin = ft16.bmin
+    for v in ft16.vertices_at_level(2):
+        lines = sorted(
+            line
+            for stage, w in ft16.switch_group(v)
+            for line in bmin.left_lines_of_switch(stage, w)
+        )
+        # Boundary-(level-1) lines with the vertex prefix in the high digits:
+        # these are exactly the addresses of the subtree's leaves.
+        assert lines == ft16.leaves(v)
+
+
+def test_lca_matches_first_difference(ft8):
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            lca = ft8.lca(s, d)
+            assert lca.level == ft8.bmin.turn_stage(s, d) + 1
+            assert s in ft8.leaves(lca) and d in ft8.leaves(lca)
+
+
+def test_lca_is_least(ft8):
+    """No child of the LCA contains both endpoints."""
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            lca = ft8.lca(s, d)
+            for kid in ft8.children(lca):
+                leaves = ft8.leaves(kid)
+                assert not (s in leaves and d in leaves)
+
+
+def test_route_length_matches_bmin(ft8):
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            assert ft8.route_length(s, d) == ft8.bmin.path_length(s, d)
+
+
+def test_vertex_of_leaf_validation(ft8):
+    with pytest.raises(ValueError):
+        ft8.vertex_of_leaf(99, 1)
+    with pytest.raises(ValueError):
+        ft8.vertex_of_leaf(0, 0)
+
+
+def test_vertex_validation(ft8):
+    with pytest.raises(ValueError):
+        ft8.leaves(FatTreeVertex(1, 99))

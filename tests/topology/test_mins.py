@@ -1,0 +1,170 @@
+"""Tests for the unidirectional MIN builders and MINSpec tracing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.mins import (
+    TOPOLOGY_BUILDERS,
+    baseline_min,
+    build_min,
+    butterfly_min,
+    cube_min,
+    flip_min,
+    omega_min,
+)
+from repro.topology.permutations import Identity, PerfectShuffle
+from repro.topology.spec import MINSpec
+
+ALL_BUILDERS = [butterfly_min, cube_min, omega_min, flip_min, baseline_min]
+SIZES = [(2, 2), (2, 3), (2, 4), (4, 2), (4, 3), (8, 2), (3, 3)]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+@pytest.mark.parametrize("k,n", SIZES)
+def test_self_routing_delivers_all_pairs(builder, k, n):
+    """Destination-tag routing must reach every destination from every source."""
+    spec = builder(k, n)
+    for s in range(spec.N):
+        for d in range(spec.N):
+            assert spec.delivers(s, d), f"{spec.name}: {s} -> {d} misrouted"
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+def test_path_length_is_n_plus_1(builder):
+    spec = builder(2, 3)
+    for s in range(spec.N):
+        for d in range(spec.N):
+            assert spec.trace(s, d).length == spec.n + 1
+
+
+def test_cube_min_leads_with_perfect_shuffle():
+    """The shuffle before G_0 is what distinguishes the cube MIN (Fig. 4)."""
+    spec = cube_min(2, 3)
+    assert spec.connections[0] == PerfectShuffle(2, 3)
+    assert isinstance(butterfly_min(2, 3).connections[0], Identity)
+
+
+def test_cube_tag_is_msb_first():
+    spec = cube_min(4, 3)
+    # destination digits (d0, d1, d2) = (1, 2, 3) -> tag (d2, d1, d0)
+    d = 3 * 16 + 2 * 4 + 1
+    assert spec.routing_tag(d) == (3, 2, 1)
+
+
+def test_butterfly_tag_rule():
+    """t_i = d_{i+1} for i <= n-2, t_{n-1} = d_0 (Section 2)."""
+    spec = butterfly_min(2, 3)
+    d = 0b110  # digits d0=0, d1=1, d2=1
+    assert spec.routing_tag(d) == (1, 1, 0)
+
+
+def test_flip_tag_is_lsb_first():
+    spec = flip_min(2, 3)
+    d = 0b011
+    assert spec.routing_tag(d) == (1, 1, 0)
+
+
+def test_switch_counts():
+    spec = cube_min(4, 3)
+    assert spec.N == 64
+    assert spec.switches_per_stage == 16
+    assert len(spec.connections) == 4
+
+
+def test_trace_switch_indices_in_range():
+    spec = omega_min(2, 3)
+    for s in range(8):
+        for d in range(8):
+            for w in spec.trace(s, d).switches(2):
+                assert 0 <= w < spec.switches_per_stage
+
+
+def test_channels_of_path_shape():
+    spec = cube_min(2, 3)
+    channels = spec.channels_of_path(1, 6)
+    assert len(channels) == spec.n + 1
+    assert channels[0] == (0, 1)  # injection channel at the source position
+    boundaries = [b for b, _ in channels]
+    assert boundaries == [0, 1, 2, 3]
+
+
+def test_build_min_by_name():
+    assert build_min("cube", 2, 3).name == "cube"
+    assert set(TOPOLOGY_BUILDERS) == {"butterfly", "cube", "omega", "flip", "baseline"}
+    with pytest.raises(ValueError):
+        build_min("hypercube", 2, 3)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        MINSpec(1, 3, [Identity(1)] * 4, lambda d: (0, 0, 0), "bad")
+    with pytest.raises(ValueError):
+        MINSpec(2, 0, [Identity(1)], lambda d: (), "bad")
+    with pytest.raises(ValueError):
+        # wrong number of connections
+        MINSpec(2, 3, [Identity(8)] * 3, lambda d: (0, 0, 0), "bad")
+    with pytest.raises(ValueError):
+        # wrong connection size
+        MINSpec(2, 3, [Identity(4)] * 4, lambda d: (0, 0, 0), "bad")
+
+
+def test_spec_rejects_bad_tag_function():
+    spec = MINSpec(
+        2, 2, [Identity(4)] * 3, lambda d: (d % 2,), "short-tag"
+    )
+    with pytest.raises(ValueError):
+        spec.routing_tag(1)
+
+
+def test_trace_range_checks():
+    spec = cube_min(2, 2)
+    with pytest.raises(ValueError):
+        spec.trace(-1, 0)
+    with pytest.raises(ValueError):
+        spec.trace(0, 4)
+    with pytest.raises(ValueError):
+        spec.stage_channel(5, 0)
+    with pytest.raises(ValueError):
+        spec.stage_channel(0, 99)
+
+
+def test_paper_64_node_configuration():
+    """The evaluation uses 64 nodes, 4x4 switches, 3 stages of 16 (Section 5)."""
+    for builder in (cube_min, butterfly_min):
+        spec = builder(4, 3)
+        assert spec.N == 64
+        assert spec.n == 3
+        assert spec.switches_per_stage == 16
+
+
+@given(
+    st.sampled_from(ALL_BUILDERS),
+    st.sampled_from([(2, 3), (4, 2), (3, 2)]),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_unique_path_property(builder, kn, data):
+    """Delta networks have exactly one path: retracing is deterministic."""
+    k, n = kn
+    spec = builder(k, n)
+    s = data.draw(st.integers(min_value=0, max_value=spec.N - 1))
+    d = data.draw(st.integers(min_value=0, max_value=spec.N - 1))
+    assert spec.trace(s, d) == spec.trace(s, d)
+    assert spec.delivers(s, d)
+
+
+@given(st.sampled_from([(2, 3), (4, 2)]), st.data())
+@settings(max_examples=40, deadline=None)
+def test_distinct_sources_share_no_injection_channel(kn, data):
+    k, n = kn
+    spec = cube_min(k, n)
+    s1 = data.draw(st.integers(min_value=0, max_value=spec.N - 1))
+    s2 = data.draw(st.integers(min_value=0, max_value=spec.N - 1))
+    d = data.draw(st.integers(min_value=0, max_value=spec.N - 1))
+    ch1 = spec.channels_of_path(s1, d)
+    ch2 = spec.channels_of_path(s2, d)
+    if s1 != s2:
+        assert ch1[0] != ch2[0]
+    # Same destination always shares the delivery channel.
+    assert ch1[-1] == ch2[-1]

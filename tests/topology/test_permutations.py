@@ -1,0 +1,204 @@
+"""Tests for k-ary digit permutations (Definitions 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.permutations import (
+    BlockInverseShuffle,
+    ButterflyPermutation,
+    Identity,
+    InverseShuffle,
+    PerfectShuffle,
+    Permutation,
+    from_digits,
+    to_digits,
+)
+
+small_kn = st.tuples(st.sampled_from([2, 3, 4]), st.integers(min_value=1, max_value=4))
+
+
+def test_to_digits_lsb_first():
+    assert to_digits(6, 2, 3) == (0, 1, 1)
+    assert to_digits(0b101, 2, 3) == (1, 0, 1)
+    assert to_digits(0, 4, 3) == (0, 0, 0)
+    assert to_digits(1 * 16 + 2 * 4 + 3, 4, 3) == (3, 2, 1)
+
+
+def test_to_digits_examples():
+    # 2103 base 4 = 2*64 + 1*16 + 0*4 + 3
+    assert to_digits(2 * 64 + 1 * 16 + 0 * 4 + 3, 4, 4) == (3, 0, 1, 2)
+
+
+def test_from_digits_roundtrip_examples():
+    assert from_digits((3, 0, 1, 2), 4) == 2 * 64 + 1 * 16 + 0 * 4 + 3
+
+
+def test_to_digits_range_check():
+    with pytest.raises(ValueError):
+        to_digits(8, 2, 3)
+    with pytest.raises(ValueError):
+        to_digits(-1, 2, 3)
+
+
+def test_from_digits_digit_check():
+    with pytest.raises(ValueError):
+        from_digits((2,), 2)
+
+
+@given(small_kn, st.data())
+@settings(max_examples=100, deadline=None)
+def test_digits_roundtrip_property(kn, data):
+    k, n = kn
+    x = data.draw(st.integers(min_value=0, max_value=k**n - 1))
+    assert from_digits(to_digits(x, k, n), k) == x
+
+
+def test_butterfly_swaps_digit_0_and_i():
+    # Definition 1 with k=2, n=3, i=2: beta_2(x2 x1 x0) = x0 x1 x2
+    b = ButterflyPermutation(2, 3, 2)
+    assert b(0b100) == 0b001
+    assert b(0b001) == 0b100
+    assert b(0b010) == 0b010
+    assert b(0b101) == 0b101
+
+
+def test_butterfly_kary():
+    # k=4, n=2, i=1: swap the two digits
+    b = ButterflyPermutation(4, 2, 1)
+    assert b(from_digits((3, 1), 4)) == from_digits((1, 3), 4)
+
+
+def test_butterfly_0_is_identity():
+    assert ButterflyPermutation(2, 3, 0).is_identity()
+    assert ButterflyPermutation(4, 3, 0).is_identity()
+
+
+def test_butterfly_is_involution():
+    for k, n, i in [(2, 3, 1), (2, 3, 2), (4, 3, 2), (3, 2, 1)]:
+        b = ButterflyPermutation(k, n, i)
+        assert (b @ b).is_identity()
+
+
+def test_butterfly_index_validation():
+    with pytest.raises(ValueError):
+        ButterflyPermutation(2, 3, 3)
+    with pytest.raises(ValueError):
+        ButterflyPermutation(2, 3, -1)
+
+
+def test_perfect_shuffle_definition():
+    # Definition 2: sigma(x_{n-1} ... x_0) = x_{n-2} ... x_0 x_{n-1}
+    s = PerfectShuffle(2, 3)
+    # 110 -> 101
+    assert s(0b110) == 0b101
+    # 100 -> 001
+    assert s(0b100) == 0b001
+    # shuffle of 0 and max are fixed
+    assert s(0) == 0
+    assert s(7) == 7
+
+
+def test_perfect_shuffle_kary():
+    s = PerfectShuffle(4, 3)
+    assert s(from_digits((1, 2, 3), 4)) == from_digits((3, 1, 2), 4)
+
+
+def test_shuffle_order_is_n():
+    # n left-rotations return to identity
+    for k, n in [(2, 3), (2, 4), (4, 2), (4, 3)]:
+        assert PerfectShuffle(k, n).order() == n
+
+
+def test_inverse_shuffle_is_inverse():
+    for k, n in [(2, 3), (4, 2), (3, 3)]:
+        s, si = PerfectShuffle(k, n), InverseShuffle(k, n)
+        assert (s @ si).is_identity()
+        assert (si @ s).is_identity()
+        assert s.inverse() == si
+
+
+def test_block_inverse_shuffle_full_width_matches():
+    assert BlockInverseShuffle(2, 3, 3) == InverseShuffle(2, 3)
+
+
+def test_block_inverse_shuffle_partial():
+    # m=2 over n=3: rotate low two digits, keep digit 2
+    p = BlockInverseShuffle(2, 3, 2)
+    assert p(0b101) == 0b110  # digits (1,0,1) -> low (1,0) rotated to (0,1)
+    assert p(0b100) == 0b100
+
+
+def test_block_inverse_shuffle_width_1_is_identity():
+    assert BlockInverseShuffle(2, 3, 1).is_identity()
+
+
+def test_block_inverse_shuffle_validation():
+    with pytest.raises(ValueError):
+        BlockInverseShuffle(2, 3, 0)
+    with pytest.raises(ValueError):
+        BlockInverseShuffle(2, 3, 4)
+
+
+def test_permutation_rejects_non_bijection():
+    with pytest.raises(ValueError):
+        Permutation([0, 0, 1])
+
+
+def test_composition_semantics():
+    p = Permutation([1, 2, 0])
+    q = Permutation([2, 0, 1])
+    # (p @ q)(x) = p(q(x))
+    assert [(p @ q)(x) for x in range(3)] == [p(q(x)) for x in range(3)]
+
+
+def test_inverse_roundtrip():
+    p = Permutation([2, 0, 3, 1])
+    assert (p @ p.inverse()).is_identity()
+    assert (p.inverse() @ p).is_identity()
+
+
+def test_identity_properties():
+    i = Identity(8)
+    assert i.is_identity()
+    assert i.order() == 1
+    assert i.fixed_points() == list(range(8))
+
+
+def test_compose_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Identity(4) @ Identity(8)
+
+
+def test_permutation_hash_eq():
+    assert PerfectShuffle(2, 3) == PerfectShuffle(2, 3)
+    assert hash(PerfectShuffle(2, 3)) == hash(PerfectShuffle(2, 3))
+    assert PerfectShuffle(2, 3) != InverseShuffle(2, 3)
+
+
+@given(small_kn)
+@settings(max_examples=30, deadline=None)
+def test_shuffle_rotation_property(kn):
+    """sigma moves digit j to digit j+1 (mod n) -- left rotation."""
+    k, n = kn
+    s = PerfectShuffle(k, n)
+    for x in range(min(k**n, 64)):
+        digits = to_digits(x, k, n)
+        shuffled = to_digits(s(x), k, n)
+        assert shuffled == (digits[n - 1],) + digits[: n - 1]
+
+
+@given(small_kn, st.data())
+@settings(max_examples=50, deadline=None)
+def test_butterfly_only_touches_digits_0_and_i(kn, data):
+    k, n = kn
+    i = data.draw(st.integers(min_value=0, max_value=n - 1))
+    x = data.draw(st.integers(min_value=0, max_value=k**n - 1))
+    b = ButterflyPermutation(k, n, i)
+    before = to_digits(x, k, n)
+    after = to_digits(b(x), k, n)
+    for j in range(n):
+        if j in (0, i):
+            continue
+        assert after[j] == before[j]
+    assert after[0] == before[i] and after[i] == before[0]

@@ -1,0 +1,87 @@
+"""Tests for clusterings and traffic ratios."""
+
+import pytest
+
+from repro.partition.cubes import Cube
+from repro.traffic.clusters import ClusterSpec, cluster_16, cluster_32, global_cluster
+
+
+def test_global_cluster():
+    spec = global_cluster()
+    assert spec.N == 64
+    assert len(spec.cubes) == 1
+    assert spec.member_lists() == [list(range(64))]
+    assert spec.node_rate_factors() == {n: 1.0 for n in range(64)}
+
+
+def test_cluster_16_cube_style():
+    spec = cluster_16("cube")
+    lists = spec.member_lists()
+    assert [len(m) for m in lists] == [16] * 4
+    assert lists[0] == list(range(16))
+    assert lists[3] == list(range(48, 64))
+    assert spec.cluster_of(17) == 1
+
+
+def test_cluster_16_shared_style():
+    spec = cluster_16("shared")
+    lists = spec.member_lists()
+    # XX0: nodes whose low base-4 digit is 0
+    assert lists[0] == [n for n in range(64) if n % 4 == 0]
+
+
+def test_cluster_16_bad_style():
+    with pytest.raises(ValueError):
+        cluster_16("diagonal")
+
+
+def test_cluster_32():
+    spec = cluster_32()
+    lists = spec.member_lists()
+    assert lists[0] == list(range(32))
+    assert lists[1] == list(range(32, 64))
+
+
+def test_ratio_4111_rate_factors():
+    """Fig. 17a: cluster 0 at full rate, the rest at a quarter."""
+    spec = cluster_16("cube", ratios=(4, 1, 1, 1))
+    factors = spec.node_rate_factors()
+    assert factors[0] == 1.0
+    assert factors[16] == 0.25
+    assert factors[63] == 0.25
+
+
+def test_ratio_1000_silences_other_clusters():
+    """Fig. 17b: only one 16-node cluster generates traffic."""
+    spec = cluster_16("cube", ratios=(1, 0, 0, 0))
+    factors = spec.node_rate_factors()
+    assert all(factors[n] == 1.0 for n in range(16))
+    assert all(factors[n] == 0.0 for n in range(16, 64))
+
+
+def test_with_ratios_builds_new_spec():
+    spec = cluster_16("cube").with_ratios((4, 1, 1, 1))
+    assert "4:1:1:1" in spec.name
+    assert spec.ratios == (4, 1, 1, 1)
+
+
+def test_spec_validation():
+    cubes = (Cube.from_kary("0XX", 4), Cube.from_kary("1XX", 4))
+    with pytest.raises(ValueError):
+        ClusterSpec("bad", cubes, (1.0,))  # ratio count mismatch
+    with pytest.raises(ValueError):
+        ClusterSpec("bad", cubes, (1.0, 1.0))  # doesn't cover the nodes
+    with pytest.raises(ValueError):
+        ClusterSpec("bad", (), ())
+    full = tuple(Cube.from_kary(f"{i}XX", 4) for i in range(4))
+    with pytest.raises(ValueError):
+        ClusterSpec("bad", full, (0, 0, 0, 0))  # nobody generates
+    with pytest.raises(ValueError):
+        ClusterSpec("bad", full, (1, 1, 1, -1))
+    spec = ClusterSpec("ok", full, (1, 1, 1, 1))
+    with pytest.raises(ValueError):
+        spec.cluster_of(64)
+
+
+def test_str_smoke():
+    assert "cluster-16" in str(cluster_16())

@@ -1,0 +1,130 @@
+"""Tests for the four destination patterns of Section 5.1."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.sim.rng import RandomStream
+from repro.topology.permutations import PerfectShuffle
+from repro.traffic.patterns import (
+    ButterflyPermutationPattern,
+    HotSpotPattern,
+    PermutationPattern,
+    ShufflePattern,
+    UniformPattern,
+)
+
+
+def test_uniform_excludes_self_and_covers_cluster():
+    members = [4, 5, 6, 7]
+    pat = UniformPattern(members)
+    rng = RandomStream(0)
+    picks = Counter(pat.pick(5, rng) for _ in range(3000))
+    assert 5 not in picks
+    assert set(picks) == {4, 6, 7}
+    for count in picks.values():
+        assert abs(count / 3000 - 1 / 3) < 0.05
+
+
+def test_uniform_rejects_outsiders_and_tiny_clusters():
+    with pytest.raises(ValueError):
+        UniformPattern([3])
+    pat = UniformPattern([0, 1])
+    with pytest.raises(ValueError):
+        pat.pick(9, RandomStream(0))
+
+
+def test_uniform_two_members_deterministic():
+    pat = UniformPattern([2, 9])
+    rng = RandomStream(1)
+    assert all(pat.pick(2, rng) == 9 for _ in range(10))
+    assert all(pat.pick(9, rng) == 2 for _ in range(10))
+
+
+def test_hotspot_probabilities_match_pfister_norton():
+    """P(hot) = (1+y)/(N+y), others 1/(N+y), y = N*x (Section 5.1)."""
+    members = list(range(16))
+    x = 0.10
+    pat = HotSpotPattern(members, hot_fraction=x)
+    assert pat.hot_node == 0
+    n = len(members)
+    y = n * x
+    assert math.isclose(pat.p_hot, (1 + y) / (n + y))
+
+    rng = RandomStream(7)
+    draws = 40_000
+    picks = Counter(pat.pick(8, rng) for _ in range(draws))
+    assert 8 not in picks
+    # Node 8 redistributes its mass; the hot node's *relative* excess
+    # over a typical cold node must match (1+y):1.
+    cold = [picks[m] for m in members if m not in (0, 8)]
+    ratio = picks[0] / (sum(cold) / len(cold))
+    assert abs(ratio - (1 + y)) < 0.35
+
+
+def test_hotspot_with_zero_fraction_is_uniformish():
+    pat = HotSpotPattern(list(range(8)), hot_fraction=0.0)
+    rng = RandomStream(3)
+    picks = Counter(pat.pick(3, rng) for _ in range(8000))
+    counts = [picks[m] for m in range(8) if m != 3]
+    assert max(counts) / min(counts) < 1.25
+
+
+def test_hotspot_custom_hot_node_and_validation():
+    pat = HotSpotPattern([0, 1, 2, 3], 0.05, hot_node=2)
+    assert pat.hot_node == 2
+    with pytest.raises(ValueError):
+        HotSpotPattern([0, 1], 0.05, hot_node=9)
+    with pytest.raises(ValueError):
+        HotSpotPattern([0], 0.05)
+    with pytest.raises(ValueError):
+        HotSpotPattern([0, 1], -0.1)
+    with pytest.raises(ValueError):
+        pat.pick(9, RandomStream(0))
+
+
+def test_hotspot_source_is_hot_node():
+    """The hot node itself still sends somewhere else."""
+    pat = HotSpotPattern(list(range(4)), 0.5)
+    rng = RandomStream(5)
+    for _ in range(200):
+        assert pat.pick(0, rng) != 0
+
+
+def test_shuffle_pattern_matches_permutation():
+    pat = ShufflePattern(2, 3)
+    shuffle = PerfectShuffle(2, 3)
+    rng = RandomStream(0)
+    for s in range(8):
+        expected = shuffle(s)
+        if expected == s:
+            assert pat.pick(s, rng) is None
+            assert not pat.generates_traffic(s)
+        else:
+            assert pat.pick(s, rng) == expected
+            assert pat.generates_traffic(s)
+
+
+def test_shuffle_fixed_points():
+    """0 and N-1 are shuffle fixed points: they stay silent."""
+    pat = ShufflePattern(4, 3)
+    assert not pat.generates_traffic(0)
+    assert not pat.generates_traffic(63)
+    assert sum(pat.generates_traffic(s) for s in range(64)) == 60
+
+
+def test_butterfly_pattern():
+    pat = ButterflyPermutationPattern(2, 3, 2)
+    rng = RandomStream(0)
+    assert pat.pick(0b100, rng) == 0b001
+    assert pat.pick(0b010, rng) is None  # fixed point of beta_2
+
+
+def test_permutation_pattern_generic():
+    from repro.topology.permutations import Permutation
+
+    pat = PermutationPattern(Permutation([1, 0, 2]))
+    rng = RandomStream(0)
+    assert pat.pick(0, rng) == 1
+    assert pat.pick(2, rng) is None

@@ -1,0 +1,138 @@
+"""Tests for message-size models and workload installation."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.traffic.clusters import cluster_16, global_cluster
+from repro.traffic.patterns import ShufflePattern, UniformPattern
+from repro.traffic.workload import MessageSizeModel, Workload
+from repro.wormhole import WormholeEngine, build_network
+
+
+def test_size_model_means():
+    assert MessageSizeModel.paper().mean == (8 + 1024) / 2
+    assert MessageSizeModel("fixed", low=32).mean == 32.0
+    bim = MessageSizeModel("bimodal", 8, 1024, short_fraction=1.0, split=32)
+    assert bim.mean == (8 + 32) / 2
+
+
+def test_size_model_draw_bounds():
+    rng = RandomStream(0)
+    model = MessageSizeModel.paper()
+    for _ in range(200):
+        assert 8 <= model.draw(rng) <= 1024
+    fixed = MessageSizeModel("fixed", low=100)
+    assert fixed.draw(rng) == 100
+
+
+def test_size_model_validation():
+    with pytest.raises(ValueError):
+        MessageSizeModel("weird")
+    with pytest.raises(ValueError):
+        MessageSizeModel("uniform", low=0)
+    with pytest.raises(ValueError):
+        MessageSizeModel("uniform", low=10, high=5)
+
+
+def _setup(kind="tmin", k=4, n=3, seed=0):
+    env = Environment()
+    net = build_network(kind, k=k, n=n)
+    return env, WormholeEngine(env, net, rng=RandomStream(seed))
+
+
+def test_workload_installs_sources_per_cluster():
+    env, eng = _setup()
+    wl = Workload(
+        global_cluster(),
+        UniformPattern,
+        offered_load=0.2,
+        sizes=MessageSizeModel.scaled(),
+    )
+    assert wl.install(env, eng, RandomStream(1)) == 64
+
+
+def test_workload_permutation_skips_fixed_points():
+    env, eng = _setup()
+    wl = Workload(
+        global_cluster(),
+        lambda members: ShufflePattern(4, 3),
+        offered_load=0.2,
+        sizes=MessageSizeModel.scaled(),
+    )
+    assert wl.install(env, eng, RandomStream(1)) == 60  # 4 fixed points
+
+
+def test_workload_ratio_zero_installs_nothing_for_cluster():
+    env, eng = _setup()
+    wl = Workload(
+        cluster_16("cube", ratios=(1, 0, 0, 0)),
+        UniformPattern,
+        offered_load=0.2,
+        sizes=MessageSizeModel.scaled(),
+    )
+    assert wl.install(env, eng, RandomStream(1)) == 16
+
+
+def test_workload_size_mismatch_rejected():
+    env, eng = _setup(k=2, n=3)  # 8-node network
+    wl = Workload(global_cluster(), UniformPattern, 0.2)
+    with pytest.raises(ValueError):
+        wl.install(env, eng, RandomStream(1))
+
+
+def test_workload_load_validation():
+    with pytest.raises(ValueError):
+        Workload(global_cluster(), UniformPattern, 0.0)
+
+
+def test_offered_rate_approximately_matches_load():
+    """Measured offered flits per node-cycle tracks the requested load."""
+    env, eng = _setup(seed=3)
+    load = 0.3
+    wl = Workload(
+        global_cluster(),
+        UniformPattern,
+        offered_load=load,
+        sizes=MessageSizeModel("fixed", low=16),
+    )
+    wl.install(env, eng, RandomStream(5))
+    eng.start()
+    env.run(until=4000)
+    measured = eng.stats.offered_flits / (64 * 4000)
+    assert abs(measured - load) / load < 0.10
+
+
+def test_cluster_traffic_stays_inside_clusters():
+    env, eng = _setup(seed=4)
+    wl = Workload(
+        cluster_16("cube"),
+        UniformPattern,
+        offered_load=0.2,
+        sizes=MessageSizeModel.scaled(),
+    )
+    wl.install(env, eng, RandomStream(6))
+    eng.start()
+    env.run(until=2000)
+    assert eng.stats.delivered_packets > 50
+    for rec in eng.stats.records:
+        assert rec.src // 16 == rec.dst // 16
+
+
+def test_ratio_traffic_volumes_follow_ratios():
+    """With 4:1:1:1 the busy cluster offers about 4x the others."""
+    env, eng = _setup(seed=8)
+    wl = Workload(
+        cluster_16("cube", ratios=(4, 1, 1, 1)),
+        UniformPattern,
+        offered_load=0.25,
+        sizes=MessageSizeModel("fixed", low=16),
+    )
+    wl.install(env, eng, RandomStream(9))
+    eng.start()
+    env.run(until=6000)
+    by_cluster = [0, 0, 0, 0]
+    for rec in eng.stats.records:
+        by_cluster[rec.src // 16] += rec.length
+    assert by_cluster[0] > 2.5 * by_cluster[1]
+    assert by_cluster[0] < 6.0 * by_cluster[1]

@@ -1,0 +1,71 @@
+"""The wormhole engine over the other Delta topologies.
+
+The paper evaluates cube and butterfly MINs, but its Section 6 notes
+the Omega network shares the cube's partitionability and the baseline
+the butterfly's.  The simulator accepts any Delta topology; these tests
+pin that the whole pipeline works over all five.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.topology.mins import TOPOLOGY_BUILDERS
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import PacketState
+
+TOPOLOGIES = sorted(TOPOLOGY_BUILDERS)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("kind", ["tmin", "dmin", "vmin"])
+def test_all_pairs_deliver_on_every_topology(topology, kind):
+    env = Environment()
+    eng = WormholeEngine(
+        env,
+        build_network(kind, 2, 3, topology=topology),
+        rng=RandomStream(1),
+    )
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            p = eng.offer(s, d, 4)
+            eng.drain()
+            assert p.state is PacketState.DELIVERED, (topology, kind, s, d)
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_burst_drains_on_every_topology(topology):
+    env = Environment()
+    eng = WormholeEngine(
+        env, build_network("tmin", 2, 3, topology=topology), rng=RandomStream(2)
+    )
+    rs = RandomStream(3)
+    pkts = []
+    for _ in range(30):
+        s = rs.uniform_int(0, 7)
+        d = rs.uniform_int(0, 6)
+        if d >= s:
+            d += 1
+        pkts.append(eng.offer(s, d, rs.uniform_int(4, 24)))
+    eng.drain(max_cycles=100_000)
+    assert all(p.state is PacketState.DELIVERED for p in pkts)
+
+
+def test_omega_and_cube_equal_under_global_uniform():
+    """Functionally equivalent topologies measure alike under uniform
+    traffic (same load, same seed discipline)."""
+    from dataclasses import replace
+
+    from repro.experiments.config import SMOKE, NetworkConfig
+    from repro.experiments.figures import uniform_workload
+    from repro.experiments.runner import run_point
+    from repro.traffic.clusters import global_cluster
+
+    cfg = replace(SMOKE, measure_packets=300)
+    wb = uniform_workload(global_cluster(), cfg)
+    cube = run_point(NetworkConfig("tmin", topology="cube"), wb, 0.4, cfg)
+    omega = run_point(NetworkConfig("tmin", topology="omega"), wb, 0.4, cfg)
+    assert omega.throughput == pytest.approx(cube.throughput, rel=0.1)
+    assert omega.avg_latency == pytest.approx(cube.avg_latency, rel=0.35)

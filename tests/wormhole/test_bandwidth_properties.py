@@ -1,0 +1,122 @@
+"""Physics property tests: bandwidth sharing and routing consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.turnaround import Move, TurnaroundRouter
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.topology.bmin import BidirectionalMIN
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.network import BidirectionalNetwork
+
+
+@given(
+    length=st.integers(min_value=8, max_value=120),
+    vcs=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_vc_sharing_halves_effective_bandwidth_property(length, vcs):
+    """Two worms interleaving on one delivery wire each see ~W/2: the
+    pair finishes in >= 2L - 1 cycles of delivery time (one wire, 2L
+    flits), regardless of how many VCs the wire has."""
+    env = Environment()
+    eng = WormholeEngine(
+        env,
+        build_network("vmin", 2, 3, virtual_channels=vcs),
+        rng=RandomStream(length),
+    )
+    a = eng.offer(0, 7, length)
+    b = eng.offer(1, 7, length)
+    eng.drain(max_cycles=200_000)
+    start = min(a.inject_start, b.inject_start)
+    finish = max(a.delivered_at, b.delivered_at)
+    assert finish - start >= 2 * length - 1
+
+
+@given(length=st.integers(min_value=4, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_wire_never_exceeds_unit_bandwidth_property(length):
+    """Total flits delivered per cycle per node never exceed 1."""
+    env = Environment()
+    eng = WormholeEngine(env, build_network("vmin", 2, 2), rng=RandomStream(1))
+    for s in (0, 1, 2):
+        eng.offer(s, 3, length)
+    eng.drain(max_cycles=200_000)
+    total = 3 * length
+    # Node 3's delivery wire carries everything: elapsed >= total flits.
+    first_start = min(r.inject_start for r in eng.stats.records)
+    last_end = max(r.delivered_at for r in eng.stats.records)
+    assert last_end - first_start >= total - 1
+
+
+@given(
+    st.sampled_from([(2, 3), (4, 2), (4, 3)]),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_network_candidates_match_router_decisions_property(kn, data):
+    """Cross-module invariant: the simulated BMIN's candidate channels
+    at every step equal the Fig. 7 router's decision, mapped to lines."""
+    k, n = kn
+    bmin = BidirectionalMIN(k, n)
+    net = BidirectionalNetwork(bmin)
+    router = TurnaroundRouter(bmin)
+    s = data.draw(st.integers(min_value=0, max_value=bmin.N - 1))
+    d = data.draw(st.integers(min_value=0, max_value=bmin.N - 1))
+    if s == d:
+        return
+    from repro.wormhole.packet import Packet
+
+    p = Packet(0, s, d, 8, 0.0)
+    net.prepare(p)
+    t = router.turn_stage(s, d)
+    # Walk the route, comparing candidate sets at every hop.
+    stage = 0
+    going_up = True
+    while True:
+        cands = net.candidates(p)
+        decision = router.decide(stage, going_up, s, d)
+        assert len(cands) == len(decision.ports)
+        if decision.move is Move.FORWARD:
+            assert all(ch.meta[0] == "fwd" for ch in cands)
+        else:
+            assert all(ch.meta[0] == "bwd" for ch in cands)
+        # Take the first candidate and advance both state machines.
+        choice = data.draw(
+            st.integers(min_value=0, max_value=len(cands) - 1)
+        )
+        ch = cands[choice]
+        net.advance(p, ch)
+        if decision.move is Move.FORWARD:
+            stage += 1
+        else:
+            going_up = False
+            if ch.is_delivery:
+                assert ch.sink == d
+                break
+            stage -= 1
+
+
+@given(
+    st.sampled_from(["cube", "butterfly", "omega", "baseline", "flip"]),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_unidirectional_slots_match_tag_router_property(topology, data):
+    """The simulated network's slot path equals destination-tag routing:
+    every inner slot position carries the tag digit in its low digit."""
+    from repro.routing.tags import TagRouter
+    from repro.topology.mins import build_min
+
+    spec = build_min(topology, 2, 3)
+    router = TagRouter(spec)
+    s = data.draw(st.integers(min_value=0, max_value=7))
+    d = data.draw(st.integers(min_value=0, max_value=7))
+    slots = spec.channels_of_path(s, d)
+    assert slots[0] == (0, s)
+    for stage in range(spec.n):
+        boundary, pos = slots[stage + 1]
+        assert boundary == stage + 1
+        assert pos % spec.k == router.output_port(stage, d)

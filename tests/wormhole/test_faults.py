@@ -1,0 +1,201 @@
+"""Fault-injection tests: the paper's fault-tolerance motivation.
+
+Section 2.1: "if a link becomes congested or fails, the unique path
+property can easily disrupt the communication between some input and
+output pairs" -- the motivation for multi-path designs.  These tests
+verify that the TMIN loses connectivity on a single inter-stage fault
+while the DMIN survives any single lane fault and the BMIN survives
+forward-channel faults (but not backward ones: the down path is unique).
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import PacketState
+
+
+def _engine(kind, seed=0, **kwargs):
+    env = Environment()
+    net = build_network(kind, k=2, n=3, **kwargs)
+    return env, WormholeEngine(env, net, rng=RandomStream(seed))
+
+
+def test_find_channel_and_faulty_listing():
+    env, eng = _engine("tmin")
+    ch = eng.network.find_channel("b1[3].0")
+    assert not ch.faulty
+    ch.fail()
+    assert eng.network.faulty_channels() == [ch]
+    ch.repair()
+    assert eng.network.faulty_channels() == []
+    with pytest.raises(KeyError):
+        eng.network.find_channel("nope")
+
+
+def test_tmin_single_fault_kills_affected_route():
+    """Break one channel on the unique 1->6 path: the packet dies."""
+    env, eng = _engine("tmin")
+    net = eng.network
+    boundary, pos = net.spec.channels_of_path(1, 6)[2]  # an inner hop
+    net.slots[(boundary, pos)][0].fail()
+    victim = eng.offer(1, 6, 8)
+    eng.drain()
+    assert victim.state is PacketState.FAILED
+    assert eng.stats.failed_packets == 1
+    assert eng.stats.delivered_packets == 0
+
+
+def test_tmin_fault_spares_other_routes():
+    env, eng = _engine("tmin")
+    net = eng.network
+    boundary, pos = net.spec.channels_of_path(1, 6)[2]
+    net.slots[(boundary, pos)][0].fail()
+    # A pair whose path avoids the broken channel still works.
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            if (boundary, pos) in net.spec.channels_of_path(s, d):
+                continue
+            ok = eng.offer(s, d, 8)
+            eng.drain()
+            assert ok.state is PacketState.DELIVERED
+            return
+    pytest.fail("expected some unaffected route")
+
+
+def test_abort_releases_channels_for_other_traffic():
+    """A killed worm must leave no stuck flits or owned lanes behind."""
+    env, eng = _engine("tmin")
+    net = eng.network
+    path = net.spec.channels_of_path(1, 6)
+    net.slots[path[3]][0].fail()  # fault late: the worm is mid-network
+    victim = eng.offer(1, 6, 200)
+    eng.drain()
+    assert victim.state is PacketState.FAILED
+    for ch in net.topo_channels:
+        for lane in ch.lanes:
+            assert lane.owner is None
+            assert lane.buf == 0
+    # The network still carries fresh traffic over the victim's channels.
+    survivor = eng.offer(1, 2, 8)
+    eng.drain()
+    assert survivor.state is PacketState.DELIVERED
+
+
+def test_dmin_survives_single_lane_fault():
+    """Dilation two: break one of the two lanes on every slot of a
+    path; the other lane carries the traffic."""
+    env, eng = _engine("dmin")
+    net = eng.network
+    for boundary, pos in net.spec.channels_of_path(1, 6):
+        chans = net.slots[(boundary, pos)]
+        if len(chans) > 1:
+            chans[0].fail()
+    p = eng.offer(1, 6, 16)
+    eng.drain()
+    assert p.state is PacketState.DELIVERED
+
+
+def test_dmin_dies_when_both_lanes_fail():
+    env, eng = _engine("dmin")
+    net = eng.network
+    boundary, pos = net.spec.channels_of_path(1, 6)[1]
+    for ch in net.slots[(boundary, pos)]:
+        ch.fail()
+    p = eng.offer(1, 6, 16)
+    eng.drain()
+    assert p.state is PacketState.FAILED
+
+
+def test_bmin_routes_around_forward_fault():
+    """k^t up-paths: any single forward channel can die (t >= 1)."""
+    env, eng = _engine("bmin")
+    net = eng.network
+    # 001 -> 101 turns at stage 2; kill one boundary-1 forward channel
+    # on its default route.
+    net.fwd[(1, 0b001)].fail()
+    p = eng.offer(0b001, 0b101, 16)
+    eng.drain()
+    assert p.state is PacketState.DELIVERED
+
+
+def test_bmin_down_path_has_no_redundancy():
+    """The backward path is unique: a backward fault kills the route."""
+    env, eng = _engine("bmin")
+    net = eng.network
+    # Down path to 101 crosses bwd boundary-0 line 101 (the delivery).
+    net.bwd[(0, 0b101)].fail()
+    p = eng.offer(0b001, 0b101, 16)
+    eng.drain()
+    assert p.state is PacketState.FAILED
+
+
+def test_bmin_tolerates_any_single_forward_fault_for_high_turns():
+    """Exhaustive: for a t=2 pair, every single forward-channel fault
+    leaves at least one of the four shortest paths intact."""
+    s, d = 0b001, 0b101
+    bmin_paths = build_network("bmin", 2, 3).bmin.enumerate_shortest_paths(s, d)
+    for boundary in (0, 1, 2):
+        for line in range(8):
+            env, eng = _engine("bmin", seed=line)
+            net = eng.network
+            ch = net.fwd[(boundary, line)]
+            # Skip the mandatory first hop: the injection channel is the
+            # node's only port (one-port architecture).
+            if boundary == 0 and line == s:
+                continue
+            ch.fail()
+            p = eng.offer(s, d, 8)
+            eng.drain()
+            assert p.state is PacketState.DELIVERED, (boundary, line)
+    assert len(bmin_paths) == 4
+
+
+def test_faulty_injection_channel_fails_queued_packets():
+    env, eng = _engine("tmin")
+    eng.network.injection_channel(3).fail()
+    a = eng.offer(3, 5, 8)
+    b = eng.offer(3, 6, 8)
+    ok = eng.offer(2, 6, 8)
+    eng.drain()
+    assert a.state is PacketState.FAILED
+    assert b.state is PacketState.FAILED
+    assert ok.state is PacketState.DELIVERED
+    assert eng.stats.failed_packets == 2
+
+
+def test_failed_packets_counter_resets_with_window():
+    env, eng = _engine("tmin")
+    eng.network.injection_channel(0).fail()
+    eng.offer(0, 1, 8)
+    eng.drain()
+    assert eng.stats.failed_packets == 1
+    eng.stats.reset_window(env.now)
+    assert eng.stats.failed_packets == 0
+
+
+def test_fault_under_load_does_not_deadlock():
+    """Random traffic plus a mid-run fault: everything either delivers
+    or fails cleanly, and the network drains."""
+    env, eng = _engine("dmin", seed=9)
+    rs = RandomStream(10)
+    packets = []
+    for _ in range(40):
+        s = rs.uniform_int(0, 7)
+        d = rs.uniform_int(0, 6)
+        if d >= s:
+            d += 1
+        packets.append(eng.offer(s, d, rs.uniform_int(4, 30)))
+    eng.run_cycles(20)
+    eng.network.find_channel("b1[3].0").fail()
+    eng.network.find_channel("b2[5].1").fail()
+    eng.drain(max_cycles=100_000)
+    assert eng.idle
+    for p in packets:
+        assert p.state in (PacketState.DELIVERED, PacketState.FAILED)
+    assert (
+        eng.stats.delivered_packets + eng.stats.failed_packets == len(packets)
+    )

@@ -1,0 +1,165 @@
+"""Tests for simulated-network construction and candidate queries."""
+
+import pytest
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.mins import cube_min
+from repro.wormhole.network import (
+    BidirectionalNetwork,
+    NetworkKind,
+    UnidirectionalNetwork,
+    build_network,
+)
+from repro.wormhole.packet import Packet
+
+
+def test_build_network_kinds():
+    assert build_network("tmin", 2, 3).kind is NetworkKind.TMIN
+    assert build_network("dmin", 2, 3).kind is NetworkKind.DMIN
+    assert build_network("vmin", 2, 3).kind is NetworkKind.VMIN
+    assert build_network("bmin", 2, 3).kind is NetworkKind.BMIN
+    assert build_network(NetworkKind.TMIN, 2, 3).kind is NetworkKind.TMIN
+    with pytest.raises(ValueError):
+        build_network("qmin", 2, 3)
+
+
+def test_channel_counts_64_nodes():
+    """The paper's 64-node geometry: 3 stages of 16 4x4 switches."""
+    tmin = build_network("tmin", 4, 3)
+    # boundaries 0..3, 64 positions each, one channel per position
+    assert tmin.channel_count == 4 * 64
+    dmin = build_network("dmin", 4, 3)
+    # inner boundaries doubled; injection/delivery stay single
+    assert dmin.channel_count == 64 + 2 * 64 + 2 * 64 + 64
+    vmin = build_network("vmin", 4, 3)
+    assert vmin.channel_count == 4 * 64  # same wires, two lanes on inner ones
+    bmin = build_network("bmin", 4, 3)
+    # per boundary 0..2: 64 forward + 64 backward wires
+    assert bmin.channel_count == 3 * 64 * 2
+
+
+def test_vmin_lane_multiplicity():
+    vmin = build_network("vmin", 2, 3, virtual_channels=3)
+    inj = vmin.injection_channel(0)
+    assert inj.num_lanes == 1  # serial one-port source
+    inner = vmin.slots[(1, 0)][0]
+    assert inner.num_lanes == 3
+    dlv = vmin.slots[(3, 0)][0]
+    assert dlv.num_lanes == 3 and dlv.is_delivery
+
+
+def test_dmin_dilated_slots():
+    dmin = build_network("dmin", 2, 3, dilation=2)
+    assert len(dmin.slots[(1, 5)]) == 2
+    assert len(dmin.slots[(0, 5)]) == 1
+    assert len(dmin.slots[(3, 5)]) == 1
+
+
+def test_dilation_and_vcs_are_exclusive():
+    with pytest.raises(ValueError):
+        UnidirectionalNetwork(cube_min(2, 3), dilation=2, virtual_channels=2)
+    with pytest.raises(ValueError):
+        UnidirectionalNetwork(cube_min(2, 3), dilation=0)
+    with pytest.raises(ValueError):
+        BidirectionalNetwork(BidirectionalMIN(2, 3), virtual_channels=0)
+
+
+def test_topo_order_is_downstream_first_unidirectional():
+    net = build_network("tmin", 2, 3)
+    # Delivery channels must come before inner boundaries, injection last.
+    orders = {
+        label: ch.topo_order
+        for label, ch in ((c.label, c) for c in net.topo_channels)
+    }
+    assert orders["dlv[0]"] < orders["b2[0].0"] < orders["b1[0].0"] < orders["inj[0]"]
+
+
+def test_topo_order_is_downstream_first_bmin():
+    net = build_network("bmin", 2, 3)
+    orders = {c.label: c.topo_order for c in net.topo_channels}
+    # Backward: delivery (bwd0) before higher backward boundaries.
+    assert orders["bwd0[0]"] < orders["bwd1[0]"] < orders["bwd2[0]"]
+    # All backward before all forward; forward descending.
+    assert orders["bwd2[0]"] < orders["fwd2[0]"] < orders["fwd1[0]"] < orders["fwd0[0]"]
+
+
+def test_delivery_sinks_unidirectional():
+    net = build_network("tmin", 2, 3, topology="cube")
+    sinks = sorted(ch.sink for ch in net.topo_channels if ch.is_delivery)
+    assert sinks == list(range(8))
+
+
+def test_delivery_sinks_bmin():
+    net = build_network("bmin", 2, 3)
+    sinks = sorted(ch.sink for ch in net.topo_channels if ch.is_delivery)
+    assert sinks == list(range(8))
+
+
+def test_unidirectional_candidates_follow_slots():
+    net = build_network("tmin", 2, 3, topology="cube")
+    p = Packet(0, 1, 6, 8, 0.0)
+    net.prepare(p)
+    assert p.slots == net.spec.channels_of_path(1, 6)
+    # hop 0 = injection; candidates are for hop 1
+    cands = net.candidates(p)
+    assert cands == net.slots[p.slots[1]]
+    net.advance(p, cands[0])
+    assert p.hop == 1
+
+
+def test_bmin_candidates_forward_then_turn():
+    net = build_network("bmin", 2, 3)
+    p = Packet(0, 0b001, 0b101, 8, 0.0)  # Fig. 8: turns at stage 2
+    net.prepare(p)
+    assert p.bmin_turn == 2
+    # At stage 0 going up: both forward channels at boundary 1.
+    cands = net.candidates(p)
+    assert len(cands) == 2
+    assert all(ch.meta[0] == "fwd" and ch.meta[1] == 1 for ch in cands)
+    net.advance(p, cands[1])
+    assert p.bmin_boundary == 1 and p.bmin_going_up
+    # Stage 1: forward again, to boundary 2.
+    cands = net.candidates(p)
+    assert all(ch.meta[1] == 2 for ch in cands)
+    net.advance(p, cands[0])
+    # Stage 2 == turn stage: single backward candidate with digit2 = d2.
+    cands = net.candidates(p)
+    assert len(cands) == 1
+    direction, boundary, line = cands[0].meta
+    assert direction == "bwd" and boundary == 2
+    assert (line >> 2) & 1 == 1  # digit 2 pinned to destination's
+    net.advance(p, cands[0])
+    assert not p.bmin_going_up
+    # Descend: deterministic backward hops to the destination line.
+    cands = net.candidates(p)
+    direction, boundary, line = cands[0].meta
+    assert direction == "bwd" and boundary == 1
+    assert (line >> 1) & 1 == 0  # digit 1 pinned to destination's
+    net.advance(p, cands[0])
+    cands = net.candidates(p)
+    direction, boundary, line = cands[0].meta
+    assert direction == "bwd" and boundary == 0 and line == 0b101
+    assert cands[0].is_delivery and cands[0].sink == 0b101
+
+
+def test_bmin_turn_at_stage_zero_goes_straight_to_delivery():
+    net = build_network("bmin", 2, 3)
+    p = Packet(0, 0b000, 0b001, 8, 0.0)
+    net.prepare(p)
+    assert p.bmin_turn == 0
+    cands = net.candidates(p)
+    assert len(cands) == 1 and cands[0].is_delivery and cands[0].sink == 1
+
+
+def test_bmin_future_work_virtual_channels():
+    net = build_network("bmin", 2, 3, bmin_virtual_channels=2)
+    inner_fwd = net.fwd[(1, 0)]
+    assert inner_fwd.num_lanes == 2
+    assert net.injection_channel(0).num_lanes == 1
+    assert net.bwd[(0, 0)].num_lanes == 2
+
+
+def test_injection_channels_are_distinct():
+    net = build_network("dmin", 4, 3)
+    chans = {id(net.injection_channel(i)) for i in range(net.N)}
+    assert len(chans) == net.N

@@ -1,0 +1,129 @@
+"""Stress and property tests: deadlock freedom, conservation, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import PacketState
+
+ALL_KINDS = ["tmin", "dmin", "vmin", "bmin"]
+
+
+def _burst_run(kind, k, n, seed, packets=60, max_len=40):
+    """Offer a random burst, then drain; return (engine, packet list)."""
+    env = Environment()
+    net = build_network(kind, k=k, n=n)
+    eng = WormholeEngine(env, net, rng=RandomStream(seed))
+    rs = RandomStream(seed + 1)
+    offered = []
+    for _ in range(packets):
+        s = rs.uniform_int(0, net.N - 1)
+        d = rs.uniform_int(0, net.N - 2)
+        if d >= s:
+            d += 1
+        offered.append(eng.offer(s, d, rs.uniform_int(1, max_len)))
+    eng.drain(max_cycles=200_000)
+    return eng, offered
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_burst_traffic_always_drains(kind, seed):
+    """No deadlock: every burst empties the network completely."""
+    eng, offered = _burst_run(kind, 2, 3, seed)
+    assert all(p.state is PacketState.DELIVERED for p in offered)
+    assert eng.idle
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_flit_conservation(kind):
+    """Delivered flits == offered flits, per packet and in total."""
+    eng, offered = _burst_run(kind, 2, 3, seed=11)
+    assert eng.stats.delivered_flits == sum(p.length for p in offered)
+    for p in offered:
+        assert p.delivered_flits == p.length
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_all_channels_released_after_drain(kind):
+    eng, _ = _burst_run(kind, 2, 3, seed=7)
+    for ch in eng.network.topo_channels:
+        for lane in ch.lanes:
+            assert lane.owner is None
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_latency_lower_bound(kind):
+    """No packet beats the physics: latency >= hops + L - 2."""
+    eng, offered = _burst_run(kind, 2, 3, seed=23)
+    net = eng.network
+    for p in offered:
+        if kind == "bmin":
+            hops = 2 * (net.bmin.turn_stage(p.src, p.dst) + 1)
+        else:
+            hops = net.spec.n + 1
+        assert p.network_latency >= hops + p.length - 2
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_4ary_networks_drain(kind):
+    """The paper's 64-node geometry also survives a heavy burst."""
+    eng, offered = _burst_run(kind, 4, 3, seed=31, packets=200, max_len=30)
+    assert all(p.state is PacketState.DELIVERED for p in offered)
+
+
+@given(
+    kind=st.sampled_from(ALL_KINDS),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_bursts_drain_property(kind, seed):
+    eng, offered = _burst_run(kind, 2, 2, seed, packets=25, max_len=16)
+    assert all(p.state is PacketState.DELIVERED for p in offered)
+    assert eng.stats.delivered_flits == sum(p.length for p in offered)
+
+
+def test_adversarial_single_destination_hotspot():
+    """Everyone floods node 0: brutal output contention, still drains,
+    and total time is bounded below by the serialized delivery time."""
+    env = Environment()
+    net = build_network("tmin", 2, 3)
+    eng = WormholeEngine(env, net, rng=RandomStream(0))
+    total = 0
+    for s in range(1, 8):
+        for _ in range(3):
+            eng.offer(s, 0, 20)
+            total += 20
+    eng.drain(max_cycles=100_000)
+    assert eng.stats.delivered_flits == total
+    assert env.now >= total  # one delivery channel, one flit per cycle
+
+
+def test_permutation_burst_on_all_kinds():
+    """The shuffle permutation (Fig. 20a's pattern) delivered as a burst."""
+    from repro.topology.permutations import PerfectShuffle
+
+    for kind in ALL_KINDS:
+        env = Environment()
+        net = build_network(kind, 2, 3)
+        eng = WormholeEngine(env, net, rng=RandomStream(5))
+        shuffle = PerfectShuffle(2, 3)
+        offered = [
+            eng.offer(s, shuffle(s), 12) for s in range(8) if s != shuffle(s)
+        ]
+        eng.drain(max_cycles=100_000)
+        assert all(p.state is PacketState.DELIVERED for p in offered)
+
+
+def test_seed_reproducibility():
+    """Identical seeds give identical simulations, different seeds differ."""
+
+    def fingerprint(seed):
+        eng, offered = _burst_run("dmin", 2, 3, seed, packets=40)
+        return tuple(p.delivered_at for p in offered)
+
+    assert fingerprint(99) == fingerprint(99)
+    assert fingerprint(99) != fingerprint(100)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/*.txt into a single REPORT.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python tools/make_report.py [output.md]
+
+The report orders the paper's figures first, then the extension
+studies, and prefixes each with its provenance so the file stands alone.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+
+#: Section order and titles; anything else found is appended at the end.
+SECTIONS = [
+    ("fig16", "Figure 16 — cube vs. butterfly TMIN (uniform)"),
+    ("fig17", "Figure 17 — uneven cluster traffic ratios"),
+    ("fig18", "Figure 18 — four networks, uniform traffic"),
+    ("fig19", "Figure 19 — hot-spot traffic"),
+    ("fig20", "Figure 20 — permutation traffic"),
+    ("ablation_msgsize", "Ablation — message sizes (future work §6)"),
+    ("ablation_lanes", "Ablation — lane multiplicity (future work §6)"),
+    ("ablation_scale", "Ablation — network/switch geometry (future work §6)"),
+    ("ablation_cluster32", "Ablation — cluster-32 workload (§5 remark)"),
+    ("saturation", "Extension — bisected saturation loads"),
+    ("switching", "Extension — switching techniques (§1)"),
+    ("multicast", "Extension — software multicast (ref [32])"),
+]
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("REPORT.md")
+    if not RESULTS.is_dir():
+        print(f"no results at {RESULTS}; run the benchmark suite first")
+        return 1
+
+    chunks = [
+        "# Regenerated results — Ni, Gui & Moore, switch-based wormhole networks",
+        "",
+        f"Assembled {time.strftime('%Y-%m-%d %H:%M:%S')} from "
+        f"`benchmarks/results/` (see EXPERIMENTS.md for analysis).",
+        "",
+    ]
+    seen = set()
+    for stem, title in SECTIONS:
+        path = RESULTS / f"{stem}.txt"
+        if not path.exists():
+            continue
+        seen.add(path.name)
+        chunks += [f"## {title}", "", "```", path.read_text().rstrip(), "```", ""]
+    for path in sorted(RESULTS.glob("*.txt")):
+        if path.name in seen:
+            continue
+        chunks += [f"## {path.stem}", "", "```", path.read_text().rstrip(), "```", ""]
+
+    out_path.write_text("\n".join(chunks))
+    print(f"wrote {out_path} ({out_path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
