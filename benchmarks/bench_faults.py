@@ -1,0 +1,41 @@
+"""Availability benchmark: degradation vs. channel fault rate.
+
+Beyond the paper's figures: quantifies its Section 2 fault-tolerance
+argument.  The four networks run uniform traffic at a mid-range load
+while an MTBF/MTTR churn process takes fabric channels down (hard
+faults: worms on a failing wire are aborted) and source-side retry
+with exponential backoff re-injects the casualties.
+
+Claims checked: the TMIN's unique paths make it kill far more worms
+than the DMIN at the same fault rate, and the multi-path fabrics keep
+their eventual delivery ratio at least as high as the TMIN's.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.availability import (
+    availability_checks,
+    availability_comparison,
+    render_availability,
+)
+
+
+def test_availability(benchmark, results_dir, bench_cfg):
+    results = benchmark.pedantic(
+        availability_comparison, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    checks = availability_checks(results)
+    text = render_availability(results) + "\n\nshape checks:\n" + "\n".join(
+        f"  {c}" for c in checks
+    )
+    save_and_print(results_dir, "availability", text)
+
+    by_claim = {c.claim: c for c in checks}
+    probe = max(p.fault_rate for p in results[0].points)
+    assert by_claim[
+        f"fault tolerance at u={probe}: TMIN kills more worms than DMIN"
+    ].passed
+    assert by_claim[
+        f"fault tolerance at u={probe}: DMIN delivery ratio >= TMIN's"
+    ].passed
+    for label in ("TMIN", "DMIN", "VMIN", "BMIN"):
+        assert by_claim[f"{label}: fault-free point is undegraded"].passed

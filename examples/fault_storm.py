@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fault storm: mid-simulation wire cuts, source retry, DMIN vs TMIN.
+
+The paper's Section 2 argues for dilated MINs by fault tolerance: a
+unique-path TMIN loses (src, dst) pairs on any single channel fault,
+while a DMIN routes around it over the sibling lane. This demo makes
+the argument concrete: the *same* hard (wire-cut) fault storm strikes
+both networks mid-flight while a source-side retry layer re-injects
+the casualties with exponential backoff.
+
+Expected outcome: the DMIN absorbs the storm (worms aborted, retried,
+~all eventually delivered); the TMIN degrades permanently (retries
+re-roll the same dice until the budget runs out, messages dropped).
+
+Run:  python examples/fault_storm.py
+"""
+
+from repro.faults import FaultEvent, FaultPlan, RetryPolicy, SourceRetry
+from repro.metrics.collector import MeasurementWindow
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+
+#: Two fabric wires cut mid-run, each down for 30k cycles -- far longer
+#: than the retry layer's total backoff budget, so only a network with
+#: alternative paths can out-route (rather than out-wait) the storm.
+STORM = FaultPlan(
+    tuple(
+        FaultEvent(at=at, channels=(label,), duration=30_000.0, severity="hard")
+        for at, label in ((150.0, "b1[3].0"), (250.0, "b2[5].0"))
+    )
+)
+
+
+def storm_run(kind: str, seed: int = 21):
+    """200 random messages through one 8-node network under the storm."""
+    env = Environment()
+    engine = WormholeEngine(
+        env, build_network(kind, k=2, n=3), rng=RandomStream(seed)
+    )
+    retry = SourceRetry(
+        engine,
+        RetryPolicy(max_attempts=4, base_delay=32, max_delay=256, jitter=0.0),
+        RandomStream(seed + 1),
+    )
+    STORM.install(env, engine.network, engine)
+
+    window = MeasurementWindow(engine)
+    window.begin()
+    rs = RandomStream(seed + 2)
+    for _ in range(200):
+        src = rs.uniform_int(0, 7)
+        dst = rs.uniform_int(0, 6)
+        if dst >= src:
+            dst += 1  # uniform over the *other* nodes
+        engine.offer(src, dst, rs.uniform_int(8, 24))
+    retry.quiesce(max_cycles=500_000)  # drain network + retry pipeline
+    return window.finish(), retry
+
+
+def main() -> None:
+    print("fault storm: 2 hard wire cuts at t=150/250, 30k cycles each")
+    print("retry: <= 4 attempts, backoff 32 -> 256 cycles\n")
+    print(
+        f"{'net':>5} | {'delivered':>9} | {'fail':>5} | {'retry':>5} "
+        f"| {'drop':>5} | eventual delivery"
+    )
+    print("-" * 62)
+    for kind in ("dmin", "tmin"):
+        m, retry = storm_run(kind)
+        print(
+            f"{kind.upper():>5} | {m.delivered_packets:9d} | "
+            f"{m.failed_packets:5d} | {m.retried_packets:5d} | "
+            f"{m.dropped_packets:5d} | {retry.delivered_ratio():.1%}"
+        )
+    print(
+        "\nThe DMIN retries route around the cut wires over sibling"
+        "\nlanes; the TMIN's unique paths make every retry fail until"
+        "\nthe attempt budget is exhausted -- permanent degradation."
+    )
+
+
+if __name__ == "__main__":
+    main()

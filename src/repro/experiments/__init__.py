@@ -9,9 +9,15 @@
   (Fig. 16 through Fig. 20), each returning a
   :class:`~repro.experiments.figures.FigureResult` with all series;
 * :mod:`repro.experiments.report` -- aligned text tables and the
-  shape-checks recorded in EXPERIMENTS.md.
+  shape-checks recorded in EXPERIMENTS.md;
+* :mod:`repro.experiments.availability` -- degradation sweeps
+  (throughput / latency / delivery ratio vs. channel fault rate) using
+  :mod:`repro.faults`;
+* :mod:`repro.experiments.parallel` -- crash-tolerant multi-process
+  execution with per-point retry and JSON checkpoint/resume.
 
-Command line: ``python -m repro.experiments --figure 18 --mode scaled``.
+Command line: ``python -m repro.experiments --figure 18 --mode scaled``
+(or ``--availability``).
 """
 
 from repro.experiments.config import (
@@ -36,13 +42,34 @@ from repro.experiments.plotting import ascii_curve_plot, plot_figure
 from repro.experiments.export import write_figure_csv, write_figure_json
 from repro.experiments.saturation import SaturationPoint, find_saturation
 from repro.experiments.workload_spec import WorkloadSpec
-from repro.experiments.parallel import parallel_matrix, parallel_sweep
+from repro.experiments.parallel import (
+    SweepCheckpoint,
+    parallel_matrix,
+    parallel_sweep,
+)
+from repro.experiments.availability import (
+    AvailabilityPoint,
+    AvailabilityResult,
+    availability_checks,
+    availability_comparison,
+    availability_point,
+    availability_sweep,
+    render_availability,
+)
 
 __all__ = [
+    "AvailabilityPoint",
+    "AvailabilityResult",
     "FIGURE_BUILDERS",
     "FULL_FIDELITY",
     "FigureResult",
     "LoadPoint",
+    "SweepCheckpoint",
+    "availability_checks",
+    "availability_comparison",
+    "availability_point",
+    "availability_sweep",
+    "render_availability",
     "NetworkConfig",
     "RunConfig",
     "SCALED",

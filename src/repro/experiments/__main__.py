@@ -1,7 +1,8 @@
-"""CLI: regenerate the paper's figures.
+"""CLI: regenerate the paper's figures and the availability sweep.
 
     python -m repro.experiments --figure fig18 --mode scaled
     python -m repro.experiments --all --mode smoke
+    python -m repro.experiments --availability --mode smoke
 """
 
 from __future__ import annotations
@@ -30,6 +31,18 @@ def main(argv: list[str] | None = None) -> int:
         "--all", action="store_true", help="regenerate every figure"
     )
     parser.add_argument(
+        "--availability",
+        action="store_true",
+        help="run the fault-rate degradation sweep (beyond the paper)",
+    )
+    parser.add_argument(
+        "--fault-rates",
+        type=float,
+        nargs="+",
+        metavar="U",
+        help="per-channel unavailability ladder for --availability",
+    )
+    parser.add_argument(
         "--mode",
         choices=sorted(PRESETS),
         default="scaled",
@@ -44,12 +57,36 @@ def main(argv: list[str] | None = None) -> int:
         help="also write <DIR>/<figure>.csv and .json exports",
     )
     args = parser.parse_args(argv)
-    if not args.all and not args.figure:
-        parser.error("pick --figure <id> or --all")
+    if not args.all and not args.figure and not args.availability:
+        parser.error("pick --figure <id>, --all or --availability")
 
     run_cfg = PRESETS[args.mode]
-    targets = sorted(FIGURE_BUILDERS) if args.all else [args.figure]
     failures = 0
+
+    if args.availability:
+        from repro.experiments.availability import (
+            FAULT_RATES,
+            availability_checks,
+            availability_comparison,
+            render_availability,
+        )
+
+        start = time.perf_counter()
+        rates = tuple(args.fault_rates) if args.fault_rates else FAULT_RATES
+        results = availability_comparison(run_cfg, fault_rates=rates)
+        elapsed = time.perf_counter() - start
+        print(render_availability(results))
+        print(f"\n(availability sweep in {elapsed:.1f}s, mode={args.mode})")
+        print("\nshape checks:")
+        for chk in availability_checks(results):
+            print(f"  {chk}")
+            if not chk.passed:
+                failures += 1
+        print()
+        if not args.all and not args.figure:
+            return 1 if failures else 0
+
+    targets = sorted(FIGURE_BUILDERS) if args.all else [args.figure]
     for name in targets:
         start = time.perf_counter()
         fig = FIGURE_BUILDERS[name](run_cfg)

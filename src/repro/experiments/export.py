@@ -36,6 +36,9 @@ CSV_FIELDS = [
     "max_queue_len",
     "sustainable",
     "cycles",
+    "failed_packets",
+    "retried_packets",
+    "dropped_packets",
 ]
 
 
@@ -44,6 +47,8 @@ def sweep_rows(sweep: SweepResult) -> list[dict]:
     rows = []
     for p in sweep.points:
         m = p.measurement
+        if m is None:  # crashed point from a partial parallel run
+            continue
         rows.append(
             {
                 "series": sweep.label,
@@ -59,6 +64,9 @@ def sweep_rows(sweep: SweepResult) -> list[dict]:
                 "max_queue_len": m.max_queue_len,
                 "sustainable": m.sustainable,
                 "cycles": m.cycles,
+                "failed_packets": m.failed_packets,
+                "retried_packets": m.retried_packets,
+                "dropped_packets": m.dropped_packets,
             }
         )
     return rows
@@ -124,8 +132,11 @@ def read_figure_csv(path: Union[str, Path]) -> list[dict]:
                 "delivered_flits",
                 "offered_packets",
                 "max_queue_len",
+                "failed_packets",
+                "retried_packets",
+                "dropped_packets",
             ):
-                row[key] = int(row[key])
+                row[key] = int(row[key] or 0)
             row["sustainable"] = raw["sustainable"] == "True"
             rows.append(row)
     return rows

@@ -1,4 +1,4 @@
-"""Multi-process experiment execution.
+"""Crash-tolerant multi-process experiment execution.
 
 Simulation points are pure functions of picklable configuration
 (:class:`NetworkConfig`, :class:`WorkloadSpec`, :class:`RunConfig`,
@@ -9,24 +9,265 @@ only wall-clock changes.
 
     spec = WorkloadSpec(pattern="uniform")
     result = parallel_sweep(NetworkConfig("dmin"), spec, SCALED)
+
+Robustness (long sweeps survive their infrastructure):
+
+* **future per task** -- one crashed worker loses one point, never the
+  pool's other results;
+* **per-point timeout** -- ``timeout=`` seconds of wall clock per
+  point, enforced by SIGALRM inside the worker (plus a phase-level
+  backstop), so a hung point cannot wedge the whole figure;
+* **retry with backoff** -- crashed/timed-out points are re-run
+  sequentially in the parent (``retries=`` attempts, exponential
+  sleep), where a transient failure (OOM-killed worker, flaky node)
+  usually clears;
+* **partial results** -- a point that still fails yields a
+  :class:`~repro.experiments.runner.LoadPoint` with ``measurement=None``
+  and the error string attached, so every completed point is kept;
+* **checkpoint/resume** -- ``checkpoint="sweep.json"`` persists each
+  finished point as it lands; re-running with the same path skips them.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.experiments.config import NetworkConfig, RunConfig
 from repro.experiments.runner import LoadPoint, SweepResult, run_point
 from repro.experiments.workload_spec import WorkloadSpec
+from repro.metrics.collector import Measurement
+
+#: One task: (network, spec, load, run_cfg); its key inside a matrix is
+#: (network.label, load).
+PointTask = tuple[NetworkConfig, WorkloadSpec, float, RunConfig]
+
+#: A point runner maps one task to its LoadPoint (overridable in tests
+#: to inject crashes; must be a picklable module-level callable).
+PointRunner = Callable[[PointTask], LoadPoint]
 
 
-def _point_task(
-    args: tuple[NetworkConfig, WorkloadSpec, float, RunConfig],
-) -> LoadPoint:
+def _point_task(args: PointTask) -> LoadPoint:
     network, spec, load, run_cfg = args
     measurement = run_point(network, spec.builder(run_cfg), load, run_cfg)
     return LoadPoint(load, measurement)
+
+
+def _alarmed_runner(
+    payload: tuple[PointRunner, float, PointTask],
+) -> LoadPoint:
+    """Run one point under a SIGALRM wall-clock limit (in the worker).
+
+    Converts a hung point into an ordinary ``TimeoutError`` failure the
+    parent handles like any crash; the phase deadline in
+    :func:`_run_tasks` remains as a backstop for workers stuck in
+    uninterruptible code.
+    """
+    runner, seconds, task = payload
+    import signal
+
+    def _fire(signum, frame):
+        raise TimeoutError(f"point exceeded {seconds}s")
+
+    old = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return runner(task)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _task_key(task: PointTask) -> str:
+    network, spec, load, _ = task
+    return f"{network.label}|{spec.label}|{load!r}"
+
+
+# ------------------------------------------------------------- checkpointing
+
+
+def _measurement_to_dict(m: Measurement) -> dict:
+    return dataclasses.asdict(m)
+
+
+def _measurement_from_dict(d: dict) -> Measurement:
+    return Measurement(**d)
+
+
+class SweepCheckpoint:
+    """JSON persistence of finished points, keyed by (network, spec, load).
+
+    The file is rewritten atomically (write-temp-then-rename) after each
+    completed point, so an interrupted sweep resumes from the last point
+    that finished, never from a torn file.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._done: dict[str, LoadPoint] = {}
+        if self.path.exists():
+            payload = json.loads(self.path.read_text())
+            for key, entry in payload.get("points", {}).items():
+                self._done[key] = LoadPoint(
+                    entry["offered_load"],
+                    _measurement_from_dict(entry["measurement"]),
+                )
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def get(self, task: PointTask) -> Optional[LoadPoint]:
+        """The finished point for this task, if checkpointed."""
+        return self._done.get(_task_key(task))
+
+    def record(self, task: PointTask, point: LoadPoint) -> None:
+        """Persist one finished point (errored points are not kept:
+        a resume should re-attempt them)."""
+        if not point.ok:
+            return
+        self._done[_task_key(task)] = point
+        self._flush()
+
+    def _flush(self) -> None:
+        payload = {
+            "version": 1,
+            "points": {
+                key: {
+                    "offered_load": p.offered_load,
+                    "measurement": _measurement_to_dict(p.measurement),
+                }
+                for key, p in self._done.items()
+            },
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+# ---------------------------------------------------------------- execution
+
+
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_tasks(
+    tasks: Sequence[PointTask],
+    max_workers: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    point_runner: PointRunner,
+    checkpoint: Optional[SweepCheckpoint],
+) -> list[LoadPoint]:
+    """Run every task crash-tolerantly; returns points in task order."""
+    results: dict[int, LoadPoint] = {}
+    pending_idx: list[int] = []
+    if checkpoint is not None:
+        for i, task in enumerate(tasks):
+            done = checkpoint.get(task)
+            if done is not None:
+                results[i] = done
+            else:
+                pending_idx.append(i)
+    else:
+        pending_idx = list(range(len(tasks)))
+
+    failed: dict[int, str] = {}
+    if pending_idx:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        abandoned = False
+        try:
+            if timeout is not None:
+                # Per-point wall-clock limit, enforced by SIGALRM inside
+                # each worker; the phase deadline below is the backstop.
+                future_of = {
+                    pool.submit(
+                        _alarmed_runner, (point_runner, timeout, tasks[i])
+                    ): i
+                    for i in pending_idx
+                }
+                workers = max_workers or os.cpu_count() or 1
+                waves = -(-len(pending_idx) // workers)  # ceil division
+                deadline = time.monotonic() + timeout * waves + 5.0
+            else:
+                future_of = {
+                    pool.submit(point_runner, tasks[i]): i
+                    for i in pending_idx
+                }
+                deadline = None
+            outstanding = set(future_of)
+            while outstanding:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    for fut in outstanding:  # stuck past even the backstop
+                        fut.cancel()
+                        failed[future_of[fut]] = (
+                            f"TimeoutError: phase deadline exceeded "
+                            f"({timeout}s per point)"
+                        )
+                    abandoned = True
+                    break
+                done, outstanding = wait(
+                    outstanding, timeout=remaining, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    i = future_of[fut]
+                    try:
+                        point = fut.result()
+                    except Exception as exc:  # worker crash
+                        failed[i] = _format_error(exc)
+                    else:
+                        results[i] = point
+                        if checkpoint is not None:
+                            checkpoint.record(tasks[i], point)
+        finally:
+            # A hung worker must not wedge the parent: abandon the pool
+            # without joining when we timed out (workers are reaped at
+            # interpreter exit); join normally otherwise.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+    # Sequential retry of the casualties, with exponential backoff: a
+    # transiently failing point (OOM-killed worker, flaky machine)
+    # usually succeeds in the parent.
+    for i, first_error in sorted(failed.items()):
+        error = first_error
+        point: Optional[LoadPoint] = None
+        for attempt in range(retries):
+            if backoff > 0:
+                time.sleep(backoff * (2.0**attempt))
+            try:
+                point = point_runner(tasks[i])
+                break
+            except Exception as exc:
+                error = _format_error(exc)
+        if point is not None:
+            results[i] = point
+            if checkpoint is not None:
+                checkpoint.record(tasks[i], point)
+        else:
+            results[i] = LoadPoint(tasks[i][2], None, error=error)
+
+    return [results[i] for i in range(len(tasks))]
+
+
+# ------------------------------------------------------------- entry points
 
 
 def parallel_sweep(
@@ -36,13 +277,28 @@ def parallel_sweep(
     loads: Optional[Sequence[float]] = None,
     label: Optional[str] = None,
     max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.0,
+    checkpoint: Union[None, str, Path, SweepCheckpoint] = None,
+    point_runner: PointRunner = _point_task,
 ) -> SweepResult:
-    """Offered-load sweep with one process per point."""
+    """Offered-load sweep with one process per point.
+
+    ``timeout`` is a per-point wall-clock limit in seconds (SIGALRM in
+    the worker, with a whole-phase backstop for uninterruptible hangs);
+    ``retries``/``backoff`` re-run crashed points sequentially;
+    ``checkpoint`` names a JSON file for resume.  Crashed points come
+    back as ``LoadPoint(load, None, error=...)`` -- check
+    ``SweepResult.complete``.
+    """
     loads = tuple(loads) if loads is not None else run_cfg.loads
     tasks = [(network, spec, load, run_cfg) for load in loads]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        points = tuple(pool.map(_point_task, tasks))
-    return SweepResult(label or f"{network.label} / {spec.label}", points)
+    ckpt = _coerce_checkpoint(checkpoint)
+    points = _run_tasks(
+        tasks, max_workers, timeout, retries, backoff, point_runner, ckpt
+    )
+    return SweepResult(label or f"{network.label} / {spec.label}", tuple(points))
 
 
 def parallel_matrix(
@@ -51,6 +307,11 @@ def parallel_matrix(
     run_cfg: RunConfig,
     loads: Optional[Sequence[float]] = None,
     max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.0,
+    checkpoint: Union[None, str, Path, SweepCheckpoint] = None,
+    point_runner: PointRunner = _point_task,
 ) -> list[SweepResult]:
     """Every (network, load) point of a comparison, one pool, all at once."""
     loads = tuple(loads) if loads is not None else run_cfg.loads
@@ -59,8 +320,10 @@ def parallel_matrix(
         for network in networks
         for load in loads
     ]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        flat = list(pool.map(_point_task, tasks))
+    ckpt = _coerce_checkpoint(checkpoint)
+    flat = _run_tasks(
+        tasks, max_workers, timeout, retries, backoff, point_runner, ckpt
+    )
     out = []
     for i, network in enumerate(networks):
         chunk = tuple(flat[i * len(loads) : (i + 1) * len(loads)])
@@ -68,3 +331,11 @@ def parallel_matrix(
             SweepResult(f"{network.label} / {spec.label}", chunk)
         )
     return out
+
+
+def _coerce_checkpoint(
+    checkpoint: Union[None, str, Path, SweepCheckpoint],
+) -> Optional[SweepCheckpoint]:
+    if checkpoint is None or isinstance(checkpoint, SweepCheckpoint):
+        return checkpoint
+    return SweepCheckpoint(checkpoint)

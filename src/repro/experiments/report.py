@@ -15,21 +15,42 @@ from repro.experiments.runner import SweepResult
 
 
 def render_sweep(s: SweepResult) -> str:
-    """One series as an aligned text table (the curve's data rows)."""
+    """One series as an aligned text table (the curve's data rows).
+
+    Fault-degradation columns (fail/retry/drop) appear only when some
+    point in the series actually degraded, keeping fault-free tables
+    identical to the paper's.  Points that crashed in a parallel run
+    (``LoadPoint.error``) render as an ERROR row instead of data.
+    """
+    degraded = any(
+        p.measurement is not None and p.measurement.degraded for p in s.points
+    )
     lines = [f"## {s.label}"]
-    lines.append(
+    header = (
         f"{'load':>6} | {'thr %':>7} | {'avg lat':>9} | {'net lat':>9} "
         f"| {'p95':>8} | {'pkts':>6} | sust"
     )
-    lines.append("-" * 66)
+    if degraded:
+        header += f" | {'fail':>5} | {'retry':>5} | {'drop':>5}"
+    lines.append(header)
+    lines.append("-" * len(header))
     for p in s.points:
+        if p.measurement is None:
+            lines.append(f"{p.offered_load:6.2f} | ERROR: {p.error}")
+            continue
         m = p.measurement
-        lines.append(
+        row = (
             f"{p.offered_load:6.2f} | {m.throughput_percent:7.2f} | "
             f"{m.avg_latency:9.1f} | {m.avg_network_latency:9.1f} | "
             f"{m.p95_latency:8.0f} | {m.delivered_packets:6d} | "
-            f"{'yes' if m.sustainable else 'NO'}"
+            f"{'yes' if m.sustainable else 'NO':>4}"
         )
+        if degraded:
+            row += (
+                f" | {m.failed_packets:5d} | {m.retried_packets:5d} "
+                f"| {m.dropped_packets:5d}"
+            )
+        lines.append(row)
     return "\n".join(lines)
 
 

@@ -10,7 +10,7 @@ throughput simply reflects what the network sustained).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.experiments.config import NetworkConfig, RunConfig
 from repro.metrics.collector import Measurement, MeasurementWindow
@@ -28,10 +28,21 @@ _CHUNK = 512
 
 @dataclass(frozen=True)
 class LoadPoint:
-    """One sweep point: requested load plus the measured window."""
+    """One sweep point: requested load plus the measured window.
+
+    A point that crashed in a fault-tolerant parallel run carries
+    ``measurement=None`` and the worker's error string instead (see
+    :func:`repro.experiments.parallel.parallel_sweep`).
+    """
 
     offered_load: float
-    measurement: Measurement
+    measurement: Optional[Measurement]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the point actually measured (no worker error)."""
+        return self.measurement is not None
 
 
 @dataclass(frozen=True)
@@ -41,25 +52,40 @@ class SweepResult:
     label: str
     points: tuple[LoadPoint, ...]
 
+    @property
+    def complete(self) -> bool:
+        """True when every point measured (no crashed workers)."""
+        return all(p.ok for p in self.points)
+
+    def errors(self) -> list[tuple[float, str]]:
+        """(load, error) of every crashed point."""
+        return [(p.offered_load, p.error) for p in self.points if not p.ok]
+
     def max_sustained_throughput(self) -> float:
         """Highest throughput % over the *sustainable* points.
 
         Falls back to the overall maximum when every point saturated
         (the series' sustainable region lies below the lightest load).
+        Crashed points are skipped.
         """
+        measured = [p.measurement for p in self.points if p.ok]
+        if not measured:
+            raise ValueError(f"series {self.label!r} has no measured points")
         sustained = [
-            p.measurement.throughput_percent
-            for p in self.points
-            if p.measurement.sustainable
+            m.throughput_percent for m in measured if m.sustainable
         ]
         if sustained:
             return max(sustained)
-        return max(p.measurement.throughput_percent for p in self.points)
+        return max(m.throughput_percent for m in measured)
 
     def latency_at(self, load: float) -> float:
         """Average latency measured at an exact sweep load."""
         for p in self.points:
             if p.offered_load == load:
+                if not p.ok:
+                    raise ValueError(
+                        f"point at load {load} crashed: {p.error}"
+                    )
                 return p.measurement.avg_latency
         raise KeyError(f"no point at load {load}")
 

@@ -1,0 +1,221 @@
+"""Scheduled fault injection: deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative schedule of channel (or whole
+switch) failures -- transient (fail at ``at``, repair at ``at +
+duration``), or permanent (``duration=None``).  Installing the plan
+into a running simulation spawns one sim process that applies each
+event at its scheduled cycle, so channels flip ``faulty`` *mid-flight*
+rather than only before the run starts.
+
+Two severities:
+
+* ``"soft"`` (default) -- the link disappears from the routing tables:
+  new headers can no longer acquire it, worms already streaming across
+  finish normally (the model the static ``PhysChannel.fail`` tests
+  use).
+* ``"hard"`` -- the wire is cut: additionally every worm currently
+  holding a lane of the channel is aborted through
+  :meth:`~repro.wormhole.engine.WormholeEngine.abort_packet`
+  (requires passing the engine to :meth:`FaultPlan.install`).
+
+Whole-switch failures name a ``(stage, switch)`` pair and expand to the
+switch's output channels (a dead switch forwards nothing), for both the
+unidirectional MINs and the BMIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.core import Environment
+from repro.wormhole.channel import PhysChannel
+from repro.wormhole.engine import WormholeEngine
+from repro.wormhole.packet import PacketState
+from repro.wormhole.network import (
+    BidirectionalNetwork,
+    SimNetwork,
+    UnidirectionalNetwork,
+)
+
+SEVERITIES = ("soft", "hard")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    Parameters
+    ----------
+    at:
+        Simulation cycle the fault strikes (relative to install time).
+    channels:
+        Channel labels to fail (see ``PhysChannel.label``); may be
+        combined with ``switch``.
+    switch:
+        Optional ``(stage, switch_index)`` whole-switch failure.
+    duration:
+        Cycles until repair; ``None`` means permanent.
+    severity:
+        ``"soft"`` (routing-table removal) or ``"hard"`` (wire cut:
+        worms on the channel are aborted too).
+    """
+
+    at: float
+    channels: tuple[str, ...] = ()
+    switch: Optional[tuple[int, int]] = None
+    duration: Optional[float] = None
+    severity: str = "soft"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("transient faults need a positive duration")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}")
+        if not self.channels and self.switch is None:
+            raise ValueError("a fault event needs channels and/or a switch")
+
+    @property
+    def transient(self) -> bool:
+        """True when the fault repairs itself after ``duration``."""
+        return self.duration is not None
+
+
+def switch_output_channels(
+    network: SimNetwork, stage: int, switch: int
+) -> list[PhysChannel]:
+    """The output channels of one switch (what a dead switch silences).
+
+    For the unidirectional MINs, stage ``s`` switch ``j`` drives the
+    ``k`` link positions ``j*k .. j*k+k-1`` at boundary ``s+1`` (every
+    dilated channel of each slot).  For the BMIN, a stage-``s`` switch
+    drives its forward right lines (boundary ``s+1``, if any) and its
+    backward left lines (boundary ``s``).
+    """
+    if isinstance(network, UnidirectionalNetwork):
+        spec = network.spec
+        if not 0 <= stage < spec.n:
+            raise ValueError(f"stage {stage} out of range 0..{spec.n - 1}")
+        if not 0 <= switch < spec.switches_per_stage:
+            raise ValueError(f"switch {switch} out of range")
+        out: list[PhysChannel] = []
+        for port in range(spec.k):
+            out.extend(network.slots[(stage + 1, switch * spec.k + port)])
+        return out
+    if isinstance(network, BidirectionalNetwork):
+        bmin = network.bmin
+        out = []
+        for line in bmin.right_lines_of_switch(stage, switch):
+            out.append(network.fwd[(stage + 1, line)])
+        for line in bmin.left_lines_of_switch(stage, switch):
+            out.append(network.bwd[(stage, line)])
+        return out
+    raise TypeError(f"no switch model for {type(network).__name__}")
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to a live network.
+
+    Created by :meth:`FaultPlan.install`; holds counters for tests and
+    reports (:attr:`injected`, :attr:`repaired`, :attr:`killed_worms`).
+    """
+
+    def __init__(
+        self,
+        plan: "FaultPlan",
+        env: Environment,
+        network: SimNetwork,
+        engine: Optional[WormholeEngine] = None,
+    ) -> None:
+        if engine is None and any(e.severity == "hard" for e in plan.events):
+            raise ValueError("hard fault events need the engine to kill worms")
+        self.plan = plan
+        self.env = env
+        self.network = network
+        self.engine = engine
+        self.injected = 0
+        self.repaired = 0
+        self.killed_worms = 0
+        self._base = env.now
+        for event in plan.events:
+            env.process(self._run_event(event), name=f"fault@{event.at}")
+
+    def _resolve(self, event: FaultEvent) -> list[PhysChannel]:
+        channels = [self.network.find_channel(lbl) for lbl in event.channels]
+        if event.switch is not None:
+            channels.extend(
+                switch_output_channels(self.network, *event.switch)
+            )
+        return channels
+
+    def _run_event(self, event: FaultEvent):
+        delay = self._base + event.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        channels = self._resolve(event)
+        for ch in channels:
+            ch.fail()
+            self.injected += 1
+            if event.severity == "hard":
+                for worm in ch.owners():
+                    # A long worm may span several channels of this very
+                    # event; kill it once.
+                    if worm.state is PacketState.ACTIVE:
+                        self.engine.abort_packet(worm)
+                        self.killed_worms += 1
+        if event.duration is not None:
+            yield self.env.timeout(event.duration)
+            for ch in channels:
+                ch.repair()
+                self.repaired += 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events.
+
+    Usage::
+
+        plan = FaultPlan((
+            FaultEvent(at=500, channels=("b1[3].0",), duration=2_000),
+            FaultEvent(at=800, switch=(1, 2)),           # permanent
+        ))
+        injector = plan.install(env, engine.network, engine)
+    """
+
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("an empty fault plan is a no-op; refuse it")
+
+    def install(
+        self,
+        env: Environment,
+        network: SimNetwork,
+        engine: Optional[WormholeEngine] = None,
+    ) -> FaultInjector:
+        """Spawn the injector processes; events fire relative to now."""
+        return FaultInjector(self, env, network, engine)
+
+    @classmethod
+    def single(
+        cls,
+        at: float,
+        channel: str,
+        duration: Optional[float] = None,
+        severity: str = "soft",
+    ) -> "FaultPlan":
+        """Convenience: one fault on one channel."""
+        return cls(
+            (
+                FaultEvent(
+                    at=at,
+                    channels=(channel,),
+                    duration=duration,
+                    severity=severity,
+                ),
+            )
+        )

@@ -1,0 +1,184 @@
+"""Source-side recovery: retry FAILED packets with exponential backoff.
+
+Wormhole switching drops a worm when its header finds every next-hop
+channel faulty (the engine's ``_abort``).  Real machines recover at the
+source: the sender times the message out and re-injects it.
+:class:`SourceRetry` implements exactly that on top of the engine's
+observer hooks:
+
+* every FAILED packet is re-offered after an exponential backoff
+  (``base_delay * factor**attempt``, capped, with ± ``jitter``
+  randomization to avoid retry synchronization);
+* attempts are capped (``max_attempts`` total injections of the same
+  message); a message that exhausts them is *dropped* --
+  ``stats.dropped_packets`` counts these, the paper-level "permanent
+  degradation" signal;
+* optionally each injection carries a timeout: a packet neither
+  delivered nor failed within ``attempt_timeout`` cycles is aborted
+  through :meth:`~repro.wormhole.engine.WormholeEngine.abort_packet`
+  and takes the same retry path (guards against worms parked behind a
+  persistent fault front).
+
+Every re-injection increments ``stats.retried_packets``, so the
+degradation accounting flows into
+:class:`~repro.metrics.collector.Measurement` without further wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RandomStream
+from repro.wormhole.engine import WormholeEngine
+from repro.wormhole.packet import Packet, PacketState
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for source-side re-injection.
+
+    ``max_attempts`` counts total injections (first try included), so
+    ``max_attempts=1`` disables retries while keeping the accounting.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 64.0      # cycles before the first retry
+    factor: float = 2.0           # exponential growth per attempt
+    max_delay: float = 4096.0     # backoff cap
+    jitter: float = 0.25          # +- fraction randomized per retry
+    attempt_timeout: float | None = None  # cycles per injection, None = off
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay <= 0 or self.factor < 1.0 or self.max_delay <= 0:
+            raise ValueError("need base_delay > 0, factor >= 1, max_delay > 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
+
+    def delay(self, attempt: int, rng: RandomStream) -> float:
+        """Backoff before re-injection number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(raw, 1.0)
+
+
+class SourceRetry:
+    """Installs retry-with-backoff recovery onto a live engine.
+
+    Usage::
+
+        retry = SourceRetry(engine, RetryPolicy(), RandomStream(7))
+        ... offer traffic, run ...
+        retry.quiesce()          # drain including pending retries
+        retry.delivered_ratio()  # unique messages eventually delivered
+
+    The manager identifies a *message* by its first injection's pid and
+    follows it across re-injections; :attr:`outcomes` maps that root pid
+    to ``"delivered"`` or ``"dropped"`` once settled.
+    """
+
+    def __init__(
+        self,
+        engine: WormholeEngine,
+        policy: RetryPolicy | None = None,
+        rng: RandomStream | None = None,
+    ) -> None:
+        self.engine = engine
+        self.env = engine.env
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rng = rng if rng is not None else RandomStream(0, name="retry")
+        #: pid -> (root pid, attempts used so far for that message)
+        self._attempts: dict[int, tuple[int, int]] = {}
+        #: root pid -> final outcome ("delivered" | "dropped")
+        self.outcomes: dict[int, str] = {}
+        self.pending_retries = 0
+        self.retried = 0
+        self.dropped = 0
+        self.recovered = 0  # delivered on attempt >= 2
+        engine.on_packet_offered.append(self._on_offer)
+        engine.on_packet_delivered.append(self._on_deliver)
+        engine.on_packet_failed.append(self._on_fail)
+
+    # -- hook plumbing -----------------------------------------------------
+
+    def _on_offer(self, p: Packet) -> None:
+        # Re-injections pre-register themselves; anything else is a
+        # fresh message on its first attempt.
+        self._attempts.setdefault(p.pid, (p.pid, 1))
+        if self.policy.attempt_timeout is not None:
+            self.env.process(
+                self._watchdog(p), name=f"retry-timeout-{p.pid}"
+            )
+
+    def _on_deliver(self, p: Packet) -> None:
+        root, attempts = self._attempts.pop(p.pid, (p.pid, 1))
+        if attempts > 1:
+            self.recovered += 1
+        self.outcomes[root] = "delivered"
+
+    def _on_fail(self, p: Packet) -> None:
+        root, attempts = self._attempts.pop(p.pid, (p.pid, 1))
+        if attempts >= self.policy.max_attempts:
+            self.dropped += 1
+            self.engine.stats.dropped_packets += 1
+            self.outcomes[root] = "dropped"
+            return
+        self.pending_retries += 1
+        self.env.process(
+            self._reinject(p, root, attempts), name=f"retry-{root}"
+        )
+
+    # -- sim processes -----------------------------------------------------
+
+    def _watchdog(self, p: Packet):
+        yield self.env.timeout(self.policy.attempt_timeout)
+        if p.state in (PacketState.QUEUED, PacketState.ACTIVE):
+            # Abort triggers _on_fail, which schedules the retry.
+            self.engine.abort_packet(p)
+
+    def _reinject(self, p: Packet, root: int, attempts: int):
+        yield self.env.timeout(self.policy.delay(attempts, self.rng))
+        self.pending_retries -= 1
+        self.retried += 1
+        self.engine.stats.retried_packets += 1
+        clone = self.engine.offer(p.src, p.dst, p.length)
+        # _on_offer already registered attempt 1; overwrite with truth.
+        self._attempts[clone.pid] = (root, attempts + 1)
+
+    # -- reporting ---------------------------------------------------------
+
+    def delivered_ratio(self) -> float:
+        """Fraction of settled messages that ended delivered."""
+        if not self.outcomes:
+            return float("nan")
+        done = sum(1 for o in self.outcomes.values() if o == "delivered")
+        return done / len(self.outcomes)
+
+    def quiesce(self, max_cycles: int = 1_000_000) -> None:
+        """Drain the network *and* the retry pipeline.
+
+        Unlike :meth:`WormholeEngine.drain` this keeps running while
+        backoff timers hold packets outside the network.
+        """
+        deadline = self.env.now + max_cycles
+        self.engine.start()
+        while (
+            not self.engine.idle or self.pending_retries
+        ) and self.env.now < deadline:
+            self.env.run(until=min(self.env.now + 256, deadline))
+        if not self.engine.idle or self.pending_retries:
+            raise RuntimeError(
+                f"retry pipeline failed to quiesce within {max_cycles} "
+                f"cycles ({self.engine.in_flight} in flight, "
+                f"{self.pending_retries} retries pending)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SourceRetry retried={self.retried} dropped={self.dropped} "
+            f"recovered={self.recovered} pending={self.pending_retries}>"
+        )

@@ -44,6 +44,11 @@ class Measurement:
     throughput: float             # flits per node-cycle, 0..1
     max_queue_len: int
     sustainable: bool
+    # Degradation accounting (fault injection / recovery; all zero in
+    # fault-free runs, so they default for backward compatibility).
+    failed_packets: int = 0       # aborted worms + dead-injection kills
+    retried_packets: int = 0      # re-injections by a recovery layer
+    dropped_packets: int = 0      # messages whose retries were exhausted
 
     @property
     def throughput_percent(self) -> float:
@@ -55,13 +60,35 @@ class Measurement:
         """Latency in the paper's microseconds (20 flits/us channels)."""
         return self.avg_latency / FLITS_PER_MICROSECOND
 
+    @property
+    def degraded(self) -> bool:
+        """True when any packet failed, retried or dropped in the window."""
+        return bool(
+            self.failed_packets or self.retried_packets or self.dropped_packets
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of injection attempts in the window."""
+        attempts = self.delivered_packets + self.failed_packets
+        if attempts == 0:
+            return float("nan")
+        return self.delivered_packets / attempts
+
     def __str__(self) -> str:
         status = "" if self.sustainable else "  [UNSUSTAINABLE]"
+        faults = (
+            f"  fail={self.failed_packets}"
+            f" retry={self.retried_packets}"
+            f" drop={self.dropped_packets}"
+            if self.degraded
+            else ""
+        )
         return (
             f"thr={self.throughput_percent:5.1f}%  "
             f"lat={self.avg_latency:8.1f}cyc (net {self.avg_network_latency:.1f}, "
             f"p95 {self.p95_latency:.0f}, ±{self.latency_ci_half:.1f})  "
-            f"pkts={self.delivered_packets}{status}"
+            f"pkts={self.delivered_packets}{faults}{status}"
         )
 
 
@@ -119,4 +146,7 @@ class MeasurementWindow:
             / (self.engine.network.N * cycles),
             max_queue_len=stats.max_queue_len,
             sustainable=stats.max_queue_len <= self.queue_limit,
+            failed_packets=stats.failed_packets,
+            retried_packets=stats.retried_packets,
+            dropped_packets=stats.dropped_packets,
         )

@@ -121,13 +121,25 @@ class PhysChannel:
 
         Worms already holding a lane keep streaming (the fault model is
         a link taken out of the routing tables, not a wire cut mid
-        transfer).
+        transfer).  For the wire-cut model -- kill the worms currently
+        on the wire too -- see :class:`repro.faults.plan.FaultInjector`
+        with ``severity="hard"``, which pairs :meth:`fail` with
+        :meth:`repro.wormhole.engine.WormholeEngine.abort_packet` on
+        :meth:`owners`.
         """
         self.faulty = True
 
     def repair(self) -> None:
         """Clear an injected fault."""
         self.faulty = False
+
+    def owners(self) -> list["Packet"]:
+        """Distinct packets currently holding a lane of this wire."""
+        out: list["Packet"] = []
+        for lane in self.lanes:
+            if lane.owner is not None and lane.owner not in out:
+                out.append(lane.owner)
+        return out
 
     @property
     def num_lanes(self) -> int:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStream
@@ -80,6 +80,11 @@ class EngineStats:
     delivered_packets: int = 0
     delivered_flits: int = 0
     failed_packets: int = 0
+    #: Failed packets re-injected by a recovery layer (see
+    #: :mod:`repro.faults.recovery`; the engine only hosts the counter).
+    retried_packets: int = 0
+    #: Failed packets a recovery layer gave up on (attempts exhausted).
+    dropped_packets: int = 0
     max_queue_len: int = 0
     records: list[DeliveryRecord] = field(default_factory=list)
     window_start: float = 0.0
@@ -91,6 +96,8 @@ class EngineStats:
         self.delivered_packets = 0
         self.delivered_flits = 0
         self.failed_packets = 0
+        self.retried_packets = 0
+        self.dropped_packets = 0
         self.max_queue_len = 0
         self.records = []
         self.window_start = now
@@ -122,6 +129,13 @@ class WormholeEngine:
         self._stalled_cycles = 0
         self._progressed = False
 
+        #: Observer hooks (e.g. :class:`repro.faults.recovery.SourceRetry`).
+        #: Each is a list of callables invoked with the packet; exceptions
+        #: propagate (observers must not fail).
+        self.on_packet_offered: list[Callable[[Packet], None]] = []
+        self.on_packet_delivered: list[Callable[[Packet], None]] = []
+        self.on_packet_failed: list[Callable[[Packet], None]] = []
+
         self.queues: list[deque[Packet]] = [deque() for _ in range(network.N)]
         #: Nodes with a non-empty queue (avoids scanning all N each cycle).
         self._backlogged: set[int] = set()
@@ -150,6 +164,8 @@ class WormholeEngine:
             self.stats.max_queue_len = qlen
         if self.tracer is not None:
             self.tracer.on_offer(self.env.now, p)
+        for hook in self.on_packet_offered:
+            hook(p)
         return p
 
     @property
@@ -166,6 +182,26 @@ class WormholeEngine:
         """Messages waiting in one node's FCFS source queue."""
         return len(self.queues[node])
 
+    def in_flight_packets(self) -> list[Packet]:
+        """Distinct packets currently inside the network (diagnostics).
+
+        Collected from lane ownership plus the header-routing queue; a
+        packet whose every acquired lane has already been released (a
+        short worm blocked at its last switch) appears only in the
+        latter.
+        """
+        seen: dict[int, Packet] = {}
+        for ch in self.network.topo_channels:
+            if ch.owned_count == 0:
+                continue
+            for lane in ch.lanes:
+                if lane.owner is not None:
+                    seen.setdefault(lane.owner.pid, lane.owner)
+        for p in self._pending_route:
+            if p.state is PacketState.ACTIVE:
+                seen.setdefault(p.pid, p)
+        return list(seen.values())
+
     # -- the cycle -------------------------------------------------------------
 
     def step_cycle(self) -> None:
@@ -180,17 +216,38 @@ class WormholeEngine:
             else:
                 self._stalled_cycles += 1
                 if self._stalled_cycles >= self.deadlock_watchdog:
-                    raise DeadlockError(
-                        f"{self._active_packets} packets in flight made no "
-                        f"progress for {self._stalled_cycles} cycles at "
-                        f"t={self.env.now}; held channels: "
-                        + ", ".join(
-                            f"{ch.label}(pkt#{lane.owner.pid})"
-                            for ch in self.network.topo_channels
-                            for lane in ch.lanes
-                            if lane.owner is not None
-                        )
-                    )
+                    raise DeadlockError(self._deadlock_report())
+
+    def _deadlock_report(self) -> str:
+        """Diagnostic message for the watchdog (custom-topology debugging)."""
+        stalled = self.in_flight_packets()
+        header = (
+            f"{self._active_packets} packets in flight made no progress "
+            f"for {self._stalled_cycles} cycles at t={self.env.now} "
+            f"({len(stalled)} stalled worms)"
+        )
+        if stalled:
+            oldest = min(stalled, key=lambda p: p.created)
+            if oldest.lanes:
+                last = oldest.lanes[-1]
+                where = (
+                    f"holding {len(oldest.lanes)} lanes, head at "
+                    f"{last.channel.label}.{last.index} "
+                    f"(hop {last.route_idx}, sent {last.sent}/{oldest.length})"
+                )
+            else:
+                where = "holding no lanes (header awaiting first allocation)"
+            header += (
+                f"; oldest: pkt#{oldest.pid} {oldest.src}->{oldest.dst} "
+                f"len={oldest.length} created t={oldest.created} {where}"
+            )
+        held = ", ".join(
+            f"{ch.label}(pkt#{lane.owner.pid})"
+            for ch in self.network.topo_channels
+            for lane in ch.lanes
+            if lane.owner is not None
+        )
+        return f"{header}; held channels: {held}"
 
     def _phase_allocate(self) -> None:
         # Start injections: one-port nodes begin transmitting the next
@@ -205,6 +262,8 @@ class WormholeEngine:
                         p = self.queues[node].popleft()
                         p.state = PacketState.FAILED
                         self.stats.failed_packets += 1
+                        for hook in self.on_packet_failed:
+                            hook(p)
                     drained.append(node)
                     continue
                 lane = inj.lanes[0]
@@ -231,6 +290,10 @@ class WormholeEngine:
         self.rng.shuffle(self._pending_route)
         still_pending = []
         for p in self._pending_route:
+            if p.state is not PacketState.ACTIVE or not p.needs_route:
+                # Aborted externally (abort_packet / a hard fault) while
+                # its header sat in the routing queue: drop the entry.
+                continue
             candidates = self.network.candidates(p)
             usable = [ch for ch in candidates if not ch.faulty]
             if not usable:
@@ -293,6 +356,33 @@ class WormholeEngine:
             return None
         return ch.transmit()
 
+    def abort_packet(self, p: Packet) -> None:
+        """Externally kill a packet (hard faults, recovery timeouts).
+
+        A QUEUED packet is removed from its source queue; an ACTIVE worm
+        is aborted exactly like one whose every next hop went faulty
+        (flits flushed, lanes released).  Either way the packet ends
+        FAILED, counts in ``stats.failed_packets``, and the failure
+        hooks fire.  Delivered/failed packets raise ``ValueError``.
+        """
+        if p.state is PacketState.QUEUED:
+            try:
+                self.queues[p.src].remove(p)
+            except ValueError:
+                raise ValueError(f"{p!r} is queued but not in its source queue")
+            if not self.queues[p.src]:
+                self._backlogged.discard(p.src)
+            p.state = PacketState.FAILED
+            self.stats.failed_packets += 1
+            for hook in self.on_packet_failed:
+                hook(p)
+            return
+        if p.state is not PacketState.ACTIVE:
+            raise ValueError(f"cannot abort {p!r} in state {p.state.value}")
+        # Flits the destination already consumed stay consumed; the
+        # abort only flushes what is still inside the network.
+        self._abort(p)
+
     def _abort(self, p: Packet) -> None:
         """Kill an in-flight worm whose every next hop is faulty.
 
@@ -302,9 +392,12 @@ class WormholeEngine:
         traffic is unaffected.
         """
         for i, lane in enumerate(p.lanes):
-            next_sent = p.lanes[i + 1].sent if i + 1 < len(p.lanes) else 0
-            lane.buf -= lane.sent - next_sent
-            assert lane.buf >= 0, "abort flushed a flit it did not own"
+            if not lane.channel.is_delivery:
+                # A delivery lane has no downstream buffer (the node
+                # consumed those flits); only switch-input buffers flush.
+                next_sent = p.lanes[i + 1].sent if i + 1 < len(p.lanes) else 0
+                lane.buf -= lane.sent - next_sent
+                assert lane.buf >= 0, "abort flushed a flit it did not own"
             if lane.owner is p:
                 lane.release()
         p.state = PacketState.FAILED
@@ -313,6 +406,8 @@ class WormholeEngine:
         self.stats.failed_packets += 1
         if self.tracer is not None:
             self.tracer.on_abort(self.env.now, p)
+        for hook in self.on_packet_failed:
+            hook(p)
 
     def _finalize(self, p: Packet) -> None:
         p.state = PacketState.DELIVERED
@@ -322,6 +417,8 @@ class WormholeEngine:
         self.stats.delivered_flits += p.length
         if self.tracer is not None:
             self.tracer.on_deliver(self.env.now, p)
+        for hook in self.on_packet_delivered:
+            hook(p)
         if self.record_deliveries:
             assert p.inject_start is not None
             self.stats.records.append(

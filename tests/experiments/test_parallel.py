@@ -1,15 +1,53 @@
 """Tests for the declarative workload specs and the parallel runner."""
 
+import os
+import time
 from dataclasses import replace
 
 import pytest
 
 from repro.experiments.config import SMOKE, NetworkConfig
-from repro.experiments.parallel import parallel_matrix, parallel_sweep
+from repro.experiments.parallel import (
+    SweepCheckpoint,
+    _point_task,
+    parallel_matrix,
+    parallel_sweep,
+)
 from repro.experiments.runner import sweep
 from repro.experiments.workload_spec import WorkloadSpec
 
 QUICK = replace(SMOKE, warmup_packets=20, measure_packets=100, loads=(0.2, 0.5))
+
+
+# Module-level so they pickle into worker processes.
+
+
+def crashing_runner(task):
+    """Dies on the 0.5 point, measures the rest."""
+    _network, _spec, load, _cfg = task
+    if load == 0.5:
+        raise RuntimeError("simulated worker crash")
+    return _point_task(task)
+
+
+def always_crashing_runner(task):
+    raise RuntimeError("this runner must never be invoked")
+
+
+def flaky_runner(task):
+    """Crashes until the sentinel file exists (created on first call):
+    the pool attempt dies, the parent's sequential retry succeeds."""
+    sentinel = os.environ["REPRO_FLAKY_SENTINEL"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed once")
+        raise OSError("transient failure")
+    return _point_task(task)
+
+
+def sleeping_runner(task):
+    time.sleep(30.0)
+    return _point_task(task)  # pragma: no cover - killed by timeout
 
 
 # ------------------------------------------------------------- WorkloadSpec
@@ -83,3 +121,110 @@ def test_parallel_matrix_structure():
     # Matrix points equal per-network parallel sweeps.
     solo = parallel_sweep(nets[1], spec, QUICK, max_workers=2)
     assert results[1].points == solo.points
+
+
+# --------------------------------------------------------- crash tolerance
+
+
+def test_worker_crash_keeps_other_points():
+    """A crashed worker loses its point, never the others: the result
+    is partial, with the error string attached to the casualty."""
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    result = parallel_sweep(
+        net, spec, QUICK, max_workers=2, retries=0,
+        point_runner=crashing_runner,
+    )
+    assert not result.complete
+    assert result.errors() == [(0.5, "RuntimeError: simulated worker crash")]
+    by_load = {p.offered_load: p for p in result.points}
+    assert by_load[0.2].ok                      # the good point survived
+    assert by_load[0.5].measurement is None
+    # The partial sweep still answers what it can.
+    assert result.max_sustained_throughput() > 0
+    with pytest.raises(ValueError):
+        result.latency_at(0.5)
+
+
+def test_sequential_retry_recovers_transient_crash(tmp_path, monkeypatch):
+    """A point that crashes once in the pool succeeds when the parent
+    re-runs it sequentially."""
+    sentinel = tmp_path / "flaky.flag"
+    monkeypatch.setenv("REPRO_FLAKY_SENTINEL", str(sentinel))
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    result = parallel_sweep(
+        net, spec, QUICK, loads=(0.2,), max_workers=1,
+        retries=2, backoff=0.0, point_runner=flaky_runner,
+    )
+    assert result.complete
+    assert sentinel.exists()  # proof the first attempt crashed
+    # Bit-identical to the sequential runner despite the detour.
+    seq = sweep(net, spec.builder(QUICK), QUICK, loads=(0.2,))
+    assert result.points == seq.points
+
+
+def test_per_point_timeout_converts_hang_to_error():
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    result = parallel_sweep(
+        net, spec, QUICK, loads=(0.2,), max_workers=1,
+        timeout=0.5, retries=0, point_runner=sleeping_runner,
+    )
+    assert not result.complete
+    (load, error) = result.errors()[0]
+    assert load == 0.2
+    assert "TimeoutError" in error
+
+
+# ------------------------------------------------------- checkpoint / resume
+
+
+def test_checkpoint_resume_skips_finished_points(tmp_path):
+    """Second run with the same checkpoint recomputes nothing: a runner
+    that would crash on any invocation returns the first run's points."""
+    path = tmp_path / "sweep.json"
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    first = parallel_sweep(net, spec, QUICK, max_workers=2, checkpoint=path)
+    assert first.complete and path.exists()
+
+    resumed = parallel_sweep(
+        net, spec, QUICK, max_workers=2, checkpoint=path,
+        point_runner=always_crashing_runner,
+    )
+    assert resumed == first
+
+
+def test_checkpoint_completes_partial_run(tmp_path):
+    """A run that crashed on one point leaves the finished points in
+    the checkpoint; the resume computes only the missing one."""
+    path = tmp_path / "sweep.json"
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    partial = parallel_sweep(
+        net, spec, QUICK, max_workers=2, retries=0,
+        checkpoint=path, point_runner=crashing_runner,
+    )
+    assert not partial.complete
+    assert len(SweepCheckpoint(path)) == 1      # only the ok point persisted
+
+    resumed = parallel_sweep(net, spec, QUICK, max_workers=2, checkpoint=path)
+    assert resumed.complete
+    assert len(SweepCheckpoint(path)) == 2
+    # And it matches a from-scratch sequential sweep.
+    seq = sweep(net, spec.builder(QUICK), QUICK)
+    assert resumed.points == seq.points
+
+
+def test_checkpoint_file_is_valid_json_and_atomic(tmp_path):
+    import json
+
+    path = tmp_path / "sweep.json"
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    parallel_sweep(net, spec, QUICK, max_workers=2, checkpoint=path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert len(payload["points"]) == 2
+    assert not list(tmp_path.glob("*.tmp"))     # no torn temp files left

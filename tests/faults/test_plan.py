@@ -1,0 +1,171 @@
+"""FaultPlan / FaultInjector: scheduled mid-flight fault injection."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, switch_output_channels
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import PacketState
+
+
+def _engine(kind, seed=0, **kwargs):
+    env = Environment()
+    net = build_network(kind, k=2, n=3, **kwargs)
+    return env, WormholeEngine(env, net, rng=RandomStream(seed))
+
+
+# ---------------------------------------------------------------- validation
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(at=-1, channels=("b1[0].0",))
+    with pytest.raises(ValueError):
+        FaultEvent(at=0, channels=("b1[0].0",), duration=0)
+    with pytest.raises(ValueError):
+        FaultEvent(at=0, channels=("b1[0].0",), severity="fatal")
+    with pytest.raises(ValueError):
+        FaultEvent(at=0)  # neither channels nor switch
+    assert FaultEvent(at=0, channels=("x",), duration=5).transient
+    assert not FaultEvent(at=0, channels=("x",)).transient
+
+
+def test_empty_plan_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(())
+
+
+def test_hard_event_requires_engine():
+    env, eng = _engine("tmin")
+    plan = FaultPlan.single(at=10, channel="b1[3].0", severity="hard")
+    with pytest.raises(ValueError):
+        plan.install(env, eng.network)  # no engine passed
+
+
+# ------------------------------------------------------------ timed behavior
+
+
+def test_transient_fault_fails_then_repairs():
+    env, eng = _engine("tmin")
+    ch = eng.network.find_channel("b1[3].0")
+    plan = FaultPlan.single(at=100, channel="b1[3].0", duration=50)
+    inj = plan.install(env, eng.network)
+    eng.start()
+    env.run(until=99)
+    assert not ch.faulty
+    env.run(until=101)
+    assert ch.faulty
+    env.run(until=151)
+    assert not ch.faulty
+    assert inj.injected == 1 and inj.repaired == 1
+
+
+def test_permanent_fault_never_repairs():
+    env, eng = _engine("tmin")
+    ch = eng.network.find_channel("b1[3].0")
+    FaultPlan.single(at=10, channel="b1[3].0").install(env, eng.network)
+    eng.start()
+    env.run(until=10_000)
+    assert ch.faulty
+
+
+def test_install_time_is_relative():
+    """Event times count from install, not from cycle zero."""
+    env, eng = _engine("tmin")
+    eng.start()
+    env.run(until=500)
+    ch = eng.network.find_channel("b1[3].0")
+    FaultPlan.single(at=100, channel="b1[3].0").install(env, eng.network)
+    env.run(until=599)
+    assert not ch.faulty
+    env.run(until=601)
+    assert ch.faulty
+
+
+# --------------------------------------------------------------- hard faults
+
+
+def test_hard_fault_aborts_worm_mid_flight():
+    """A wire cut kills the worm streaming across it; soft lets it by."""
+    env, eng = _engine("tmin")
+    path = eng.network.spec.channels_of_path(1, 6)
+    label = eng.network.slots[path[2]][0].label
+    plan = FaultPlan.single(
+        at=20, channel=label, duration=1_000, severity="hard"
+    )
+    inj = plan.install(env, eng.network, eng)
+    victim = eng.offer(1, 6, 200)  # long worm: still streaming at t=20
+    eng.drain(max_cycles=5_000)
+    assert victim.state is PacketState.FAILED
+    assert inj.killed_worms == 1
+    # Clean abort: no residual flits or ownership anywhere.
+    for ch in eng.network.topo_channels:
+        for lane in ch.lanes:
+            assert lane.owner is None and lane.buf == 0
+
+
+def test_soft_fault_lets_streaming_worm_finish():
+    env, eng = _engine("tmin")
+    path = eng.network.spec.channels_of_path(1, 6)
+    label = eng.network.slots[path[2]][0].label
+    FaultPlan.single(at=20, channel=label, duration=1_000).install(
+        env, eng.network
+    )
+    worm = eng.offer(1, 6, 200)
+    eng.drain(max_cycles=5_000)
+    assert worm.state is PacketState.DELIVERED
+
+
+# ------------------------------------------------------------- switch faults
+
+
+def test_switch_output_channels_unidirectional():
+    env, eng = _engine("dmin")
+    chans = switch_output_channels(eng.network, 1, 2)
+    # k=2 output ports, dilation 2: four physical channels.
+    assert len(chans) == 4
+    labels = {ch.label for ch in chans}
+    assert all(lbl.startswith("b2[") for lbl in labels)
+    with pytest.raises(ValueError):
+        switch_output_channels(eng.network, 9, 0)
+    with pytest.raises(ValueError):
+        switch_output_channels(eng.network, 0, 99)
+
+
+def test_switch_output_channels_bmin():
+    env, eng = _engine("bmin")
+    chans = switch_output_channels(eng.network, 1, 0)
+    assert chans  # forward right lines + backward left lines
+    assert all(not ch.is_delivery for ch in chans) or any(
+        ch.is_delivery for ch in chans
+    )  # structural sanity: list resolves without KeyError
+    # A stage-1 switch of a 3-stage BMIN has both directions.
+    metas = {ch.meta[0] for ch in chans}
+    assert metas == {"fwd", "bwd"}
+
+
+def test_whole_switch_fault_disconnects_its_routes():
+    """Killing a stage-1 switch severs every path through it."""
+    env, eng = _engine("tmin")
+    spec = eng.network.spec
+    # Find a pair routed through stage-1 switch 0: path's boundary-2
+    # link positions 0..k-1 are driven by that switch.
+    plan = FaultPlan((FaultEvent(at=0, switch=(1, 0)),))
+    plan.install(env, eng.network)
+    env.run(until=1)
+    hit = [
+        (s, d)
+        for s in range(8)
+        for d in range(8)
+        if s != d
+        and any(
+            b == 2 and pos // spec.k == 0
+            for b, pos in spec.channels_of_path(s, d)
+        )
+    ]
+    assert hit
+    s, d = hit[0]
+    p = eng.offer(s, d, 8)
+    eng.drain()
+    assert p.state is PacketState.FAILED

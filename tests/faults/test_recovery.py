@@ -1,0 +1,153 @@
+"""SourceRetry: backoff schedule, recovery accounting, drops, watchdog."""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy, SourceRetry
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import PacketState
+
+
+def _engine(kind, seed=0, **kwargs):
+    env = Environment()
+    net = build_network(kind, k=2, n=3, **kwargs)
+    return env, WormholeEngine(env, net, rng=RandomStream(seed))
+
+
+# ---------------------------------------------------------------- RetryPolicy
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(attempt_timeout=0)
+
+
+def test_policy_delay_grows_and_caps():
+    policy = RetryPolicy(base_delay=10, factor=2.0, max_delay=35, jitter=0.0)
+    rng = RandomStream(0)
+    assert policy.delay(1, rng) == 10
+    assert policy.delay(2, rng) == 20
+    assert policy.delay(3, rng) == 35  # capped, not 40
+    assert policy.delay(9, rng) == 35
+
+
+def test_policy_jitter_stays_in_band():
+    policy = RetryPolicy(base_delay=100, factor=1.0, max_delay=100, jitter=0.25)
+    rng = RandomStream(3)
+    for _ in range(200):
+        d = policy.delay(1, rng)
+        assert 75.0 <= d <= 125.0
+
+
+# -------------------------------------------------------- retry-and-recover
+
+
+def test_retry_after_repair_delivers():
+    """A transient hard fault kills the worm; the retry (after backoff
+    outlasting the repair) lands it -- recovered, not dropped."""
+    env, eng = _engine("tmin")
+    path = eng.network.spec.channels_of_path(1, 6)
+    label = eng.network.slots[path[2]][0].label
+    FaultPlan.single(at=3, channel=label, duration=40, severity="hard").install(
+        env, eng.network, eng
+    )
+    policy = RetryPolicy(max_attempts=3, base_delay=64, jitter=0.0)
+    retry = SourceRetry(eng, policy, RandomStream(1))
+    first = eng.offer(1, 6, 100)
+    retry.quiesce(max_cycles=10_000)
+    assert first.state is PacketState.FAILED  # the original died
+    assert retry.retried == 1
+    assert retry.recovered == 1
+    assert retry.dropped == 0
+    assert retry.delivered_ratio() == 1.0
+    assert eng.stats.retried_packets == 1
+    assert eng.stats.dropped_packets == 0
+
+
+def test_permanent_fault_exhausts_attempts_and_drops():
+    env, eng = _engine("tmin")
+    path = eng.network.spec.channels_of_path(1, 6)
+    label = eng.network.slots[path[2]][0].label
+    FaultPlan.single(at=0, channel=label).install(env, eng.network)
+    env.run(until=1)
+    policy = RetryPolicy(max_attempts=3, base_delay=16, jitter=0.0)
+    retry = SourceRetry(eng, policy, RandomStream(1))
+    eng.offer(1, 6, 8)
+    retry.quiesce(max_cycles=10_000)
+    assert retry.retried == 2          # attempts 2 and 3
+    assert retry.dropped == 1
+    assert retry.delivered_ratio() == 0.0
+    assert eng.stats.dropped_packets == 1
+    assert eng.stats.failed_packets == 3  # every attempt failed
+
+
+def test_max_attempts_one_disables_retry():
+    env, eng = _engine("tmin")
+    path = eng.network.spec.channels_of_path(1, 6)
+    label = eng.network.slots[path[2]][0].label
+    FaultPlan.single(at=0, channel=label).install(env, eng.network)
+    env.run(until=1)
+    retry = SourceRetry(eng, RetryPolicy(max_attempts=1), RandomStream(1))
+    eng.offer(1, 6, 8)
+    retry.quiesce()
+    assert retry.retried == 0
+    assert retry.dropped == 1
+
+
+def test_unaffected_traffic_counts_as_delivered():
+    env, eng = _engine("dmin")
+    retry = SourceRetry(eng, RetryPolicy(), RandomStream(2))
+    for s, d in ((0, 5), (3, 1), (7, 2)):
+        eng.offer(s, d, 8)
+    retry.quiesce()
+    assert retry.delivered_ratio() == 1.0
+    assert retry.retried == 0 and retry.dropped == 0 and retry.recovered == 0
+    assert len(retry.outcomes) == 3
+
+
+def test_attempt_timeout_watchdog_aborts_and_retries():
+    """A worm parked forever behind a blocker is timed out at the source
+    and re-injected; once the blocker leaves, the retry delivers."""
+    env, eng = _engine("tmin")
+    # Blocker first, *before* the retry manager exists: no watchdog is
+    # attached to it.  Run a few cycles so it owns the shared delivery
+    # channel of node 4 for the next ~400 cycles.
+    blocker = eng.offer(0, 4, 400)
+    eng.run_cycles(20)
+    policy = RetryPolicy(
+        max_attempts=6, base_delay=32, jitter=0.0, attempt_timeout=150
+    )
+    retry = SourceRetry(eng, policy, RandomStream(1))
+    # The victim's unique path ends on the blocker's delivery channel.
+    victim = eng.offer(1, 4, 8)
+    retry.quiesce(max_cycles=50_000)
+    assert blocker.state is PacketState.DELIVERED
+    # The victim was timed out at least once while parked, then a retry
+    # landed after the blocker's tail cleared the path.
+    assert victim.state is PacketState.FAILED
+    assert retry.retried >= 1
+    assert retry.recovered == 1
+    assert retry.dropped == 0
+    assert retry.delivered_ratio() == 1.0
+
+
+def test_quiesce_raises_when_pipeline_cannot_settle():
+    env, eng = _engine("tmin")
+    path = eng.network.spec.channels_of_path(1, 6)
+    label = eng.network.slots[path[2]][0].label
+    FaultPlan.single(at=0, channel=label).install(env, eng.network)
+    env.run(until=1)
+    policy = RetryPolicy(max_attempts=50, base_delay=512, jitter=0.0)
+    retry = SourceRetry(eng, policy, RandomStream(1))
+    eng.offer(1, 6, 8)
+    with pytest.raises(RuntimeError):
+        retry.quiesce(max_cycles=600)  # budget < one backoff round trip

@@ -199,3 +199,238 @@ def test_fault_under_load_does_not_deadlock():
     assert (
         eng.stats.delivered_packets + eng.stats.failed_packets == len(packets)
     )
+
+
+# ---------------------------------------------------- dynamic faults (churn)
+
+
+def test_mtbf_churn_failures_and_repairs():
+    """A churned channel alternates up/down; its measured downtime
+    fraction tracks mttr / (mtbf + mttr)."""
+    from repro.faults import MTBFChurn
+
+    env, eng = _engine("tmin")
+    ch = eng.network.find_channel("b1[3].0")
+    churn = MTBFChurn(
+        env,
+        eng.network,
+        RandomStream(5),
+        mtbf=300.0,
+        mttr=200.0,
+        channels=[ch],
+    )
+    assert churn.unavailability == pytest.approx(0.4)
+    eng.start()
+    down = 0.0
+    step = 10.0
+    while env.now < 20_000:
+        env.run(until=env.now + step)
+        if ch.faulty:
+            down += step
+    assert churn.failures >= 5
+    assert churn.repairs >= 5
+    assert 0.2 < down / 20_000 < 0.6  # near the analytic 0.4
+
+
+def test_mtbf_permanent_when_mttr_is_none():
+    from repro.faults import MTBFChurn
+
+    env, eng = _engine("tmin")
+    ch = eng.network.find_channel("b1[3].0")
+    churn = MTBFChurn(
+        env, eng.network, RandomStream(5), mtbf=100.0, channels=[ch]
+    )
+    eng.start()
+    env.run(until=5_000)
+    assert ch.faulty
+    assert churn.failures == 1 and churn.repairs == 0
+
+
+def test_repair_restores_throughput():
+    """During a hard transient fault a TMIN loses the affected routes;
+    after the repair the same traffic delivers in full."""
+    from repro.faults import FaultPlan
+    from repro.metrics.collector import MeasurementWindow
+
+    env, eng = _engine("tmin")
+    net = eng.network
+    boundary, pos = net.spec.channels_of_path(1, 6)[2]
+    label = net.slots[(boundary, pos)][0].label
+    FaultPlan.single(at=0, channel=label, duration=2_000, severity="hard").install(
+        env, net, eng
+    )
+    env.run(until=1)
+
+    pairs = [(1, 6), (0, 3), (1, 6), (2, 5), (1, 6)]
+    window = MeasurementWindow(eng)
+    window.begin()
+    for s, d in pairs:
+        eng.offer(s, d, 8)
+    eng.drain()
+    faulted = window.finish()
+    assert faulted.failed_packets == 3      # every 1->6 died
+    assert faulted.delivered_packets == 2
+
+    env.run(until=2_100)                     # past the repair
+    window.begin()
+    for s, d in pairs:
+        eng.offer(s, d, 8)
+    eng.drain()
+    repaired = window.finish()
+    assert repaired.failed_packets == 0      # throughput restored
+    assert repaired.delivered_packets == len(pairs)
+    assert not repaired.degraded
+
+
+def test_fabric_channels_exclude_node_interfaces():
+    from repro.faults import fabric_channels
+
+    for kind in ("tmin", "dmin", "vmin", "bmin"):
+        env, eng = _engine(kind)
+        fabric = fabric_channels(eng.network)
+        assert fabric
+        for ch in fabric:
+            assert not ch.is_delivery
+            assert not ch.label.startswith("inj[")
+
+
+# ----------------------------------------------- retry under stochastic churn
+
+
+@pytest.mark.parametrize("kind", ["dmin", "bmin"])
+def test_retry_delivers_everything_under_low_churn(kind):
+    """Low transient fault rates on a multi-path fabric: source retry
+    with backoff eventually lands every message (delivery ratio 1)."""
+    from repro.faults import MTBFChurn, RetryPolicy, SourceRetry
+
+    env, eng = _engine(kind, seed=3)
+    churn = MTBFChurn(
+        env,
+        eng.network,
+        RandomStream(11),
+        mtbf=20_000.0,   # u = mttr/(mtbf+mttr) ~ 1.5%
+        mttr=300.0,
+        engine=eng,
+        severity="hard",
+    )
+    policy = RetryPolicy(max_attempts=8, base_delay=64, jitter=0.25)
+    retry = SourceRetry(eng, policy, RandomStream(13))
+    rs = RandomStream(17)
+    packets = []
+    for _ in range(80):
+        s = rs.uniform_int(0, 7)
+        d = rs.uniform_int(0, 6)
+        if d >= s:
+            d += 1
+        packets.append(eng.offer(s, d, rs.uniform_int(4, 24)))
+    retry.quiesce(max_cycles=500_000)
+    assert retry.dropped == 0
+    assert retry.delivered_ratio() == 1.0
+    assert len(retry.outcomes) == len(packets)
+    # The churn actually did something in at least some runs of the
+    # parametrization; assert the counters stay consistent regardless.
+    assert churn.failures >= churn.repairs
+    assert eng.stats.retried_packets == retry.retried
+
+
+# --------------------------------------------------- abort invariants (property)
+
+
+def test_abort_flush_keeps_lane_buffers_consistent_property():
+    """Random hard fault times against random traffic: after the dust
+    settles, no lane has negative or stuck buffered flits and no lane
+    has a dangling owner.  (Property-style sweep over seeds.)"""
+    from repro.faults import FaultEvent, FaultPlan
+
+    for seed in range(12):
+        rs = RandomStream(100 + seed)
+        kind = rs.choice(("tmin", "dmin", "vmin", "bmin"))
+        env, eng = _engine(kind, seed=seed)
+        fabric = [
+            ch
+            for ch in eng.network.topo_channels
+            if not ch.is_delivery and not ch.label.startswith("inj[")
+        ]
+        events = tuple(
+            FaultEvent(
+                at=float(rs.uniform_int(1, 120)),
+                channels=(rs.choice(fabric).label,),
+                duration=float(rs.uniform_int(50, 400)),
+                severity="hard",
+            )
+            for _ in range(4)
+        )
+        FaultPlan(events).install(env, eng.network, eng)
+        packets = []
+        for _ in range(30):
+            s = rs.uniform_int(0, 7)
+            d = rs.uniform_int(0, 6)
+            if d >= s:
+                d += 1
+            packets.append(eng.offer(s, d, rs.uniform_int(2, 60)))
+        eng.drain(max_cycles=200_000)
+        for ch in eng.network.topo_channels:
+            for lane in ch.lanes:
+                assert lane.buf >= 0, (seed, ch.label)
+                assert lane.buf == 0, (seed, ch.label)
+                assert lane.owner is None, (seed, ch.label)
+        for p in packets:
+            assert p.state in (PacketState.DELIVERED, PacketState.FAILED)
+
+
+# ------------------------------------------------- DMIN vs TMIN (integration)
+
+
+def _degradation_run(kind, *, seed=21):
+    """200 random messages, a mid-run hard fault storm outlasting the
+    whole retry budget, full accounting via Measurement."""
+    from repro.faults import FaultEvent, FaultPlan, RetryPolicy, SourceRetry
+    from repro.metrics.collector import MeasurementWindow
+
+    env, eng = _engine(kind, seed=seed)
+    policy = RetryPolicy(
+        max_attempts=4, base_delay=32, factor=2.0, max_delay=256, jitter=0.0
+    )
+    retry = SourceRetry(eng, policy, RandomStream(seed + 1))
+    # Total backoff budget ~32+64+128 = 224 cycles << 30_000 fault span:
+    # a unique-path network cannot out-wait the fault.
+    events = tuple(
+        FaultEvent(
+            at=at, channels=(label,), duration=30_000.0, severity="hard"
+        )
+        for at, label in ((150.0, "b1[3].0"), (250.0, "b2[5].0"))
+    )
+    FaultPlan(events).install(env, eng.network, eng)
+    window = MeasurementWindow(eng)
+    window.begin()
+    rs = RandomStream(seed + 2)
+    for _ in range(200):
+        s = rs.uniform_int(0, 7)
+        d = rs.uniform_int(0, 6)
+        if d >= s:
+            d += 1
+        eng.offer(s, d, rs.uniform_int(8, 24))
+    retry.quiesce(max_cycles=500_000)
+    return window.finish(), retry
+
+
+def test_dmin_recovers_while_tmin_degrades_permanently():
+    """The acceptance scenario: the same mid-simulation hard fault on a
+    DMIN is absorbed (worms aborted, retried with backoff, >= 99%
+    eventually delivered) while a TMIN degrades permanently."""
+    dmin_m, dmin_retry = _degradation_run("dmin")
+    tmin_m, tmin_retry = _degradation_run("tmin")
+
+    # DMIN: the wire cut killed worms mid-flight, the source retried
+    # them over the sibling lane, and (nearly) everything landed.
+    assert dmin_m.failed_packets > 0
+    assert dmin_m.retried_packets > 0
+    assert dmin_retry.delivered_ratio() >= 0.99
+    assert dmin_m.degraded  # the accounting is visible in Measurement
+
+    # TMIN: the unique path cannot route around the cut; retries re-roll
+    # the same dice until the budget runs out -> permanent degradation.
+    assert tmin_m.failed_packets > dmin_m.failed_packets
+    assert tmin_m.dropped_packets > 0
+    assert tmin_retry.delivered_ratio() < 0.99
+    assert tmin_retry.delivered_ratio() < dmin_retry.delivered_ratio()
