@@ -58,8 +58,8 @@ def test_lane_multiplicity_ablation(benchmark, results_dir, bench_cfg):
         )
     save_and_print(results_dir, "ablation_lanes", "\n".join(lines))
 
-    uni = {l: m.throughput_percent for w, l, m in rows if w == "uniform"}
-    shf = {l: m.throughput_percent for w, l, m in rows if w == "shuffle"}
+    uni = {lb: m.throughput_percent for w, lb, m in rows if w == "uniform"}
+    shf = {lb: m.throughput_percent for w, lb, m in rows if w == "shuffle"}
 
     # More lanes never hurt under uniform traffic.
     assert uni["DMIN(d=4, cube)"] >= uni["DMIN(d=2, cube)"] - 2.0

@@ -240,7 +240,7 @@ def fig19(run_cfg: RunConfig) -> FigureResult:
     All four networks congest; DMIN degrades least (lowest latency below
     the knee); TMIN is worst; 10% is much worse than 5%.
     """
-    loads = tuple(l for l in FIG19_LOADS if l <= max(run_cfg.loads))
+    loads = tuple(ld for ld in FIG19_LOADS if ld <= max(run_cfg.loads))
     series = []
     for x, tag in ((0.05, "5%"), (0.10, "10%")):
         wb = hotspot_workload(global_cluster(), x, run_cfg)

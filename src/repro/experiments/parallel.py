@@ -203,7 +203,8 @@ def _run_tasks(
                 }
                 workers = max_workers or os.cpu_count() or 1
                 waves = -(-len(pending_idx) // workers)  # ceil division
-                deadline = time.monotonic() + timeout * waves + 5.0
+                # Wall-clock backstop for wedged worker processes.
+                deadline = time.monotonic() + timeout * waves + 5.0  # lint-sim: ignore[RPV002]
             else:
                 future_of = {
                     pool.submit(point_runner, tasks[i]): i
@@ -213,7 +214,7 @@ def _run_tasks(
             outstanding = set(future_of)
             while outstanding:
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None if deadline is None else deadline - time.monotonic()  # lint-sim: ignore[RPV002]
                 )
                 if remaining is not None and remaining <= 0:
                     for fut in outstanding:  # stuck past even the backstop

@@ -131,6 +131,11 @@ class FaultInjector:
     ) -> None:
         if engine is None and any(e.severity == "hard" for e in plan.events):
             raise ValueError("hard fault events need the engine to kill worms")
+        # Cross-check every named channel / switch against the actual
+        # topology *now*, so a typo fails at install time with
+        # suggestions instead of mid-simulation (or worse, silently
+        # no-op'ing the whole experiment).
+        plan.validate(network)
         self.plan = plan
         self.env = env
         self.network = network
@@ -191,13 +196,48 @@ class FaultPlan:
         if not self.events:
             raise ValueError("an empty fault plan is a no-op; refuse it")
 
+    def validate(self, network: SimNetwork) -> None:
+        """Cross-check the plan against a topology; raise on mismatch.
+
+        Every channel label must name an actual channel of ``network``
+        (unknown labels are reported with near-miss suggestions, see
+        :meth:`SimNetwork.unknown_label_message`) and every
+        ``(stage, switch)`` pair must resolve to output channels.  Run
+        automatically at :meth:`install` time; call directly to
+        pre-flight a plan (the static verifier does).
+        """
+        problems: list[str] = []
+        for i, event in enumerate(self.events):
+            for label in event.channels:
+                try:
+                    network.find_channel(label)
+                except KeyError as exc:
+                    problems.append(f"event[{i}] at t={event.at}: {exc.args[0]}")
+            if event.switch is not None:
+                try:
+                    switch_output_channels(network, *event.switch)
+                except (ValueError, TypeError) as exc:
+                    problems.append(
+                        f"event[{i}] at t={event.at}: switch {event.switch}: {exc}"
+                    )
+        if problems:
+            raise ValueError(
+                "fault plan does not match the topology:\n  "
+                + "\n  ".join(problems)
+            )
+
     def install(
         self,
         env: Environment,
         network: SimNetwork,
         engine: Optional[WormholeEngine] = None,
     ) -> FaultInjector:
-        """Spawn the injector processes; events fire relative to now."""
+        """Spawn the injector processes; events fire relative to now.
+
+        Validates the plan against ``network`` first (see
+        :meth:`validate`): mislabelled channels raise here, not
+        mid-simulation.
+        """
         return FaultInjector(self, env, network, engine)
 
     @classmethod

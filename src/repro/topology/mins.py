@@ -83,7 +83,7 @@ def omega_min(k: int, n: int) -> MINSpec:
 
 def flip_min(k: int, n: int) -> MINSpec:
     """The flip network: every connection is the inverse shuffle."""
-    N = _validate(k, n)
+    _validate(k, n)
     connections = [InverseShuffle(k, n) for _ in range(n + 1)]
 
     def tag(d: int) -> tuple[int, ...]:

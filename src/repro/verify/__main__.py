@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro.verify``.
+
+Examples::
+
+    # one configuration
+    python -m repro.verify --network bmin --k 2 --n 4
+    python -m repro.verify --network dmin --k 4 --n 3 --topology cube
+
+    # certify every k**n <= 64 configuration (the CI gate)
+    python -m repro.verify --all-small
+
+    # prove the checker is not vacuous
+    python -m repro.verify --negative-control
+
+Exit status is 0 iff every requested check passed (for the negative
+control: iff the verifier *rejected* the cyclic routing variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time  # lint-sim: ignore[RPV002] -- wall-clock CLI reporting
+from typing import Optional, Sequence
+
+from repro.verify.cdg import check_acyclic
+from repro.verify.negative import build_negative_control
+from repro.verify.properties import all_small_configs, verify_config
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Statically verify the paper's correctness claims -- "
+            "deadlock freedom (CDG acyclicity), Theorem 1 path "
+            "count/length, Lemma 1 / Theorems 2-4 partitionability -- "
+            "against the live simulator networks."
+        ),
+    )
+    p.add_argument(
+        "--network",
+        choices=("tmin", "dmin", "vmin", "bmin"),
+        help="network kind to verify (with --k/--n)",
+    )
+    p.add_argument("--k", type=int, default=2, help="switch radix (default 2)")
+    p.add_argument("--n", type=int, default=3, help="stages (default 3)")
+    p.add_argument(
+        "--topology",
+        choices=("cube", "butterfly", "omega", "flip", "baseline"),
+        default="cube",
+        help="Delta topology for unidirectional kinds (default cube)",
+    )
+    p.add_argument(
+        "--dilation", type=int, default=2, help="DMIN dilation (default 2)"
+    )
+    p.add_argument(
+        "--virtual-channels",
+        type=int,
+        default=2,
+        help="VMIN virtual channels (default 2)",
+    )
+    p.add_argument(
+        "--all-small",
+        action="store_true",
+        help="verify every TMIN/DMIN/VMIN/BMIN config with k**n <= 64",
+    )
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        default=64,
+        help="node ceiling for --all-small (default 64)",
+    )
+    p.add_argument(
+        "--negative-control",
+        action="store_true",
+        help=(
+            "run the deliberately cyclic routing fixture; succeeds iff "
+            "the verifier rejects it with a cycle witness"
+        ),
+    )
+    p.add_argument(
+        "--skip-partitions",
+        action="store_true",
+        help="skip the Lemma 1 / Theorems 2-4 partition checks",
+    )
+    p.add_argument(
+        "--skip-paths",
+        action="store_true",
+        help="skip the Theorem 1 path count/length checks",
+    )
+    p.add_argument(
+        "-q", "--quiet", action="store_true", help="only print failures"
+    )
+    return p
+
+
+def _run_negative_control(quiet: bool) -> int:
+    net = build_negative_control(k=2, n=3)
+    result = check_acyclic(net)
+    if result.acyclic:
+        print(
+            "NEGATIVE CONTROL FAILED: the re-ascending BMIN was "
+            "certified acyclic -- the CDG verifier is vacuous"
+        )
+        return 1
+    if not quiet:
+        print("negative control rejected as required")
+        print(f"  cycle witness: {result.witness()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    if not (args.network or args.all_small or args.negative_control):
+        _parser().error(
+            "nothing to do: pass --network, --all-small and/or "
+            "--negative-control"
+        )
+
+    failures = 0
+    started = time.perf_counter()  # lint-sim: ignore[RPV002]
+    configs: list[tuple[str, int, int, str]] = []
+    if args.network:
+        configs.append((args.network, args.k, args.n, args.topology))
+    if args.all_small:
+        configs.extend(all_small_configs(max_nodes=args.max_nodes))
+
+    for kind, k, n, topology in configs:
+        report = verify_config(
+            kind,
+            k,
+            n,
+            topology=topology,
+            dilation=args.dilation,
+            virtual_channels=args.virtual_channels,
+            check_paths=not args.skip_paths,
+            check_partitions=not args.skip_partitions,
+        )
+        if not report.ok:
+            failures += 1
+            print(report)
+        elif not args.quiet:
+            print(report)
+
+    if args.negative_control or args.all_small:
+        # --all-small always exercises the negative control so a green
+        # run also certifies the checker itself is alive.
+        failures += _run_negative_control(args.quiet)
+
+    elapsed = time.perf_counter() - started  # lint-sim: ignore[RPV002]
+    verdict = "OK" if failures == 0 else f"{failures} FAILURE(S)"
+    print(
+        f"verified {len(configs)} configuration(s)"
+        f"{' + negative control' if args.negative_control or args.all_small else ''}"
+        f" in {elapsed:.1f}s: {verdict}"
+    )
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

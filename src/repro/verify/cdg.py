@@ -1,0 +1,254 @@
+"""Channel-dependency-graph construction and acyclicity checking.
+
+Deadlock freedom for wormhole routing is the Dally-Seitz condition:
+the *channel dependency graph* (CDG) -- one node per channel, one edge
+``c1 -> c2`` whenever some packet may hold ``c1`` while waiting to
+acquire ``c2`` -- must be acyclic (Section 3.2.1 argues this for the
+BMIN's turnaround routing; the unidirectional MINs are feed-forward and
+trivially acyclic).
+
+Rather than trusting a hand-derived edge list, :func:`build_cdg`
+derives the CDG *from the simulator itself*: it walks every reachable
+routing state of a live :class:`~repro.wormhole.network.SimNetwork`
+through the same ``prepare`` / ``candidates`` / ``advance`` interface
+the engine uses, so whatever the engine could do at runtime is exactly
+what the verifier reasons about.  A routing bug that introduces a cycle
+is therefore caught *before* any simulation runs, with a concrete
+cycle witness (:func:`find_cycle_witness`) instead of a mid-sweep
+:class:`~repro.wormhole.engine.DeadlockError`.
+
+The walker also powers exhaustive route enumeration
+(:func:`enumerate_routes`), which :mod:`repro.verify.properties` uses
+to machine-check Theorem 1's ``k**t`` path count and the ``2(t+1)`` /
+``n+1`` path lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.wormhole.channel import PhysChannel
+from repro.wormhole.network import SimNetwork
+
+
+class CyclicRouteError(RuntimeError):
+    """Route enumeration revisited a routing state: the routing loops."""
+
+
+class _Probe:
+    """A minimal packet stand-in carrying only routing state.
+
+    Networks only touch the routing attributes their ``prepare`` /
+    ``candidates`` / ``advance`` methods set, so a plain attribute bag
+    (plus ``src`` / ``dst``) is enough to replay every decision without
+    involving the engine, lanes or flit accounting.
+    """
+
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
+
+    def clone(self) -> "_Probe":
+        other = _Probe.__new__(_Probe)
+        other.__dict__.update(self.__dict__)
+        return other
+
+    def state_key(self) -> tuple:
+        """Hashable fingerprint of the routing state."""
+        items = []
+        for name, value in sorted(self.__dict__.items()):
+            if isinstance(value, list):
+                value = tuple(value)
+            items.append((name, value))
+        return tuple(items)
+
+
+@dataclass
+class CDGResult:
+    """Outcome of a CDG acyclicity check."""
+
+    acyclic: bool
+    num_channels: int
+    num_dependencies: int
+    #: Channel labels forming a dependency cycle (closed: first ==
+    #: last), or None when the graph is acyclic.
+    cycle: Optional[list[str]] = None
+    #: Node granularity: "channel" or "lane".
+    granularity: str = "channel"
+    lanes_expanded: bool = field(default=False)
+
+    def witness(self) -> str:
+        """Human-readable cycle witness (empty string when acyclic)."""
+        if self.cycle is None:
+            return ""
+        return " -> ".join(self.cycle)
+
+    def __str__(self) -> str:
+        if self.acyclic:
+            return (
+                f"CDG acyclic: {self.num_channels} {self.granularity}s, "
+                f"{self.num_dependencies} dependencies"
+            )
+        return (
+            f"CDG CYCLIC ({self.num_channels} {self.granularity}s, "
+            f"{self.num_dependencies} dependencies); witness: {self.witness()}"
+        )
+
+
+def _pairs(network: SimNetwork, pairs: Optional[Iterable[tuple[int, int]]]):
+    if pairs is not None:
+        yield from pairs
+        return
+    for src in range(network.N):
+        for dst in range(network.N):
+            if src != dst:
+                yield (src, dst)
+
+
+def iter_dependencies(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    max_states_per_pair: int = 1_000_000,
+) -> Iterable[tuple[PhysChannel, PhysChannel]]:
+    """Yield every (held, wanted) channel dependency of the network.
+
+    For each (source, destination) pair, walks all reachable routing
+    states: a packet holding channel ``c`` in state ``s`` may wait on
+    any channel ``candidates(s)`` returns, and acquiring a candidate
+    advances the state.  Dependencies are yielded with repetitions
+    (deduplicate at the graph level); the walk itself terminates even
+    for cyclic routing functions because visited states are memoized.
+    """
+    for src, dst in _pairs(network, pairs):
+        probe = _Probe(src, dst)
+        network.prepare(probe)
+        held = network.injection_channel(src)
+        stack = [(probe, held)]
+        seen: set[tuple] = set()
+        while stack:
+            state, held = stack.pop()
+            key = (held.label, state.state_key())
+            if key in seen:
+                continue
+            seen.add(key)
+            if len(seen) > max_states_per_pair:  # pragma: no cover
+                raise RuntimeError(
+                    f"routing state space of pair ({src}, {dst}) exceeds "
+                    f"{max_states_per_pair} states; aborting CDG build"
+                )
+            if held.is_delivery:
+                continue  # the destination consumes: no further waits
+            for cand in network.candidates(state):
+                yield (held, cand)
+                nxt = state.clone()
+                network.advance(nxt, cand)
+                stack.append((nxt, cand))
+
+
+def build_cdg(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    expand_lanes: bool = False,
+) -> "nx.DiGraph":
+    """The network's channel dependency graph as a networkx DiGraph.
+
+    Nodes are channel labels (or ``"label.lane"`` strings with
+    ``expand_lanes=True``, one node per virtual lane -- lanes of one
+    wire are symmetric under the simulator's any-free-lane allocation,
+    so channel- and lane-granularity acyclicity coincide, but the
+    expanded graph is what the Dally-Seitz condition literally speaks
+    about for virtual-channel networks like the VMIN).
+    """
+    g = nx.DiGraph(name=f"{network.kind.value}-cdg", N=network.N)
+    if expand_lanes:
+        for held, cand in iter_dependencies(network, pairs):
+            for lane_h in held.lanes:
+                for lane_c in cand.lanes:
+                    g.add_edge(
+                        f"{held.label}.{lane_h.index}",
+                        f"{cand.label}.{lane_c.index}",
+                    )
+    else:
+        for held, cand in iter_dependencies(network, pairs):
+            g.add_edge(held.label, cand.label)
+    return g
+
+
+def find_cycle_witness(g: "nx.DiGraph") -> Optional[list[str]]:
+    """A closed dependency cycle (labels, first == last), or None."""
+    try:
+        edges = nx.find_cycle(g, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    nodes = [edges[0][0]]
+    for edge in edges:
+        nodes.append(edge[1])
+    return nodes
+
+
+def check_acyclic(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    expand_lanes: bool = False,
+) -> CDGResult:
+    """Build the CDG and check the Dally-Seitz condition."""
+    g = build_cdg(network, pairs, expand_lanes=expand_lanes)
+    cycle = find_cycle_witness(g)
+    return CDGResult(
+        acyclic=cycle is None,
+        num_channels=g.number_of_nodes(),
+        num_dependencies=g.number_of_edges(),
+        cycle=cycle,
+        granularity="lane" if expand_lanes else "channel",
+        lanes_expanded=expand_lanes,
+    )
+
+
+def enumerate_routes(
+    network: SimNetwork,
+    src: int,
+    dst: int,
+    max_routes: int = 100_000,
+) -> list[list[PhysChannel]]:
+    """Every complete channel route the network permits for (src, dst).
+
+    A route starts at the injection channel and ends with a delivery
+    channel; adaptive decisions branch.  Raises
+    :class:`CyclicRouteError` if a routing state repeats along one
+    route (the routing function loops -- use :func:`check_acyclic`
+    first), and :class:`RuntimeError` past ``max_routes``.
+    """
+    probe = _Probe(src, dst)
+    network.prepare(probe)
+    start = network.injection_channel(src)
+    routes: list[list[PhysChannel]] = []
+
+    def walk(state: _Probe, held: PhysChannel, path: list, on_path: set) -> None:
+        if held.is_delivery:
+            routes.append([ch for ch, _ in path])
+            if len(routes) > max_routes:
+                raise RuntimeError(
+                    f"more than {max_routes} routes for ({src}, {dst})"
+                )
+            return
+        for cand in network.candidates(state):
+            nxt = state.clone()
+            network.advance(nxt, cand)
+            key = (cand.label, nxt.state_key())
+            if key in on_path:
+                raise CyclicRouteError(
+                    f"routing loops for ({src}, {dst}): state at "
+                    f"{cand.label} repeats along one route"
+                )
+            path.append((cand, key))
+            on_path.add(key)
+            walk(nxt, cand, path, on_path)
+            on_path.discard(key)
+            path.pop()
+
+    start_key = (start.label, probe.state_key())
+    walk(probe, start, [(start, start_key)], {start_key})
+    return routes

@@ -1,0 +1,349 @@
+"""AST lint rules for simulator hazards.
+
+Generic linters don't know what breaks a discrete-event simulation.
+These rules encode the repo's simulation discipline (see
+``docs/model.md``) as custom, codemod-free AST checks:
+
+``RPV001`` **raw-random**
+    Direct use of the :mod:`random` module instead of a seeded
+    :class:`repro.sim.rng.RandomStream`.  Unseeded draws destroy run
+    reproducibility and the paired-stream variance reduction the
+    paper's comparisons rely on.
+
+``RPV002`` **wallclock-time**
+    ``time.time()`` / ``time.perf_counter()`` / ``time.monotonic()``
+    inside simulation code.  Sim logic must read ``env.now``; wall
+    clocks belong only in harness/benchmark reporting (suppress there).
+
+``RPV003`` **float-eq-simtime**
+    ``==`` / ``!=`` comparison against simulation time (``env.now`` or
+    a ``now``-named variable).  Sim time is a float; exact equality is
+    a latent off-by-epsilon bug -- compare with ``<=`` windows.
+
+``RPV004`` **mutable-default**
+    Mutable default argument (list/dict/set literal or constructor) in
+    a function or dataclass field.  Shared across calls/processes;
+    state leaks between simulation runs.
+
+``RPV005`` **hold-without-release**
+    A generator process ``yield``-ing a ``request()``/``acquire()``
+    without any ``release`` call or ``with`` block in the same
+    function.  The slot leaks when the process ends or is interrupted.
+
+Suppression: append ``# lint-sim: ignore`` (all rules) or
+``# lint-sim: ignore[RPV001,RPV005]`` to the offending line; a file
+containing ``# lint-sim: skip-file`` is skipped entirely.
+
+Run with ``python tools/lint_sim.py [paths...]`` (CI's ``lint`` job) or
+import :func:`lint_paths` / :func:`lint_source` from tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+RULES: dict[str, str] = {
+    "RPV001": "use repro.sim.rng.RandomStream, not the raw random module",
+    "RPV002": "use env.now, not wall-clock time, inside simulation code",
+    "RPV003": "never compare simulation time with == / != (float epsilon)",
+    "RPV004": "mutable default argument shares state across calls",
+    "RPV005": "yielded hold (request/acquire) with no release path",
+}
+
+_SKIP_FILE = "lint-sim: skip-file"
+_IGNORE_RE = re.compile(r"lint-sim:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suppressions(source: str) -> dict[int, Optional[set[str]]]:
+    """Per-line suppressions: line -> None (all rules) or a rule set."""
+    table: dict[int, Optional[set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "lint-sim" not in text:
+            continue
+        m = _IGNORE_RE.search(text)
+        if not m:
+            continue
+        if m.group(1) is None:
+            table[lineno] = None
+        else:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            if lineno in table and table[lineno] is None:
+                continue  # bare `ignore` already suppresses everything
+            table[lineno] = table.get(lineno, set()) | rules
+    return table
+
+
+_WALLCLOCK_FNS = {"time", "perf_counter", "monotonic", "process_time"}
+_MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "deque", "Counter"}
+_TIMEY_NAMES = {"now", "sim_time", "simtime"}
+_HOLD_METHODS = {"request", "acquire"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _local_walk(fn: ast.AST):
+    """Walk a function body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mentions_sim_time(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "now":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in _TIMEY_NAMES:
+            return True
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.random_names: set[str] = set()  # local aliases of `random`
+        self.time_names: set[str] = set()  # local aliases of `time`
+        self.violations: list[LintViolation] = []
+
+    # -- imports feed RPV001/RPV002 --------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self.random_names.add(alias.asname or "random")
+            if alias.name == "time":
+                self.time_names.add(alias.asname or "time")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            for alias in node.names:
+                self._add(
+                    node.lineno,
+                    node.col_offset,
+                    "RPV001",
+                    f"from random import {alias.name}: "
+                    + RULES["RPV001"],
+                )
+        if node.module == "time" and node.level == 0:
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_FNS:
+                    self.time_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls: RPV001, RPV002 --------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            base = fn.value.id
+            if base in self.random_names:
+                self._add(
+                    node.lineno,
+                    node.col_offset,
+                    "RPV001",
+                    f"random.{fn.attr}(): " + RULES["RPV001"],
+                )
+            if base in self.time_names and fn.attr in _WALLCLOCK_FNS:
+                self._add(
+                    node.lineno,
+                    node.col_offset,
+                    "RPV002",
+                    f"time.{fn.attr}(): " + RULES["RPV002"],
+                )
+        elif isinstance(fn, ast.Name) and fn.id in self.time_names:
+            self._add(
+                node.lineno,
+                node.col_offset,
+                "RPV002",
+                f"{fn.id}(): " + RULES["RPV002"],
+            )
+        self.generic_visit(node)
+
+    # -- comparisons: RPV003 -----------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if has_eq:
+            operands = [node.left, *node.comparators]
+            if any(_mentions_sim_time(o) for o in operands):
+                self._add(
+                    node.lineno,
+                    node.col_offset,
+                    "RPV003",
+                    RULES["RPV003"],
+                )
+        self.generic_visit(node)
+
+    # -- defs: RPV004, RPV005 ---------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._check_hold_release(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_dataclass_decorated(node):
+            for stmt in node.body:
+                value = None
+                if isinstance(stmt, ast.AnnAssign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                if value is not None and _is_mutable_default(value):
+                    # dataclasses reject list/dict/set at runtime but
+                    # happily share e.g. a deque() or a comprehension.
+                    self._add(
+                        stmt.lineno,
+                        stmt.col_offset,
+                        "RPV004",
+                        "dataclass field default: " + RULES["RPV004"]
+                        + " (use field(default_factory=...))",
+                    )
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self._add(
+                    default.lineno,
+                    default.col_offset,
+                    "RPV004",
+                    f"in {node.name}(): " + RULES["RPV004"],
+                )
+
+    def _check_hold_release(self, node: ast.FunctionDef) -> None:
+        # Only generator functions are sim processes; scan this
+        # function's own body, not nested defs.
+        body = list(_local_walk(node))
+        is_gen = any(isinstance(sub, (ast.Yield, ast.YieldFrom)) for sub in body)
+        if not is_gen:
+            return
+        has_release = False
+        with_held: set[int] = set()  # id() of calls inside with-items
+        for sub in body:
+            if isinstance(sub, ast.Attribute) and sub.attr.startswith("release"):
+                has_release = True
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    for inner in ast.walk(item.context_expr):
+                        with_held.add(id(inner))
+        if has_release:
+            return
+        for sub in body:
+            if not isinstance(sub, ast.Yield) or sub.value is None:
+                continue
+            call = sub.value
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _HOLD_METHODS
+                and id(call) not in with_held
+            ):
+                self._add(
+                    sub.lineno,
+                    sub.col_offset,
+                    "RPV005",
+                    f"yield ...{call.func.attr}() in {node.name}(): "
+                    + RULES["RPV005"],
+                )
+
+    def _add(self, line: int, col: int, rule: str, message: str) -> None:
+        self.violations.append(
+            LintViolation(self.path, line, col, rule, message)
+        )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one source text; returns the unsuppressed violations."""
+    if _SKIP_FILE in source:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path,
+                exc.lineno or 0,
+                exc.offset or 0,
+                "RPV000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    table = _suppressions(source)
+    kept = []
+    for v in visitor.violations:
+        if v.line in table:
+            rules = table[v.line]
+            if rules is None or v.rule in rules:
+                continue
+        kept.append(v)
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return kept
+
+
+def lint_file(path: Path) -> list[LintViolation]:
+    """Lint one file."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: Iterable[Path]) -> list[LintViolation]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    out: list[LintViolation] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            out.extend(lint_file(f))
+    return out

@@ -1,0 +1,68 @@
+"""Negative control: a deliberately deadlock-prone routing variant.
+
+A verifier that never fails is vacuous.  This module wires a BMIN whose
+routing *breaks* the turnaround discipline: once a packet is in its
+backward (descending) phase, it may re-ascend through a forward channel
+at the boundary it just crossed (a BACKWARD -> FORWARD connection,
+which Fig. 7 forbids precisely because it closes dependency cycles
+``fwd_b -> ... -> bwd_b -> fwd_b``).  The paper's Section 3.2.1 proof
+leans on the phase ordering forward < turnaround < backward; dropping
+it makes the channel dependency graph cyclic, and the CDG verifier
+(:func:`repro.verify.cdg.check_acyclic`) must reject the network with
+a concrete cycle witness.
+
+The class is fully functional as a :class:`SimNetwork` -- tests may
+even run traffic through it (re-ascent is only *offered*, so a lucky
+run can still deliver) -- but ``python -m repro.verify
+--negative-control`` certifies that the static checker catches it.
+"""
+
+from __future__ import annotations
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.permutations import from_digits, to_digits
+from repro.wormhole.channel import PhysChannel
+from repro.wormhole.network import BidirectionalNetwork
+from repro.wormhole.packet import Packet
+
+
+class ReascendingBidirectionalNetwork(BidirectionalNetwork):
+    """BMIN variant allowing BACKWARD -> FORWARD re-ascent (cyclic!).
+
+    During the down phase at stage ``b - 1`` (after crossing boundary
+    ``b`` backward), the header may -- in addition to the legal
+    backward hop -- re-acquire any forward channel of boundary ``b``
+    below its turn stage, restarting the up phase.  This invalidates
+    the acyclic phase ordering of Section 3.2.1 and seeds cycles such
+    as ``fwd1[x] -> bwd1[y] -> fwd1[x]`` in the channel dependency
+    graph.
+    """
+
+    def candidates(self, packet: Packet) -> list[PhysChannel]:
+        legal = super().candidates(packet)
+        if packet.bmin_going_up:
+            return legal
+        b = packet.bmin_boundary
+        if b == 0 or b > packet.bmin_turn:
+            return legal
+        # Illegal re-ascent: from the stage-(b-1) switch, go up again
+        # through any forward channel of boundary b.
+        k, n = self.bmin.k, self.bmin.n
+        digits = list(to_digits(packet.bmin_line, k, n))
+        extra = []
+        for i in range(k):
+            digits[b - 1] = i
+            extra.append(self.fwd[(b, from_digits(digits, k))])
+        return legal + extra
+
+    def advance(self, packet: Packet, channel: PhysChannel) -> None:
+        super().advance(packet, channel)
+        direction, _boundary, _line = channel.meta
+        if direction == "fwd":
+            # Re-ascending flips the packet back into its up phase.
+            packet.bmin_going_up = True
+
+
+def build_negative_control(k: int = 2, n: int = 3) -> ReascendingBidirectionalNetwork:
+    """The canonical cyclic-routing fixture for verifier tests."""
+    return ReascendingBidirectionalNetwork(BidirectionalMIN(k, n))

@@ -1,0 +1,452 @@
+"""Exhaustive routing-property checks per network configuration.
+
+Each function machine-checks one of the paper's proved statements
+against a *live* :class:`~repro.wormhole.network.SimNetwork` (routes
+are enumerated through the simulator's own routing interface, see
+:mod:`repro.verify.cdg`):
+
+* **Deadlock freedom** (Section 3.2.1): the channel dependency graph is
+  acyclic, at channel and at virtual-lane granularity;
+* **Theorem 1**: the BMIN offers exactly ``k**t`` shortest paths of
+  length ``2(t+1)`` channels, ``t = FirstDifference(S, D)``; the
+  unidirectional MINs offer exactly one slot-path of length ``n+1``
+  (``d**(n-1)`` physical channel routes when d-dilated);
+* **Delivery correctness**: every enumerated route ends at the
+  destination's delivery channel;
+* **Lemma 1 / Theorem 2**: cube MINs partition into channel-balanced,
+  contention-free base k-ary m-cube clusters at every ``m``;
+* **Theorem 3**: butterfly MINs do *not* partition (every nontrivial
+  base partition breaks balance or contention-freedom);
+* **Theorem 4**: BMIN base cubes are channel-balanced and
+  contention-free.
+
+:func:`verify_config` bundles the applicable checks for one
+(kind, k, n, topology) configuration into a
+:class:`VerificationReport`; :func:`all_small_configs` enumerates every
+``k**n <= 64`` configuration the CLI's ``--all-small`` certifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.partition.analysis import (
+    bmin_cluster_line_usage,
+    bmin_clusters_are_contention_free,
+    cluster_channel_usage,
+    clusters_are_contention_free,
+)
+from repro.partition.cubes import Cube
+from repro.topology.bmin import first_difference
+from repro.verify.cdg import CyclicRouteError, check_acyclic, enumerate_routes
+from repro.wormhole.network import (
+    BidirectionalNetwork,
+    NetworkKind,
+    SimNetwork,
+    UnidirectionalNetwork,
+    build_network,
+)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One verified (or refuted) property."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        tail = f": {self.detail}" if self.detail else ""
+        return f"  [{status}] {self.name}{tail}"
+
+
+@dataclass
+class VerificationReport:
+    """All checks run against one network configuration."""
+
+    config: str
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every check passed."""
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> list[CheckResult]:
+        """The failed checks."""
+        return [c for c in self.checks if not c.ok]
+
+    def add(self, name: str, ok: bool, detail: str = "") -> None:
+        """Append one check outcome."""
+        self.checks.append(CheckResult(name, ok, detail))
+
+    def __str__(self) -> str:
+        head = "ok" if self.ok else "FAILED"
+        lines = [f"{self.config}: {head} ({len(self.checks)} checks)"]
+        lines.extend(str(c) for c in self.checks)
+        return "\n".join(lines)
+
+
+# -- path properties ----------------------------------------------------------
+
+
+def _check_unidirectional_paths(
+    net: UnidirectionalNetwork, report: VerificationReport
+) -> None:
+    """Unique slot path, ``d**(n-1)`` channel routes, length ``n+1``."""
+    spec = net.spec
+    expected_routes = net.dilation ** max(spec.n - 1, 0)
+    expected_len = spec.n + 1
+    pairs = worst = 0
+    for src in range(net.N):
+        for dst in range(net.N):
+            if src == dst:
+                continue
+            pairs += 1
+            routes = enumerate_routes(net, src, dst)
+            if len(routes) != expected_routes:
+                report.add(
+                    "path-count",
+                    False,
+                    f"({src},{dst}): {len(routes)} routes, "
+                    f"expected d**(n-1) = {expected_routes}",
+                )
+                return
+            slot_path = spec.channels_of_path(src, dst)
+            for route in routes:
+                if len(route) != expected_len:
+                    report.add(
+                        "path-length",
+                        False,
+                        f"({src},{dst}): route of {len(route)} channels, "
+                        f"expected n+1 = {expected_len}",
+                    )
+                    return
+                slots = [net_slot_of(net, ch) for ch in route]
+                if slots != slot_path:
+                    report.add(
+                        "unique-slot-path",
+                        False,
+                        f"({src},{dst}): route deviates from the unique "
+                        f"destination-tag path at {slots}",
+                    )
+                    return
+                last = route[-1]
+                if not last.is_delivery or last.sink != dst:
+                    report.add(
+                        "delivery-correctness",
+                        False,
+                        f"({src},{dst}): route ends at {last.label} "
+                        f"(sink {last.sink})",
+                    )
+                    return
+            worst = max(worst, len(routes))
+    report.add(
+        "path-count",
+        True,
+        f"{pairs} pairs x {expected_routes} routes (d**(n-1))",
+    )
+    report.add("path-length", True, f"all routes are n+1 = {expected_len} channels")
+    report.add("unique-slot-path", True, "every route follows the tag path")
+    report.add("delivery-correctness", True, "every route ends at its destination")
+
+
+def net_slot_of(
+    net: UnidirectionalNetwork, channel
+) -> Optional[tuple[int, int]]:
+    """The (boundary, position) slot a channel of ``net`` serves."""
+    for slot, chans in net.slots.items():
+        if channel in chans:
+            return slot
+    return None
+
+
+def _check_bmin_paths(
+    net: BidirectionalNetwork, report: VerificationReport
+) -> None:
+    """Theorem 1: ``k**t`` shortest routes of ``2(t+1)`` channels."""
+    bmin = net.bmin
+    k, n = bmin.k, bmin.n
+    pairs = 0
+    for src in range(net.N):
+        for dst in range(net.N):
+            if src == dst:
+                continue
+            pairs += 1
+            t = first_difference(src, dst, k, n)
+            try:
+                routes = enumerate_routes(net, src, dst)
+            except CyclicRouteError as exc:
+                report.add("path-count", False, str(exc))
+                return
+            if len(routes) != k**t:
+                report.add(
+                    "path-count",
+                    False,
+                    f"({src},{dst}): {len(routes)} routes, expected "
+                    f"k**t = {k**t} (Theorem 1)",
+                )
+                return
+            expected_len = 2 * (t + 1)
+            for route in routes:
+                if len(route) != expected_len:
+                    report.add(
+                        "path-length",
+                        False,
+                        f"({src},{dst}): route of {len(route)} channels, "
+                        f"expected 2(t+1) = {expected_len}",
+                    )
+                    return
+                last = route[-1]
+                if not last.is_delivery or last.sink != dst:
+                    report.add(
+                        "delivery-correctness",
+                        False,
+                        f"({src},{dst}): route ends at {last.label} "
+                        f"(sink {last.sink})",
+                    )
+                    return
+            # Cross-check against the combinatorial enumeration
+            # (topology-level Theorem 1 artifact).
+            combinatorial = {
+                tuple(
+                    f"{dirn}{b}[{line}]" for dirn, b, line in path.channels()
+                )
+                for path in bmin.enumerate_shortest_paths(src, dst)
+            }
+            simulated = {
+                tuple(ch.label for ch in route) for route in routes
+            }
+            if combinatorial != simulated:
+                report.add(
+                    "path-cross-check",
+                    False,
+                    f"({src},{dst}): simulated routes differ from "
+                    f"bmin.enumerate_shortest_paths",
+                )
+                return
+    report.add("path-count", True, f"{pairs} pairs match k**t (Theorem 1)")
+    report.add("path-length", True, "all routes are 2(t+1) channels")
+    report.add("delivery-correctness", True, "every route ends at its destination")
+    report.add(
+        "path-cross-check",
+        True,
+        "simulated routes == combinatorial shortest paths",
+    )
+
+
+# -- partition properties -----------------------------------------------------
+
+
+def base_kary_partitions(k: int, n: int) -> Iterator[tuple[int, list[Cube]]]:
+    """Every base k-ary m-cube partition, m = 1 .. n-1.
+
+    Yields ``(m, clusters)`` where the ``k**(n-m)`` clusters fix the
+    most significant ``n - m`` digits (Definition 6).
+    """
+    digits = "0123456789ABCDEF"
+    for m in range(1, n):
+        clusters = []
+        for prefix_value in range(k ** (n - m)):
+            pattern = []
+            v = prefix_value
+            for _ in range(n - m):
+                pattern.append(digits[v % k])
+                v //= k
+            pattern.reverse()
+            clusters.append(Cube.from_kary("".join(pattern) + "X" * m, k=k))
+        yield m, clusters
+
+
+def _check_min_partitions(
+    net: UnidirectionalNetwork, report: VerificationReport
+) -> None:
+    """Lemma 1 / Theorem 2 (cube) or Theorem 3 (butterfly)."""
+    spec = net.spec
+    if spec.n < 2:
+        report.add("partitioning", True, "n < 2: no nontrivial base partition")
+        return
+    cube_topology = spec.name == "cube"
+    for m, clusters in base_kary_partitions(spec.k, spec.n):
+        balanced = all(
+            _min_balanced(spec, c) for c in clusters
+        )
+        disjoint = clusters_are_contention_free(spec, clusters)
+        good = balanced and disjoint
+        if cube_topology and not good:
+            report.add(
+                "partition-thm2",
+                False,
+                f"base {spec.k}-ary {m}-cubes: balanced={balanced}, "
+                f"contention-free={disjoint} (Lemma 1/Theorem 2 violated)",
+            )
+            return
+        if not cube_topology and good:
+            report.add(
+                "partition-thm3",
+                False,
+                f"butterfly partitioned cleanly at m={m}, contradicting "
+                f"Theorem 3",
+            )
+            return
+    if cube_topology:
+        report.add(
+            "partition-thm2",
+            True,
+            f"all base k-ary m-cube partitions (m=1..{spec.n - 1}) are "
+            "channel-balanced and contention-free",
+        )
+    else:
+        report.add(
+            "partition-thm3",
+            True,
+            "no base partition of the butterfly MIN is clean (Theorem 3)",
+        )
+
+
+def _min_balanced(spec, cluster: Cube) -> bool:
+    usage = cluster_channel_usage(spec, cluster)
+    return all(len(usage[b]) == cluster.size for b in range(spec.n + 1))
+
+
+def _check_bmin_partitions(
+    net: BidirectionalNetwork, report: VerificationReport
+) -> None:
+    """Theorem 4: base cubes are line-balanced and contention-free."""
+    bmin = net.bmin
+    if bmin.n < 2:
+        report.add("partition-thm4", True, "n < 2: no nontrivial base partition")
+        return
+    for m, clusters in base_kary_partitions(bmin.k, bmin.n):
+        for cluster in clusters:
+            if not _bmin_balanced(bmin, cluster):
+                report.add(
+                    "partition-thm4",
+                    False,
+                    f"base {bmin.k}-ary {m}-cube {cluster!r} is not "
+                    "line-balanced (Theorem 4 violated)",
+                )
+                return
+        if not bmin_clusters_are_contention_free(bmin, clusters):
+            report.add(
+                "partition-thm4",
+                False,
+                f"base {bmin.k}-ary {m}-cube partition is not "
+                "contention-free (Theorem 4 violated)",
+            )
+            return
+    report.add(
+        "partition-thm4",
+        True,
+        f"all base k-ary m-cube partitions (m=1..{bmin.n - 1}) are "
+        "line-balanced and contention-free",
+    )
+
+
+def _bmin_balanced(bmin, cluster: Cube) -> bool:
+    usage = bmin_cluster_line_usage(bmin, cluster)
+    members = cluster.member_list()
+    top = max(
+        bmin.turn_stage(s, d) for s in members for d in members if s != d
+    )
+    return all(
+        len(usage[b]) == (cluster.size if b <= top else 0)
+        for b in range(bmin.n)
+    )
+
+
+# -- configuration-level drivers ---------------------------------------------
+
+
+def verify_network(
+    network: SimNetwork,
+    config: Optional[str] = None,
+    check_paths: bool = True,
+    check_partitions: bool = True,
+) -> VerificationReport:
+    """Run every applicable static check against a built network."""
+    if config is None:
+        config = f"{network.kind.value} N={network.N}"
+    report = VerificationReport(config)
+
+    cdg = check_acyclic(network)
+    report.add("cdg-acyclic", cdg.acyclic, str(cdg))
+    multi_lane = any(ch.num_lanes > 1 for ch in network.topo_channels)
+    if multi_lane:
+        lanes = check_acyclic(network, expand_lanes=True)
+        report.add("cdg-acyclic-lanes", lanes.acyclic, str(lanes))
+    if not cdg.acyclic:
+        # Route enumeration may not terminate on a cyclic routing
+        # function; the CDG failure is the verdict.
+        return report
+
+    if check_paths:
+        if isinstance(network, BidirectionalNetwork):
+            _check_bmin_paths(network, report)
+        elif isinstance(network, UnidirectionalNetwork):
+            _check_unidirectional_paths(network, report)
+
+    if check_partitions:
+        if isinstance(network, BidirectionalNetwork):
+            _check_bmin_partitions(network, report)
+        elif isinstance(network, UnidirectionalNetwork):
+            _check_min_partitions(network, report)
+    return report
+
+
+def verify_config(
+    kind: str | NetworkKind,
+    k: int,
+    n: int,
+    topology: str = "cube",
+    dilation: int = 2,
+    virtual_channels: int = 2,
+    bmin_virtual_channels: int = 1,
+    check_paths: bool = True,
+    check_partitions: bool = True,
+) -> VerificationReport:
+    """Build one of the paper's networks and verify it."""
+    network = build_network(
+        kind,
+        k=k,
+        n=n,
+        topology=topology,
+        dilation=dilation,
+        virtual_channels=virtual_channels,
+        bmin_virtual_channels=bmin_virtual_channels,
+    )
+    kind_name = network.kind.value
+    topo = f" {topology}" if network.kind is not NetworkKind.BMIN else ""
+    config = f"{kind_name}{topo} k={k} n={n} (N={k**n})"
+    return verify_network(
+        network,
+        config=config,
+        check_paths=check_paths,
+        check_partitions=check_partitions,
+    )
+
+
+def all_small_configs(
+    max_nodes: int = 64,
+    kinds: Sequence[str] = ("tmin", "dmin", "vmin", "bmin"),
+) -> Iterator[tuple[str, int, int, str]]:
+    """Every (kind, k, n, topology) with ``k**n <= max_nodes``.
+
+    Unidirectional kinds are verified on the cube topology (Theorem 2's
+    positive case); the TMIN additionally on the butterfly topology so
+    Theorem 3's negative case is certified too.
+    """
+    for k in (2, 4, 8):
+        n = 1
+        while k**n <= max_nodes:
+            for kind in kinds:
+                if kind == "bmin":
+                    yield (kind, k, n, "cube")
+                else:
+                    yield (kind, k, n, "cube")
+                    if kind == "tmin":
+                        yield (kind, k, n, "butterfly")
+            n += 1

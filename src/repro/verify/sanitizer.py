@@ -1,0 +1,167 @@
+"""Opt-in runtime sanitizer for the wormhole engine.
+
+Set ``REPRO_SANITIZE=1`` (any value other than empty/``0``) and every
+:class:`~repro.wormhole.engine.WormholeEngine` self-checks the
+simulator's core invariants after each cycle:
+
+* **buffer occupancy bounds** -- each switch-input buffer holds 0 or 1
+  flits (the 1-flit buffers of Section 2.2); delivery lanes buffer
+  nothing (the node consumes instantly);
+* **ownership accounting** -- ``PhysChannel.owned_count`` matches the
+  lanes actually owned (the hot path's O(1) cache never drifts);
+* **flit conservation** -- for every in-flight worm, flits injected ==
+  flits delivered + flits sitting in buffers along its chain, with
+  every per-hop gap in {0, 1};
+* **acquire/release pairing** -- a lane is only released once its
+  owner's tail flit crossed the wire (``sent == length``), except
+  during an explicit abort (fault recovery), which announces itself.
+
+The checks are wired into the engine (see
+``WormholeEngine.step_cycle`` / ``Lane.release``) but cost *nothing*
+when disabled: the engine holds ``sanitizer = None`` and the channel
+layer checks one module flag per release.  CI runs the whole tier-1
+suite under ``REPRO_SANITIZE=1`` (the ``sanitize`` job).
+
+``REPRO_SANITIZE_EVERY=N`` (default 1) thins the per-cycle sweep to
+every N-th cycle for long soak runs; the release-pairing check always
+runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.engine import WormholeEngine
+
+
+class SanitizerError(AssertionError):
+    """An engine invariant was violated (simulator bug or corruption)."""
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests runtime sanitizing."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def check_interval() -> int:
+    """Per-cycle sweep thinning factor (``REPRO_SANITIZE_EVERY``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SANITIZE_EVERY", "1")))
+    except ValueError:
+        return 1
+
+
+class Sanitizer:
+    """Per-engine invariant checker (created when sanitizing is on)."""
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.every = check_interval()
+        self.cycles_checked = 0
+        self.violations = 0  # incremented before raising, for forensics
+        # The release hook is module-global (one observer at a time),
+        # so remember which channels are *ours*: releases on channels
+        # outside this network (unit-test fixtures, other engines) are
+        # not this sanitizer's business.
+        self._channel_ids = {id(ch) for ch in network.topo_channels}
+
+    # -- release pairing (called from the channel layer) -----------------
+
+    def on_release(self, lane) -> None:
+        """Validate one lane release (tail crossed, or explicit abort)."""
+        if id(lane.channel) not in self._channel_ids:
+            return  # not a channel of this sanitizer's network
+        owner = lane.owner
+        if owner is None:  # releasing a free lane: always a bug
+            self._fail(f"release of unowned lane {lane!r}")
+        if getattr(owner, "_sanitize_aborting", False):
+            return  # fault recovery flushes mid-worm; exempt
+        if lane.sent != owner.length:
+            self._fail(
+                f"early release of {lane!r}: sent {lane.sent} of "
+                f"{owner.length} flits (acquire/release pairing broken)"
+            )
+
+    # -- per-cycle sweep ---------------------------------------------------
+
+    def check_cycle(self, engine: "WormholeEngine") -> None:
+        """Assert all invariants; raise :class:`SanitizerError` on drift."""
+        if engine.cycles_run % self.every:
+            return
+        self.cycles_checked += 1
+        self._check_channels()
+        self._check_packets(engine)
+
+    def _check_channels(self) -> None:
+        for ch in self.network.topo_channels:
+            owned = sum(1 for lane in ch.lanes if lane.owner is not None)
+            if owned != ch.owned_count:
+                self._fail(
+                    f"{ch.label}: owned_count={ch.owned_count} but "
+                    f"{owned} lanes are owned"
+                )
+            for lane in ch.lanes:
+                if ch.is_delivery:
+                    if lane.buf != 0:
+                        self._fail(
+                            f"{lane!r}: delivery lanes have no buffer, "
+                            f"yet buf={lane.buf}"
+                        )
+                elif not 0 <= lane.buf <= 1:
+                    self._fail(
+                        f"{lane!r}: 1-flit buffer holds {lane.buf} flits"
+                    )
+                if lane.owner is not None and not (
+                    0 <= lane.sent <= lane.owner.length
+                ):
+                    self._fail(
+                        f"{lane!r}: sent={lane.sent} outside "
+                        f"[0, {lane.owner.length}]"
+                    )
+
+    def _check_packets(self, engine: "WormholeEngine") -> None:
+        for p in engine.in_flight_packets():
+            if not p.lanes:
+                continue  # header still waiting for its first grant
+            # A released lane passed the pairing check, so all length
+            # flits crossed it; an owned lane has crossed lane.sent.
+            eff = [
+                lane.sent if lane.owner is p else p.length for lane in p.lanes
+            ]
+            for i in range(len(eff) - 1):
+                gap = eff[i] - eff[i + 1]
+                if gap < 0:
+                    self._fail(
+                        f"pkt#{p.pid}: downstream lane "
+                        f"{p.lanes[i + 1].channel.label} ahead of upstream "
+                        f"({eff[i + 1]} > {eff[i]} flits) -- conservation "
+                        "broken"
+                    )
+                if not p.lanes[i].channel.is_delivery and gap > 1:
+                    self._fail(
+                        f"pkt#{p.pid}: {gap} flits buffered after "
+                        f"{p.lanes[i].channel.label} (1-flit buffers)"
+                    )
+            last = p.lanes[-1]
+            if last.channel.is_delivery and last.owner is p:
+                if p.delivered_flits != last.sent:
+                    self._fail(
+                        f"pkt#{p.pid}: delivered_flits={p.delivered_flits} "
+                        f"but delivery lane streamed {last.sent}"
+                    )
+            elif p.delivered_flits not in (0, p.length):
+                self._fail(
+                    f"pkt#{p.pid}: {p.delivered_flits} flits delivered "
+                    "without holding a delivery lane"
+                )
+
+    def _fail(self, message: str) -> None:
+        self.violations += 1
+        raise SanitizerError(f"REPRO_SANITIZE: {message}")
+
+
+def maybe_sanitizer(network) -> "Sanitizer | None":
+    """A :class:`Sanitizer` when ``REPRO_SANITIZE`` is set, else None."""
+    return Sanitizer(network) if sanitize_enabled() else None

@@ -21,10 +21,16 @@ correctly delays the next owner's first flit until it drains.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.wormhole.packet import Packet
+
+#: Optional observer invoked as ``release_observer(lane)`` just before a
+#: lane frees.  Installed by the opt-in runtime sanitizer
+#: (:mod:`repro.verify.sanitizer`, ``REPRO_SANITIZE=1``) to assert
+#: acquire/release pairing; None (the default) costs one comparison.
+release_observer: Optional[Callable[["Lane"], None]] = None
 
 
 class Lane:
@@ -58,6 +64,8 @@ class Lane:
 
     def release(self) -> None:
         """Free the lane (the owner's tail flit has crossed the wire)."""
+        if release_observer is not None:
+            release_observer(self)
         self.owner = None
         self.route_idx = -1
         self.channel.owned_count -= 1

@@ -25,6 +25,7 @@ call :meth:`WormholeEngine.offer` to submit messages.
 from __future__ import annotations
 
 import math
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -112,12 +113,27 @@ class WormholeEngine:
         network: SimNetwork,
         rng: Optional[RandomStream] = None,
         record_deliveries: bool = True,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.env = env
         self.network = network
         self.rng = rng if rng is not None else RandomStream(0, name="engine")
         self.record_deliveries = record_deliveries
         self.stats = EngineStats()
+        #: Opt-in runtime invariant checker (REPRO_SANITIZE=1, or the
+        #: explicit ``sanitize=True``); None costs nothing per cycle.
+        self.sanitizer = None
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        if sanitize:
+            from repro.verify.sanitizer import Sanitizer
+            from repro.wormhole import channel as _channel_mod
+
+            self.sanitizer = Sanitizer(network)
+            # Pairing checks hook the channel layer globally; the rule
+            # is lane-local, so one observer serves any number of
+            # engines.
+            _channel_mod.release_observer = self.sanitizer.on_release
         #: Optional :class:`repro.wormhole.trace.Tracer` for per-packet
         #: event timelines; None (the default) costs nothing.
         self.tracer = None
@@ -210,6 +226,8 @@ class WormholeEngine:
         self._phase_allocate()
         self._phase_advance()
         self.cycles_run += 1
+        if self.sanitizer is not None:
+            self.sanitizer.check_cycle(self)
         if self.deadlock_watchdog:
             if self._progressed or self._active_packets == 0:
                 self._stalled_cycles = 0
@@ -391,15 +409,19 @@ class WormholeEngine:
         packet's flits) and its still-owned lanes are released, so other
         traffic is unaffected.
         """
-        for i, lane in enumerate(p.lanes):
-            if not lane.channel.is_delivery:
-                # A delivery lane has no downstream buffer (the node
-                # consumed those flits); only switch-input buffers flush.
-                next_sent = p.lanes[i + 1].sent if i + 1 < len(p.lanes) else 0
-                lane.buf -= lane.sent - next_sent
-                assert lane.buf >= 0, "abort flushed a flit it did not own"
-            if lane.owner is p:
-                lane.release()
+        p._sanitize_aborting = True  # exempt early releases (sanitizer)
+        try:
+            for i, lane in enumerate(p.lanes):
+                if not lane.channel.is_delivery:
+                    # A delivery lane has no downstream buffer (the node
+                    # consumed those flits); only switch-input buffers flush.
+                    next_sent = p.lanes[i + 1].sent if i + 1 < len(p.lanes) else 0
+                    lane.buf -= lane.sent - next_sent
+                    assert lane.buf >= 0, "abort flushed a flit it did not own"
+                if lane.owner is p:
+                    lane.release()
+        finally:
+            p._sanitize_aborting = False
         p.state = PacketState.FAILED
         p.needs_route = False
         self._active_packets -= 1

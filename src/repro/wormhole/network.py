@@ -80,11 +80,31 @@ class SimNetwork:
         return len(self.topo_channels)
 
     def find_channel(self, label: str) -> PhysChannel:
-        """Look a channel up by its label (e.g. ``"b1[5].0"``)."""
+        """Look a channel up by its label (e.g. ``"b1[5].0"``).
+
+        Raises :class:`KeyError` with near-miss suggestions, so a typo
+        in a fault plan or script fails loudly instead of silently
+        naming nothing (see :meth:`repro.faults.plan.FaultPlan`'s
+        install-time validation).
+        """
         for ch in self.topo_channels:
             if ch.label == label:
                 return ch
-        raise KeyError(f"no channel labelled {label!r}")
+        raise KeyError(self.unknown_label_message(label))
+
+    def unknown_label_message(self, label: str) -> str:
+        """Diagnostic for a label that names no channel (with near-misses)."""
+        import difflib
+
+        labels = [ch.label for ch in self.topo_channels]
+        close = difflib.get_close_matches(label, labels, n=3, cutoff=0.5)
+        msg = (
+            f"no channel labelled {label!r} in this "
+            f"{self.kind.value} network ({len(labels)} channels)"
+        )
+        if close:
+            msg += "; did you mean " + " / ".join(repr(c) for c in close) + "?"
+        return msg
 
     def faulty_channels(self) -> list[PhysChannel]:
         """All channels currently marked faulty."""

@@ -51,6 +51,7 @@ class Packet:
         "bmin_line",
         "bmin_turn",
         "slots",
+        "_sanitize_aborting",
     )
 
     def __init__(
@@ -86,6 +87,11 @@ class Packet:
         #: Unidirectional networks: precomputed (boundary, position)
         #: slots of the unique path (set by the network at injection).
         self.slots: Optional[list[tuple[int, int]]] = None
+
+        #: True while the engine flushes this worm in an abort; lets the
+        #: runtime sanitizer (REPRO_SANITIZE=1) exempt the abort's
+        #: early lane releases from the tail-crossed pairing check.
+        self._sanitize_aborting = False
 
     @property
     def latency(self) -> float:

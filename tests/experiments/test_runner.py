@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.experiments.config import PRESETS, SMOKE, NetworkConfig, RunConfig
+from repro.experiments.config import PRESETS, SMOKE, NetworkConfig
 from repro.experiments.figures import uniform_workload
 from repro.experiments.runner import LoadPoint, SweepResult, run_point, sweep
 from repro.traffic.clusters import global_cluster

@@ -169,3 +169,51 @@ def test_whole_switch_fault_disconnects_its_routes():
     p = eng.offer(s, d, 8)
     eng.drain()
     assert p.state is PacketState.FAILED
+
+
+# ------------------------------------------------------- plan validation
+
+
+def test_install_rejects_unknown_label_with_suggestions():
+    env, eng = _engine("tmin")
+    plan = FaultPlan.single(at=10, channel="b1[3].7")
+    with pytest.raises(ValueError) as exc:
+        plan.install(env, eng.network)
+    msg = str(exc.value)
+    assert "does not match the topology" in msg
+    assert "event[0] at t=10" in msg
+    assert "did you mean" in msg
+
+
+def test_install_rejects_out_of_range_switch():
+    env, eng = _engine("tmin")
+    plan = FaultPlan((FaultEvent(at=0, switch=(9, 0)),))
+    with pytest.raises(ValueError, match="stage 9 out of range"):
+        plan.install(env, eng.network)
+
+
+def test_validate_reports_every_problem_at_once():
+    env, eng = _engine("tmin")
+    plan = FaultPlan(
+        (
+            FaultEvent(at=1, channels=("b1[3].7",)),
+            FaultEvent(at=2, channels=("b1[3].0",)),  # this one is fine
+            FaultEvent(at=3, switch=(0, 99)),
+        )
+    )
+    with pytest.raises(ValueError) as exc:
+        plan.validate(eng.network)
+    msg = str(exc.value)
+    assert "event[0]" in msg and "event[2]" in msg
+    assert "event[1]" not in msg
+
+
+def test_validate_passes_clean_plan():
+    env, eng = _engine("bmin")
+    plan = FaultPlan(
+        (
+            FaultEvent(at=1, channels=("fwd1[0]",), duration=10),
+            FaultEvent(at=2, switch=(1, 1)),
+        )
+    )
+    plan.validate(eng.network)  # must not raise

@@ -5,7 +5,6 @@ import pytest
 from repro.sim import (
     EmptySchedule,
     Environment,
-    Event,
     Interrupt,
     ProcessCrash,
     Timeout,

@@ -1,7 +1,5 @@
 """Tests for the preemptive resource."""
 
-import pytest
-
 from repro.sim import Environment, Interrupt, Preempted, PreemptiveResource
 
 

@@ -1,6 +1,5 @@
 """Tests for the reproducible random streams."""
 
-import math
 import statistics
 
 import pytest

@@ -6,7 +6,6 @@ the analytic structure (uncontended latency formulas, monotonicity,
 conservation, locality) across all four networks.
 """
 
-import math
 from dataclasses import replace
 
 import pytest

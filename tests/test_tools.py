@@ -1,10 +1,7 @@
 """Tests for the repository tooling (report assembler)."""
 
-import runpy
 import sys
 from pathlib import Path
-
-import pytest
 
 TOOLS = Path(__file__).parent.parent / "tools"
 

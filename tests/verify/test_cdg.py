@@ -1,0 +1,133 @@
+"""Channel-dependency-graph construction and the Dally-Seitz check.
+
+The CDG is derived by exhaustively walking the simulator's own routing
+interface (``prepare`` / ``candidates`` / ``advance``), so these tests
+certify the *live* code paths, not a hand-derived model.
+"""
+
+import pytest
+
+from repro.verify import (
+    CyclicRouteError,
+    build_cdg,
+    build_negative_control,
+    check_acyclic,
+    enumerate_routes,
+    find_cycle_witness,
+)
+from repro.wormhole import build_network
+
+
+# ----------------------------------------------------------- acyclicity
+
+
+@pytest.mark.parametrize("kind", ["tmin", "dmin", "vmin", "bmin"])
+@pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2)])
+def test_paper_networks_are_acyclic(kind, k, n):
+    net = build_network(kind, k=k, n=n)
+    result = check_acyclic(net)
+    assert result.acyclic, result.witness()
+    assert result.cycle is None
+    assert result.witness() == ""
+    assert result.num_channels > 0
+    assert result.num_dependencies > 0
+    assert result.granularity == "channel"
+
+
+@pytest.mark.parametrize("kind", ["tmin", "bmin"])
+def test_butterfly_and_bmin_variants_acyclic(kind):
+    if kind == "tmin":
+        net = build_network("tmin", k=2, n=3, topology="butterfly")
+    else:
+        net = build_network("bmin", k=2, n=3, bmin_virtual_channels=2)
+    assert check_acyclic(net).acyclic
+
+
+def test_lane_expansion_granularity():
+    net = build_network("vmin", k=2, n=2, virtual_channels=3)
+    chan = check_acyclic(net)
+    lanes = check_acyclic(net, expand_lanes=True)
+    assert chan.acyclic and lanes.acyclic
+    assert lanes.granularity == "lane"
+    # Lane expansion multiplies the multi-lane nodes, never shrinks.
+    assert lanes.num_channels > chan.num_channels
+
+
+def test_cdg_nodes_are_channel_labels():
+    net = build_network("tmin", k=2, n=2)
+    g = build_cdg(net)
+    labels = {ch.label for ch in net.topo_channels}
+    assert set(g.nodes) <= labels
+    # Dependencies follow the pipeline: every injection channel that
+    # appears must have out-edges only.
+    for node in g.nodes:
+        if node.startswith("inj"):
+            assert g.in_degree(node) == 0
+
+
+def test_find_cycle_witness_shapes():
+    import networkx as nx
+
+    g = nx.DiGraph([("a", "b"), ("b", "c")])
+    assert find_cycle_witness(g) is None
+    g.add_edge("c", "a")
+    cyc = find_cycle_witness(g)
+    assert cyc is not None
+    assert cyc[0] == cyc[-1]  # closed walk
+    assert set(cyc) <= {"a", "b", "c"}
+
+
+# ------------------------------------------------- negative control
+
+
+def test_negative_control_is_rejected():
+    net = build_negative_control(k=2, n=3)
+    result = check_acyclic(net)
+    assert not result.acyclic
+    assert result.cycle is not None
+    # The witness is a closed chain of real channel labels.
+    assert result.cycle[0] == result.cycle[-1]
+    labels = {ch.label for ch in net.topo_channels}
+    assert set(result.cycle) <= labels
+    assert " -> " in result.witness()
+
+
+def test_negative_control_cycle_mixes_directions():
+    """The injected cycle is a backward->forward re-ascent loop."""
+    result = check_acyclic(build_negative_control(k=2, n=3))
+    kinds = {lbl[:3] for lbl in result.cycle}
+    assert "fwd" in kinds and "bwd" in kinds
+
+
+# ------------------------------------------------- route enumeration
+
+
+def test_enumerate_routes_unique_path_tmin():
+    net = build_network("tmin", k=2, n=3)
+    routes = enumerate_routes(net, 1, 6)
+    assert len(routes) == 1
+    # n+1 channels end to end (injection is boundary 0, delivery is
+    # boundary n).
+    assert len(routes[0]) == net.spec.n + 1
+
+
+def test_enumerate_routes_bmin_theorem1_count():
+    net = build_network("bmin", k=2, n=3)
+    bmin = net.bmin
+    for src, dst in [(0, 7), (0, 1), (3, 5)]:
+        t = bmin.turn_stage(src, dst)
+        routes = enumerate_routes(net, src, dst)
+        assert len(routes) == 2**t
+        for route in routes:
+            # Theorem 1: 2(t+1) channels per shortest turnaround path.
+            assert len(route) == 2 * (t + 1)
+
+
+def test_enumerate_routes_raises_on_cyclic_routing():
+    net = build_negative_control(k=2, n=3)
+    with pytest.raises((CyclicRouteError, RuntimeError)):
+        # Some pair whose routing can revisit a state.
+        for src in range(net.N):
+            for dst in range(net.N):
+                if src != dst:
+                    enumerate_routes(net, src, dst, max_routes=10_000)

@@ -1,0 +1,59 @@
+"""The ``python -m repro.verify`` command-line interface."""
+
+import pytest
+
+from repro.verify.__main__ import main
+
+
+def test_single_network_ok(capsys):
+    assert main(["--network", "tmin", "--k", "2", "--n", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "OK" in out
+
+
+def test_quiet_only_prints_summary(capsys):
+    assert main(["--network", "bmin", "--k", "2", "--n", "2", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" not in out
+    assert "verified 1 configuration(s)" in out
+
+
+def test_butterfly_topology_flag(capsys):
+    rc = main(
+        ["--network", "tmin", "--k", "2", "--n", "3",
+         "--topology", "butterfly", "-q"]
+    )
+    assert rc == 0
+
+
+def test_skip_flags(capsys):
+    rc = main(
+        ["--network", "vmin", "--k", "2", "--n", "2",
+         "--skip-paths", "--skip-partitions", "-q"]
+    )
+    assert rc == 0
+    # Only the CDG checks remain; the summary still prints.
+    assert "OK" in capsys.readouterr().out
+
+
+def test_negative_control_rejected_means_exit_zero(capsys):
+    assert main(["--negative-control"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle witness" in out
+    assert "->" in out
+
+
+def test_all_small_tiny_ceiling(capsys):
+    """--all-small with a small ceiling stays fast and runs the
+    negative control too."""
+    assert main(["--all-small", "--max-nodes", "8", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "+ negative control" in out
+    assert "OK" in out
+
+
+def test_no_action_errors():
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2

@@ -1,0 +1,103 @@
+"""Cross-validation: topology.graph helpers vs. the CDG verifier.
+
+Two *independent* machine checks of the same claims must agree:
+
+* :mod:`repro.topology.graph` reasons about the abstract wiring
+  (networkx graphs built straight from the topology specs);
+* :mod:`repro.verify.cdg` walks the live simulator's routing interface
+  (``prepare`` / ``candidates`` / ``advance``) channel by channel.
+
+If the two ever disagree -- on acyclicity, on path counts, on path
+lengths -- one of the models has drifted from the other, which is
+exactly the class of regression the static verifier exists to catch.
+"""
+
+import pytest
+
+from repro.topology.bmin import BidirectionalMIN
+from repro.topology.graph import (
+    bmin_to_digraph,
+    count_paths,
+    is_acyclic,
+    min_to_digraph,
+    network_diameter_hops,
+)
+from repro.topology.mins import cube_min
+from repro.verify import check_acyclic, enumerate_routes
+from repro.wormhole import build_network
+
+GEOMETRIES = [(2, 2), (2, 3), (4, 2), (4, 3)]
+
+
+@pytest.mark.parametrize("k,n", GEOMETRIES)
+def test_tmin_acyclicity_agrees(k, n):
+    spec = cube_min(k, n)
+    net = build_network("tmin", k=k, n=n)
+    assert is_acyclic(min_to_digraph(spec))
+    assert check_acyclic(net).acyclic
+
+
+@pytest.mark.parametrize("k,n", GEOMETRIES)
+def test_bmin_acyclicity_agrees(k, n):
+    bmin = BidirectionalMIN(k, n)
+    net = build_network("bmin", k=k, n=n)
+    assert is_acyclic(bmin_to_digraph(bmin))
+    assert check_acyclic(net).acyclic
+
+
+@pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2)])
+def test_tmin_path_counts_agree(k, n):
+    """Banyan unique path: graph count == simulated route count == 1."""
+    spec = cube_min(k, n)
+    g = min_to_digraph(spec)
+    net = build_network("tmin", k=k, n=n)
+    for s in range(spec.N):
+        for d in range(spec.N):
+            assert count_paths(g, s, d) == 1
+            assert len(enumerate_routes(net, s, d)) == 1
+
+
+@pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2)])
+def test_bmin_path_counts_agree(k, n):
+    """Theorem 1 two ways: graph paths (cut at 2t+3 edges) vs. the
+    simulator's enumerated routes, for every (source, destination)."""
+    bmin = BidirectionalMIN(k, n)
+    g = bmin_to_digraph(bmin)
+    net = build_network("bmin", k=k, n=n)
+    for s in range(bmin.N):
+        for d in range(bmin.N):
+            if s == d:
+                continue
+            t = bmin.turn_stage(s, d)
+            expected = k**t
+            assert count_paths(g, s, d, cutoff=2 * t + 3) == expected
+            routes = enumerate_routes(net, s, d)
+            assert len(routes) == expected
+            assert all(len(r) == 2 * (t + 1) for r in routes)
+
+
+@pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2), (4, 3)])
+def test_diameters_agree_with_route_lengths(k, n):
+    """network_diameter_hops == the longest simulated route."""
+    spec = cube_min(k, n)
+    assert network_diameter_hops(min_to_digraph(spec), spec.N) == n + 1
+
+    net = build_network("tmin", k=k, n=n)
+    longest = max(
+        len(enumerate_routes(net, s, d)[0])
+        for s in range(net.N)
+        for d in range(net.N)
+        if s != d
+    )
+    assert longest == n + 1
+
+    bmin = BidirectionalMIN(k, n)
+    assert network_diameter_hops(bmin_to_digraph(bmin), bmin.N) == 2 * n
+    bnet = build_network("bmin", k=k, n=n)
+    blongest = max(
+        max(len(r) for r in enumerate_routes(bnet, s, d))
+        for s in range(bnet.N)
+        for d in range(bnet.N)
+        if s != d
+    )
+    assert blongest == 2 * n

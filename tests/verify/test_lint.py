@@ -1,0 +1,163 @@
+"""Unit tests for the simulator-hazard AST linter (rules RPV001-005)."""
+
+from pathlib import Path
+
+from repro.verify.lint import RULES, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def rules_of(source: str) -> list[str]:
+    return [v.rule for v in lint_source(source)]
+
+
+# ------------------------------------------------------------ RPV001
+
+
+def test_rpv001_raw_random_import_use():
+    src = "import random\nx = random.random()\n"
+    assert "RPV001" in rules_of(src)
+
+
+def test_rpv001_from_import():
+    src = "from random import randint\nx = randint(0, 5)\n"
+    assert "RPV001" in rules_of(src)
+
+
+def test_rpv001_clean_randomstream():
+    src = (
+        "from repro.sim.rng import RandomStream\n"
+        "rng = RandomStream(42)\nx = rng.random()\n"
+    )
+    assert rules_of(src) == []
+
+
+# ------------------------------------------------------------ RPV002
+
+
+def test_rpv002_wallclock_calls():
+    for fn in ("time", "perf_counter", "monotonic"):
+        src = f"import time\nt = time.{fn}()\n"
+        assert "RPV002" in rules_of(src), fn
+
+
+def test_rpv002_env_now_is_fine():
+    assert rules_of("t = env.now\n") == []
+
+
+# ------------------------------------------------------------ RPV003
+
+
+def test_rpv003_eq_on_sim_time():
+    assert "RPV003" in rules_of("if env.now == 5.0:\n    pass\n")
+    assert "RPV003" in rules_of("ok = now != deadline\n")
+
+
+def test_rpv003_ordering_is_fine():
+    assert rules_of("if env.now >= 5.0:\n    pass\n") == []
+
+
+# ------------------------------------------------------------ RPV004
+
+
+def test_rpv004_mutable_default():
+    assert "RPV004" in rules_of("def f(xs=[]):\n    return xs\n")
+    assert "RPV004" in rules_of("def f(m={}):\n    return m\n")
+    assert "RPV004" in rules_of("def f(s=set()):\n    return s\n")
+
+
+def test_rpv004_dataclass_field_literal():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class C:\n"
+        "    xs: list = []\n"
+    )
+    assert "RPV004" in rules_of(src)
+
+
+def test_rpv004_none_default_is_fine():
+    assert rules_of("def f(xs=None):\n    return xs or []\n") == []
+
+
+# ------------------------------------------------------------ RPV005
+
+
+def test_rpv005_hold_without_release():
+    src = (
+        "def proc(env, res):\n"
+        "    yield res.request()\n"
+        "    yield env.timeout(5)\n"
+    )
+    assert "RPV005" in rules_of(src)
+
+
+def test_rpv005_release_suppresses():
+    src = (
+        "def proc(env, res):\n"
+        "    yield res.request()\n"
+        "    yield env.timeout(5)\n"
+        "    res.release()\n"
+    )
+    assert "RPV005" not in rules_of(src)
+
+
+def test_rpv005_with_block_suppresses():
+    src = (
+        "def proc(env, res):\n"
+        "    with res.request() as req:\n"
+        "        yield req\n"
+        "        yield env.timeout(5)\n"
+    )
+    assert "RPV005" not in rules_of(src)
+
+
+def test_rpv005_nested_function_is_separate():
+    """A release inside a *nested* def must not excuse the outer hold."""
+    src = (
+        "def proc(env, res):\n"
+        "    yield res.request()\n"
+        "    def helper():\n"
+        "        res.release()\n"
+    )
+    assert "RPV005" in rules_of(src)
+
+
+# ------------------------------------------------------- suppression
+
+
+def test_line_suppression_all_rules():
+    src = "import random  # lint-sim: ignore\nx = random.random()  # lint-sim: ignore\n"
+    assert rules_of(src) == []
+
+
+def test_line_suppression_specific_rule():
+    src = "import random\nx = random.random()  # lint-sim: ignore[RPV001]\n"
+    assert rules_of(src) == []
+    # The wrong rule id does not suppress.
+    src = "import random\nx = random.random()  # lint-sim: ignore[RPV002]\n"
+    assert "RPV001" in rules_of(src)
+
+
+def test_skip_file():
+    src = "# lint-sim: skip-file\nimport random\nx = random.random()\n"
+    assert rules_of(src) == []
+
+
+def test_violation_str_has_location_and_rule():
+    (v,) = lint_source("from random import randint\n", path="pkg/mod.py")
+    assert str(v).startswith("pkg/mod.py:1:")
+    assert "RPV001" in str(v)
+
+
+def test_rules_table_complete():
+    assert set(RULES) == {"RPV001", "RPV002", "RPV003", "RPV004", "RPV005"}
+
+
+# ------------------------------------------------------ repo hygiene
+
+
+def test_repo_simulation_code_is_clean():
+    """The shipped simulator passes its own linter (CI's lint job)."""
+    violations = lint_paths([REPO / "src", REPO / "benchmarks"])
+    assert violations == [], "\n".join(str(v) for v in violations)

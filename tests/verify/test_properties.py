@@ -1,0 +1,107 @@
+"""Property checks: Theorem 1 paths, Lemma 1 / Theorems 2-4 partitions."""
+
+import pytest
+
+from repro.verify import (
+    VerificationReport,
+    all_small_configs,
+    build_negative_control,
+    verify_config,
+    verify_network,
+)
+from repro.verify.properties import base_kary_partitions
+from repro.wormhole import build_network
+
+
+# --------------------------------------------------------------- report
+
+
+def test_report_accumulates_and_fails():
+    r = VerificationReport("demo")
+    r.add("a", True, "fine")
+    r.add("b", False, "broken")
+    assert not r.ok
+    assert [c.name for c in r.failures()] == ["b"]
+    text = str(r)
+    assert "PASS" in text and "FAIL" in text and "broken" in text
+
+
+# ------------------------------------------------------- verify_config
+
+
+@pytest.mark.parametrize("kind", ["tmin", "dmin", "vmin", "bmin"])
+def test_verify_config_passes_small_cube(kind):
+    report = verify_config(kind, 2, 3)
+    assert report.ok, str(report)
+    names = {c.name for c in report.checks}
+    assert "cdg-acyclic" in names
+    assert any("path" in n for n in names)
+
+
+def test_verify_config_butterfly_theorem3():
+    """Theorem 3's *negative* case: butterfly must fail to partition,
+    and the verifier certifies exactly that (the report still passes)."""
+    report = verify_config("tmin", 2, 3, topology="butterfly")
+    assert report.ok, str(report)
+    assert any("partition" in c.name for c in report.checks)
+
+
+def test_verify_network_rejects_negative_control():
+    report = verify_network(build_negative_control(k=2, n=3))
+    assert not report.ok
+    failed = report.failures()
+    assert any(c.name == "cdg-acyclic" for c in failed)
+    # The failure detail carries a usable cycle witness.
+    assert any("->" in c.detail for c in failed)
+
+
+def test_verify_network_skips_selected_checks():
+    net = build_network("tmin", k=2, n=2)
+    report = verify_network(net, check_paths=False, check_partitions=False)
+    assert report.ok
+    names = {c.name for c in report.checks}
+    assert all("path" not in n for n in names)
+    assert all("partition" not in n for n in names)
+
+
+def test_vmin_gets_lane_granularity_check():
+    report = verify_config("vmin", 2, 2, virtual_channels=2)
+    assert report.ok
+    assert "cdg-acyclic-lanes" in {c.name for c in report.checks}
+
+
+# -------------------------------------------------------- partitions
+
+
+def test_base_kary_partitions_shapes():
+    parts = dict(base_kary_partitions(2, 3))
+    assert set(parts) == {1, 2}
+    # k**(n-m) clusters of size k**m, disjoint, covering all nodes.
+    for m, clusters in parts.items():
+        assert len(clusters) == 2 ** (3 - m)
+        nodes = [x for c in clusters for x in c.members()]
+        assert sorted(nodes) == list(range(8))
+
+
+# ------------------------------------------------------- all_small
+
+
+def test_all_small_configs_inventory():
+    configs = list(all_small_configs(max_nodes=64))
+    # Each (k, n) with k**n <= 64 contributes the four kinds on the
+    # cube plus a TMIN butterfly.
+    kn = {(k, n) for _, k, n, _ in configs}
+    assert kn == {
+        (2, 1), (2, 2), (2, 3), (2, 4), (2, 5), (2, 6),
+        (4, 1), (4, 2), (4, 3),
+        (8, 1), (8, 2),
+    }
+    assert all(k**n <= 64 for _, k, n, _ in configs)
+    assert ("tmin", 2, 3, "butterfly") in configs
+    assert ("bmin", 2, 3, "cube") in configs
+
+
+def test_all_small_configs_respects_ceiling():
+    configs = list(all_small_configs(max_nodes=8))
+    assert all(k**n <= 8 for _, k, n, _ in configs)
+    assert ("tmin", 2, 4, "cube") not in configs

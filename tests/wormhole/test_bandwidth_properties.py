@@ -1,6 +1,5 @@
 """Physics property tests: bandwidth sharing and routing consistency."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -71,7 +70,6 @@ def test_network_candidates_match_router_decisions_property(kn, data):
 
     p = Packet(0, s, d, 8, 0.0)
     net.prepare(p)
-    t = router.turn_stage(s, d)
     # Walk the route, comparing candidate sets at every hop.
     stage = 0
     going_up = True

@@ -434,3 +434,21 @@ def test_dmin_recovers_while_tmin_degrades_permanently():
     assert tmin_m.dropped_packets > 0
     assert tmin_retry.delivered_ratio() < 0.99
     assert tmin_retry.delivered_ratio() < dmin_retry.delivered_ratio()
+
+
+def test_find_channel_near_miss_suggestions():
+    """Unknown labels name their closest real labels (typo guard)."""
+    env, eng = _engine("tmin")
+    with pytest.raises(KeyError) as exc:
+        eng.network.find_channel("b1[3].9")
+    msg = exc.value.args[0]
+    assert "no channel labelled 'b1[3].9'" in msg
+    assert "did you mean" in msg
+    assert "b1[3].0" in msg
+
+
+def test_find_channel_no_suggestion_for_garbage():
+    env, eng = _engine("tmin")
+    with pytest.raises(KeyError) as exc:
+        eng.network.find_channel("zzzzzzzzzz")
+    assert "did you mean" not in exc.value.args[0]

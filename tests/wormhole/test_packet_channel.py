@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.wormhole.channel import Lane, PhysChannel
+from repro.wormhole.channel import PhysChannel
 from repro.wormhole.packet import Packet, PacketState
 
 

@@ -13,8 +13,6 @@ point, made measurable.
 
 from dataclasses import replace
 
-import pytest
-
 from repro.experiments.config import SMOKE
 from repro.experiments.figures import shuffle_workload
 from repro.experiments.runner import _run_until_delivered

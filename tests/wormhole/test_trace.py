@@ -1,7 +1,5 @@
 """Tests for the per-packet event tracer."""
 
-import pytest
-
 from repro.sim import Environment
 from repro.sim.rng import RandomStream
 from repro.wormhole import WormholeEngine, build_network

@@ -7,7 +7,6 @@ from repro.sim import Environment
 from repro.sim.rng import RandomStream
 from repro.wormhole import WormholeEngine, build_network
 from repro.wormhole.channel import PhysChannel
-from repro.wormhole.engine import DeadlockError
 from repro.wormhole.network import NetworkKind, SimNetwork
 from repro.wormhole.packet import Packet
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Run the simulator-hazard linter over the repository.
+
+Usage::
+
+    python tools/lint_sim.py              # lint src/ and benchmarks/
+    python tools/lint_sim.py src tests    # lint explicit paths
+    python tools/lint_sim.py --list-rules
+
+Exits 1 when any violation remains (CI's ``lint`` job gates on this).
+Suppress single lines with ``# lint-sim: ignore[RPV002]``; see
+:mod:`repro.verify.lint` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.verify.lint import RULES, lint_paths  # noqa: E402
+
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_sim", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, text in sorted(RULES.items()):
+            print(f"{rule}  {text}")
+        return 0
+
+    roots = [
+        p if p.is_absolute() else REPO_ROOT / p
+        for p in (Path(p) for p in args.paths)
+    ]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        print(f"lint_sim: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(roots)
+    for v in violations:
+        try:
+            shown = Path(v.path).relative_to(REPO_ROOT)
+        except ValueError:
+            shown = v.path
+        print(f"{shown}:{v.line}:{v.col}: {v.rule} {v.message}")
+    if violations:
+        print(f"lint_sim: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint_sim: clean ({', '.join(str(p) for p in args.paths)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
