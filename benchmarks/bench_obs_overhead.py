@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Prove the telemetry bus is (nearly) free when nobody is listening.
+
+The event bus (:mod:`repro.obs.bus`) added publish sites to the
+engine's per-cycle hot loop.  Each site is guarded -- the ``hot`` flag
+is hoisted once per phase into a local, so a cycle with no sinks
+attached pays two flag reads and per-event ``is not None`` checks,
+nothing more.  This benchmark quantifies that cost against a
+reconstructed pre-bus engine (the same two phase bodies with every
+publish site deleted) and FAILS (exit 1) if the detached-bus engine is
+more than ``--threshold`` slower.
+
+It also reports, for information only, the cost of actually listening:
+a :class:`~repro.obs.contention.ContentionSink` alone, and a full
+:class:`~repro.obs.session.ObsSession` with Perfetto tracing.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke   # CI
+
+Timing protocol: each variant runs fresh-built engines (identical
+seeds, identical RNG draws -- publishes consume no randomness) through
+a warmup then a timed chunk of cycles; variants are interleaved
+round-robin to neutralize thermal/frequency drift and the best (min)
+round is compared, which is the standard way to measure a code path's
+floor cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Standalone-script bootstrap (mirrors tools/lint_sim.py): make
+# `python benchmarks/bench_obs_overhead.py` work without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.session import ObsSession  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.sim.rng import RandomStream  # noqa: E402
+from repro.traffic.clusters import global_cluster  # noqa: E402
+from repro.traffic.patterns import UniformPattern  # noqa: E402
+from repro.traffic.workload import MessageSizeModel, Workload  # noqa: E402
+from repro.wormhole import WormholeEngine, build_network  # noqa: E402
+from repro.wormhole.packet import PacketState  # noqa: E402
+
+
+class PreBusEngine(WormholeEngine):
+    """The seed engine's hot loop, reconstructed: no publish sites.
+
+    Overrides only the two per-cycle phases (the cold paths -- offer,
+    finalize, abort -- keep their ``bus.enabled`` guards, which run
+    once per *packet*, not per cycle/flit, and are timing noise).
+    Behaviour and RNG draws are identical to the stock engine.
+    """
+
+    def _phase_allocate(self) -> None:  # pragma: no cover - benchmark only
+        if self._backlogged:
+            drained = []
+            for node in self._backlogged:
+                inj = self.network.injection_channel(node)
+                if inj.faulty:
+                    while self.queues[node]:
+                        p = self.queues[node].popleft()
+                        p.state = PacketState.FAILED
+                        self.stats.failed_packets += 1
+                        for hook in self.on_packet_failed:
+                            hook(p)
+                    drained.append(node)
+                    continue
+                lane = inj.lanes[0]
+                if lane.owner is not None:
+                    continue
+                p = self.queues[node].popleft()
+                p.state = PacketState.ACTIVE
+                p.inject_start = self.env.now
+                self.network.prepare(p)
+                lane.acquire(p)
+                self._active_packets += 1
+                self._progressed = True
+                if not self.queues[node]:
+                    drained.append(node)
+            for node in drained:
+                self._backlogged.discard(node)
+
+        if not self._pending_route:
+            return
+        self.rng.shuffle(self._pending_route)
+        still_pending = []
+        for p in self._pending_route:
+            if p.state is not PacketState.ACTIVE or not p.needs_route:
+                continue
+            candidates = self.network.candidates(p)
+            usable = [ch for ch in candidates if not ch.faulty]
+            if not usable:
+                self._abort(p)
+                continue
+            free = [lane for ch in usable for lane in ch.lanes if lane.owner is None]
+            if not free:
+                still_pending.append(p)
+                continue
+            if len(free) == 1:
+                lane = free[0]
+            else:
+                lane = self.network.preferred_lane(p, free, self.rng)
+                if lane is None:
+                    lane = self.rng.choice(free)
+            lane.acquire(p)
+            self.network.advance(p, lane.channel)
+            p.needs_route = False
+            self._progressed = True
+        self._pending_route = still_pending
+
+    def _phase_advance(self) -> None:  # pragma: no cover - benchmark only
+        pending = self._pending_route
+        for ch in self.network.topo_channels:
+            if ch.owned_count == 0:
+                continue
+            lane = ch.transmit()
+            if lane is None:
+                continue
+            self._progressed = True
+            p = lane.owner
+            assert p is not None
+            if ch.is_delivery:
+                if lane.sent == p.length:
+                    lane.release()
+                    self._finalize(p)
+            else:
+                if lane.sent == 1 and lane.route_idx == len(p.lanes) - 1:
+                    p.needs_route = True
+                    pending.append(p)
+                if lane.sent == p.length:
+                    lane.release()
+
+
+def _build(engine_cls, kind: str, load: float):
+    env = Environment()
+    engine = engine_cls(
+        env, build_network(kind, k=4, n=3), rng=RandomStream(1), sanitize=False
+    )
+    workload = Workload(
+        global_cluster(),
+        UniformPattern,
+        offered_load=load,
+        sizes=MessageSizeModel.scaled(),
+    )
+    workload.install(env, engine, RandomStream(2))
+    engine.start()
+    return env, engine
+
+
+def _timed_run(engine_cls, kind, load, warmup, cycles, attach=None):
+    """Wall seconds for `cycles` loaded cycles (after `warmup`)."""
+    env, engine = _build(engine_cls, kind, load)
+    env.run(until=warmup)
+    session = attach(engine) if attach is not None else None
+    t0 = time.perf_counter()  # lint-sim: ignore[RPV002] -- benchmark harness wall time
+    env.run(until=warmup + cycles)
+    wall = time.perf_counter() - t0  # lint-sim: ignore[RPV002] -- benchmark harness wall time
+    if session is not None:
+        session.close()
+    if engine.stats.delivered_packets == 0:
+        raise RuntimeError("benchmark run delivered nothing; config error")
+    return wall
+
+
+VARIANTS = (
+    ("pre-bus baseline", PreBusEngine, None),
+    ("bus, no sinks", WormholeEngine, None),
+    ("bus + contention sink", WormholeEngine, lambda e: ObsSession(e)),
+    ("bus + full session (trace)", WormholeEngine, lambda e: ObsSession(e, trace=True)),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="quick CI mode")
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--cycles", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--kind", default="dmin")
+    parser.add_argument("--load", type=float, default=0.7)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="max allowed (detached bus)/(pre-bus) wall ratio "
+        "(default 1.05, smoke 1.15 for noisy CI runners)",
+    )
+    args = parser.parse_args(argv)
+    rounds = args.rounds or (3 if args.smoke else 7)
+    cycles = args.cycles or (1_000 if args.smoke else 4_000)
+    threshold = args.threshold or (1.15 if args.smoke else 1.05)
+
+    best = {name: float("inf") for name, _, _ in VARIANTS}
+    for _ in range(rounds):  # interleave variants within each round
+        for name, cls, attach in VARIANTS:
+            wall = _timed_run(cls, args.kind, args.load, args.warmup, cycles, attach)
+            best[name] = min(best[name], wall)
+
+    base = best["pre-bus baseline"]
+    print(
+        f"obs-overhead benchmark: {args.kind} @ load {args.load:g}, "
+        f"{cycles} cycles x best-of-{rounds}"
+    )
+    for name, _, _ in VARIANTS:
+        wall = best[name]
+        print(
+            f"  {name:28} {wall * 1e3:8.1f} ms  "
+            f"({cycles / wall:>9,.0f} cyc/s)  x{wall / base:.3f}"
+        )
+    ratio = best["bus, no sinks"] / base
+    verdict = "PASS" if ratio <= threshold else "FAIL"
+    print(
+        f"[{verdict}] detached-bus overhead x{ratio:.3f} "
+        f"(threshold x{threshold:.2f})"
+    )
+    return 0 if ratio <= threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

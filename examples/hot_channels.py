@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Where exactly does VMIN's shuffle traffic collapse?  Ask the network.
+
+Fig. 20 shows the VMIN saturating near 25% under the perfect-shuffle
+permutation while the DMIN sails on.  The *static* explanation (4-way
+channel sharing on the unique-path cube MIN) is in
+``permutation_showdown.py``; this example shows the *dynamic* picture:
+a traced run (:func:`repro.experiments.traced.run_traced_point`) with
+the contention-attribution sink attached, rendered as a stage-level
+utilization heatmap plus the blocked-time-ranked hot-channel table.
+
+On the VMIN the b1 stage pins at 100% on exactly the channels the
+shuffle permutation forces four paths through -- every other channel
+idles -- while the DMIN's second lanes spread the same conflicts out.
+
+Run:  python examples/hot_channels.py [load]
+"""
+
+import sys
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.traced import run_traced_point
+from repro.experiments.workload_spec import WorkloadSpec
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.8
+    spec = WorkloadSpec(pattern="shuffle")
+    print(f"perfect-shuffle permutation at offered load {load:.0%} (smoke fidelity)\n")
+    for kind in ("vmin", "dmin"):
+        network = NetworkConfig(kind)
+        m, obs = run_traced_point(network, spec, load, SMOKE)
+        print(f"--- {network.label} ---")
+        print(
+            f"throughput {m.throughput_percent:5.1f}%   "
+            f"latency p50 {m.p50_latency:6.1f}  p99 {m.p99_latency:6.1f} cycles"
+        )
+        print()
+        print(obs.contention.stage_heatmap())
+        print()
+        elapsed = obs.contention.elapsed
+        print("hottest channels (blocked header-cycles attributed):")
+        for led in obs.contention.hot_channels(top=5):
+            print(
+                f"  {led.label:>10}  util {led.utilization(elapsed) * 100:5.1f}%  "
+                f"blocked {led.blocked_time:8.1f}"
+            )
+        print()
+    print("Reading the heatmaps: both b1 rows show the same sparse picket of")
+    print("'@' columns -- the channels the shuffle forces four paths through,")
+    print("saturated while their neighbours idle.  On the VMIN each picket is")
+    print("ONE wire: virtual channels multiplex the contenders fairly but")
+    print("cannot add bandwidth, so throughput caps near 25%.  On the DMIN")
+    print("each picket is TWO physical lanes (.0 and .1), which is why its")
+    print("blocked time halves and its throughput doubles.  (Use the CLI's")
+    print("--trace to open the same run as a Perfetto timeline.)")
+
+
+if __name__ == "__main__":
+    main()

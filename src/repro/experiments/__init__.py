@@ -14,7 +14,11 @@
   (throughput / latency / delivery ratio vs. channel fault rate) using
   :mod:`repro.faults`;
 * :mod:`repro.experiments.parallel` -- crash-tolerant multi-process
-  execution with per-point retry and JSON checkpoint/resume.
+  execution with per-point retry, JSON checkpoint/resume, and a
+  ``progress`` heartbeat callback;
+* :mod:`repro.experiments.traced` -- one measured point with the
+  :mod:`repro.obs` observability subsystem attached (contention
+  ledgers, latency histograms, optional Perfetto trace).
 
 Command line: ``python -m repro.experiments --figure 18 --mode scaled``
 (or ``--availability``).
@@ -43,10 +47,12 @@ from repro.experiments.export import write_figure_csv, write_figure_json
 from repro.experiments.saturation import SaturationPoint, find_saturation
 from repro.experiments.workload_spec import WorkloadSpec
 from repro.experiments.parallel import (
+    ProgressFn,
     SweepCheckpoint,
     parallel_matrix,
     parallel_sweep,
 )
+from repro.experiments.traced import run_traced_point
 from repro.experiments.availability import (
     AvailabilityPoint,
     AvailabilityResult,
@@ -64,6 +70,7 @@ __all__ = [
     "FULL_FIDELITY",
     "FigureResult",
     "LoadPoint",
+    "ProgressFn",
     "SweepCheckpoint",
     "availability_checks",
     "availability_comparison",
@@ -89,6 +96,7 @@ __all__ = [
     "plot_figure",
     "render_figure",
     "run_point",
+    "run_traced_point",
     "shape_checks",
     "sweep",
     "write_figure_csv",

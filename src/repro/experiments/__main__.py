@@ -3,6 +3,14 @@
     python -m repro.experiments --figure fig18 --mode scaled
     python -m repro.experiments --all --mode smoke
     python -m repro.experiments --availability --mode smoke
+
+One simulation point can also be run with the observability subsystem
+attached (:mod:`repro.obs`): ``--obs-report`` prints the contention /
+latency / kernel-profile report, ``--trace out.json`` additionally
+writes a Perfetto-loadable timeline::
+
+    python -m repro.experiments --trace point.json --obs-report \\
+        --network vmin --pattern shuffle --load 0.8 --mode smoke
 """
 
 from __future__ import annotations
@@ -11,9 +19,52 @@ import argparse
 import sys
 import time
 
-from repro.experiments.config import PRESETS
+from repro.experiments.config import PRESETS, NetworkConfig
 from repro.experiments.figures import FIGURE_BUILDERS
 from repro.experiments.report import render_figure, shape_checks
+from repro.experiments.workload_spec import PATTERNS, WorkloadSpec
+
+#: Network kinds the traced-point mode accepts.
+NETWORK_KINDS = ("tmin", "dmin", "vmin", "bmin")
+
+
+def _run_traced(args: argparse.Namespace, run_cfg) -> int:
+    """The --trace/--obs-report/--obs-json single-point mode."""
+    import json
+    import pathlib
+
+    from repro.experiments.traced import run_traced_point
+
+    network = NetworkConfig(args.network)
+    spec = WorkloadSpec(pattern=args.pattern)
+    start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
+    measurement, obs = run_traced_point(
+        network, spec, args.load, run_cfg, trace=bool(args.trace)
+    )
+    elapsed = time.perf_counter() - start  # lint-sim: ignore[RPV002] -- harness wall time
+    print(
+        f"=== traced point: {network.label} / {spec.label} "
+        f"@ load {args.load:g} (mode={args.mode}) ==="
+    )
+    print(
+        f"throughput {measurement.throughput_percent:.1f}%  "
+        f"latency mean {measurement.avg_latency:.1f} "
+        f"p50 {measurement.p50_latency:.1f} "
+        f"p95 {measurement.p95_latency:.1f} "
+        f"p99 {measurement.p99_latency:.1f} cycles"
+    )
+    if args.obs_report:
+        print()
+        print(obs.report())
+    if args.trace:
+        count = obs.write_trace(args.trace)
+        print(f"\n(Perfetto trace: {count} events written to {args.trace})")
+    if args.obs_json:
+        path = pathlib.Path(args.obs_json)
+        path.write_text(json.dumps(obs.to_dict(), indent=2))
+        print(f"(observability summary written to {path})")
+    print(f"\n(traced point in {elapsed:.1f}s)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,12 +107,60 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write <DIR>/<figure>.csv and .json exports",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="run one traced point and write a Perfetto timeline",
+    )
+    parser.add_argument(
+        "--obs-report",
+        action="store_true",
+        help="run one traced point and print the observability report",
+    )
+    parser.add_argument(
+        "--obs-json",
+        metavar="OUT.json",
+        help="run one traced point and dump its observability summary",
+    )
+    parser.add_argument(
+        "--network",
+        choices=NETWORK_KINDS,
+        default="dmin",
+        help="network for the traced point (default: dmin)",
+    )
+    parser.add_argument(
+        "--pattern",
+        choices=PATTERNS,
+        default="uniform",
+        help="traffic pattern for the traced point (default: uniform)",
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=0.6,
+        help="offered load for the traced point (default: 0.6)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a throttled heartbeat while figures regenerate",
+    )
     args = parser.parse_args(argv)
-    if not args.all and not args.figure and not args.availability:
-        parser.error("pick --figure <id>, --all or --availability")
+    traced_mode = bool(args.trace or args.obs_report or args.obs_json)
+    if not args.all and not args.figure and not args.availability and not traced_mode:
+        parser.error(
+            "pick --figure <id>, --all, --availability, or a traced-point "
+            "flag (--trace/--obs-report/--obs-json)"
+        )
 
     run_cfg = PRESETS[args.mode]
     failures = 0
+
+    if traced_mode:
+        code = _run_traced(args, run_cfg)
+        if not args.all and not args.figure and not args.availability:
+            return code
+        print()
 
     if args.availability:
         from repro.experiments.availability import (
@@ -87,7 +186,15 @@ def main(argv: list[str] | None = None) -> int:
             return 1 if failures else 0
 
     targets = sorted(FIGURE_BUILDERS) if args.all else [args.figure]
-    for name in targets:
+    if args.progress and targets != [None]:
+        from repro.obs.progress import ProgressMeter
+
+        meter = ProgressMeter(prefix="figures")
+    else:
+        meter = None
+    for done, name in enumerate(targets):
+        if meter is not None:
+            meter(done, len(targets), name)
         start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
         fig = FIGURE_BUILDERS[name](run_cfg)
         elapsed = time.perf_counter() - start  # lint-sim: ignore[RPV002] -- harness wall time
@@ -117,6 +224,8 @@ def main(argv: list[str] | None = None) -> int:
             if not chk.passed:
                 failures += 1
         print()
+    if meter is not None:
+        meter(len(targets), len(targets), "done")
     return 1 if failures else 0
 
 

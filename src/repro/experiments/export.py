@@ -20,25 +20,13 @@ from typing import Union
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.runner import SweepResult
+from repro.metrics.summary import MEASUREMENT_COLUMNS, measurement_row
 
-#: Column order of the long-form CSV.
-CSV_FIELDS = [
-    "series",
-    "offered_load",
-    "throughput_percent",
-    "avg_latency",
-    "avg_network_latency",
-    "p95_latency",
-    "latency_ci_half",
-    "delivered_packets",
-    "delivered_flits",
-    "offered_packets",
-    "max_queue_len",
-    "sustainable",
-    "cycles",
-    "failed_packets",
-    "retried_packets",
-    "dropped_packets",
+#: Column order of the long-form CSV: the two identity columns plus the
+#: shared Measurement registry (extend the registry, not this list; see
+#: :data:`repro.metrics.summary.MEASUREMENT_COLUMNS`).
+CSV_FIELDS = ["series", "offered_load"] + [
+    c.name for c in MEASUREMENT_COLUMNS
 ]
 
 
@@ -49,26 +37,9 @@ def sweep_rows(sweep: SweepResult) -> list[dict]:
         m = p.measurement
         if m is None:  # crashed point from a partial parallel run
             continue
-        rows.append(
-            {
-                "series": sweep.label,
-                "offered_load": p.offered_load,
-                "throughput_percent": m.throughput_percent,
-                "avg_latency": m.avg_latency,
-                "avg_network_latency": m.avg_network_latency,
-                "p95_latency": m.p95_latency,
-                "latency_ci_half": m.latency_ci_half,
-                "delivered_packets": m.delivered_packets,
-                "delivered_flits": m.delivered_flits,
-                "offered_packets": m.offered_packets,
-                "max_queue_len": m.max_queue_len,
-                "sustainable": m.sustainable,
-                "cycles": m.cycles,
-                "failed_packets": m.failed_packets,
-                "retried_packets": m.retried_packets,
-                "dropped_packets": m.dropped_packets,
-            }
-        )
+        row = {"series": sweep.label, "offered_load": p.offered_load}
+        row.update(measurement_row(m))
+        rows.append(row)
     return rows
 
 
@@ -112,31 +83,19 @@ def write_figure_json(fig: FigureResult, path: Union[str, Path]) -> Path:
 
 
 def read_figure_csv(path: Union[str, Path]) -> list[dict]:
-    """Read a long-form CSV back into typed dict rows (round-trip aid)."""
+    """Read a long-form CSV back into typed dict rows (round-trip aid).
+
+    Type conversions come from the column registry, so columns added
+    there round-trip automatically.  Columns present in an older CSV
+    but unknown to the registry stay strings.
+    """
     rows = []
     with Path(path).open() as fh:
         for raw in csv.DictReader(fh):
             row: dict = dict(raw)
-            for key in (
-                "offered_load",
-                "throughput_percent",
-                "avg_latency",
-                "avg_network_latency",
-                "p95_latency",
-                "latency_ci_half",
-                "cycles",
-            ):
-                row[key] = float(row[key])
-            for key in (
-                "delivered_packets",
-                "delivered_flits",
-                "offered_packets",
-                "max_queue_len",
-                "failed_packets",
-                "retried_packets",
-                "dropped_packets",
-            ):
-                row[key] = int(row[key] or 0)
-            row["sustainable"] = raw["sustainable"] == "True"
+            row["offered_load"] = float(row["offered_load"])
+            for col in MEASUREMENT_COLUMNS:
+                if col.name in row:
+                    row[col.name] = col.convert(row[col.name])
             rows.append(row)
     return rows

@@ -52,6 +52,12 @@ PointTask = tuple[NetworkConfig, WorkloadSpec, float, RunConfig]
 #: to inject crashes; must be a picklable module-level callable).
 PointRunner = Callable[[PointTask], LoadPoint]
 
+#: Progress callback ``progress(done, total, label)`` invoked in the
+#: parent after every settled point (checkpoint hits included).  Use
+#: :class:`repro.obs.progress.ProgressMeter` for a throttled stderr
+#: heartbeat.
+ProgressFn = Callable[[int, int, str], None]
+
 
 def _point_task(args: PointTask) -> LoadPoint:
     network, spec, load, run_cfg = args
@@ -173,8 +179,15 @@ def _run_tasks(
     backoff: float,
     point_runner: PointRunner,
     checkpoint: Optional[SweepCheckpoint],
+    progress: Optional[ProgressFn] = None,
 ) -> list[LoadPoint]:
     """Run every task crash-tolerantly; returns points in task order."""
+    total = len(tasks)
+
+    def _tick(i: int) -> None:
+        if progress is not None:
+            progress(len(results), total, _task_key(tasks[i]))
+
     results: dict[int, LoadPoint] = {}
     pending_idx: list[int] = []
     if checkpoint is not None:
@@ -182,6 +195,7 @@ def _run_tasks(
             done = checkpoint.get(task)
             if done is not None:
                 results[i] = done
+                _tick(i)
             else:
                 pending_idx.append(i)
     else:
@@ -238,6 +252,7 @@ def _run_tasks(
                         results[i] = point
                         if checkpoint is not None:
                             checkpoint.record(tasks[i], point)
+                        _tick(i)
         finally:
             # A hung worker must not wedge the parent: abandon the pool
             # without joining when we timed out (workers are reaped at
@@ -264,6 +279,7 @@ def _run_tasks(
                 checkpoint.record(tasks[i], point)
         else:
             results[i] = LoadPoint(tasks[i][2], None, error=error)
+        _tick(i)
 
     return [results[i] for i in range(len(tasks))]
 
@@ -283,13 +299,16 @@ def parallel_sweep(
     backoff: float = 0.0,
     checkpoint: Union[None, str, Path, SweepCheckpoint] = None,
     point_runner: PointRunner = _point_task,
+    progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
     """Offered-load sweep with one process per point.
 
     ``timeout`` is a per-point wall-clock limit in seconds (SIGALRM in
     the worker, with a whole-phase backstop for uninterruptible hangs);
     ``retries``/``backoff`` re-run crashed points sequentially;
-    ``checkpoint`` names a JSON file for resume.  Crashed points come
+    ``checkpoint`` names a JSON file for resume; ``progress`` is called
+    as ``progress(done, total, label)`` after every settled point (see
+    :class:`repro.obs.progress.ProgressMeter`).  Crashed points come
     back as ``LoadPoint(load, None, error=...)`` -- check
     ``SweepResult.complete``.
     """
@@ -297,7 +316,8 @@ def parallel_sweep(
     tasks = [(network, spec, load, run_cfg) for load in loads]
     ckpt = _coerce_checkpoint(checkpoint)
     points = _run_tasks(
-        tasks, max_workers, timeout, retries, backoff, point_runner, ckpt
+        tasks, max_workers, timeout, retries, backoff, point_runner, ckpt,
+        progress,
     )
     return SweepResult(label or f"{network.label} / {spec.label}", tuple(points))
 
@@ -313,6 +333,7 @@ def parallel_matrix(
     backoff: float = 0.0,
     checkpoint: Union[None, str, Path, SweepCheckpoint] = None,
     point_runner: PointRunner = _point_task,
+    progress: Optional[ProgressFn] = None,
 ) -> list[SweepResult]:
     """Every (network, load) point of a comparison, one pool, all at once."""
     loads = tuple(loads) if loads is not None else run_cfg.loads
@@ -323,7 +344,8 @@ def parallel_matrix(
     ]
     ckpt = _coerce_checkpoint(checkpoint)
     flat = _run_tasks(
-        tasks, max_workers, timeout, retries, backoff, point_runner, ckpt
+        tasks, max_workers, timeout, retries, backoff, point_runner, ckpt,
+        progress,
     )
     out = []
     for i, network in enumerate(networks):

@@ -12,26 +12,28 @@ from dataclasses import dataclass
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.runner import SweepResult
+from repro.metrics.summary import report_columns
 
 
 def render_sweep(s: SweepResult) -> str:
     """One series as an aligned text table (the curve's data rows).
 
-    Fault-degradation columns (fail/retry/drop) appear only when some
-    point in the series actually degraded, keeping fault-free tables
-    identical to the paper's.  Points that crashed in a parallel run
+    Columns come from the shared registry
+    (:data:`repro.metrics.summary.MEASUREMENT_COLUMNS`), so percentile
+    fields added there appear here without edits.  Fault-degradation
+    columns (fail/retry/drop) appear only when some point in the series
+    actually degraded, keeping fault-free tables identical to the
+    paper's.  Points that crashed in a parallel run
     (``LoadPoint.error``) render as an ERROR row instead of data.
     """
     degraded = any(
         p.measurement is not None and p.measurement.degraded for p in s.points
     )
+    cols = report_columns(degraded)
     lines = [f"## {s.label}"]
-    header = (
-        f"{'load':>6} | {'thr %':>7} | {'avg lat':>9} | {'net lat':>9} "
-        f"| {'p95':>8} | {'pkts':>6} | sust"
+    header = f"{'load':>6} | " + " | ".join(
+        f"{c.report_header:>{c.report_width}}" for c in cols
     )
-    if degraded:
-        header += f" | {'fail':>5} | {'retry':>5} | {'drop':>5}"
     lines.append(header)
     lines.append("-" * len(header))
     for p in s.points:
@@ -39,18 +41,10 @@ def render_sweep(s: SweepResult) -> str:
             lines.append(f"{p.offered_load:6.2f} | ERROR: {p.error}")
             continue
         m = p.measurement
-        row = (
-            f"{p.offered_load:6.2f} | {m.throughput_percent:7.2f} | "
-            f"{m.avg_latency:9.1f} | {m.avg_network_latency:9.1f} | "
-            f"{m.p95_latency:8.0f} | {m.delivered_packets:6d} | "
-            f"{'yes' if m.sustainable else 'NO':>4}"
+        lines.append(
+            f"{p.offered_load:6.2f} | "
+            + " | ".join(c.cell(m) for c in cols)
         )
-        if degraded:
-            row += (
-                f" | {m.failed_packets:5d} | {m.retried_packets:5d} "
-                f"| {m.dropped_packets:5d}"
-            )
-        lines.append(row)
     return "\n".join(lines)
 
 

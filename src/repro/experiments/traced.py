@@ -1,0 +1,83 @@
+"""Run one simulation point with the observability subsystem attached.
+
+:func:`run_traced_point` mirrors :func:`repro.experiments.runner.run_point`
+exactly -- same seeds, same warmup/measure protocol, bit-identical
+:class:`~repro.metrics.collector.Measurement` -- but opens an
+:class:`~repro.obs.session.ObsSession` aligned with the measurement
+window.  The sinks attach at ``window.begin()``, so the contention
+ledgers, latency histograms, and (optionally) the Perfetto trace cover
+precisely the cycles the measurement summarizes: the per-channel busy
+intervals in the exported trace sum to that channel's reported
+utilization by construction.
+
+    measurement, obs = run_traced_point(CUBE_DMIN, spec, 0.8, SMOKE,
+                                        trace=True)
+    print(obs.report())
+    obs.write_trace("point.json")
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.experiments.config import NetworkConfig, RunConfig
+from repro.experiments.runner import WorkloadBuilder, _run_until_delivered
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.metrics.collector import Measurement, MeasurementWindow
+from repro.obs.session import ObsSession
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole.engine import WormholeEngine
+
+
+def run_traced_point(
+    network: NetworkConfig,
+    workload: Union[WorkloadSpec, WorkloadBuilder],
+    offered_load: float,
+    run_cfg: RunConfig,
+    trace: bool = False,
+    bucket: float = 256.0,
+) -> tuple[Measurement, ObsSession]:
+    """One measured point plus its (closed) observability session.
+
+    ``workload`` accepts either a picklable
+    :class:`~repro.experiments.workload_spec.WorkloadSpec` or a raw
+    workload-builder closure.  ``trace=True`` additionally records a
+    Perfetto timeline (memory scales with flits moved; keep to
+    smoke/scaled configs).  The returned session is finished and
+    detached -- query or export it freely.
+    """
+    builder: WorkloadBuilder
+    if isinstance(workload, WorkloadSpec):
+        builder = workload.builder(run_cfg)
+    else:
+        builder = workload
+
+    env = Environment()
+    root = RandomStream(run_cfg.seed, name="root")
+    engine = WormholeEngine(
+        env,
+        network.build(),
+        rng=root.fork(f"engine/{network.label}/{offered_load}"),
+    )
+    wl = builder(offered_load)
+    installed = wl.install(
+        env, engine, root.fork(f"workload/{network.label}/{offered_load}")
+    )
+    if installed == 0:
+        raise RuntimeError("workload installed no traffic sources")
+    engine.start()
+
+    warmup_deadline = env.now + run_cfg.max_cycles / 4
+    _run_until_delivered(engine, run_cfg.warmup_packets, warmup_deadline)
+
+    window = MeasurementWindow(engine)
+    window.begin()
+    # Attach at the window boundary so the observation and measurement
+    # windows coincide (utilization == busy-interval sums by definition).
+    obs = ObsSession(engine, trace=trace, bucket=bucket)
+    deadline = env.now + run_cfg.max_cycles
+    _run_until_delivered(engine, run_cfg.measure_packets, deadline)
+    measurement = window.finish()
+    obs.close()
+    return measurement, obs

@@ -3,8 +3,10 @@
 Wormhole switching drops a worm when its header finds every next-hop
 channel faulty (the engine's ``_abort``).  Real machines recover at the
 source: the sender times the message out and re-injects it.
-:class:`SourceRetry` implements exactly that on top of the engine's
-observer hooks:
+:class:`SourceRetry` implements exactly that as a subscriber of the
+engine's telemetry bus (:mod:`repro.obs.bus`) -- it listens to the
+*cold* packet-lifecycle kinds (``offer``/``deliver``/``abort``) only,
+so installing recovery costs the per-flit hot loop nothing:
 
 * every FAILED packet is re-offered after an exponential backoff
   (``base_delay * factor**attempt``, capped, with ± ``jitter``
@@ -99,13 +101,13 @@ class SourceRetry:
         self.retried = 0
         self.dropped = 0
         self.recovered = 0  # delivered on attempt >= 2
-        engine.on_packet_offered.append(self._on_offer)
-        engine.on_packet_delivered.append(self._on_deliver)
-        engine.on_packet_failed.append(self._on_fail)
+        # Cold-kind bus subscriber: offer/deliver/abort only, so the
+        # per-flit hot path stays untaxed (bus.hot remains False).
+        engine.bus.attach(self)
 
-    # -- hook plumbing -----------------------------------------------------
+    # -- bus callbacks -----------------------------------------------------
 
-    def _on_offer(self, p: Packet) -> None:
+    def on_offer(self, t: float, p: Packet) -> None:
         # Re-injections pre-register themselves; anything else is a
         # fresh message on its first attempt.
         self._attempts.setdefault(p.pid, (p.pid, 1))
@@ -114,11 +116,14 @@ class SourceRetry:
                 self._watchdog(p), name=f"retry-timeout-{p.pid}"
             )
 
-    def _on_deliver(self, p: Packet) -> None:
+    def on_deliver(self, t: float, p: Packet) -> None:
         root, attempts = self._attempts.pop(p.pid, (p.pid, 1))
         if attempts > 1:
             self.recovered += 1
         self.outcomes[root] = "delivered"
+
+    def on_abort(self, t: float, p: Packet) -> None:
+        self._on_fail(p)
 
     def _on_fail(self, p: Packet) -> None:
         root, attempts = self._attempts.pop(p.pid, (p.pid, 1))

@@ -22,16 +22,28 @@ from repro.metrics.collector import (
     MeasurementWindow,
 )
 from repro.metrics.stats import batch_means, mean, percentile, stddev
+from repro.metrics.summary import (
+    MEASUREMENT_COLUMNS,
+    ColumnSpec,
+    LatencySummary,
+    measurement_row,
+    report_columns,
+)
 from repro.metrics.timeseries import IntervalSample, ThroughputSampler
 
 __all__ = [
+    "ColumnSpec",
     "IntervalSample",
-    "SUSTAINABILITY_QUEUE_LIMIT",
+    "LatencySummary",
+    "MEASUREMENT_COLUMNS",
     "Measurement",
     "MeasurementWindow",
+    "SUSTAINABILITY_QUEUE_LIMIT",
     "ThroughputSampler",
     "batch_means",
     "mean",
+    "measurement_row",
     "percentile",
+    "report_columns",
     "stddev",
 ]

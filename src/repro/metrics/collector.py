@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.metrics.stats import batch_means, mean, percentile
+from repro.metrics.summary import LatencySummary
 from repro.wormhole.engine import FLITS_PER_MICROSECOND, WormholeEngine
 
 #: "The throughput is considered sustainable when the number of messages
@@ -49,6 +49,11 @@ class Measurement:
     failed_packets: int = 0       # aborted worms + dead-injection kills
     retried_packets: int = 0      # re-injections by a recovery layer
     dropped_packets: int = 0      # messages whose retries were exhausted
+    # Distribution tail (added with the observability subsystem; nan
+    # defaults keep old checkpoints and callers constructible).
+    p50_latency: float = float("nan")
+    p99_latency: float = float("nan")
+    max_latency: float = float("nan")
 
     @property
     def throughput_percent(self) -> float:
@@ -119,18 +124,16 @@ class MeasurementWindow:
         if cycles <= 0:
             raise RuntimeError("measurement window has zero length")
 
-        latencies = [r.latency for r in stats.records]
+        # One summary object computes every latency aggregate (see
+        # repro.metrics.summary -- percentile fields are added there,
+        # in exactly one place).
+        lat = LatencySummary.from_values([r.latency for r in stats.records])
         net_latencies = [r.network_latency for r in stats.records]
-        if latencies:
-            avg = mean(latencies)
-            avg_net = mean(net_latencies)
-            p95 = percentile(latencies, 95)
-            if len(latencies) >= 20:
-                _, ci = batch_means(latencies, batches=10)
-            else:
-                ci = float("nan")
-        else:
-            avg = avg_net = p95 = ci = float("nan")
+        avg_net = (
+            sum(net_latencies) / len(net_latencies)
+            if net_latencies
+            else float("nan")
+        )
 
         return Measurement(
             cycles=cycles,
@@ -138,10 +141,10 @@ class MeasurementWindow:
             delivered_flits=stats.delivered_flits,
             offered_packets=stats.offered_packets,
             offered_flits=stats.offered_flits,
-            avg_latency=avg,
+            avg_latency=lat.mean,
             avg_network_latency=avg_net,
-            p95_latency=p95,
-            latency_ci_half=ci,
+            p95_latency=lat.p95,
+            latency_ci_half=lat.ci_half,
             throughput=stats.delivered_flits
             / (self.engine.network.N * cycles),
             max_queue_len=stats.max_queue_len,
@@ -149,4 +152,7 @@ class MeasurementWindow:
             failed_packets=stats.failed_packets,
             retried_packets=stats.retried_packets,
             dropped_packets=stats.dropped_packets,
+            p50_latency=lat.p50,
+            p99_latency=lat.p99,
+            max_latency=lat.max,
         )

@@ -28,6 +28,15 @@ class IntervalSample:
     in_flight: int        # packets in the network at interval end
     total_queued: int     # messages in source queues at interval end
 
+    def __post_init__(self) -> None:
+        # Out-of-order (or zero-width) timestamps would silently produce
+        # negative/undefined rates downstream; reject them at the source.
+        if self.end <= self.start:
+            raise ValueError(
+                f"interval timestamps out of order: start={self.start} "
+                f"end={self.end}"
+            )
+
     @property
     def throughput(self) -> float:
         """Delivered flits per node-cycle needs N; see sampler method."""

@@ -1,0 +1,215 @@
+"""The structured telemetry bus the simulator publishes into.
+
+Every :class:`~repro.wormhole.engine.WormholeEngine` owns one
+:class:`EventBus`.  The engine *publishes* typed events at the points
+where the simulation state changes (a message offered, a header
+acquiring or blocking on a channel, a flit crossing a wire, a worm
+delivered or aborted); *sinks* subscribe to the kinds they care about.
+The existing :class:`~repro.wormhole.trace.Tracer` and the fault
+recovery layer (:class:`~repro.faults.recovery.SourceRetry`) are plain
+subscribers of this bus, as are the observability sinks in
+:mod:`repro.obs.contention` and :mod:`repro.obs.perfetto`.
+
+Design constraints (the bus lives on the simulator's hottest path):
+
+* **compile-away fast path** -- with no sinks attached, the only cost a
+  publish site pays is one attribute read and a branch.  The engine
+  hoists ``bus if bus.hot else None`` once per cycle, so the per-flit
+  check is a local ``is not None``.
+* **two enable tiers** -- :attr:`EventBus.enabled` is True when *any*
+  sink is attached; :attr:`EventBus.hot` only when a sink subscribes to
+  a hot-path kind (inject/acquire/block/release/transmit).  A fault
+  recovery layer that only wants packet lifecycle events therefore does
+  not tax the per-flit loop at all.
+* **typed publish methods** -- one method per kind
+  (``publish_offer(t, packet)`` ...), no event-object allocation, no
+  dict lookup on the hot path.
+
+Event kinds and their callback signatures:
+
+=========== =================================================== ======
+kind        callback signature                                  tier
+=========== =================================================== ======
+``offer``    ``on_offer(t, packet)``                            cold
+``inject``   ``on_inject(t, packet)``                           hot
+``acquire``  ``on_acquire(t, packet, channel, lane_index)``     hot
+``block``    ``on_blocked(t, packet, channels)``                hot
+``release``  ``on_release(t, packet, channel, lane_index)``     hot
+``transmit`` ``on_transmit(t, channel, lane)``                  hot
+``deliver``  ``on_deliver(t, packet)``                          cold
+``abort``    ``on_abort(t, packet)``                            cold
+=========== =================================================== ======
+
+``block`` fires once per cycle per blocked header (sinks wanting
+per-spell events dedup themselves, as the Tracer does); ``transmit``
+fires once per flit moved, so it only exists while a hot sink is
+attached.
+
+A *sink* is any object; :meth:`EventBus.attach` registers whichever of
+the ``on_<kind>`` methods above the object defines.  Individual
+callables go through :meth:`EventBus.subscribe`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+#: kind -> the sink method name ``attach`` looks for.
+KIND_METHODS: dict[str, str] = {
+    "offer": "on_offer",
+    "inject": "on_inject",
+    "acquire": "on_acquire",
+    "block": "on_blocked",
+    "release": "on_release",
+    "transmit": "on_transmit",
+    "deliver": "on_deliver",
+    "abort": "on_abort",
+}
+
+#: Every valid event kind, in publish order of a typical packet life.
+KINDS: tuple[str, ...] = tuple(KIND_METHODS)
+
+#: Kinds published from inside the engine's per-cycle / per-flit loops.
+HOT_KINDS: frozenset[str] = frozenset(
+    {"inject", "acquire", "block", "release", "transmit"}
+)
+
+
+class EventBus:
+    """Typed publish/subscribe fan-out with a zero-sink fast path."""
+
+    __slots__ = (
+        "enabled",
+        "hot",
+        "_subs",
+        "_attached",
+        "published",
+    )
+
+    def __init__(self) -> None:
+        #: True when at least one subscription exists (any kind).
+        self.enabled = False
+        #: True when a hot-path kind has a subscriber (engine hoists
+        #: this once per cycle; see module docs).
+        self.hot = False
+        self._subs: dict[str, list[Callable[..., None]]] = {
+            kind: [] for kind in KINDS
+        }
+        #: id(sink) -> [(kind, fn), ...] registered by attach().
+        self._attached: dict[int, list[tuple[str, Callable[..., None]]]] = {}
+        #: Total events fanned out (cheap observability of the bus
+        #: itself; incremented per publish call, not per subscriber).
+        self.published = 0
+
+    # -- subscription management ------------------------------------------
+
+    def subscribe(self, kind: str, fn: Callable[..., None]) -> None:
+        """Register ``fn`` for one event kind (see module table)."""
+        if kind not in self._subs:
+            raise KeyError(
+                f"unknown event kind {kind!r}; valid: {', '.join(KINDS)}"
+            )
+        self._subs[kind].append(fn)
+        self._refresh()
+
+    def unsubscribe(self, kind: str, fn: Callable[..., None]) -> None:
+        """Remove one registration; raises ``ValueError`` if absent."""
+        self._subs[kind].remove(fn)
+        self._refresh()
+
+    def attach(self, sink: Any) -> list[str]:
+        """Register every ``on_<kind>`` method ``sink`` defines.
+
+        Returns the kinds subscribed (useful for tests/diagnostics).
+        Attaching the same object twice raises ``ValueError`` --
+        double-counted events are a silent corruption, not a feature.
+        """
+        if id(sink) in self._attached:
+            raise ValueError(f"{sink!r} is already attached to this bus")
+        regs: list[tuple[str, Callable[..., None]]] = []
+        for kind, method in KIND_METHODS.items():
+            fn = getattr(sink, method, None)
+            if callable(fn):
+                self._subs[kind].append(fn)
+                regs.append((kind, fn))
+        if not regs:
+            raise ValueError(
+                f"{sink!r} defines none of the sink methods "
+                f"({', '.join(KIND_METHODS.values())})"
+            )
+        self._attached[id(sink)] = regs
+        self._refresh()
+        return [kind for kind, _ in regs]
+
+    def detach(self, sink: Any) -> None:
+        """Undo :meth:`attach`; unknown sinks are ignored (idempotent)."""
+        regs = self._attached.pop(id(sink), None)
+        if not regs:
+            return
+        for kind, fn in regs:
+            try:
+                self._subs[kind].remove(fn)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._refresh()
+
+    def subscriber_count(self, kind: str | None = None) -> int:
+        """Subscribers of one kind, or total across kinds."""
+        if kind is not None:
+            return len(self._subs[kind])
+        return sum(len(v) for v in self._subs.values())
+
+    def _refresh(self) -> None:
+        self.enabled = any(self._subs[k] for k in KINDS)
+        self.hot = any(self._subs[k] for k in HOT_KINDS)
+
+    # -- typed publish methods --------------------------------------------
+    #
+    # Publish sites in the engine guard each call with ``bus.enabled``
+    # (cold kinds) or a hoisted ``bus.hot`` local (hot kinds); calling
+    # these with no subscribers is correct, just wasteful.
+
+    def publish_offer(self, t: float, packet) -> None:
+        self.published += 1
+        for fn in self._subs["offer"]:
+            fn(t, packet)
+
+    def publish_inject(self, t: float, packet) -> None:
+        self.published += 1
+        for fn in self._subs["inject"]:
+            fn(t, packet)
+
+    def publish_acquire(self, t: float, packet, channel, lane_index: int) -> None:
+        self.published += 1
+        for fn in self._subs["acquire"]:
+            fn(t, packet, channel, lane_index)
+
+    def publish_block(self, t: float, packet, channels) -> None:
+        self.published += 1
+        for fn in self._subs["block"]:
+            fn(t, packet, channels)
+
+    def publish_release(self, t: float, packet, channel, lane_index: int) -> None:
+        self.published += 1
+        for fn in self._subs["release"]:
+            fn(t, packet, channel, lane_index)
+
+    def publish_transmit(self, t: float, channel, lane) -> None:
+        self.published += 1
+        for fn in self._subs["transmit"]:
+            fn(t, channel, lane)
+
+    def publish_deliver(self, t: float, packet) -> None:
+        self.published += 1
+        for fn in self._subs["deliver"]:
+            fn(t, packet)
+
+    def publish_abort(self, t: float, packet) -> None:
+        self.published += 1
+        for fn in self._subs["abort"]:
+            fn(t, packet)
+
+    def __repr__(self) -> str:
+        kinds = [k for k in KINDS if self._subs[k]]
+        state = "hot" if self.hot else ("enabled" if self.enabled else "idle")
+        return f"<EventBus {state} kinds={kinds} published={self.published}>"

@@ -1,0 +1,274 @@
+"""Contention attribution: who is busy, who is waiting, and on what.
+
+A :class:`ContentionSink` subscribes to the hot bus kinds
+(acquire/release/transmit/block) and maintains, per physical channel:
+
+* **flit counts and coalesced busy intervals** -- a channel is *busy*
+  during a cycle iff its wire moved a flit; consecutive busy cycles
+  coalesce into ``[start, end)`` intervals.  By construction the
+  interval lengths sum to the flit count, so utilization derived from
+  either agrees exactly (the Perfetto exporter draws the same
+  intervals; see ``tests/obs/test_perfetto.py``).
+* **a blocked-time ledger** -- each cycle a header sits blocked, one
+  header-cycle of wait is attributed to the candidate channels it was
+  waiting for (split 1/n across the candidates, so ledger totals equal
+  total blocked header-cycles).
+* **bucketed utilization timelines** -- flits per ``bucket``-cycle
+  window, the raw material for stage heatmaps
+  (``examples/hot_channels.py``).
+* **acquisition and release counts** per channel.
+
+Aggregation helpers group channels by *stage* (the label prefix before
+``[``: ``inj``, ``b1``, ``b2``, ``dlv``, ``fwd0``, ``bwd2``, ...), which
+is how the paper reasons about where saturation builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.channel import Lane, PhysChannel
+    from repro.wormhole.engine import WormholeEngine
+    from repro.wormhole.packet import Packet
+
+
+def stage_of(label: str) -> str:
+    """Stage key of a channel label (prefix before the ``[`` index)."""
+    i = label.find("[")
+    return label if i < 0 else label[:i]
+
+
+@dataclass
+class ChannelLedger:
+    """Per-channel accumulators (one per :class:`PhysChannel`)."""
+
+    label: str
+    stage: str
+    num_lanes: int
+    flits: int = 0
+    acquisitions: int = 0
+    releases: int = 0
+    blocked_time: float = 0.0   # header-cycles attributed to this channel
+    blocked_headers: int = 0    # block events naming this channel
+    #: Coalesced busy intervals [start, end), end-exclusive.
+    busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+    _last_end: float = field(default=-1.0, repr=False)
+    #: bucket index -> flits moved in that bucket.
+    timeline: dict[int, int] = field(default_factory=dict)
+
+    def busy_cycles(self) -> float:
+        """Total busy time; equals ``flits`` by construction."""
+        return sum(end - start for start, end in self.busy_intervals)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of cycles the wire moved a flit (0..1)."""
+        return self.flits / elapsed if elapsed > 0 else 0.0
+
+
+class ContentionSink:
+    """Bus sink building the per-channel / per-stage contention picture.
+
+    Attach with ``engine.bus.attach(sink)`` after ``install(engine)``,
+    or use :class:`repro.obs.session.ObsSession` which wires everything.
+    """
+
+    def __init__(self, bucket: float = 256.0) -> None:
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        self.bucket = bucket
+        self.ledgers: dict[str, ChannelLedger] = {}
+        self.engine: Optional["WormholeEngine"] = None
+        self.start_time = 0.0
+        self.end_time: Optional[float] = None
+        self.total_blocked_time = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, engine: "WormholeEngine") -> "ContentionSink":
+        """Bind to an engine: pre-create ledgers, mark the start time."""
+        self.engine = engine
+        self.start_time = engine.env.now
+        for ch in engine.network.topo_channels:
+            self.ledgers[ch.label] = ChannelLedger(
+                ch.label, stage_of(ch.label), ch.num_lanes
+            )
+        return self
+
+    def finish(self, now: Optional[float] = None) -> None:
+        """Freeze the observation window (idempotent)."""
+        if now is None:
+            assert self.engine is not None, "install() before finish()"
+            now = self.engine.env.now
+        self.end_time = now
+
+    @property
+    def elapsed(self) -> float:
+        """Length of the observation window in cycles."""
+        end = self.end_time
+        if end is None:
+            assert self.engine is not None, "install() before elapsed"
+            end = self.engine.env.now
+        return end - self.start_time
+
+    def _ledger(self, channel: "PhysChannel") -> ChannelLedger:
+        led = self.ledgers.get(channel.label)
+        if led is None:  # channel born after install (defensive)
+            led = ChannelLedger(
+                channel.label, stage_of(channel.label), channel.num_lanes
+            )
+            self.ledgers[channel.label] = led
+        return led
+
+    # -- bus callbacks -----------------------------------------------------
+
+    def on_acquire(
+        self, t: float, packet: "Packet", channel: "PhysChannel", lane_index: int
+    ) -> None:
+        self._ledger(channel).acquisitions += 1
+
+    def on_release(
+        self, t: float, packet: "Packet", channel: "PhysChannel", lane_index: int
+    ) -> None:
+        self._ledger(channel).releases += 1
+
+    def on_transmit(self, t: float, channel: "PhysChannel", lane: "Lane") -> None:
+        led = self._ledger(channel)
+        led.flits += 1
+        # Coalesce: a flit moved during cycle [t, t+1).
+        if led._last_end == t and led.busy_intervals:
+            start, _ = led.busy_intervals[-1]
+            led.busy_intervals[-1] = (start, t + 1.0)
+        else:
+            led.busy_intervals.append((t, t + 1.0))
+        led._last_end = t + 1.0
+        idx = int((t - self.start_time) // self.bucket)
+        led.timeline[idx] = led.timeline.get(idx, 0) + 1
+
+    def on_blocked(self, t: float, packet: "Packet", channels) -> None:
+        if not channels:
+            return
+        share = 1.0 / len(channels)
+        self.total_blocked_time += 1.0
+        for ch in channels:
+            led = self._ledger(ch)
+            led.blocked_time += share
+            led.blocked_headers += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def hot_channels(
+        self, top: int = 10, by: str = "blocked_time"
+    ) -> list[ChannelLedger]:
+        """Ledgers sorted by ``blocked_time`` | ``flits`` | ``acquisitions``."""
+        if by not in ("blocked_time", "flits", "acquisitions"):
+            raise ValueError(f"unknown sort key {by!r}")
+        ranked = sorted(
+            self.ledgers.values(), key=lambda led: getattr(led, by), reverse=True
+        )
+        return ranked[:top]
+
+    def stage_table(self) -> list[dict]:
+        """Per-stage aggregates, in topological label order of appearance."""
+        elapsed = self.elapsed
+        stages: dict[str, dict] = {}
+        for led in self.ledgers.values():
+            row = stages.get(led.stage)
+            if row is None:
+                row = stages[led.stage] = {
+                    "stage": led.stage,
+                    "channels": 0,
+                    "flits": 0,
+                    "blocked_time": 0.0,
+                    "max_utilization": 0.0,
+                }
+            row["channels"] += 1
+            row["flits"] += led.flits
+            row["blocked_time"] += led.blocked_time
+            row["max_utilization"] = max(
+                row["max_utilization"], led.utilization(elapsed)
+            )
+        for row in stages.values():
+            row["mean_utilization"] = (
+                row["flits"] / (row["channels"] * elapsed) if elapsed > 0 else 0.0
+            )
+        return list(stages.values())
+
+    def stage_heatmap(self, chars: str = " .:-=+*#%@") -> str:
+        """ASCII heatmap: one row per stage, one cell per channel.
+
+        Cell brightness encodes that channel's utilization over the
+        window -- the stage-level picture of *where* worms block (the
+        VMIN permutation collapse shows as a saturated delivery/stage
+        row while earlier stages idle).
+        """
+        elapsed = self.elapsed
+        by_stage: dict[str, list[ChannelLedger]] = {}
+        for led in self.ledgers.values():
+            by_stage.setdefault(led.stage, []).append(led)
+        width = max(len(v) for v in by_stage.values()) if by_stage else 0
+        lines = [f"channel-utilization heatmap ({width} channels/stage max)"]
+        for stage, leds in by_stage.items():
+            cells = []
+            for led in sorted(leds, key=lambda led: led.label):
+                u = led.utilization(elapsed)
+                cells.append(chars[min(len(chars) - 1, int(u * len(chars)))])
+            lines.append(f"  {stage:>6} |{''.join(cells)}|")
+        lines.append(
+            f"  scale: '{chars[0]}'=idle .. '{chars[-1]}'=100% busy, "
+            f"window={elapsed:g} cycles"
+        )
+        return "\n".join(lines)
+
+    def channel_rows(self) -> list[dict]:
+        """Long-form per-channel rows (CSV/JSON export)."""
+        elapsed = self.elapsed
+        return [
+            {
+                "channel": led.label,
+                "stage": led.stage,
+                "lanes": led.num_lanes,
+                "flits": led.flits,
+                "utilization": led.utilization(elapsed),
+                "busy_cycles": led.busy_cycles(),
+                "blocked_time": led.blocked_time,
+                "blocked_headers": led.blocked_headers,
+                "acquisitions": led.acquisitions,
+                "releases": led.releases,
+            }
+            for led in self.ledgers.values()
+        ]
+
+    def render(self, top: int = 8) -> str:
+        """Human-readable contention report (stages + hot channels)."""
+        elapsed = self.elapsed
+        lines = [
+            f"contention over {elapsed:g} cycles "
+            f"(total blocked header-cycles: {self.total_blocked_time:g})",
+            "",
+            f"{'stage':>8} | {'chans':>5} | {'flits':>9} | "
+            f"{'mean util':>9} | {'max util':>8} | {'blocked':>9}",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for row in self.stage_table():
+            lines.append(
+                f"{row['stage']:>8} | {row['channels']:5d} | {row['flits']:9d} | "
+                f"{row['mean_utilization']:8.1%} | {row['max_utilization']:7.1%} "
+                f"| {row['blocked_time']:9.1f}"
+            )
+        hot = [led for led in self.hot_channels(top) if led.blocked_time > 0]
+        if hot:
+            lines += [
+                "",
+                f"hot channels (by blocked time attributed, top {len(hot)}):",
+                f"{'channel':>12} | {'util':>6} | {'blocked':>9} | "
+                f"{'headers':>7} | {'acq':>5}",
+            ]
+            for led in hot:
+                lines.append(
+                    f"{led.label:>12} | {led.utilization(elapsed):5.1%} | "
+                    f"{led.blocked_time:9.1f} | {led.blocked_headers:7d} | "
+                    f"{led.acquisitions:5d}"
+                )
+        return "\n".join(lines)

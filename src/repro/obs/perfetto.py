@@ -1,0 +1,304 @@
+"""Perfetto / Chrome ``trace_event`` JSON export of a simulation run.
+
+A :class:`PerfettoSink` subscribes to the hot bus kinds and renders the
+run as a trace the Perfetto UI (https://ui.perfetto.dev) or
+``chrome://tracing`` loads directly:
+
+* **one track per lane** (virtual channel) of every physical channel,
+  named after the channel label (``b1[3].0`` style for multi-lane
+  wires), in topological order top to bottom;
+* **occupancy slices** -- a ``X`` (complete) event per lane ownership
+  spell, from header acquire to tail release, named after the worm
+  (``pkt#17 3->12``);
+* **transmit slices** -- nested ``xmit`` slices covering exactly the
+  cycles the wire moved a flit for that lane (coalesced runs, so the
+  slice durations sum to the lane's flit count -- the same busy
+  intervals :class:`repro.obs.contention.ContentionSink` accumulates);
+* **flow arrows** -- ``s``/``t``/``f`` flow events with ``id`` = packet
+  id connect each worm's occupancy slices across tracks, so clicking a
+  packet shows its path through the network.
+
+Timestamps are microseconds (the ``trace_event`` unit): cycles scale by
+0.05 us/cycle, the paper's 20 flits/us channel bandwidth.
+
+The exporter keeps every event in memory; ``max_events`` caps the list
+(drops are counted in :attr:`PerfettoSink.dropped`, never silent).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.channel import Lane, PhysChannel
+    from repro.wormhole.engine import WormholeEngine
+    from repro.wormhole.packet import Packet
+
+#: Microseconds per simulation cycle (1 / the paper's 20 flits/us);
+#: mirrors ``repro.wormhole.engine.FLITS_PER_MICROSECOND``.
+CYCLE_MICROSECONDS = 0.05
+
+#: The single "process" all tracks live under.
+TRACE_PID = 1
+
+
+class PerfettoSink:
+    """Bus sink emitting Chrome ``trace_event`` JSON.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on stored trace events; once reached, further events
+        are dropped and counted (see :attr:`dropped`).
+    """
+
+    def __init__(self, max_events: int = 2_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.dropped = 0
+        self.engine: Optional["WormholeEngine"] = None
+        self.start_time = 0.0
+        self._events: list[dict] = []
+        #: (channel label, lane index) -> track id.
+        self._tids: dict[tuple[str, int], int] = {}
+        self._thread_names: list[tuple[int, str]] = []
+        #: Open occupancy spells: (label, lane index) -> (t0, packet).
+        self._open: dict[tuple[str, int], tuple[float, "Packet"]] = {}
+        #: Open transmit runs: (label, lane index) -> [start, end).
+        self._runs: dict[tuple[str, int], list[float]] = {}
+        #: Packet ids that already emitted their flow-start event.
+        self._flow_started: set[int] = set()
+        #: pid -> tid of the packet's most recent acquire (flow end).
+        self._last_tid: dict[int, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, engine: "WormholeEngine") -> "PerfettoSink":
+        """Bind to an engine: assign one track per lane, mark t0."""
+        self.engine = engine
+        self.start_time = engine.env.now
+        tid = 0
+        for ch in engine.network.topo_channels:
+            for lane in ch.lanes:
+                self._tids[(ch.label, lane.index)] = tid
+                name = (
+                    ch.label
+                    if ch.num_lanes == 1
+                    else f"{ch.label}.{lane.index}"
+                )
+                self._thread_names.append((tid, name))
+                tid += 1
+        return self
+
+    def finish(self, now: Optional[float] = None) -> None:
+        """Close open occupancy slices and flush transmit runs."""
+        if now is None:
+            assert self.engine is not None, "install() before finish()"
+            now = self.engine.env.now
+        for key, (t0, packet) in sorted(self._open.items()):
+            self._emit_occupancy(key, t0, max(now, t0 + 1.0), packet)
+        self._open.clear()
+        for key in sorted(self._runs):
+            self._flush_run(key)
+
+    # -- event emission ----------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def _ts(self, t: float) -> float:
+        return (t - self.start_time) * CYCLE_MICROSECONDS
+
+    def _emit_occupancy(
+        self, key: tuple[str, int], t0: float, t1: float, packet: "Packet"
+    ) -> None:
+        self._emit(
+            {
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": self._tid(key),
+                "ts": self._ts(t0),
+                "dur": (t1 - t0) * CYCLE_MICROSECONDS,
+                "cat": "occupancy",
+                "name": f"pkt#{packet.pid} {packet.src}->{packet.dst}",
+                "args": {
+                    "pid": packet.pid,
+                    "src": packet.src,
+                    "dst": packet.dst,
+                    "length": packet.length,
+                },
+            }
+        )
+
+    def _flush_run(self, key: tuple[str, int]) -> None:
+        run = self._runs.pop(key, None)
+        if run is None:
+            return
+        start, end = run
+        self._emit(
+            {
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": self._tid(key),
+                "ts": self._ts(start),
+                "dur": (end - start) * CYCLE_MICROSECONDS,
+                "cat": "xmit",
+                "name": "xmit",
+                "args": {"flits": int(round(end - start))},
+            }
+        )
+
+    def _tid(self, key: tuple[str, int]) -> int:
+        tid = self._tids.get(key)
+        if tid is None:  # channel born after install (defensive)
+            tid = len(self._tids)
+            self._tids[key] = tid
+            self._thread_names.append((tid, f"{key[0]}.{key[1]}"))
+        return tid
+
+    # -- bus callbacks -----------------------------------------------------
+
+    def on_acquire(
+        self, t: float, packet: "Packet", channel: "PhysChannel", lane_index: int
+    ) -> None:
+        key = (channel.label, lane_index)
+        self._open[key] = (t, packet)
+        tid = self._tid(key)
+        ph = "t" if packet.pid in self._flow_started else "s"
+        self._flow_started.add(packet.pid)
+        self._last_tid[packet.pid] = tid
+        self._emit(
+            {
+                "ph": ph,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": self._ts(t),
+                "cat": "worm",
+                "name": f"pkt#{packet.pid}",
+                "id": packet.pid,
+            }
+        )
+
+    def on_release(
+        self, t: float, packet: "Packet", channel: "PhysChannel", lane_index: int
+    ) -> None:
+        key = (channel.label, lane_index)
+        spell = self._open.pop(key, None)
+        if spell is None:  # release without observed acquire (late attach)
+            return
+        t0, owner = spell
+        self._emit_occupancy(key, t0, max(t, t0 + 1.0), owner)
+
+    def on_transmit(self, t: float, channel: "PhysChannel", lane: "Lane") -> None:
+        key = (channel.label, lane.index)
+        run = self._runs.get(key)
+        # A flit moved during cycle [t, t+1): extend or start a run.
+        if run is not None and run[1] == t:
+            run[1] = t + 1.0
+        else:
+            if run is not None:
+                self._flush_run(key)
+            self._runs[key] = [t, t + 1.0]
+
+    def on_deliver(self, t: float, packet: "Packet") -> None:
+        tid = self._last_tid.pop(packet.pid, None)
+        self._flow_started.discard(packet.pid)
+        if tid is None:
+            return
+        self._emit(
+            {
+                "ph": "f",
+                "bp": "e",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": self._ts(t),
+                "cat": "worm",
+                "name": f"pkt#{packet.pid}",
+                "id": packet.pid,
+            }
+        )
+
+    def on_abort(self, t: float, packet: "Packet") -> None:
+        # An aborted worm's spells were closed by the release events its
+        # flush produced; just retire the flow bookkeeping.
+        self._last_tid.pop(packet.pid, None)
+        self._flow_started.discard(packet.pid)
+
+    # -- export ------------------------------------------------------------
+
+    def trace_events(self) -> list[dict]:
+        """The full event list: metadata first, then slices by ``ts``."""
+        meta: list[dict] = [
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": 0,
+                "ts": 0,
+                "name": "process_name",
+                "args": {"name": self._process_name()},
+            }
+        ]
+        for tid, name in self._thread_names:
+            meta.append(
+                {
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "ts": 0,
+                    "name": "thread_name",
+                    "args": {"name": name},
+                }
+            )
+            meta.append(
+                {
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "ts": 0,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": tid},
+                }
+            )
+        # Stable sort keeps same-ts ordering deterministic; Perfetto does
+        # not require sorted input but monotone-per-track is testable.
+        body = sorted(self._events, key=lambda ev: (ev["ts"], ev["tid"]))
+        return meta + body
+
+    def to_dict(self) -> dict:
+        """JSON-ready trace (``traceEvents`` object form)."""
+        return {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "network": self._process_name(),
+                "cycle_us": CYCLE_MICROSECONDS,
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write_trace(self, path_or_file: Union[str, IO[str]]) -> int:
+        """Write the trace JSON; returns the number of events written."""
+        doc = self.to_dict()
+        if hasattr(path_or_file, "write"):
+            json.dump(doc, path_or_file)
+        else:
+            with open(path_or_file, "w") as fh:
+                json.dump(doc, fh)
+        return len(doc["traceEvents"])
+
+    def _process_name(self) -> str:
+        if self.engine is None:
+            return "wormhole"
+        net = self.engine.network
+        return f"wormhole {net.kind.value} N={net.N}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<PerfettoSink events={len(self._events)} "
+            f"tracks={len(self._tids)} dropped={self.dropped}>"
+        )

@@ -1,0 +1,174 @@
+"""Sim-kernel profiling: how hard is the event kernel itself working?
+
+The :class:`repro.sim.core.Environment` maintains three always-on
+counters (plain integer increments, no branches):
+
+* ``events_scheduled`` -- total ``heappush`` calls;
+* ``events_fired`` -- total events popped and dispatched;
+* ``max_heap_depth`` -- high-water mark of the pending-event heap.
+
+:class:`KernelProfiler` snapshots those counters plus the wall clock
+around an observation window and derives the roofline numbers the
+ROADMAP's "as fast as the hardware allows" push needs: events/s,
+cycles/s, and **wall-microseconds per simulated microsecond** (the
+slowdown factor vs. the modelled hardware).
+
+This is measurement of the *simulator*, not the simulated network --
+the wall-clock reads are confined to this module and are exempt from
+the RPV002 determinism lint (they never influence simulation state).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.engine import WormholeEngine
+
+#: Microseconds per simulation cycle (the paper's 20 flits/us).
+CYCLE_MICROSECONDS = 0.05
+
+
+class KernelProfiler:
+    """Deltas of the kernel counters + wall clock over a window."""
+
+    def __init__(self) -> None:
+        self.engine: Optional["WormholeEngine"] = None
+        self._t0_wall = 0.0
+        self._t0_sim = 0.0
+        self._t0_scheduled = 0
+        self._t0_fired = 0
+        self._t0_cycles = 0
+        self._wall: Optional[float] = None
+        self._sim: Optional[float] = None
+        self._scheduled: Optional[int] = None
+        self._fired: Optional[int] = None
+        self._cycles: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, engine: "WormholeEngine") -> "KernelProfiler":
+        """Snapshot the baseline (call at window start)."""
+        self.engine = engine
+        env = engine.env
+        self._t0_wall = time.perf_counter()  # lint-sim: ignore[RPV002] -- profiling harness, not sim state
+        self._t0_sim = env.now
+        self._t0_scheduled = env.events_scheduled
+        self._t0_fired = env.events_fired
+        self._t0_cycles = engine.cycles_run
+        return self
+
+    def finish(self) -> "KernelProfiler":
+        """Freeze the window (idempotent; keeps the first snapshot)."""
+        if self._wall is not None:
+            return self
+        assert self.engine is not None, "install() before finish()"
+        env = self.engine.env
+        self._wall = time.perf_counter() - self._t0_wall  # lint-sim: ignore[RPV002] -- profiling harness, not sim state
+        self._sim = env.now - self._t0_sim
+        self._scheduled = env.events_scheduled - self._t0_scheduled
+        self._fired = env.events_fired - self._t0_fired
+        self._cycles = self.engine.cycles_run - self._t0_cycles
+        return self
+
+    # -- live reads (finish() freezes them) --------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        if self._wall is not None:
+            return self._wall
+        return time.perf_counter() - self._t0_wall  # lint-sim: ignore[RPV002] -- profiling harness, not sim state
+
+    @property
+    def sim_cycles_elapsed(self) -> float:
+        if self._sim is not None:
+            return self._sim
+        assert self.engine is not None
+        return self.engine.env.now - self._t0_sim
+
+    @property
+    def events_scheduled(self) -> int:
+        if self._scheduled is not None:
+            return self._scheduled
+        assert self.engine is not None
+        return self.engine.env.events_scheduled - self._t0_scheduled
+
+    @property
+    def events_fired(self) -> int:
+        if self._fired is not None:
+            return self._fired
+        assert self.engine is not None
+        return self.engine.env.events_fired - self._t0_fired
+
+    @property
+    def cycles_run(self) -> int:
+        if self._cycles is not None:
+            return self._cycles
+        assert self.engine is not None
+        return self.engine.cycles_run - self._t0_cycles
+
+    @property
+    def max_heap_depth(self) -> int:
+        """High-water mark of the event heap (whole run, not a delta)."""
+        assert self.engine is not None
+        return self.engine.env.max_heap_depth
+
+    # -- derived rates -----------------------------------------------------
+
+    @property
+    def sim_microseconds(self) -> float:
+        """Simulated time covered, in the paper's microseconds."""
+        return self.sim_cycles_elapsed * CYCLE_MICROSECONDS
+
+    @property
+    def events_per_second(self) -> float:
+        wall = self.wall_seconds
+        return self.events_fired / wall if wall > 0 else 0.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        wall = self.wall_seconds
+        return self.cycles_run / wall if wall > 0 else 0.0
+
+    @property
+    def wall_us_per_sim_us(self) -> float:
+        """Slowdown factor: wall microseconds spent per simulated us."""
+        sim_us = self.sim_microseconds
+        return (self.wall_seconds * 1e6) / sim_us if sim_us > 0 else 0.0
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "sim_cycles": self.cycles_run,
+            "sim_microseconds": self.sim_microseconds,
+            "events_scheduled": self.events_scheduled,
+            "events_fired": self.events_fired,
+            "max_heap_depth": self.max_heap_depth,
+            "events_per_second": self.events_per_second,
+            "cycles_per_second": self.cycles_per_second,
+            "wall_us_per_sim_us": self.wall_us_per_sim_us,
+        }
+
+    def render(self) -> str:
+        return (
+            "kernel profile:\n"
+            f"  wall time          {self.wall_seconds:12.3f} s\n"
+            f"  sim time           {self.sim_microseconds:12.1f} us "
+            f"({self.cycles_run} cycles)\n"
+            f"  events scheduled   {self.events_scheduled:12d}\n"
+            f"  events fired       {self.events_fired:12d} "
+            f"({self.events_per_second:,.0f}/s)\n"
+            f"  max heap depth     {self.max_heap_depth:12d}\n"
+            f"  cycle rate         {self.cycles_per_second:12,.0f} cycles/s\n"
+            f"  slowdown           {self.wall_us_per_sim_us:12,.0f} "
+            f"wall-us per sim-us"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<KernelProfiler cycles={self.cycles_run} "
+            f"events={self.events_fired} wall={self.wall_seconds:.3f}s>"
+        )

@@ -1,0 +1,158 @@
+"""One-stop observability session: wire every sink with one call.
+
+:class:`ObsSession` bundles the standard sinks over one engine's bus:
+
+* a :class:`~repro.obs.contention.ContentionSink` (channel/stage
+  utilization and blocked-time attribution),
+* a :class:`~repro.obs.profiler.KernelProfiler` (sim-kernel rates),
+* latency histograms (creation->delivery and injection->delivery,
+  HDR-style p50/p95/p99),
+* optionally a :class:`~repro.obs.perfetto.PerfettoSink`
+  (``trace=True``) for timeline export.
+
+Usage::
+
+    eng = build_engine(...)
+    with ObsSession(eng, trace=True) as obs:
+        run_workload(eng)
+    print(obs.report())
+    obs.write_trace("run.json")
+
+The context manager detaches every sink on exit, restoring the bus's
+zero-cost fast path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.obs.contention import ContentionSink
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.perfetto import PerfettoSink
+from repro.obs.profiler import KernelProfiler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.engine import WormholeEngine
+    from repro.wormhole.packet import Packet
+
+
+class ObsSession:
+    """Attach the standard observability sinks to one engine."""
+
+    def __init__(
+        self,
+        engine: "WormholeEngine",
+        trace: bool = False,
+        bucket: float = 256.0,
+        sub_bucket_bits: int = 5,
+        perfetto_max_events: int = 2_000_000,
+    ) -> None:
+        self.engine = engine
+        self.contention = ContentionSink(bucket=bucket).install(engine)
+        self.profiler = KernelProfiler().install(engine)
+        self.perfetto: Optional[PerfettoSink] = None
+        if trace:
+            self.perfetto = PerfettoSink(
+                max_events=perfetto_max_events
+            ).install(engine)
+        #: Creation -> tail delivery (queueing included), in cycles.
+        self.latency = LatencyHistogram(sub_bucket_bits)
+        #: Injection start -> tail delivery, in cycles.
+        self.network_latency = LatencyHistogram(sub_bucket_bits)
+        self._attached = False
+        bus = engine.bus
+        bus.attach(self.contention)
+        if self.perfetto is not None:
+            bus.attach(self.perfetto)
+        bus.attach(self)  # our own on_deliver below
+        self._attached = True
+        self._finished = False
+
+    # -- bus callback ------------------------------------------------------
+
+    def on_deliver(self, t: float, packet: "Packet") -> None:
+        self.latency.record(t - packet.created)
+        if packet.inject_start is not None:
+            self.network_latency.record(t - packet.inject_start)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def finish(self) -> "ObsSession":
+        """Freeze every sink's observation window (idempotent)."""
+        if self._finished:
+            return self
+        self._finished = True
+        now = self.engine.env.now
+        self.contention.finish(now)
+        self.profiler.finish()
+        if self.perfetto is not None:
+            self.perfetto.finish(now)
+        return self
+
+    def detach(self) -> None:
+        """Remove every sink from the bus (idempotent)."""
+        if not self._attached:
+            return
+        self._attached = False
+        bus = self.engine.bus
+        bus.detach(self.contention)
+        if self.perfetto is not None:
+            bus.detach(self.perfetto)
+        bus.detach(self)
+
+    def close(self) -> "ObsSession":
+        """finish() + detach()."""
+        self.finish()
+        self.detach()
+        return self
+
+    def __enter__(self) -> "ObsSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- export ------------------------------------------------------------
+
+    def write_trace(self, path_or_file: Union[str, "object"]) -> int:
+        """Write the Perfetto trace; requires ``trace=True``."""
+        if self.perfetto is None:
+            raise RuntimeError(
+                "ObsSession was created with trace=False; "
+                "pass trace=True to record a Perfetto timeline"
+            )
+        self.finish()
+        return self.perfetto.write_trace(path_or_file)
+
+    def to_dict(self) -> dict:
+        self.finish()
+        return {
+            "elapsed_cycles": self.contention.elapsed,
+            "latency": self.latency.to_dict(),
+            "network_latency": self.network_latency.to_dict(),
+            "stages": self.contention.stage_table(),
+            "channels": self.contention.channel_rows(),
+            "kernel": self.profiler.to_dict(),
+        }
+
+    def report(self) -> str:
+        """Human-readable multi-section observability report."""
+        self.finish()
+        sections = [
+            self.contention.render(),
+            "",
+            self.contention.stage_heatmap(),
+            "",
+            "latency (cycles, creation -> delivery):",
+            self.latency.render(),
+            "",
+            self.profiler.render(),
+        ]
+        return "\n".join(sections)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ObsSession engine={self.engine!r} "
+            f"trace={'on' if self.perfetto is not None else 'off'} "
+            f"delivered={self.latency.count}>"
+        )

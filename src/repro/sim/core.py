@@ -46,6 +46,14 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        # Always-on kernel counters (plain increments; read by
+        # :class:`repro.obs.profiler.KernelProfiler`).
+        #: Total events pushed onto the schedule.
+        self.events_scheduled = 0
+        #: Total events popped and dispatched by :meth:`step`.
+        self.events_fired = 0
+        #: High-water mark of the pending-event heap.
+        self.max_heap_depth = 0
 
     # -- clock and introspection ------------------------------------------
 
@@ -74,6 +82,10 @@ class Environment:
     ) -> None:
         """Schedule ``event`` to be processed ``delay`` time units from now."""
         heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self.events_scheduled += 1
+        depth = len(self._queue)
+        if depth > self.max_heap_depth:
+            self.max_heap_depth = depth
 
     # -- event factories ----------------------------------------------------
 
@@ -111,6 +123,7 @@ class Environment:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_fired += 1
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
@@ -151,6 +164,9 @@ class Environment:
             stop._value = None
             # Urgent priority: stop before any same-time normal event.
             heappush(self._queue, (at, -1, next(self._eid), stop))
+            self.events_scheduled += 1
+            if len(self._queue) > self.max_heap_depth:
+                self.max_heap_depth = len(self._queue)
             stop.callbacks.append(self._stop_callback)
 
         try:

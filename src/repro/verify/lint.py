@@ -30,6 +30,15 @@ These rules encode the repo's simulation discipline (see
     without any ``release`` call or ``with`` block in the same
     function.  The slot leaks when the process ends or is interrupted.
 
+``RPV006`` **unguarded-hot-publish**
+    An event-bus ``publish_*`` call inside a ``for``/``while`` loop
+    with no enclosing guard on the bus's fast-path flags.  Hot-loop
+    publish sites must sit under ``if bus.enabled:`` / ``if bus.hot:``
+    or the hoisted ``obs = bus if bus.hot else None`` +
+    ``if obs is not None:`` pattern (see ``docs/observability.md``),
+    otherwise every simulated flit pays the publish cost even when no
+    sink is attached.
+
 Suppression: append ``# lint-sim: ignore`` (all rules) or
 ``# lint-sim: ignore[RPV001,RPV005]`` to the offending line; a file
 containing ``# lint-sim: skip-file`` is skipped entirely.
@@ -52,6 +61,7 @@ RULES: dict[str, str] = {
     "RPV003": "never compare simulation time with == / != (float epsilon)",
     "RPV004": "mutable default argument shares state across calls",
     "RPV005": "yielded hold (request/acquire) with no release path",
+    "RPV006": "bus publish inside a loop without an enabled/hot guard",
 }
 
 _SKIP_FILE = "lint-sim: skip-file"
@@ -303,6 +313,97 @@ class _Visitor(ast.NodeVisitor):
         )
 
 
+# -- RPV006: unguarded publish in a hot loop --------------------------------
+
+_GUARD_FLAGS = {"enabled", "hot"}
+
+
+def _is_bus_guard(test: ast.expr) -> bool:
+    """True for conditions that gate on the bus fast path: any mention
+    of an ``enabled``/``hot`` flag, or an ``is (not) None`` test on the
+    hoisted sink reference (``if obs is not None:``)."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr in _GUARD_FLAGS:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in _GUARD_FLAGS:
+            return True
+        if isinstance(sub, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in sub.ops
+        ):
+            operands = [sub.left, *sub.comparators]
+            if any(
+                isinstance(o, ast.Constant) and o.value is None
+                for o in operands
+            ):
+                return True
+    return False
+
+
+def _is_publish_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        name = fn.attr
+    elif isinstance(fn, ast.Name):
+        name = fn.id
+    else:
+        return False
+    return name == "publish" or name.startswith("publish_")
+
+
+class _PublishGuardScanner:
+    """Flag ``publish_*`` calls lexically inside a loop body with no
+    enclosing enabled/hot/``is not None`` guard (rule RPV006)."""
+
+    def __init__(self, visitor: _Visitor) -> None:
+        self.visitor = visitor
+
+    def scan(self, node: ast.AST, in_loop: bool = False, guarded: bool = False) -> None:
+        if _is_publish_call(node) and in_loop and not guarded:
+            fn = node.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else fn.id
+            self.visitor._add(
+                node.lineno,
+                node.col_offset,
+                "RPV006",
+                f"{name}() in a loop: " + RULES["RPV006"],
+            )
+        if isinstance(node, ast.If):
+            inner = guarded or _is_bus_guard(node.test)
+            self.scan(node.test, in_loop, guarded)
+            for stmt in node.body:
+                self.scan(stmt, in_loop, inner)
+            for stmt in node.orelse:
+                self.scan(stmt, in_loop, guarded)
+        elif isinstance(node, ast.IfExp):
+            inner = guarded or _is_bus_guard(node.test)
+            self.scan(node.test, in_loop, guarded)
+            self.scan(node.body, in_loop, inner)
+            self.scan(node.orelse, in_loop, guarded)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self.scan(node.target, in_loop, guarded)
+            self.scan(node.iter, in_loop, guarded)
+            for stmt in node.body:
+                self.scan(stmt, True, guarded)
+            for stmt in node.orelse:
+                self.scan(stmt, in_loop, guarded)
+        elif isinstance(node, ast.While):
+            self.scan(node.test, in_loop, guarded)
+            for stmt in node.body:
+                self.scan(stmt, True, guarded)
+            for stmt in node.orelse:
+                self.scan(stmt, in_loop, guarded)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # New scope: an enclosing loop does not make this body hot,
+            # and any outer guard does not protect it either.
+            for child in ast.iter_child_nodes(node):
+                self.scan(child, False, False)
+        else:
+            for child in ast.iter_child_nodes(node):
+                self.scan(child, in_loop, guarded)
+
+
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     """Lint one source text; returns the unsuppressed violations."""
     if _SKIP_FILE in source:
@@ -321,6 +422,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
         ]
     visitor = _Visitor(path)
     visitor.visit(tree)
+    _PublishGuardScanner(visitor).scan(tree)
     table = _suppressions(source)
     kept = []
     for v in visitor.violations:

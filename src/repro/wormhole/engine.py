@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.bus import EventBus
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStream
 from repro.wormhole.channel import Lane, PhysChannel
@@ -134,9 +135,12 @@ class WormholeEngine:
             # is lane-local, so one observer serves any number of
             # engines.
             _channel_mod.release_observer = self.sanitizer.on_release
-        #: Optional :class:`repro.wormhole.trace.Tracer` for per-packet
-        #: event timelines; None (the default) costs nothing.
-        self.tracer = None
+        #: The structured telemetry bus every state change publishes
+        #: into (see :mod:`repro.obs.bus`).  With no sinks attached the
+        #: hot path pays one hoisted flag read per cycle, nothing more.
+        self.bus = EventBus()
+        #: Backing store of the :attr:`tracer` property.
+        self._tracer = None
         #: Cycles of zero progress (no flit moved, no lane granted,
         #: packets in flight) before :class:`DeadlockError` is raised.
         #: 0 disables the watchdog (the default: the paper's networks
@@ -162,6 +166,29 @@ class WormholeEngine:
         self._clock_started = False
         self._wakeup = None  # event the idle clock sleeps on, if any
 
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """Optional :class:`repro.wormhole.trace.Tracer`, bus-backed.
+
+        Assigning a tracer attaches it to :attr:`bus` (and detaches any
+        previous one); assigning None detaches.  Kept as a property for
+        source compatibility with pre-bus code that wrote
+        ``engine.tracer = Tracer()``.
+        """
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        if tracer is self._tracer:
+            return
+        if self._tracer is not None:
+            self.bus.detach(self._tracer)
+        self._tracer = tracer
+        if tracer is not None:
+            self.bus.attach(tracer)
+
     # -- workload interface ---------------------------------------------------
 
     def offer(self, src: int, dst: int, length: int) -> Packet:
@@ -178,8 +205,8 @@ class WormholeEngine:
         qlen = len(self.queues[src])
         if qlen > self.stats.max_queue_len:
             self.stats.max_queue_len = qlen
-        if self.tracer is not None:
-            self.tracer.on_offer(self.env.now, p)
+        if self.bus.enabled:
+            self.bus.publish_offer(self.env.now, p)
         for hook in self.on_packet_offered:
             hook(p)
         return p
@@ -268,6 +295,11 @@ class WormholeEngine:
         return f"{header}; held channels: {held}"
 
     def _phase_allocate(self) -> None:
+        # Hoist the bus's hot flag once per cycle: with no hot sink
+        # attached, every per-packet publish site below reduces to one
+        # local ``is not None`` check.
+        bus = self.bus
+        obs = bus if bus.hot else None
         # Start injections: one-port nodes begin transmitting the next
         # queued message once their single injection lane frees.
         if self._backlogged:
@@ -280,6 +312,8 @@ class WormholeEngine:
                         p = self.queues[node].popleft()
                         p.state = PacketState.FAILED
                         self.stats.failed_packets += 1
+                        if bus.enabled:
+                            bus.publish_abort(self.env.now, p)
                         for hook in self.on_packet_failed:
                             hook(p)
                     drained.append(node)
@@ -294,9 +328,9 @@ class WormholeEngine:
                 lane.acquire(p)
                 self._active_packets += 1
                 self._progressed = True
-                if self.tracer is not None:
-                    self.tracer.on_inject(self.env.now, p)
-                    self.tracer.on_acquire(self.env.now, p, inj, lane.index)
+                if obs is not None:
+                    obs.publish_inject(self.env.now, p)
+                    obs.publish_acquire(self.env.now, p, inj, lane.index)
                 if not self.queues[node]:
                     drained.append(node)
             for node in drained:
@@ -323,8 +357,8 @@ class WormholeEngine:
                 continue
             free = [lane for ch in usable for lane in ch.lanes if lane.owner is None]
             if not free:
-                if self.tracer is not None:
-                    self.tracer.on_blocked(self.env.now, p, usable)
+                if obs is not None:
+                    obs.publish_block(self.env.now, p, usable)
                 still_pending.append(p)
                 continue
             if len(free) == 1:
@@ -341,12 +375,15 @@ class WormholeEngine:
             self.network.advance(p, lane.channel)
             p.needs_route = False
             self._progressed = True
-            if self.tracer is not None:
-                self.tracer.on_acquire(self.env.now, p, lane.channel, lane.index)
+            if obs is not None:
+                obs.publish_acquire(self.env.now, p, lane.channel, lane.index)
         self._pending_route = still_pending
 
     def _phase_advance(self) -> None:
         pending = self._pending_route
+        bus = self.bus
+        obs = bus if bus.hot else None
+        now = self.env.now
         for ch in self.network.topo_channels:
             if ch.owned_count == 0:
                 continue
@@ -356,9 +393,13 @@ class WormholeEngine:
             self._progressed = True
             p = lane.owner
             assert p is not None
+            if obs is not None:
+                obs.publish_transmit(now, ch, lane)
             if ch.is_delivery:
                 if lane.sent == p.length:
                     lane.release()
+                    if obs is not None:
+                        obs.publish_release(now, p, ch, lane.index)
                     self._finalize(p)
             else:
                 if lane.sent == 1 and lane.route_idx == len(p.lanes) - 1:
@@ -367,6 +408,8 @@ class WormholeEngine:
                     pending.append(p)
                 if lane.sent == p.length:
                     lane.release()
+                    if obs is not None:
+                        obs.publish_release(now, p, ch, lane.index)
 
     def transmit(self, ch: PhysChannel) -> Optional[Lane]:
         """Move one flit across ``ch`` if possible (split out for tests)."""
@@ -392,6 +435,8 @@ class WormholeEngine:
                 self._backlogged.discard(p.src)
             p.state = PacketState.FAILED
             self.stats.failed_packets += 1
+            if self.bus.enabled:
+                self.bus.publish_abort(self.env.now, p)
             for hook in self.on_packet_failed:
                 hook(p)
             return
@@ -409,6 +454,9 @@ class WormholeEngine:
         packet's flits) and its still-owned lanes are released, so other
         traffic is unaffected.
         """
+        bus = self.bus
+        obs = bus if bus.hot else None
+        now = self.env.now
         p._sanitize_aborting = True  # exempt early releases (sanitizer)
         try:
             for i, lane in enumerate(p.lanes):
@@ -420,14 +468,16 @@ class WormholeEngine:
                     assert lane.buf >= 0, "abort flushed a flit it did not own"
                 if lane.owner is p:
                     lane.release()
+                    if obs is not None:
+                        obs.publish_release(now, p, lane.channel, lane.index)
         finally:
             p._sanitize_aborting = False
         p.state = PacketState.FAILED
         p.needs_route = False
         self._active_packets -= 1
         self.stats.failed_packets += 1
-        if self.tracer is not None:
-            self.tracer.on_abort(self.env.now, p)
+        if bus.enabled:
+            bus.publish_abort(now, p)
         for hook in self.on_packet_failed:
             hook(p)
 
@@ -437,8 +487,8 @@ class WormholeEngine:
         self._active_packets -= 1
         self.stats.delivered_packets += 1
         self.stats.delivered_flits += p.length
-        if self.tracer is not None:
-            self.tracer.on_deliver(self.env.now, p)
+        if self.bus.enabled:
+            self.bus.publish_deliver(self.env.now, p)
         for hook in self.on_packet_delivered:
             hook(p)
         if self.record_deliveries:

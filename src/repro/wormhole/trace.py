@@ -13,6 +13,7 @@ saturates (e.g. which channel a permutation's losers block on).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -29,6 +30,9 @@ class TraceEvent:
     kind: str      # offered | injected | acquired | blocked | delivered | failed
     pid: int
     detail: str
+    #: Global record order (monotone across packets); lets the flat
+    #: :attr:`Tracer.events` view interleave ring buffers correctly.
+    seq: int = 0
 
     def __str__(self) -> str:
         return f"t={self.time:<8g} {self.kind:<9} {self.detail}"
@@ -37,18 +41,55 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` streams, indexed per packet.
 
-    ``max_events`` bounds memory for long runs (oldest packets keep
-    their events; new events are dropped once the cap is hit and
-    :attr:`truncated` is set).
+    Memory is bounded two ways, and every drop is *surfaced*, never
+    silent (an earlier revision hit ``max_events`` and silently dropped
+    new packets' events mid-flight, producing timelines that looked
+    complete while missing their endings):
+
+    * ``per_packet`` -- each packet's timeline is a ring buffer keeping
+      its **newest** events (a delivered worm always shows its
+      delivery; overwrites count in :attr:`dropped_events`);
+    * ``max_events`` -- once the total retained events exceed the cap,
+      the **oldest whole packets** are evicted (counted in
+      :attr:`evicted_packets` / :attr:`evicted_events`), so every
+      timeline still present is internally complete up to its own ring.
+      The newest packet is never evicted, even if its ring alone
+      exceeds the cap.
+
+    :attr:`truncated` is True iff anything was dropped or evicted.
     """
 
-    def __init__(self, max_events: int = 1_000_000) -> None:
+    def __init__(
+        self, max_events: int = 1_000_000, per_packet: int = 256
+    ) -> None:
+        if max_events < 1 or per_packet < 1:
+            raise ValueError("max_events and per_packet must be >= 1")
         self.max_events = max_events
-        self.events: list[TraceEvent] = []
-        self._by_pid: dict[int, list[TraceEvent]] = {}
+        self.per_packet = per_packet
+        self._by_pid: dict[int, deque[TraceEvent]] = {}
+        #: pid insertion order (eviction order when over the cap).
+        self._order: deque[int] = deque()
         #: pid -> channel label currently blocking it (dedup of repeats)
         self._blocked_on: dict[int, str] = {}
-        self.truncated = False
+        self._seq = 0
+        self._total = 0
+        #: Events overwritten by their packet's ring buffer.
+        self.dropped_events = 0
+        #: Whole packets evicted by the global cap (and their events).
+        self.evicted_packets = 0
+        self.evicted_events = 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Flat view of every retained event, in record order."""
+        flat = [e for ring in self._by_pid.values() for e in ring]
+        flat.sort(key=lambda e: e.seq)
+        return flat
+
+    @property
+    def truncated(self) -> bool:
+        """True iff any event was dropped or any packet evicted."""
+        return bool(self.dropped_events or self.evicted_packets)
 
     # -- hooks the engine calls -------------------------------------------
 
@@ -120,9 +161,26 @@ class Tracer:
         return counts.most_common(top)
 
     def _record(self, time: float, kind: str, pid: int, detail: str) -> None:
-        if len(self.events) >= self.max_events:
-            self.truncated = True
-            return
-        event = TraceEvent(time, kind, pid, detail)
-        self.events.append(event)
-        self._by_pid.setdefault(pid, []).append(event)
+        event = TraceEvent(time, kind, pid, detail, self._seq)
+        self._seq += 1
+        ring = self._by_pid.get(pid)
+        if ring is None:
+            ring = self._by_pid[pid] = deque(maxlen=self.per_packet)
+            self._order.append(pid)
+        if len(ring) == self.per_packet:
+            # Ring overwrite: the packet keeps its newest events.
+            self.dropped_events += 1
+            self._total -= 1
+        ring.append(event)
+        self._total += 1
+        # Global cap: evict whole oldest packets (never the newest one),
+        # so surviving timelines stay internally complete.
+        while self._total > self.max_events and len(self._order) > 1:
+            old = self._order.popleft()
+            evicted = self._by_pid.pop(old, None)
+            if evicted is None:  # pragma: no cover - defensive
+                continue
+            self._total -= len(evicted)
+            self.evicted_packets += 1
+            self.evicted_events += len(evicted)
+            self._blocked_on.pop(old, None)

@@ -1,0 +1,67 @@
+"""Tests for run_traced_point: bit-identical to run_point, windows aligned."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.runner import run_point
+from repro.experiments.traced import run_traced_point
+from repro.experiments.workload_spec import WorkloadSpec
+
+CUBE = NetworkConfig("tmin", k=2, n=3)
+SPEC = WorkloadSpec(pattern="uniform", k=2, n=3)
+
+
+def test_traced_point_is_bit_identical_to_run_point():
+    """Observation must not perturb the simulation: same seeds, same
+    RNG draws, byte-for-byte equal Measurement."""
+    plain = run_point(CUBE, SPEC.builder(SMOKE), 0.4, SMOKE)
+    traced, obs = run_traced_point(CUBE, SPEC, 0.4, SMOKE)
+    assert traced == plain
+
+
+def test_observation_window_matches_measurement_window():
+    """The sinks attach at window.begin(): the contention window length
+    equals the measurement's cycles, and per-channel busy intervals sum
+    to flit counts exactly (the trace/utilization acceptance identity)."""
+    m, obs = run_traced_point(CUBE, SPEC, 0.4, SMOKE)
+    assert obs.contention.elapsed == m.cycles
+    for led in obs.contention.ledgers.values():
+        assert led.busy_cycles() == led.flits
+    # Delivery-stage flits in the window track the measurement's flits.
+    # The collector credits a packet's flits at delivery time while the
+    # sink counts per-cycle transmits, so worms straddling the window
+    # edges shift the count by the in-flight flits -- a boundary effect
+    # bounded well inside the ISSUE's 1-2% utilization criterion.
+    dlv = sum(
+        led.flits for led in obs.contention.ledgers.values() if led.stage == "dlv"
+    )
+    assert dlv == pytest.approx(m.delivered_flits, rel=0.02)
+    # ... so trace-derived utilization matches reported throughput.
+    util = dlv / (CUBE.N * obs.contention.elapsed)
+    assert util == pytest.approx(m.throughput, rel=0.02)
+
+
+def test_traced_histogram_agrees_with_measurement_percentiles():
+    m, obs = run_traced_point(CUBE, SPEC, 0.4, SMOKE)
+    assert obs.latency.count == m.delivered_packets
+    assert obs.latency.max_value == m.max_latency
+    # Histogram percentiles track the exact ones within bucket error.
+    assert obs.latency.percentile(50) == pytest.approx(
+        m.p50_latency, rel=2**-5 + 0.01
+    )
+    assert not math.isnan(m.p99_latency)
+
+
+def test_traced_point_with_trace_exports(tmp_path):
+    m, obs = run_traced_point(CUBE, SPEC, 0.4, SMOKE, trace=True)
+    path = tmp_path / "point.json"
+    count = obs.write_trace(str(path))
+    assert count > 0 and path.stat().st_size > 0
+
+
+def test_traced_point_accepts_raw_builder():
+    m1, _ = run_traced_point(CUBE, SPEC, 0.4, SMOKE)
+    m2, _ = run_traced_point(CUBE, SPEC.builder(SMOKE), 0.4, SMOKE)
+    assert m1 == m2

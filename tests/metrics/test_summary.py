@@ -1,0 +1,119 @@
+"""Tests for LatencySummary and the shared Measurement column registry."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import percentile
+from repro.metrics.summary import (
+    MEASUREMENT_COLUMNS,
+    ColumnSpec,
+    LatencySummary,
+    measurement_row,
+    report_columns,
+)
+from repro.obs.histogram import LatencyHistogram
+
+
+def test_empty_summary_is_all_nan():
+    s = LatencySummary.empty()
+    assert s.count == 0
+    for v in (s.mean, s.p50, s.p95, s.p99, s.max, s.ci_half):
+        assert math.isnan(v)
+    assert LatencySummary.from_values([]) == s
+    d = s.to_dict()
+    assert d["count"] == 0 and d["mean"] is None and d["p99"] is None
+
+
+def test_from_values_matches_stats_helpers():
+    values = [float(v) for v in range(1, 101)]
+    s = LatencySummary.from_values(values)
+    assert s.count == 100
+    assert s.mean == pytest.approx(50.5)
+    assert s.p50 == percentile(sorted(values), 50)
+    assert s.p99 == percentile(sorted(values), 99)
+    assert s.max == 100.0
+    assert not math.isnan(s.ci_half)  # 100 >= 2*batches
+
+
+def test_from_values_small_sample_has_no_ci():
+    s = LatencySummary.from_values([5.0, 7.0, 9.0])
+    assert s.count == 3
+    assert math.isnan(s.ci_half)
+    assert s.max == 9.0
+
+
+def test_from_histogram_matches_from_values_within_bucket_error():
+    values = [float(v) for v in range(1, 2001)]
+    hist = LatencyHistogram(sub_bucket_bits=5)
+    hist.record_many(values)
+    hs = LatencySummary.from_histogram(hist)
+    vs = LatencySummary.from_values(values)
+    assert hs.count == vs.count
+    assert hs.mean == pytest.approx(vs.mean)  # sum kept exactly
+    assert hs.max == vs.max
+    for a, b in ((hs.p50, vs.p50), (hs.p95, vs.p95), (hs.p99, vs.p99)):
+        assert abs(a - b) / b < 2**-5 + 0.01
+    assert LatencySummary.from_histogram(LatencyHistogram()).count == 0
+
+
+def test_column_spec_validation_and_conversion():
+    with pytest.raises(ValueError):
+        ColumnSpec("x", "x", "complex")
+    f = ColumnSpec("x", "x", "float")
+    assert f.convert("1.5") == 1.5
+    assert math.isnan(f.convert(""))
+    i = ColumnSpec("x", "x", "int")
+    assert i.convert("7") == 7 and i.convert("") == 0
+    b = ColumnSpec("x", "x", "bool")
+    assert b.convert("True") is True and b.convert("False") is False
+
+
+def test_registry_names_are_unique_measurement_attrs():
+    from repro.metrics.collector import Measurement
+
+    names = [c.name for c in MEASUREMENT_COLUMNS]
+    assert len(names) == len(set(names))
+    fields = set(Measurement.__dataclass_fields__) | {
+        n for n in dir(Measurement) if not n.startswith("_")
+    }
+    for c in MEASUREMENT_COLUMNS:
+        assert c.attr in fields, c.attr
+
+
+def test_measurement_row_and_report_columns():
+    from repro.metrics.collector import Measurement
+
+    m = Measurement(
+        cycles=1000.0,
+        delivered_packets=10,
+        delivered_flits=100,
+        offered_packets=10,
+        offered_flits=100,
+        avg_latency=50.0,
+        avg_network_latency=40.0,
+        p95_latency=80.0,
+        latency_ci_half=float("nan"),
+        throughput=0.1,
+        max_queue_len=2,
+        sustainable=True,
+        p50_latency=45.0,
+        p99_latency=90.0,
+        max_latency=95.0,
+    )
+    row = measurement_row(m)
+    assert set(row) == {c.name for c in MEASUREMENT_COLUMNS}
+    assert row["p99_latency"] == 90.0
+    clean = report_columns(degraded=False)
+    assert all(not c.fault_only for c in clean)
+    degraded = report_columns(degraded=True)
+    assert {c.name for c in degraded} - {c.name for c in clean} == {
+        "failed_packets",
+        "retried_packets",
+        "dropped_packets",
+    }
+    # Cells render with the declared width; nan shows as '-'.
+    p99_col = next(c for c in clean if c.name == "p99_latency")
+    assert p99_col.cell(m).strip() == "90"
+    ci_col = next(c for c in MEASUREMENT_COLUMNS if c.name == "latency_ci_half")
+    assert ci_col.cell(m).strip() == "-"

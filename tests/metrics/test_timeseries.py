@@ -92,3 +92,42 @@ def test_interval_sample_throughput_property():
     s = IntervalSample(0, 100, delivered_flits=320, offered_flits=400,
                        in_flight=5, total_queued=7)
     assert s.throughput == 3.2
+
+
+# -- edge cases -------------------------------------------------------------
+
+
+def test_empty_series_queries_return_empty():
+    """A sampler that never fired yields empty series, not errors."""
+    env, eng = _driven_engine(UniformPattern, 0.3)
+    sampler = ThroughputSampler(eng, interval=500)
+    sampler.install(env)
+    # No run: zero samples collected.
+    assert sampler.samples == []
+    assert sampler.throughput_fractions() == []
+    assert sampler.backlog_series() == []
+
+
+def test_single_sample_series():
+    """One interval is a valid series; rates come from that window alone."""
+    env, eng = _driven_engine(UniformPattern, 0.3, seed=9)
+    sampler = ThroughputSampler(eng, interval=400)
+    sampler.install(env)
+    eng.start()
+    env.run(until=401)
+    assert len(sampler.samples) == 1
+    (s,) = sampler.samples
+    assert (s.start, s.end) == (0, 400)
+    (f,) = sampler.throughput_fractions()
+    assert f == s.delivered_flits / (64 * 400)
+    assert sampler.backlog_series() == [s.total_queued]
+
+
+def test_out_of_order_timestamps_rejected():
+    """end <= start would yield negative/undefined rates; both raise."""
+    with pytest.raises(ValueError, match="out of order"):
+        IntervalSample(100, 50, delivered_flits=0, offered_flits=0,
+                       in_flight=0, total_queued=0)
+    with pytest.raises(ValueError, match="out of order"):
+        IntervalSample(100, 100, delivered_flits=0, offered_flits=0,
+                       in_flight=0, total_queued=0)

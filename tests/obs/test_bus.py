@@ -1,0 +1,125 @@
+"""Tests for the telemetry event bus (subscription tiers, fan-out)."""
+
+import pytest
+
+from repro.obs.bus import HOT_KINDS, KIND_METHODS, KINDS, EventBus
+
+
+class ColdSink:
+    """Subscribes only to packet-lifecycle (cold) kinds."""
+
+    def __init__(self):
+        self.seen = []
+
+    def on_offer(self, t, p):
+        self.seen.append(("offer", t, p))
+
+    def on_deliver(self, t, p):
+        self.seen.append(("deliver", t, p))
+
+
+class HotSink(ColdSink):
+    def on_transmit(self, t, ch, lane):
+        self.seen.append(("transmit", t, ch, lane))
+
+
+def test_fresh_bus_is_idle():
+    bus = EventBus()
+    assert not bus.enabled and not bus.hot
+    assert bus.subscriber_count() == 0
+    # Publishing with no subscribers is legal (the guards make it rare).
+    bus.publish_offer(0.0, object())
+    assert bus.published == 1
+
+
+def test_kind_tables_are_consistent():
+    assert set(KINDS) == set(KIND_METHODS)
+    assert HOT_KINDS < set(KINDS)
+    # The block kind dispatches to on_blocked (Tracer compatibility).
+    assert KIND_METHODS["block"] == "on_blocked"
+
+
+def test_cold_sink_enables_but_does_not_heat():
+    bus = EventBus()
+    kinds = bus.attach(ColdSink())
+    assert sorted(kinds) == ["deliver", "offer"]
+    assert bus.enabled and not bus.hot
+
+
+def test_hot_sink_sets_both_tiers():
+    bus = EventBus()
+    bus.attach(HotSink())
+    assert bus.enabled and bus.hot
+
+
+def test_publish_fans_out_in_attach_order():
+    bus = EventBus()
+    a, b = ColdSink(), ColdSink()
+    bus.attach(a)
+    bus.attach(b)
+    bus.publish_offer(3.0, "pkt")
+    assert a.seen == [("offer", 3.0, "pkt")]
+    assert b.seen == [("offer", 3.0, "pkt")]
+    assert bus.published == 1  # per publish call, not per subscriber
+
+
+def test_detach_restores_fast_path():
+    bus = EventBus()
+    sink = HotSink()
+    bus.attach(sink)
+    bus.detach(sink)
+    assert not bus.enabled and not bus.hot
+    bus.detach(sink)  # idempotent
+    bus.publish_deliver(1.0, "pkt")
+    assert sink.seen == []
+
+
+def test_double_attach_raises():
+    bus = EventBus()
+    sink = ColdSink()
+    bus.attach(sink)
+    with pytest.raises(ValueError, match="already attached"):
+        bus.attach(sink)
+
+
+def test_attach_without_sink_methods_raises():
+    bus = EventBus()
+    with pytest.raises(ValueError, match="defines none"):
+        bus.attach(object())
+
+
+def test_subscribe_unknown_kind_raises():
+    bus = EventBus()
+    with pytest.raises(KeyError, match="unknown event kind"):
+        bus.subscribe("teleport", lambda *a: None)
+
+
+def test_subscribe_unsubscribe_individual_callable():
+    bus = EventBus()
+    hits = []
+    fn = lambda t, ch, lane: hits.append(t)  # noqa: E731
+    bus.subscribe("transmit", fn)
+    assert bus.hot
+    bus.publish_transmit(7.0, None, None)
+    bus.unsubscribe("transmit", fn)
+    assert not bus.enabled
+    with pytest.raises(ValueError):
+        bus.unsubscribe("transmit", fn)
+    assert hits == [7.0]
+
+
+def test_subscriber_count_by_kind():
+    bus = EventBus()
+    bus.attach(ColdSink())
+    assert bus.subscriber_count("offer") == 1
+    assert bus.subscriber_count("transmit") == 0
+    assert bus.subscriber_count() == 2
+
+
+def test_repr_shows_state():
+    bus = EventBus()
+    assert "idle" in repr(bus)
+    bus.attach(ColdSink())
+    assert "enabled" in repr(bus)
+    bus.attach(HotSink())
+    assert "hot" in repr(bus)

@@ -1,0 +1,139 @@
+"""Tests for the contention-attribution sink."""
+
+import pytest
+
+from repro.obs.contention import ContentionSink, stage_of
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+
+
+def _engine(kind="tmin", seed=0):
+    env = Environment()
+    eng = WormholeEngine(env, build_network(kind, 2, 3), rng=RandomStream(seed))
+    return env, eng
+
+
+def _attached(kind="tmin", seed=0, bucket=64.0):
+    env, eng = _engine(kind, seed)
+    sink = ContentionSink(bucket=bucket).install(eng)
+    eng.bus.attach(sink)
+    return env, eng, sink
+
+
+def test_stage_of():
+    assert stage_of("b1[12].0") == "b1"
+    assert stage_of("inj[3]") == "inj"
+    assert stage_of("weird") == "weird"
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        ContentionSink(bucket=0)
+
+
+def test_busy_intervals_sum_to_flit_count():
+    """The acceptance identity: coalesced busy time == flits moved,
+    per channel, exactly."""
+    env, eng, sink = _attached()
+    for s, d in ((1, 6), (0, 7), (2, 5)):
+        eng.offer(s, d, 12)
+    eng.drain()
+    sink.finish()
+    moved = 0
+    for led in sink.ledgers.values():
+        assert led.busy_cycles() == led.flits
+        moved += led.flits
+    # Each of the 3 worms crosses 4 channels (n+1 hops), 12 flits each.
+    assert moved == 3 * 4 * 12
+
+
+def test_blocked_ledger_totals_conserved():
+    """1/n attribution: per-channel blocked time sums to the total."""
+    env, eng, sink = _attached()
+    eng.offer(0, 7, 40)
+    eng.offer(1, 7, 40)  # same destination: one must wait
+    eng.drain()
+    sink.finish()
+    per_channel = sum(led.blocked_time for led in sink.ledgers.values())
+    assert per_channel == pytest.approx(sink.total_blocked_time)
+    assert sink.total_blocked_time > 0
+
+
+def test_acquisitions_match_releases_when_drained():
+    env, eng, sink = _attached("vmin", seed=3)
+    for s, d in ((0, 7), (1, 7), (2, 4)):
+        eng.offer(s, d, 9)
+    eng.drain()
+    for led in sink.ledgers.values():
+        assert led.acquisitions == led.releases
+
+
+def test_utilization_and_stage_table():
+    env, eng, sink = _attached()
+    eng.offer(1, 6, 16)
+    eng.drain()
+    sink.finish()
+    elapsed = sink.elapsed
+    assert elapsed > 0
+    table = {row["stage"]: row for row in sink.stage_table()}
+    assert set(table) == {"inj", "b1", "b2", "dlv"}
+    for row in table.values():
+        assert row["flits"] == 16
+        assert 0 < row["max_utilization"] <= 1.0
+        # mean over the stage's 8 channels, only one of which worked
+        assert row["mean_utilization"] == pytest.approx(16 / (8 * elapsed))
+
+
+def test_hot_channels_sorting_and_validation():
+    env, eng, sink = _attached()
+    eng.offer(0, 7, 30)
+    eng.offer(1, 7, 30)
+    eng.drain()
+    hot = sink.hot_channels(top=3)
+    blocked = [led.blocked_time for led in hot]
+    assert blocked == sorted(blocked, reverse=True)
+    by_flits = sink.hot_channels(top=3, by="flits")
+    assert by_flits[0].flits >= by_flits[-1].flits
+    with pytest.raises(ValueError):
+        sink.hot_channels(by="vibes")
+
+
+def test_timeline_buckets_account_for_all_flits():
+    env, eng, sink = _attached(bucket=16.0)
+    eng.offer(1, 6, 40)
+    eng.drain()
+    for led in sink.ledgers.values():
+        assert sum(led.timeline.values()) == led.flits
+        if led.flits:
+            assert len(led.timeline) >= 2  # 40 flits span > one 16-cycle bucket
+
+
+def test_render_and_heatmap_are_strings():
+    env, eng, sink = _attached()
+    eng.offer(0, 7, 20)
+    eng.offer(3, 7, 20)
+    eng.drain()
+    sink.finish()
+    text = sink.render()
+    assert "contention over" in text and "stage" in text
+    heat = sink.stage_heatmap()
+    assert "heatmap" in heat and "|" in heat
+    rows = sink.channel_rows()
+    assert len(rows) == len(sink.ledgers)
+    assert {"channel", "stage", "flits", "utilization"} <= set(rows[0])
+
+
+def test_window_alignment_excludes_pre_attach_traffic():
+    """A sink attached later only sees the traffic after its install."""
+    env, eng = _engine()
+    eng.offer(1, 6, 10)
+    eng.drain()
+    sink = ContentionSink().install(eng)
+    eng.bus.attach(sink)
+    start = env.now
+    eng.offer(2, 5, 10)
+    eng.drain()
+    sink.finish()
+    assert sink.start_time == start
+    assert sum(led.flits for led in sink.ledgers.values()) == 4 * 10

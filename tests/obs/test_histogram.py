@@ -1,0 +1,129 @@
+"""Tests for the HDR-style latency histogram."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.histogram import LatencyHistogram
+
+
+def test_empty_histogram_queries():
+    h = LatencyHistogram()
+    assert h.count == 0
+    assert math.isnan(h.mean)
+    assert math.isnan(h.percentile(50))
+    assert h.render() == "(empty histogram)"
+    d = h.to_dict()
+    assert d["count"] == 0 and d["p99"] is None and d["buckets"] == []
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(sub_bucket_bits=13)
+    h = LatencyHistogram()
+    with pytest.raises(ValueError):
+        h.record(-1.0)
+    with pytest.raises(ValueError):
+        h.record(5.0, count=0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_small_integers_are_exact():
+    """Values below 2**sub_bucket_bits land in unit buckets: no error."""
+    h = LatencyHistogram(sub_bucket_bits=5)
+    h.record_many([3, 3, 7, 12, 31])
+    assert h.count == 5
+    # Unit buckets report midpoints (x.5); p100 clamps to the exact max.
+    assert h.percentile(0) == 3.5
+    assert h.percentile(100) == 31
+    assert h.mean == pytest.approx((3 + 3 + 7 + 12 + 31) / 5)
+
+
+def test_percentile_relative_error_bound():
+    """Quantiles of log-spaced values stay within 2**-bits relative error."""
+    bits = 5
+    h = LatencyHistogram(sub_bucket_bits=bits)
+    rng = random.Random(7)
+    values = sorted(rng.uniform(1, 50_000) for _ in range(5_000))
+    h.record_many(values)
+    for q in (50, 90, 95, 99):
+        exact = values[min(len(values) - 1, int(q / 100 * len(values)))]
+        approx = h.percentile(q)
+        assert abs(approx - exact) / exact < 2.0 ** -bits + 0.01, (q, exact, approx)
+
+
+def test_mean_is_exact_not_bucketed():
+    h = LatencyHistogram(sub_bucket_bits=0)  # coarsest buckets
+    values = [17.25, 1000.5, 123456.0]
+    h.record_many(values)
+    assert h.mean == pytest.approx(sum(values) / 3, rel=1e-12)
+
+
+def test_merge_equals_recording_everything():
+    a, b, both = (LatencyHistogram(3) for _ in range(3))
+    rng = random.Random(1)
+    va = [rng.expovariate(1 / 300) for _ in range(400)]
+    vb = [rng.expovariate(1 / 800) for _ in range(300)]
+    a.record_many(va)
+    b.record_many(vb)
+    both.record_many(va + vb)
+    a.merge(b)
+    assert a.count == both.count
+    assert a.total == pytest.approx(both.total)
+    assert a.min_value == both.min_value and a.max_value == both.max_value
+    for q in (10, 50, 95, 99.9):
+        assert a.percentile(q) == both.percentile(q)
+    assert list(a.buckets()) == list(both.buckets())
+
+
+def test_merge_mismatched_precision_raises():
+    with pytest.raises(ValueError, match="sub_bucket_bits"):
+        LatencyHistogram(4).merge(LatencyHistogram(5))
+
+
+def test_record_with_count_weights():
+    h = LatencyHistogram()
+    h.record(10.0, count=99)
+    h.record(1000.0)
+    assert h.count == 100
+    assert h.percentile(50) == 10.5  # midpoint of the unit bucket [10, 11)
+    assert h.percentile(100) == 1000.0  # clamped to the observed max
+
+
+def test_bucket_bounds_tile_the_line():
+    """Occupied buckets report consistent (lower, width) geometry."""
+    h = LatencyHistogram(sub_bucket_bits=2)
+    h.record_many([0, 1, 3, 4, 5, 9, 17, 33, 1025, 70000])
+    for lo, width, count in h.buckets():
+        assert width >= 1.0 and count >= 1
+    total = sum(n for _, _, n in h.buckets())
+    assert total == h.count
+
+
+@pytest.mark.parametrize("bits", [0, 2, 5, 12])
+def test_index_lower_bound_round_trip(bits):
+    """Every value lands inside the bucket it reports (regression: an
+    off-by-one in the index exponent once shifted values >= 2**bits into
+    the *next* range's buckets, so lower bounds exceeded the values)."""
+    h = LatencyHistogram(sub_bucket_bits=bits)
+    values = (
+        list(range(0, 3000))
+        + [2**k for k in range(40)]
+        + [2**k - 1 for k in range(2, 40)]
+    )
+    prev = -1
+    for v in sorted(values):
+        i = h._index(v)
+        assert i >= prev, f"bucket index not monotone at {v}"
+        prev = i
+        lo, w = h._lower_bound(i), h._bucket_width(i)
+        assert lo <= v < lo + w, (bits, v, i, lo, w)
+
+
+def test_render_mentions_percentiles():
+    h = LatencyHistogram()
+    h.record_many(range(1, 200))
+    text = h.render()
+    assert "p50=" in text and "p99=" in text and "n=199" in text

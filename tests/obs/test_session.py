@@ -1,0 +1,166 @@
+"""Tests for ObsSession (lifecycle), KernelProfiler, and ProgressMeter."""
+
+import io
+
+import pytest
+
+from repro.obs.profiler import KernelProfiler
+from repro.obs.progress import ProgressMeter
+from repro.obs.session import ObsSession
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.wormhole import WormholeEngine, build_network
+
+
+def _engine(kind="tmin", seed=0):
+    env = Environment()
+    eng = WormholeEngine(env, build_network(kind, 2, 3), rng=RandomStream(seed))
+    return env, eng
+
+
+# ---------------------------------------------------------------- ObsSession
+
+
+def test_session_records_latency_histograms():
+    env, eng = _engine()
+    with ObsSession(eng) as obs:
+        eng.offer(1, 6, 8)
+        eng.offer(0, 7, 8)
+        eng.drain()
+    assert obs.latency.count == 2
+    assert obs.network_latency.count == 2
+    # Queueing included in one, excluded in the other.
+    assert obs.latency.mean >= obs.network_latency.mean
+
+
+def test_session_detaches_restoring_fast_path():
+    env, eng = _engine()
+    obs = ObsSession(eng)
+    assert eng.bus.enabled and eng.bus.hot
+    obs.close()
+    assert not eng.bus.enabled and not eng.bus.hot
+    obs.close()  # idempotent
+    obs.detach()
+
+
+def test_session_write_trace_requires_trace_flag():
+    env, eng = _engine()
+    obs = ObsSession(eng)
+    with pytest.raises(RuntimeError, match="trace=True"):
+        obs.write_trace(io.StringIO())
+
+
+def test_session_trace_mode_writes(tmp_path):
+    env, eng = _engine()
+    obs = ObsSession(eng, trace=True)
+    eng.offer(1, 6, 8)
+    eng.drain()
+    obs.close()
+    count = obs.write_trace(str(tmp_path / "t.json"))
+    assert count > 0
+
+
+def test_session_to_dict_and_report():
+    env, eng = _engine()
+    with ObsSession(eng) as obs:
+        eng.offer(0, 7, 10)
+        eng.offer(1, 7, 10)
+        eng.drain()
+    d = obs.to_dict()
+    assert {"elapsed_cycles", "latency", "stages", "channels", "kernel"} <= set(d)
+    assert d["latency"]["count"] == 2
+    text = obs.report()
+    for section in ("contention over", "heatmap", "latency", "kernel profile"):
+        assert section in text
+
+
+def test_session_windows_align():
+    """Busy-interval sums == flits in the session window (the identity
+    run_traced_point relies on for the trace/utilization criterion)."""
+    env, eng = _engine()
+    with ObsSession(eng) as obs:
+        eng.offer(1, 6, 32)
+        eng.drain()
+    for led in obs.contention.ledgers.values():
+        assert led.busy_cycles() == led.flits
+
+
+# ------------------------------------------------------------ KernelProfiler
+
+
+def test_profiler_counts_kernel_activity():
+    env, eng = _engine()
+    prof = KernelProfiler().install(eng)
+    eng.offer(1, 6, 8)
+    eng.drain()
+    prof.finish()
+    assert prof.events_fired > 0
+    assert prof.events_scheduled > 0
+    assert prof.cycles_run > 0
+    assert prof.sim_cycles_elapsed > 0
+    assert prof.wall_seconds > 0
+    assert prof.max_heap_depth >= 1
+    d = prof.to_dict()
+    assert d["events_fired"] == prof.events_fired
+    assert "wall time" in prof.render()
+
+
+def test_profiler_finish_is_idempotent():
+    env, eng = _engine()
+    prof = KernelProfiler().install(eng)
+    eng.offer(1, 6, 8)
+    eng.drain()
+    prof.finish()
+    frozen = prof.wall_seconds
+    eng.offer(2, 5, 8)
+    eng.drain()
+    prof.finish()
+    assert prof.wall_seconds == frozen
+
+
+def test_environment_kernel_counters():
+    env = Environment()
+    assert env.events_scheduled == 0 and env.events_fired == 0
+    env.schedule(env.event(), delay=1.0)
+    env.schedule(env.event(), delay=2.0)
+    assert env.events_scheduled == 2
+    assert env.max_heap_depth == 2
+    env.run(until=3)
+    assert env.events_fired >= 2
+
+
+# ------------------------------------------------------------- ProgressMeter
+
+
+def test_progress_meter_throttles_and_finishes():
+    out = io.StringIO()
+    meter = ProgressMeter(interval=3600.0, stream=out, prefix="sweep")
+    meter(1, 10, "a")   # first call prints (last print at -inf)
+    meter(2, 10, "b")   # throttled
+    meter(3, 10, "c")   # throttled
+    meter(10, 10, "z")  # final always prints
+    lines = out.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("[sweep] 1/10")
+    assert "100%" in lines[1] and "z" in lines[1]
+    assert meter.lines_printed == 2
+
+
+def test_progress_meter_interval_zero_prints_everything():
+    out = io.StringIO()
+    meter = ProgressMeter(interval=0.0, stream=out)
+    for i in range(4):
+        meter(i, 4)
+    assert len(out.getvalue().strip().splitlines()) == 4
+
+
+def test_progress_meter_unknown_total():
+    out = io.StringIO()
+    meter = ProgressMeter(interval=0.0, stream=out)
+    meter(5, 0, "open-ended")
+    assert "5 done" in out.getvalue()
+
+
+def test_progress_meter_validation():
+    with pytest.raises(ValueError):
+        ProgressMeter(interval=-1)

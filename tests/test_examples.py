@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "turnaround_routing_demo.py",
     "network_atlas.py",
     "multicast_broadcast.py",
+    "hot_channels.py",
 ]
 
 

@@ -1,4 +1,4 @@
-"""Unit tests for the simulator-hazard AST linter (rules RPV001-005)."""
+"""Unit tests for the simulator-hazard AST linter (rules RPV001-006)."""
 
 from pathlib import Path
 
@@ -123,6 +123,90 @@ def test_rpv005_nested_function_is_separate():
     assert "RPV005" in rules_of(src)
 
 
+# ------------------------------------------------------------ RPV006
+
+
+def test_rpv006_unguarded_publish_in_loop():
+    src = (
+        "def advance(self):\n"
+        "    for ch in self.channels:\n"
+        "        self.bus.publish_transmit(now, ch, lane)\n"
+    )
+    assert "RPV006" in rules_of(src)
+
+
+def test_rpv006_while_loop_also_hot():
+    src = (
+        "def run(self):\n"
+        "    while pending:\n"
+        "        bus.publish_acquire(now, p, ch, 0)\n"
+    )
+    assert "RPV006" in rules_of(src)
+
+
+def test_rpv006_enabled_guard_is_fine():
+    src = (
+        "def advance(self):\n"
+        "    for ch in self.channels:\n"
+        "        if self.bus.enabled:\n"
+        "            self.bus.publish_transmit(now, ch, lane)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_rpv006_hoisted_none_guard_is_fine():
+    """The engine's hoisted pattern: obs = bus if bus.hot else None."""
+    src = (
+        "def advance(self):\n"
+        "    bus = self.bus\n"
+        "    obs = bus if bus.hot else None\n"
+        "    for ch in self.channels:\n"
+        "        if obs is not None:\n"
+        "            obs.publish_transmit(now, ch, lane)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_rpv006_guard_enclosing_whole_loop_is_fine():
+    src = (
+        "def advance(self):\n"
+        "    if self.bus.hot:\n"
+        "        for ch in self.channels:\n"
+        "            self.bus.publish_transmit(now, ch, lane)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_rpv006_cold_publish_outside_loop_is_fine():
+    src = "def deliver(self):\n    self.bus.publish_deliver(now, p)\n"
+    assert rules_of(src) == []
+
+
+def test_rpv006_else_branch_is_not_guarded():
+    src = (
+        "def advance(self):\n"
+        "    for ch in self.channels:\n"
+        "        if self.bus.hot:\n"
+        "            pass\n"
+        "        else:\n"
+        "            self.bus.publish_transmit(now, ch, lane)\n"
+    )
+    assert "RPV006" in rules_of(src)
+
+
+def test_rpv006_nested_function_resets_loop_context():
+    """A def inside a loop is a new scope: calling publish there is not
+    (lexically) a hot-loop site."""
+    src = (
+        "def outer(self):\n"
+        "    for ch in self.channels:\n"
+        "        def cb():\n"
+        "            bus.publish_offer(t, p)\n"
+        "        register(cb)\n"
+    )
+    assert rules_of(src) == []
+
+
 # ------------------------------------------------------- suppression
 
 
@@ -151,7 +235,14 @@ def test_violation_str_has_location_and_rule():
 
 
 def test_rules_table_complete():
-    assert set(RULES) == {"RPV001", "RPV002", "RPV003", "RPV004", "RPV005"}
+    assert set(RULES) == {
+        "RPV001",
+        "RPV002",
+        "RPV003",
+        "RPV004",
+        "RPV005",
+        "RPV006",
+    }
 
 
 # ------------------------------------------------------ repo hygiene

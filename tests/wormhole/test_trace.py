@@ -97,14 +97,60 @@ def test_blocking_hotspots():
     assert any(tag in label for tag in ("dlv[", "b1[", "b2["))
 
 
-def test_max_events_cap():
-    tracer = Tracer(max_events=2)
+def test_max_events_cap_evicts_whole_old_packets():
+    tracer = Tracer(max_events=8)
     env, eng = _traced_engine()
     eng.tracer = tracer
+    first = eng.offer(1, 6, 8)
+    eng.drain()
+    second = eng.offer(2, 5, 8)
+    eng.drain()
+    # The newest packet keeps a complete timeline (ending included)...
+    kinds = [e.kind for e in tracer.packet_timeline(second.pid)]
+    assert kinds[0] == "offered" and kinds[-1] == "delivered"
+    # ...while the oldest was evicted wholesale, and the drop is
+    # surfaced, not silent.
+    assert tracer.packet_timeline(first.pid) == []
+    assert tracer.truncated
+    assert tracer.evicted_packets == 1
+    assert tracer.evicted_events >= 6
+
+
+def test_per_packet_ring_keeps_newest_events():
+    tracer = Tracer(per_packet=3)
+    env, eng = _traced_engine()
+    eng.tracer = tracer
+    p = eng.offer(1, 6, 8)
+    eng.drain()
+    timeline = tracer.packet_timeline(p.pid)
+    assert len(timeline) == 3
+    # A ring keeps the END of the story: delivery is never lost.
+    assert timeline[-1].kind == "delivered"
+    assert tracer.dropped_events > 0 and tracer.truncated
+
+
+def test_newest_packet_never_evicted():
+    # Cap smaller than one timeline: the sole live packet survives.
+    tracer = Tracer(max_events=2, per_packet=256)
+    env, eng = _traced_engine()
+    eng.tracer = tracer
+    p = eng.offer(1, 6, 8)
+    eng.drain()
+    kinds = [e.kind for e in tracer.packet_timeline(p.pid)]
+    assert kinds[0] == "offered" and kinds[-1] == "delivered"
+    assert tracer.evicted_packets == 0
+
+
+def test_untruncated_tracer_reports_clean():
+    env, eng = _traced_engine()
     eng.offer(1, 6, 8)
     eng.drain()
-    assert len(tracer.events) == 2
-    assert tracer.truncated
+    t = eng.tracer
+    assert not t.truncated
+    assert t.dropped_events == 0 and t.evicted_packets == 0
+    # events is a flat, record-ordered view across packets
+    seqs = [e.seq for e in t.events]
+    assert seqs == sorted(seqs)
 
 
 def test_tracer_off_by_default_costs_nothing():

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Structurally validate a Perfetto/Chrome ``trace_event`` JSON file.
+
+Usage::
+
+    python tools/validate_trace.py out.json [more.json ...]
+
+Checks (CI's ``obs`` job gates on these):
+
+* the file parses as JSON with a ``traceEvents`` list and the
+  exporter's ``otherData`` block;
+* every event carries the required keys for its phase;
+* timestamps are non-negative and **monotone per track** (``tid``);
+* ``"X"`` slices have positive duration;
+* flow arrows balance: every packet id opens with exactly one ``s``
+  before any ``t``/``f`` step (flows still open at trace end are worms
+  in flight at window close -- legal, counted in the summary);
+* every referenced ``tid`` has a ``thread_name`` metadata record.
+
+Exits 0 and prints a one-line summary per file when valid; exits 1
+with the first failure otherwise.  Pure standard library -- runnable
+anywhere a trace lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+class TraceError(Exception):
+    """One structural violation in a trace file."""
+
+
+def _fail(msg: str) -> None:
+    raise TraceError(msg)
+
+
+def validate_doc(doc: dict) -> dict:
+    """Validate one parsed trace document; returns summary counters."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        _fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        _fail("traceEvents must be a non-empty list")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        _fail("missing otherData block")
+    for key in ("cycle_us", "network", "dropped_events"):
+        if key not in other:
+            _fail(f"otherData missing {key!r}")
+
+    named_tids: set[int] = set()
+    used_tids: set[int] = set()
+    last_ts: dict[int, float] = {}
+    flows: dict[int, str] = {}  # packet id -> last phase seen
+    counts = {"M": 0, "X": 0, "s": 0, "t": 0, "f": 0}
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in counts:
+            _fail(f"event {i}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev["tid"])
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in ev:
+                _fail(f"event {i}: missing {key!r}")
+        ts, tid = ev["ts"], ev["tid"]
+        if ts < 0:
+            _fail(f"event {i}: negative ts {ts}")
+        if ts < last_ts.get(tid, float("-inf")):
+            _fail(
+                f"event {i}: ts {ts} goes backwards on track {tid} "
+                f"(last {last_ts[tid]})"
+            )
+        last_ts[tid] = ts
+        used_tids.add(tid)
+        if ph == "X":
+            if ev.get("dur", 0) <= 0:
+                _fail(f"event {i}: X slice with non-positive dur")
+        else:  # flow arrow
+            fid = ev.get("id")
+            if fid is None:
+                _fail(f"event {i}: flow event without id")
+            prev = flows.get(fid)
+            if ph == "s" and prev is not None:
+                _fail(f"flow {fid}: second 's' at event {i}")
+            if ph in ("t", "f") and prev not in ("s", "t"):
+                _fail(f"flow {fid}: '{ph}' at event {i} without open 's'")
+            flows[fid] = ph
+
+    # Flows still open at trace end are worms in flight when the
+    # observation window closed -- legal, but counted.
+    counts["open_flows"] = sum(1 for ph in flows.values() if ph != "f")
+    unnamed = sorted(used_tids - named_tids)
+    if unnamed:
+        _fail(f"tracks without thread_name metadata: {unnamed[:5]}")
+    counts["tracks"] = len(used_tids)
+    counts["flows"] = len(flows)
+    return counts
+
+
+def validate_file(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        _fail(f"not valid JSON: {exc}")
+    return validate_doc(doc)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate Perfetto trace_event JSON files."
+    )
+    parser.add_argument("paths", nargs="+", type=Path)
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            c = validate_file(path)
+        except TraceError as exc:
+            print(f"{path}: INVALID -- {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(
+            f"{path}: ok -- {c['X']} slices, {c['flows']} flows "
+            f"({c['s']}s/{c['t']}t/{c['f']}f, {c['open_flows']} open), "
+            f"{c['tracks']} tracks, {c['M']} metadata"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
