@@ -1,19 +1,42 @@
 """Microbenchmarks of the wormhole engine itself.
 
-These are classic pytest-benchmark timings (multiple rounds): simulation
-cycles per second for each network kind under a fixed uniform load, and
-the cost of network construction.  Useful for tracking simulator
-performance across changes; they make no claims about the paper.
+Two harnesses share this module:
+
+* classic pytest-benchmark timings (multiple rounds): simulation cycles
+  per second for each network kind under a fixed uniform load, and the
+  cost of network construction;
+* a CLI perf gate (``python benchmarks/bench_engine.py``) that times
+  the N=64 uniform-traffic load sweep under both the reference and the
+  fast engine, records the result in ``benchmarks/BENCH_engine.json``,
+  and -- with ``--check`` -- fails when the fast-over-reference speedup
+  regressed more than 20% against the committed baseline.  The gate
+  compares the *ratio*, not absolute seconds, so it is stable across
+  machines of different speed (CI runners vs. laptops).
+
+    PYTHONPATH=src python benchmarks/bench_engine.py          # rebaseline
+    PYTHONPATH=src python benchmarks/bench_engine.py --check  # CI gate
+
+Useful for tracking simulator performance across changes; neither
+harness makes claims about the paper.
 """
+
+import pathlib
+import sys
 
 import pytest
 
-from repro.sim import Environment
-from repro.sim.rng import RandomStream
-from repro.traffic.clusters import global_cluster
-from repro.traffic.patterns import UniformPattern
-from repro.traffic.workload import MessageSizeModel, Workload
-from repro.wormhole import WormholeEngine, build_network
+# Standalone-script bootstrap (mirrors bench_obs_overhead.py): make
+# `python benchmarks/bench_engine.py` work without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.sim import Environment  # noqa: E402
+from repro.sim.rng import RandomStream  # noqa: E402
+from repro.traffic.clusters import global_cluster  # noqa: E402
+from repro.traffic.patterns import UniformPattern  # noqa: E402
+from repro.traffic.workload import MessageSizeModel, Workload  # noqa: E402
+from repro.wormhole import WormholeEngine, build_network  # noqa: E402
 
 KINDS = ["tmin", "dmin", "vmin", "bmin"]
 
@@ -68,3 +91,112 @@ def test_single_packet_end_to_end(benchmark):
 
     engine = benchmark(one_packet)
     assert engine.stats.delivered_packets == 1
+
+
+# ------------------------------------------------------------ CLI perf gate
+
+
+def _sweep_seconds(engine_name: str, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock of the N=64 uniform DMIN sweep."""
+    import time
+
+    from repro.experiments.config import PRESETS, NetworkConfig
+    from repro.experiments.runner import sweep
+    from repro.experiments.workload_spec import WorkloadSpec
+
+    cfg = PRESETS["scaled"]
+    network = NetworkConfig("dmin")  # N = 64 (k=4, n=3)
+    builder = WorkloadSpec(pattern="uniform").builder(cfg)
+    best = float("inf")
+    result = None
+    clock = time.perf_counter  # lint-sim: ignore[RPV002] -- harness wall time
+    for _ in range(repeats):
+        t0 = clock()
+        result = sweep(network, builder, cfg, label="bench", engine=engine_name)
+        best = min(best, clock() - t0)
+    return best, result
+
+
+def run_gate(repeats: int = 2) -> dict:
+    """Time reference vs. fast on the acceptance scenario; return the
+    JSON-ready record (and assert the two engines still agree)."""
+    from repro.experiments.config import PRESETS
+
+    ref_s, ref = _sweep_seconds("reference", repeats)
+    fast_s, fast = _sweep_seconds("fast", repeats)
+    assert fast.points == ref.points, (
+        "fast and reference engines disagree -- run tests/differential"
+    )
+    return {
+        "schema": 1,
+        "scenario": {
+            "network": "dmin",
+            "nodes": 64,
+            "pattern": "uniform",
+            "preset": "scaled",
+            "loads": list(PRESETS["scaled"].loads),
+            "repeats": repeats,
+        },
+        "reference_seconds": round(ref_s, 3),
+        "fast_seconds": round(fast_s, 3),
+        "speedup": round(ref_s / fast_s, 3),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import pathlib
+
+    parser = argparse.ArgumentParser(
+        description="engine perf gate: fast vs reference on the N=64 sweep"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup regression vs. baseline (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    path = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
+    record = run_gate(repeats=args.repeats)
+    print(
+        f"reference {record['reference_seconds']:.2f}s   "
+        f"fast {record['fast_seconds']:.2f}s   "
+        f"speedup {record['speedup']:.2f}x"
+    )
+    if not args.check:
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0
+
+    baseline = json.loads(path.read_text())
+    floor = baseline["speedup"] * (1.0 - args.tolerance)
+    print(
+        f"baseline speedup {baseline['speedup']:.2f}x  "
+        f"(floor after {args.tolerance:.0%} tolerance: {floor:.2f}x)"
+    )
+    if record["scenario"] != baseline["scenario"]:
+        print("NOTE: benchmark scenario changed; rebaseline before gating")
+    if record["speedup"] < floor:
+        print(
+            f"FAIL: fast-path speedup {record['speedup']:.2f}x fell below "
+            f"{floor:.2f}x -- the fast path regressed; investigate or "
+            "rebaseline with benchmarks/bench_engine.py"
+        )
+        return 1
+    print("ok: fast path holds its speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ writes a Perfetto-loadable timeline::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -23,6 +24,7 @@ from repro.experiments.config import PRESETS, NetworkConfig
 from repro.experiments.figures import FIGURE_BUILDERS
 from repro.experiments.report import render_figure, shape_checks
 from repro.experiments.workload_spec import PATTERNS, WorkloadSpec
+from repro.wormhole.engine import ENGINE_KINDS
 
 #: Network kinds the traced-point mode accepts.
 NETWORK_KINDS = ("tmin", "dmin", "vmin", "bmin")
@@ -145,7 +147,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print a throttled heartbeat while figures regenerate",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_KINDS,
+        default=None,
+        help="execution path: the optimized default ('fast') or the "
+        "simple reference engine ('reference'); results are identical, "
+        "only wall-clock differs",
+    )
     args = parser.parse_args(argv)
+    if args.engine:
+        # Carried via the environment so parallel worker processes and
+        # every nested run_point inherit the choice.
+        os.environ["REPRO_ENGINE"] = args.engine
     traced_mode = bool(args.trace or args.obs_report or args.obs_json)
     if not args.all and not args.figure and not args.availability and not traced_mode:
         parser.error(

@@ -17,10 +17,37 @@ from repro.metrics.collector import Measurement, MeasurementWindow
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStream
 from repro.traffic.workload import Workload
-from repro.wormhole.engine import WormholeEngine
+from repro.wormhole.engine import WormholeEngine, resolve_engine
 
 #: A workload builder maps an offered load to a ready-to-install Workload.
 WorkloadBuilder = Callable[[float], Workload]
+
+
+def build_point(
+    network: NetworkConfig,
+    offered_load: float,
+    run_cfg: RunConfig,
+    engine: Optional[str] = None,
+) -> tuple[Environment, WormholeEngine, RandomStream]:
+    """Construct the (env, engine, root RNG) triple of one point.
+
+    ``engine`` selects the execution path -- ``"fast"`` pairs the
+    calendar scheduler with the optimized engine phases,
+    ``"reference"`` the plain heap with the reference phases, and None
+    defers to ``REPRO_ENGINE`` (default fast).  The choice never
+    changes results (``tests/differential``), only wall-clock cost.
+    """
+    kind = resolve_engine(engine)
+    fast = kind == "fast"
+    env = Environment(scheduler="calendar" if fast else "heap")
+    root = RandomStream(run_cfg.seed, name="root")
+    sim_engine = WormholeEngine(
+        env,
+        network.build(),
+        rng=root.fork(f"engine/{network.label}/{offered_load}"),
+        fast=fast,
+    )
+    return env, sim_engine, root
 
 #: env.run() chunk size between progress checks.
 _CHUNK = 512
@@ -103,30 +130,29 @@ def run_point(
     workload_builder: WorkloadBuilder,
     offered_load: float,
     run_cfg: RunConfig,
+    engine: Optional[str] = None,
 ) -> Measurement:
-    """Simulate one point and return its measurement window."""
-    env = Environment()
-    root = RandomStream(run_cfg.seed, name="root")
-    engine = WormholeEngine(
-        env,
-        network.build(),
-        rng=root.fork(f"engine/{network.label}/{offered_load}"),
-    )
+    """Simulate one point and return its measurement window.
+
+    ``engine`` ("fast" / "reference" / None = ``REPRO_ENGINE``) picks
+    the execution path; results are identical either way.
+    """
+    env, sim_engine, root = build_point(network, offered_load, run_cfg, engine)
     workload = workload_builder(offered_load)
     installed = workload.install(
-        env, engine, root.fork(f"workload/{network.label}/{offered_load}")
+        env, sim_engine, root.fork(f"workload/{network.label}/{offered_load}")
     )
     if installed == 0:
         raise RuntimeError("workload installed no traffic sources")
-    engine.start()
+    sim_engine.start()
 
     warmup_deadline = env.now + run_cfg.max_cycles / 4
-    _run_until_delivered(engine, run_cfg.warmup_packets, warmup_deadline)
+    _run_until_delivered(sim_engine, run_cfg.warmup_packets, warmup_deadline)
 
-    window = MeasurementWindow(engine)
+    window = MeasurementWindow(sim_engine)
     window.begin()
     deadline = env.now + run_cfg.max_cycles
-    _run_until_delivered(engine, run_cfg.measure_packets, deadline)
+    _run_until_delivered(sim_engine, run_cfg.measure_packets, deadline)
     return window.finish()
 
 
@@ -136,11 +162,14 @@ def sweep(
     run_cfg: RunConfig,
     loads: Sequence[float] | None = None,
     label: str | None = None,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Sweep the offered load for one (network, workload) series."""
     loads = tuple(loads) if loads is not None else run_cfg.loads
     points = tuple(
-        LoadPoint(load, run_point(network, workload_builder, load, run_cfg))
+        LoadPoint(
+            load, run_point(network, workload_builder, load, run_cfg, engine)
+        )
         for load in loads
     )
     return SweepResult(label or network.label, points)

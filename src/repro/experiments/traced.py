@@ -18,16 +18,17 @@ utilization by construction.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.experiments.config import NetworkConfig, RunConfig
-from repro.experiments.runner import WorkloadBuilder, _run_until_delivered
+from repro.experiments.runner import (
+    WorkloadBuilder,
+    _run_until_delivered,
+    build_point,
+)
 from repro.experiments.workload_spec import WorkloadSpec
 from repro.metrics.collector import Measurement, MeasurementWindow
 from repro.obs.session import ObsSession
-from repro.sim.core import Environment
-from repro.sim.rng import RandomStream
-from repro.wormhole.engine import WormholeEngine
 
 
 def run_traced_point(
@@ -37,6 +38,7 @@ def run_traced_point(
     run_cfg: RunConfig,
     trace: bool = False,
     bucket: float = 256.0,
+    engine: Optional[str] = None,
 ) -> tuple[Measurement, ObsSession]:
     """One measured point plus its (closed) observability session.
 
@@ -53,13 +55,8 @@ def run_traced_point(
     else:
         builder = workload
 
-    env = Environment()
-    root = RandomStream(run_cfg.seed, name="root")
-    engine = WormholeEngine(
-        env,
-        network.build(),
-        rng=root.fork(f"engine/{network.label}/{offered_load}"),
-    )
+    env, sim_engine, root = build_point(network, offered_load, run_cfg, engine)
+    engine = sim_engine
     wl = builder(offered_load)
     installed = wl.install(
         env, engine, root.fork(f"workload/{network.label}/{offered_load}")

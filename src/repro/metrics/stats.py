@@ -42,7 +42,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     lo = int(pos)
     hi = min(lo + 1, len(ordered) - 1)
     frac = pos - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Float interpolation can overshoot the bracketing order statistics
+    # by one ulp (e.g. frac ~ 1); clamp so p99 never exceeds the max.
+    return min(max(value, ordered[lo]), ordered[hi])
 
 
 #: t-distribution 97.5% quantiles for small degrees of freedom; beyond

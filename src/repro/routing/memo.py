@@ -1,0 +1,165 @@
+"""Memoized routing tables for the simulated networks.
+
+Routing in all four networks is a pure function of static identity --
+the unique (boundary, position) path of a unidirectional MIN depends
+only on (source, destination); a BMIN header's candidate channels
+depend only on (phase, boundary, line, destination digit).  The
+generic code still recomputed them per packet per cycle: digit
+decompositions, path walks, list builds.  These tables compute each
+answer once and hand back the cached object.
+
+Contract: callers treat returned lists as **read-only** (the engine
+copies before filtering; the verify subsystem only iterates).  Because
+the memoized functions are pure, memoization is unconditional -- both
+the fast and the reference engine paths see identical routing answers,
+which ``tests/differential`` checks end to end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.topology.bmin import first_difference
+from repro.topology.permutations import from_digits, to_digits
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.spec import MINSpec
+    from repro.wormhole.channel import PhysChannel
+
+
+class PathTable:
+    """Per-(source, destination) memo of a MIN's unique slot path.
+
+    Computes what :meth:`repro.topology.spec.MINSpec.channels_of_path`
+    would -- bit-identically, asserted by the routing tests -- but
+    inlines the trace against the raw connection tables (no
+    ``TracedPath`` object, no per-call validation) and memoizes the
+    destination's tag digits, because under short load points the table
+    is cold for most pairs and the miss path *is* the hot path.  The
+    returned list is shared between every packet travelling the same
+    pair, so injection costs one dict hit after the first packet.
+    """
+
+    __slots__ = ("spec", "_paths", "_tags", "_tables", "_k")
+
+    def __init__(self, spec: "MINSpec") -> None:
+        self.spec = spec
+        self._paths: dict[int, list[tuple[int, int]]] = {}
+        #: destination -> tag digits (``routing_tag`` validates once).
+        self._tags: dict[int, tuple[int, ...]] = {}
+        #: Raw position-mapping tables of ``C_0 .. C_{n-1}``.
+        self._tables = tuple(c.table for c in spec.connections[: spec.n])
+        self._k = spec.k
+
+    def path(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """The (boundary, position) slots of the unique src->dst path."""
+        key = src * self.spec.N + dst
+        cached = self._paths.get(key)
+        if cached is None:
+            tag = self._tags.get(dst)
+            if tag is None:
+                tag = self.spec.routing_tag(dst)
+                self._tags[dst] = tag
+            k = self._k
+            pos = src
+            cached = [(0, src)]
+            # Producer-side position of boundary i+1 is the stage's
+            # exit position: enter through C_i, replace the low digit
+            # with the tag digit (``(pos // k) * k + tag[i]``).
+            for i, table in enumerate(self._tables):
+                pos = table[pos]
+                pos += tag[i] - pos % k
+                cached.append((i + 1, pos))
+            self._paths[key] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+
+class BminTables:
+    """Per-(switch, destination-tag) candidate memo for turnaround routing.
+
+    Three query shapes mirror Fig. 7's decision:
+
+    * *up, non-turn* -- all k forward channels out of the stage-b switch
+      on ``line``; independent of the destination;
+    * *up, turn* -- the single backward channel selected by the
+      destination's digit b;
+    * *down* -- the single backward channel selected by digit b-1.
+
+    Keys use the relevant destination **digit**, not the whole
+    destination, so the tables stay small (O(n * N * k) entries total).
+    """
+
+    __slots__ = ("k", "n", "N", "_fwd", "_bwd", "_up", "_turn", "_down", "_turns")
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        fwd: dict[tuple[int, int], "PhysChannel"],
+        bwd: dict[tuple[int, int], "PhysChannel"],
+    ) -> None:
+        self.k = k
+        self.n = n
+        self.N = k**n
+        self._fwd = fwd
+        self._bwd = bwd
+        self._up: dict[tuple[int, int], list["PhysChannel"]] = {}
+        self._turn: dict[tuple[int, int, int], list["PhysChannel"]] = {}
+        self._down: dict[tuple[int, int, int], list["PhysChannel"]] = {}
+        self._turns: dict[int, int] = {}
+
+    def turn(self, src: int, dst: int) -> int:
+        """Memoized :func:`~repro.topology.bmin.first_difference`."""
+        key = src * self.N + dst
+        t = self._turns.get(key)
+        if t is None:
+            t = first_difference(src, dst, self.k, self.n)
+            self._turns[key] = t
+        return t
+
+    def up_candidates(self, boundary: int, line: int) -> list["PhysChannel"]:
+        """All k forward channels out of the stage-``boundary`` switch."""
+        key = (boundary, line)
+        out = self._up.get(key)
+        if out is None:
+            k = self.k
+            digits = list(to_digits(line, k, self.n))
+            out = []
+            for i in range(k):
+                digits[boundary] = i
+                out.append(self._fwd[(boundary + 1, from_digits(digits, k))])
+            self._up[key] = out
+        return out
+
+    def turn_candidates(
+        self, boundary: int, line: int, dst: int
+    ) -> list["PhysChannel"]:
+        """The single turnaround channel (left port l_{d_b})."""
+        k = self.k
+        digit = to_digits(dst, k, self.n)[boundary]
+        key = (boundary, line, digit)
+        out = self._turn.get(key)
+        if out is None:
+            digits = list(to_digits(line, k, self.n))
+            digits[boundary] = digit
+            out = [self._bwd[(boundary, from_digits(digits, k))]]
+            self._turn[key] = out
+        return out
+
+    def down_candidates(
+        self, boundary: int, line: int, dst: int
+    ) -> list["PhysChannel"]:
+        """The single next backward channel (left port l_{d_{b-1}})."""
+        k = self.k
+        digit = to_digits(dst, k, self.n)[boundary - 1]
+        key = (boundary, line, digit)
+        out = self._down.get(key)
+        if out is None:
+            digits = list(to_digits(line, k, self.n))
+            digits[boundary - 1] = digit
+            out = [self._bwd[(boundary - 1, from_digits(digits, k))]]
+            self._down[key] = out
+        return out

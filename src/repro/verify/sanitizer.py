@@ -93,6 +93,96 @@ class Sanitizer:
         self.cycles_checked += 1
         self._check_channels()
         self._check_packets(engine)
+        if engine.fast:
+            self._check_active_list(engine)
+            if engine._worm_mode and not engine.bus.hot:
+                self._check_moving(engine)
+
+    def _check_active_list(self, engine: "WormholeEngine") -> None:
+        """Fast-path invariants: active list and blocked-header caches.
+
+        * every channel with an owned lane is on the active list (a
+          miss would silently freeze a worm);
+        * the list is sorted by ``topo_order`` with no duplicates (the
+          advance order must match the reference scan's);
+        * a header with a cached blocked decision at the current fault
+          epoch really has no free, non-faulty-consistent lane (the
+          cache must never hide a grantable channel).
+        """
+        from repro.wormhole import channel as channel_mod
+
+        listed = {id(ch) for ch in engine._active}
+        if len(listed) != len(engine._active):
+            self._fail("fast path: active list holds duplicate channels")
+        orders = [ch.topo_order for ch in engine._active]
+        if orders != sorted(orders):
+            self._fail(f"fast path: active list out of topo order: {orders}")
+        for ch in self.network.topo_channels:
+            if ch.owned_count > 0 and id(ch) not in listed:
+                self._fail(
+                    f"{ch.label}: owned_count={ch.owned_count} but the "
+                    "channel is missing from the fast path's active list"
+                )
+            if (id(ch) in listed) != ch.in_active:
+                self._fail(
+                    f"{ch.label}: in_active={ch.in_active} disagrees with "
+                    "actual active-list membership"
+                )
+        epoch = channel_mod.fault_epoch
+        for p in engine._pending_route:
+            usable = p._blk_usable
+            if usable is None or p._blk_epoch != epoch:
+                continue
+            for ch in usable:
+                if ch.faulty:
+                    self._fail(
+                        f"pkt#{p.pid}: cached usable channel {ch.label} is "
+                        "faulty at the cached fault epoch"
+                    )
+                for lane in ch.lanes:
+                    if lane.owner is None:
+                        self._fail(
+                            f"pkt#{p.pid}: cached as blocked but "
+                            f"{ch.label}.{lane.index} is free"
+                        )
+
+    def _check_moving(self, engine: "WormholeEngine") -> None:
+        """Per-worm Phase B invariants: nothing sleeps that could move.
+
+        A worm dropped from the moving list must be genuinely stalled:
+        none of its owned lanes may satisfy the ready condition (a
+        ready lane on a sleeping worm would freeze its flits forever).
+        The list flag must also agree with actual list membership for
+        every in-flight worm.
+        """
+        from repro.wormhole.packet import PacketState
+
+        listed = {id(p) for p in engine._moving}
+        for p in engine.in_flight_packets():
+            if p.state is not PacketState.ACTIVE:
+                continue
+            if p._moving != (id(p) in listed):
+                self._fail(
+                    f"pkt#{p.pid}: _moving={p._moving} disagrees with "
+                    "actual worm-list membership"
+                )
+            if p._moving:
+                continue
+            lanes = p.lanes
+            for i in range(len(lanes) - 1, -1, -1):
+                lane = lanes[i]
+                if lane.owner is not p:
+                    break
+                if (
+                    lane.sent >= p.length
+                    or (i > 0 and lanes[i - 1].buf == 0)
+                    or (lane.buf != 0 and not lane.channel.is_delivery)
+                ):
+                    continue
+                self._fail(
+                    f"pkt#{p.pid}: off the moving list but "
+                    f"{lane.channel.label} is ready to move a flit"
+                )
 
     def _check_channels(self) -> None:
         for ch in self.network.topo_channels:

@@ -32,6 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: acquire/release pairing; None (the default) costs one comparison.
 release_observer: Optional[Callable[["Lane"], None]] = None
 
+#: Monotonic counter bumped by every :meth:`PhysChannel.fail` /
+#: :meth:`PhysChannel.repair`.  The engine's fast path stamps its
+#: cached blocked-header routing decisions with this epoch, so any
+#: fault-state change anywhere invalidates every cache (conservative
+#: but O(1); faults are rare events).
+fault_epoch: int = 0
+
 
 class Lane:
     """One virtual channel on a wire."""
@@ -93,6 +100,7 @@ class PhysChannel:
         "meta",
         "faulty",
         "owned_count",
+        "in_active",
     )
 
     def __init__(
@@ -123,6 +131,10 @@ class PhysChannel:
         #: Owned lanes, maintained by Lane.acquire/release -- the hot
         #: path's O(1) replacement for scanning the lanes.
         self.owned_count = 0
+        #: True while this channel sits on the fast engine's active
+        #: list (see :meth:`WormholeEngine._phase_advance_fast`);
+        #: maintained by the engine, never by the channel itself.
+        self.in_active = False
 
     def fail(self) -> None:
         """Inject a fault: new headers can no longer acquire this wire.
@@ -135,11 +147,15 @@ class PhysChannel:
         :meth:`repro.wormhole.engine.WormholeEngine.abort_packet` on
         :meth:`owners`.
         """
+        global fault_epoch
         self.faulty = True
+        fault_epoch += 1
 
     def repair(self) -> None:
         """Clear an injected fault."""
+        global fault_epoch
         self.faulty = False
+        fault_epoch += 1
 
     def owners(self) -> list["Packet"]:
         """Distinct packets currently holding a lane of this wire."""

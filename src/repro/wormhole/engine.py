@@ -26,19 +26,62 @@ from __future__ import annotations
 
 import math
 import os
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
+from operator import attrgetter, itemgetter
 from typing import Callable, Optional
 
 from repro.obs.bus import EventBus
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStream
+from repro.wormhole import channel as channel_mod
 from repro.wormhole.channel import Lane, PhysChannel
 from repro.wormhole.network import SimNetwork
 from repro.wormhole.packet import Packet, PacketState
 
 #: Channel bandwidth in the paper's units; one cycle is 1/20 us.
 FLITS_PER_MICROSECOND = 20.0
+
+#: Recognised engine paths: the optimized default and the simple
+#: reference implementation the differential suite certifies it against.
+ENGINE_KINDS = ("fast", "reference")
+
+#: Sort key for the fast path's active channel list.
+_TOPO_ORDER = attrgetter("topo_order")
+
+
+#: Sort key of the per-worm advance: ``topo_order`` of the worm's newest
+#: lane, mirrored into ``Packet._order`` at the two acquire sites.
+#: Every within-cycle event Phase B emits for a worm -- the header
+#: arriving at the next switch, the tail reaching the destination --
+#: happens on the worm's most recently acquired lane, so processing
+#: worms in this order reproduces the reference sweep's interleaving of
+#: ``pending.append`` and ``_finalize`` exactly.
+_WORM_ORDER = attrgetter("_order")
+
+#: Sort key of a free-run action bucket: (channel topo key, action
+#: kind).  Kind breaks the tie when one channel's move both drains the
+#: upstream buffer (0) and crosses a tail (1) or delivers (2) -- the
+#: reference sweep performs them in exactly that order within the move.
+_ACT_KEY = itemgetter(0, 1)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the engine-path choice against the ``REPRO_ENGINE`` env var.
+
+    Explicit arguments win; otherwise ``REPRO_ENGINE=reference`` (set
+    e.g. by ``python -m repro.experiments --engine=reference``) opts out
+    of the fast path, and the default is ``"fast"``.  The environment
+    variable -- not a thread-local or global -- is the carrier so the
+    choice survives into :mod:`repro.experiments.parallel` worker
+    processes unchanged.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "") or "fast"
+    if engine not in ENGINE_KINDS:
+        raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {engine!r}")
+    return engine
 
 
 class DeadlockError(RuntimeError):
@@ -115,12 +158,64 @@ class WormholeEngine:
         rng: Optional[RandomStream] = None,
         record_deliveries: bool = True,
         sanitize: Optional[bool] = None,
+        fast: Optional[bool] = None,
     ) -> None:
         self.env = env
         self.network = network
         self.rng = rng if rng is not None else RandomStream(0, name="engine")
         self.record_deliveries = record_deliveries
         self.stats = EngineStats()
+        #: True runs the optimized per-cycle phases (active channel
+        #: list, cached blocked headers); False the straightforward
+        #: reference phases.  Both make bit-identical decisions -- see
+        #: ``tests/differential``.  None defers to ``REPRO_ENGINE``.
+        if fast is None:
+            fast = resolve_engine() == "fast"
+        self.fast = fast
+        #: Channels with at least one owned lane, in reverse-topological
+        #: order (fast path's working set for Phase B).
+        self._active: list[PhysChannel] = []
+        #: channel -> [(wake token, packet)] registrations of blocked
+        #: headers waiting for one of its lanes to free (fast path).
+        self._waiters: dict[PhysChannel, list[tuple[int, Packet]]] = {}
+        #: Worms that may move a flit this cycle (fast path, per-worm
+        #: Phase B): a worm that moved nothing is dropped -- with
+        #: worm-private 1-flit buffers it provably stays stalled until
+        #: Phase A grants its header a new lane, which re-adds it.
+        self._moving: list[Packet] = []
+        #: Free-run fast-forward ledger (per-worm Phase B): cycle ->
+        #: [(channel topo key, kind, packet, token, lane)] actions the
+        #: action merge replays at that cycle, sorted by ``_ACT_KEY`` so
+        #: each lands at the reference sweep's within-cycle position.
+        #: Kinds: 0 = final buffer drain, 1 = tail release, 2 = deliver.
+        self._lazy: dict[int, list] = {}
+        #: Worms currently (or recently) free-running, for bulk
+        #: materialization when the channel sweep takes over.
+        self._lazy_pkts: list[Packet] = []
+        #: Live free-running worms (progress/watchdog accounting).
+        self._lazy_live = 0
+        #: Per-worm Phase B is valid only when every channel has a
+        #: single lane (TMIN/DMIN/BMIN): multi-lane wires (the VMIN's
+        #: virtual channels) couple worms through the round-robin
+        #: arbiter, so those networks keep the channel sweep.
+        self._worm_mode = all(
+            len(ch.lanes) == 1 for ch in network.topo_channels
+        )
+        #: node -> injection channel, resolved once (fast path).
+        self._inj = [
+            network.injection_channel(i) for i in range(network.N)
+        ]
+        #: injection channel -> its node (release-site reverse lookup).
+        self._node_of_inj: dict[PhysChannel, int] = {
+            ch: node for node, ch in enumerate(self._inj)
+        }
+        #: Backlogged nodes whose injection channel can act this cycle:
+        #: lane free (inject) or channel faulty (drain the queue).
+        #: Maintained by :meth:`offer`, the fast path's release sites,
+        #: and a fault-epoch guard; the fast Phase A visits only these
+        #: instead of scanning every backlogged node.
+        self._inj_ready: set[int] = set()
+        self._inj_epoch = channel_mod.fault_epoch
         #: Opt-in runtime invariant checker (REPRO_SANITIZE=1, or the
         #: explicit ``sanitize=True``); None costs nothing per cycle.
         self.sanitizer = None
@@ -197,6 +292,9 @@ class WormholeEngine:
         self._next_pid += 1
         self.queues[src].append(p)
         self._backlogged.add(src)
+        inj = self._inj[src]
+        if inj.lanes[0].owner is None or inj.faulty:
+            self._inj_ready.add(src)
         if self._wakeup is not None:
             self._wakeup.succeed()
             self._wakeup = None
@@ -250,8 +348,12 @@ class WormholeEngine:
     def step_cycle(self) -> None:
         """Run one cycle: allocation, then flit advance."""
         self._progressed = False
-        self._phase_allocate()
-        self._phase_advance()
+        if self.fast:
+            self._phase_allocate_fast()
+            self._phase_advance_fast()
+        else:
+            self._phase_allocate()
+            self._phase_advance()
         self.cycles_run += 1
         if self.sanitizer is not None:
             self.sanitizer.check_cycle(self)
@@ -302,9 +404,12 @@ class WormholeEngine:
         obs = bus if bus.hot else None
         # Start injections: one-port nodes begin transmitting the next
         # queued message once their single injection lane frees.
+        # Sorted order (not raw set order) keeps the cycle reproducible
+        # independent of set-internal layout -- and identical between
+        # the fast and reference paths.
         if self._backlogged:
             drained = []
-            for node in self._backlogged:
+            for node in sorted(self._backlogged):
                 inj = self.network.injection_channel(node)
                 if inj.faulty:
                     # The node is cut off: every queued message dies.
@@ -411,6 +516,621 @@ class WormholeEngine:
                     if obs is not None:
                         obs.publish_release(now, p, ch, lane.index)
 
+    # -- the fast path ---------------------------------------------------------
+    #
+    # The two methods below make *exactly* the decisions of the
+    # reference phases above -- same RNG draws in the same order, same
+    # bus events, same stats -- but avoid the two scans that dominate
+    # the reference cost: recomputing routing candidates for headers
+    # that are provably still blocked (Phase A), and visiting every
+    # channel of the network when only a few are busy (Phase B).
+    # ``tests/differential`` certifies the equivalence end to end.
+
+    def _phase_allocate_fast(self) -> None:
+        """Phase A with cached blocked headers and active-list upkeep.
+
+        Invariants relied on:
+
+        * A header that found no free lane stays blocked until a lane
+          of one of its usable candidate channels is *released* (lanes
+          only free via ``Lane.release``) or the fault state changes
+          (which can alter the usable set itself).  Releases wake the
+          registered waiters via :meth:`_wake_waiters`; fault flips
+          bump the channel layer's global ``fault_epoch``.
+        * The header's candidate set is a pure function of its routing
+          state, which does not change while it is blocked -- so the
+          cached ``usable`` list republished to the bus is identical
+          to what the reference path would recompute.
+        * Blocked headers stay in ``_pending_route`` (the cycle's
+          shuffle must see the same list in both paths) and consume no
+          randomness either way.
+        """
+        bus = self.bus
+        obs = bus if bus.hot else None
+        active = self._active
+        moving = self._moving
+        now = self.env.now
+        epoch = channel_mod.fault_epoch
+        if self._inj_epoch != epoch:
+            # A fault flipped somewhere since the last cycle: it may
+            # have cut off (or reconnected) any node, so conservatively
+            # re-arm every backlogged node for one full scan.
+            self._inj_epoch = epoch
+            self._inj_ready |= self._backlogged
+        if self._inj_ready:
+            # Exactly the backlogged nodes the reference scan would act
+            # on: a node with an owned, healthy injection lane does
+            # nothing there, and stays off this set until the release
+            # site (or a new offer, or a fault flip) re-arms it.  Every
+            # visited node leaves the set: it injects (lane now owned),
+            # drains (queue now empty), or was stale.
+            ready = sorted(self._inj_ready)
+            self._inj_ready.clear()
+            backlogged = self._backlogged
+            queues = self.queues
+            inj_of = self._inj
+            for node in ready:
+                if node not in backlogged:
+                    continue  # stale: queue emptied externally
+                inj = inj_of[node]
+                if inj.faulty:
+                    # The node is cut off: every queued message dies.
+                    while queues[node]:
+                        p = queues[node].popleft()
+                        p.state = PacketState.FAILED
+                        self.stats.failed_packets += 1
+                        if bus.enabled:
+                            bus.publish_abort(now, p)
+                        for hook in self.on_packet_failed:
+                            hook(p)
+                    backlogged.discard(node)
+                    continue
+                lane = inj.lanes[0]
+                if lane.owner is not None:
+                    continue
+                p = queues[node].popleft()
+                p.state = PacketState.ACTIVE
+                p.inject_start = now
+                self.network.prepare(p)
+                lane.acquire(p)
+                if not inj.in_active:
+                    inj.in_active = True
+                    insort(active, inj, key=_TOPO_ORDER)
+                p._moving = True
+                p._order = inj.topo_order
+                moving.append(p)
+                self._active_packets += 1
+                self._progressed = True
+                if obs is not None:
+                    obs.publish_inject(now, p)
+                    obs.publish_acquire(now, p, inj, lane.index)
+                if not queues[node]:
+                    backlogged.discard(node)
+
+        if not self._pending_route:
+            return
+        # Random service order models switches acting asynchronously.
+        # (A one-element Fisher-Yates draws nothing, so skipping the
+        # call outright consumes the identical RNG stream.)
+        if len(self._pending_route) > 1:
+            self.rng.shuffle(self._pending_route)
+        still_pending = []
+        sp_append = still_pending.append
+        ACTIVE_ = PacketState.ACTIVE
+        for p in self._pending_route:
+            # Cache-hit fast exit first: a non-None ``_blk_usable`` at
+            # the current fault epoch *implies* an ACTIVE header still
+            # waiting to route (grants, wakes, and aborts all clear the
+            # cache), and no lane of any usable candidate was released
+            # since the cached decision -- the free set is provably
+            # still empty.
+            usable = p._blk_usable
+            if usable is not None and p._blk_epoch == epoch:
+                if obs is not None:
+                    obs.publish_block(now, p, usable)
+                sp_append(p)
+                continue
+            if p.state is not ACTIVE_ or not p.needs_route:
+                # Aborted externally while its header sat in the
+                # routing queue: drop the entry.
+                continue
+            candidates = self.network.candidates(p)
+            usable = [ch for ch in candidates if not ch.faulty]
+            if not usable:
+                # Every possible next hop is faulty: the route is dead.
+                self._abort(p)
+                continue
+            free = [
+                lane for ch in usable for lane in ch.lanes if lane.owner is None
+            ]
+            if not free:
+                # Cache the decision and register for wake-on-release.
+                p._blk_usable = usable
+                p._blk_epoch = epoch
+                token = p._blk_token
+                waiters = self._waiters
+                for ch in usable:
+                    lst = waiters.get(ch)
+                    if lst is None:
+                        waiters[ch] = [(token, p)]
+                    else:
+                        lst.append((token, p))
+                if obs is not None:
+                    obs.publish_block(now, p, usable)
+                sp_append(p)
+                continue
+            if len(free) == 1:
+                lane = free[0]
+            else:
+                lane = self.network.preferred_lane(p, free, self.rng)
+                if lane is None:
+                    lane = self.rng.choice(free)
+            if p._blk_usable is not None:
+                # Previously blocked, now granted: invalidate the stale
+                # waiter registrations (lazily, via the token).
+                p._blk_usable = None
+                p._blk_token += 1
+            lane.acquire(p)
+            ch = lane.channel
+            if not ch.in_active:
+                ch.in_active = True
+                insort(active, ch, key=_TOPO_ORDER)
+            p._order = ch.topo_order
+            if not p._moving:
+                # A granted header can move again (and, once stalled,
+                # only a grant can unstick it): back on the worm list.
+                p._moving = True
+                moving.append(p)
+            self.network.advance(p, ch)
+            p.needs_route = False
+            self._progressed = True
+            if obs is not None:
+                obs.publish_acquire(now, p, ch, lane.index)
+        self._pending_route = still_pending
+
+    def _phase_advance_fast(self) -> None:
+        """Phase B, fast path: per-worm sweep or active-channel sweep.
+
+        On all-single-lane networks with no hot bus sink the per-worm
+        sweep (:meth:`_phase_advance_worms`) visits only worms that
+        can still move; otherwise (VMIN's shared wires, or a tracer
+        demanding the exact per-channel event order) the channel sweep
+        runs.  Both orderings move the same flits and emit the same
+        observable state, so flipping between them mid-run -- a tracer
+        attaching, say -- is safe.
+        """
+        if self._worm_mode and not self.bus.hot:
+            self._phase_advance_worms()
+        else:
+            if self._lazy_live:
+                self._materialize_lazy()
+            self._phase_advance_channels()
+
+    def _phase_advance_channels(self) -> None:
+        """Phase B over the active channel list only.
+
+        ``_active`` holds every channel with an owned lane, in
+        reverse-topological order (Phase A inserts on acquire; this
+        sweep compacts out channels whose last lane released).  During
+        the sweep only the *current* channel can change ownership (a
+        tail release), so membership of later entries is stable and the
+        visit order matches the reference's full ``topo_channels`` scan
+        restricted to busy channels -- the same flits move.
+
+        Single-lane channels (every channel except the VMIN's
+        virtual-channel wires) take an inlined copy of
+        ``PhysChannel._lane_ready`` + ``_move``; multi-lane channels
+        keep the round-robin ``transmit()``.
+        """
+        pending = self._pending_route
+        bus = self.bus
+        obs = bus if bus.hot else None
+        now = self.env.now
+        active = self._active
+        write = 0
+        for ch in active:
+            if ch.owned_count == 0:
+                ch.in_active = False
+                continue
+            active[write] = ch
+            write += 1
+            lanes = ch.lanes
+            dlv = ch.is_delivery
+            if len(lanes) == 1:
+                lane = lanes[0]
+                p = lane.owner
+                ridx = lane.route_idx
+                if (
+                    lane.sent >= p.length
+                    or (ridx > 0 and p.lanes[ridx - 1].buf == 0)
+                    or (lane.buf != 0 and not dlv)
+                ):
+                    continue  # not ready this cycle
+                if ridx > 0:
+                    p.lanes[ridx - 1].buf -= 1
+                lane.sent += 1
+                if dlv:
+                    p.delivered_flits += 1
+                else:
+                    lane.buf += 1
+            else:
+                lane = ch.transmit()
+                if lane is None:
+                    continue
+                p = lane.owner
+                assert p is not None
+            self._progressed = True
+            if obs is not None:
+                obs.publish_transmit(now, ch, lane)
+            if dlv:
+                if lane.sent == p.length:
+                    lane.release()
+                    self._lane_freed(ch)
+                    if obs is not None:
+                        obs.publish_release(now, p, ch, lane.index)
+                    self._finalize(p)
+            else:
+                if lane.sent == 1 and lane.route_idx == len(p.lanes) - 1:
+                    # Header just reached the next switch input buffer.
+                    p.needs_route = True
+                    pending.append(p)
+                if lane.sent == p.length:
+                    lane.release()
+                    self._lane_freed(ch)
+                    if obs is not None:
+                        obs.publish_release(now, p, ch, lane.index)
+        del active[write:]
+        # The worm list is not consumed on this branch (the channel
+        # sweep ignores it) but must stay consistent for a later switch
+        # to the per-worm sweep: compact out finished packets when the
+        # dead weight dominates, keep everything still flagged.
+        moving = self._moving
+        if len(moving) > 64 and len(moving) > (self._active_packets << 1):
+            self._moving = [p for p in moving if p._moving]
+
+    def _phase_advance_worms(self) -> None:
+        """Phase B per worm: visit only worms that can still move.
+
+        Valid when every channel has one lane and no hot bus sink is
+        attached (the dispatcher guarantees both).  Then a worm's flit
+        movement depends only on its own lanes' state, so Phase B
+        decomposes per worm: a worm that moves zero flits has reached a
+        fixed point of its own state and stays stalled until Phase A
+        grants its header a new lane -- drop it from the list; the
+        grant re-adds it.
+
+        One exception to that stall theorem: a tail release leaves the
+        released worm's last flit in the lane's 1-flit buffer, and a
+        header granted the lane in that window stalls on ``buf != 0``
+        until the *previous* owner's downstream move drains it -- an
+        unstall with no grant.  Such a worm (head lane with ``sent ==
+        0`` and a non-empty buffer, necessarily a foreign flit) stays
+        on the list and keeps polling; the drain resolves within a few
+        cycles.  It is also processed *after* the draining worm (whose
+        newest lane is strictly downstream), so the header crosses in
+        the drain's own cycle, exactly as the reference sweep has it.
+
+        Worms are processed by the topological order of their newest
+        lane, which reproduces the reference sweep's within-cycle
+        interleaving of header arrivals (``pending.append``) and
+        deliveries (``_finalize``): both events happen *on* that
+        lane's channel.  The runtime sanitizer cross-checks the stall
+        reasoning every cycle (``REPRO_SANITIZE=1``).
+        """
+        moving = self._moving
+        acts = self._lazy.pop(self.cycles_run, None) if self._lazy else None
+        if not moving and acts is None:
+            if self._lazy_live:
+                self._progressed = True  # free-running worms stream
+            return
+        if len(moving) > 1:
+            moving.sort(key=_WORM_ORDER)
+        if acts is not None:
+            if len(acts) > 1:
+                acts.sort(key=_ACT_KEY)
+            na = len(acts)
+        else:
+            na = 0
+        ai = 0
+        exec_lazy = self._exec_lazy
+        pending = self._pending_route
+        ACTIVE = PacketState.ACTIVE
+        lazy_ok = self.sanitizer is None
+        progressed = False
+        write = 0
+        for p in moving:
+            # Replay the scheduled free-run actions that the reference
+            # sweep would perform before this worm's newest channel.
+            while ai < na and acts[ai][0] <= p._order:
+                if exec_lazy(acts[ai]):
+                    progressed = True
+                ai += 1
+            if p.state is not ACTIVE:
+                # Aborted (or externally killed) since its last move.
+                p._moving = False
+                continue
+            # Move every ready flit of this worm, downstream lane
+            # first.  Its owned lanes form a suffix of ``p.lanes`` (the
+            # tail releases upstream lanes oldest-first), so the walk
+            # starts at the newest lane and stops at the first one it
+            # no longer owns; per-lane ready/move logic is the inlined
+            # single-lane body of ``PhysChannel._lane_ready`` +
+            # ``_move``, identical to the channel sweep's.  Only the
+            # newest lane can be a delivery lane, see a header arrival,
+            # or hold a foreign flit -- the body loop below skips those
+            # checks.
+            lanes = p.lanes
+            length = p.length
+            moved = False
+            n1 = len(lanes) - 1
+            head = lanes[n1]
+            if head.owner is p:
+                up = lanes[n1 - 1] if n1 else None
+                sent = head.sent
+                if sent < length and (up is None or up.buf):
+                    ch = head.channel
+                    if ch.is_delivery:
+                        if up is not None:
+                            up.buf -= 1
+                        sent += 1
+                        head.sent = sent
+                        p.delivered_flits += 1
+                        moved = True
+                        if sent == length:
+                            head.release()
+                            self._lane_freed(ch)
+                            self._finalize(p)
+                            progressed = True
+                            continue  # worm finished; drop it
+                    elif head.buf == 0:
+                        if up is not None:
+                            up.buf -= 1
+                        sent += 1
+                        head.sent = sent
+                        head.buf = 1
+                        moved = True
+                        if sent == 1:
+                            # Header just reached the next switch input.
+                            p.needs_route = True
+                            pending.append(p)
+                        if sent == length:
+                            head.release()
+                            self._lane_freed(ch)
+                i = n1 - 1
+                lane = up
+                while i >= 0 and lane.owner is p:
+                    up = lanes[i - 1] if i else None
+                    sent = lane.sent
+                    if (
+                        sent < length
+                        and lane.buf == 0
+                        and (up is None or up.buf)
+                    ):
+                        if up is not None:
+                            up.buf -= 1
+                        sent += 1
+                        lane.sent = sent
+                        lane.buf = 1
+                        moved = True
+                        if sent == length:
+                            lane.release()
+                            self._lane_freed(lane.channel)
+                    i -= 1
+                    lane = up
+            if moved:
+                progressed = True
+                if (
+                    lazy_ok
+                    and head.channel.is_delivery
+                    and head.owner is p
+                    and self._enter_lazy(p)
+                ):
+                    continue  # free-running: scheduled actions take over
+                moving[write] = p
+                write += 1
+            elif head.owner is p and head.sent == 0 and head.buf != 0:
+                # The previous owner's tail flit still sits in the head
+                # lane's buffer; its drain (that worm moving, not a
+                # grant) unstalls this one -- keep polling.
+                moving[write] = p
+                write += 1
+            else:
+                p._moving = False  # stalled until the next grant
+        while ai < na:  # actions past the last moving worm's channel
+            if exec_lazy(acts[ai]):
+                progressed = True
+            ai += 1
+        del moving[write:]
+        if self._lazy_live:
+            progressed = True  # free-running worms stream every cycle
+        if progressed:
+            self._progressed = True
+
+    def _enter_lazy(self, p: Packet) -> bool:
+        """Try to switch a delivery-phase worm to free-run fast-forward.
+
+        Once the header streams into the destination and every owned
+        upstream lane's 1-flit buffer is full (a perfectly compressed
+        pipeline), the worm's remaining life is deterministic: every
+        owned lane moves one flit per cycle until its tail crosses, and
+        the header never routes again.  Instead of revisiting the worm
+        each cycle, schedule its future *observable* effects -- each
+        lane's tail release, each released buffer's final drain, the
+        delivery -- as topo-keyed actions in :attr:`_lazy` and drop it
+        from the moving list.  The action merge in
+        :meth:`_phase_advance_worms` replays them at exactly the
+        reference sweep's cycle and within-cycle position, so the
+        schedule stays bit-identical.  Buffers need no bookkeeping in
+        between: a compressed pipeline drains and refills each buffer
+        within every cycle, so the frozen value (1) *is* the reference
+        end-of-cycle state.
+
+        Disabled under the runtime sanitizer, whose per-cycle sweeps
+        read the per-lane counters this mode leaves stale; an abort or
+        a switch to the channel sweep restores real state first via
+        :meth:`_materialize_worm`.
+        """
+        lanes = p.lanes
+        n1 = len(lanes) - 1
+        i = n1 - 1
+        while i >= 0 and lanes[i].owner is p:
+            if lanes[i].buf != 1:
+                return False  # a gap in the pipeline: still compressing
+            i -= 1
+        s = i + 1  # first owned lane index (owned lanes are a suffix)
+        if s and lanes[s - 1].buf == 0:
+            return False  # upstream starvation (defensive; see below)
+        head = lanes[n1]
+        c = self.cycles_run
+        remaining = p.length - head.sent  # head finishes at c+remaining
+        tok = p._lz_token
+        lazy = self._lazy
+        for i in range(s, n1):
+            lane = lanes[i]
+            # Tail crosses lane i once the head is (n1 - i) deliveries
+            # from done; the buffered tail flit drains one cycle later
+            # via the downstream channel's move.
+            t = c + remaining - (n1 - i)
+            bucket = lazy.get(t)
+            if bucket is None:
+                bucket = lazy[t] = []
+            bucket.append((lane.channel.topo_order, 1, p, tok, lane))
+            down = lanes[i + 1].channel.topo_order
+            bucket = lazy.get(t + 1)
+            if bucket is None:
+                bucket = lazy[t + 1] = []
+            bucket.append((down, 0, p, tok, lane))
+        if s:
+            # The already-released lane just upstream still buffers one
+            # flit (it must: its tail crossed, lane ``s`` has not, and
+            # the buffer holds one flit); lane ``s`` consumes it on its
+            # next -- provably last -- move, one cycle from now.
+            bucket = lazy.get(c + 1)
+            if bucket is None:
+                bucket = lazy[c + 1] = []
+            bucket.append(
+                (lanes[s].channel.topo_order, 0, p, tok, lanes[s - 1])
+            )
+        t = c + remaining
+        bucket = lazy.get(t)
+        if bucket is None:
+            bucket = lazy[t] = []
+        bucket.append((head.channel.topo_order, 2, p, tok, head))
+        p._lz_base = c
+        p._lz_sent0 = head.sent
+        p._moving = False
+        self._lazy_live += 1
+        pkts = self._lazy_pkts
+        pkts.append(p)
+        if len(pkts) > 64 and len(pkts) > (self._lazy_live << 1):
+            self._lazy_pkts = [q for q in pkts if q._lz_base >= 0]
+        return True
+
+    def _exec_lazy(self, act) -> bool:
+        """Replay one scheduled free-run action (see :meth:`_enter_lazy`).
+
+        Returns False for a cancelled action (the owner's token moved
+        on: the worm was aborted or materialized since scheduling).
+        """
+        kind = act[1]
+        p = act[2]
+        if p._lz_token != act[3]:
+            return False
+        lane = act[4]
+        if kind == 0:  # final buffer drain (the downstream lane's move)
+            lane.buf -= 1
+        elif kind == 1:  # tail crossed the wire: release the lane
+            lane.sent = p.length
+            lane.release()
+            self._lane_freed(lane.channel)
+        else:  # kind == 2: tail consumed at the destination
+            lane.sent = p.length
+            p.delivered_flits = p.length
+            lane.release()
+            self._lane_freed(lane.channel)
+            p._lz_token = act[3] + 1  # no actions outlive the delivery
+            p._lz_base = -1
+            self._lazy_live -= 1
+            self._finalize(p)
+        return True
+
+    def _materialize_worm(self, p: Packet) -> None:
+        """Restore a free-running worm's real per-lane progress.
+
+        During free-run only the scheduled actions touch the worm, so
+        its ``sent`` counters and ``delivered_flits`` sit stale at
+        their entry snapshot.  Reconstruct: the head moved once per
+        completed cycle since entry, and a perfectly compressed
+        pipeline keeps every owned lane exactly one flit ahead of its
+        downstream neighbour.  Buffers need no repair (they hold 1
+        throughout streaming, and executed drains already ran at their
+        reference cycle).  Pending actions die via the token bump;
+        cancelled drains are subsumed by the restored lanes' own
+        subsequent moves.
+        """
+        moves = self.cycles_run - p._lz_base - 1
+        if moves < 0:
+            moves = 0  # materialized within the entry cycle itself
+        head_sent = p._lz_sent0 + moves
+        lanes = p.lanes
+        n1 = len(lanes) - 1
+        for i in range(n1, -1, -1):
+            lane = lanes[i]
+            if lane.owner is not p:
+                break
+            lane.sent = head_sent + (n1 - i)
+        p.delivered_flits = head_sent
+        p._lz_token += 1
+        p._lz_base = -1
+        self._lazy_live -= 1
+
+    def _materialize_lazy(self) -> None:
+        """Unwind every free-run shortcut (the channel sweep takes over).
+
+        The channel sweep -- and any bus sink it feeds -- reads real
+        lane state, so all fast-forwarded worms must be materialized
+        first.  They rejoin the moving list so a later switch back to
+        the per-worm sweep picks them up.
+        """
+        moving = self._moving
+        for p in self._lazy_pkts:
+            if p._lz_base >= 0:
+                self._materialize_worm(p)
+                p._moving = True
+                moving.append(p)
+        self._lazy_pkts.clear()
+        self._lazy.clear()
+        self._lazy_live = 0
+
+    def _lane_freed(self, ch: PhysChannel) -> None:
+        """Fast-path bookkeeping after any ``Lane.release``.
+
+        Wakes the blocked headers registered on the channel and, for an
+        injection channel, re-arms its (still backlogged) node for the
+        next injection scan.
+        """
+        if self._waiters:
+            self._wake_waiters(ch)
+        node = self._node_of_inj.get(ch)
+        if node is not None and node in self._backlogged:
+            self._inj_ready.add(node)
+
+    def _wake_waiters(self, ch: PhysChannel) -> None:
+        """A lane of ``ch`` released: invalidate blocked-header caches.
+
+        Registrations are dropped lazily: an entry whose token no
+        longer matches the packet's current wake token belongs to an
+        older blocking episode (the packet moved on, died, or was woken
+        through another channel) and is skipped.
+        """
+        lst = self._waiters.pop(ch, None)
+        if lst is None:
+            return
+        for token, p in lst:
+            if p._blk_token == token:
+                p._blk_token = token + 1
+                p._blk_usable = None
+
     def transmit(self, ch: PhysChannel) -> Optional[Lane]:
         """Move one flit across ``ch`` if possible (split out for tests)."""
         if not ch.busy:
@@ -433,6 +1153,7 @@ class WormholeEngine:
                 raise ValueError(f"{p!r} is queued but not in its source queue")
             if not self.queues[p.src]:
                 self._backlogged.discard(p.src)
+                self._inj_ready.discard(p.src)
             p.state = PacketState.FAILED
             self.stats.failed_packets += 1
             if self.bus.enabled:
@@ -457,23 +1178,46 @@ class WormholeEngine:
         bus = self.bus
         obs = bus if bus.hot else None
         now = self.env.now
+        if p._lz_base >= 0:
+            # A free-running worm's lane counters are stale; restore
+            # real state first so the flush arithmetic below is exact.
+            self._materialize_worm(p)
         p._sanitize_aborting = True  # exempt early releases (sanitizer)
         try:
-            for i, lane in enumerate(p.lanes):
+            lanes = p.lanes
+            n = len(lanes)
+            for i, lane in enumerate(lanes):
                 if not lane.channel.is_delivery:
                     # A delivery lane has no downstream buffer (the node
-                    # consumed those flits); only switch-input buffers flush.
-                    next_sent = p.lanes[i + 1].sent if i + 1 < len(p.lanes) else 0
-                    lane.buf -= lane.sent - next_sent
+                    # consumed those flits); only switch-input buffers
+                    # flush.  Count flits from *this* packet's
+                    # perspective: a lane it already released carried
+                    # all ``length`` flits -- its ``sent`` counter may
+                    # since belong to a new owner (re-acquisition resets
+                    # it), so reading it raw would mis-flush.
+                    mine = lane.sent if lane.owner is p else p.length
+                    if i + 1 < n:
+                        nxt = lanes[i + 1]
+                        next_mine = nxt.sent if nxt.owner is p else p.length
+                    else:
+                        next_mine = 0
+                    lane.buf -= mine - next_mine
                     assert lane.buf >= 0, "abort flushed a flit it did not own"
                 if lane.owner is p:
                     lane.release()
+                    self._lane_freed(lane.channel)
                     if obs is not None:
                         obs.publish_release(now, p, lane.channel, lane.index)
         finally:
             p._sanitize_aborting = False
         p.state = PacketState.FAILED
         p.needs_route = False
+        # Invalidate any blocked-header cache state (fast path): stale
+        # waiter registrations die via the token bump.  The worm-list
+        # flag drops too; the entry itself is compacted out lazily.
+        p._blk_usable = None
+        p._blk_token += 1
+        p._moving = False
         self._active_packets -= 1
         self.stats.failed_packets += 1
         if bus.enabled:
@@ -484,6 +1228,7 @@ class WormholeEngine:
     def _finalize(self, p: Packet) -> None:
         p.state = PacketState.DELIVERED
         p.delivered_at = self.env.now
+        p._moving = False  # worm-list entry compacts out lazily
         self._active_packets -= 1
         self.stats.delivered_packets += 1
         self.stats.delivered_flits += p.length

@@ -18,8 +18,9 @@ into the candidate channels its header may acquire next.
 from __future__ import annotations
 
 from enum import Enum
+from repro.routing.memo import BminTables, PathTable
 from repro.routing.tags import TagRouter
-from repro.topology.bmin import BidirectionalMIN, first_difference
+from repro.topology.bmin import BidirectionalMIN
 from repro.topology.permutations import from_digits, to_digits
 from repro.topology.mins import build_min
 from repro.topology.spec import MINSpec
@@ -151,6 +152,8 @@ class UnidirectionalNetwork(SimNetwork):
         else:
             self.kind = NetworkKind.TMIN
         self.router = TagRouter(spec)
+        #: Memoized (src, dst) -> slot-path table (see routing.memo).
+        self.paths = PathTable(spec)
 
         n, N = spec.n, spec.N
         #: slot (boundary, producer position) -> channels serving it
@@ -187,8 +190,13 @@ class UnidirectionalNetwork(SimNetwork):
         return self.slots[(0, node)][0]
 
     def prepare(self, packet: Packet) -> None:
-        """Precompute the unique path's (boundary, position) slots."""
-        packet.slots = self.spec.channels_of_path(packet.src, packet.dst)
+        """Precompute the unique path's (boundary, position) slots.
+
+        The path list comes from the memoized :class:`PathTable` and is
+        shared between packets of the same (src, dst) pair; nothing
+        mutates ``packet.slots`` after this point.
+        """
+        packet.slots = self.paths.path(packet.src, packet.dst)
         packet.hop = 0
 
     def candidates(self, packet: Packet) -> list[PhysChannel]:
@@ -216,6 +224,7 @@ class BidirectionalNetwork(SimNetwork):
         self.kind = NetworkKind.BMIN
         self.virtual_channels = virtual_channels
         k, n, N = bmin.k, bmin.n, bmin.N
+        self.tables: BminTables  # set after the channel dicts below
 
         self.fwd: dict[tuple[int, int], PhysChannel] = {}
         self.bwd: dict[tuple[int, int], PhysChannel] = {}
@@ -246,6 +255,8 @@ class BidirectionalNetwork(SimNetwork):
                 self.fwd[(boundary, line)] = ch
                 ordered.append(ch)
         self._finalize_topo(ordered)
+        #: Memoized per-(switch, destination-digit) candidate tables.
+        self.tables = BminTables(k, n, self.fwd, self.bwd)
 
     def injection_channel(self, node: int) -> PhysChannel:
         """The node's forward boundary-0 channel."""
@@ -253,36 +264,31 @@ class BidirectionalNetwork(SimNetwork):
 
     def prepare(self, packet: Packet) -> None:
         """Compute the turn stage and reset the up-phase cursor."""
-        packet.bmin_turn = first_difference(
-            packet.src, packet.dst, self.bmin.k, self.bmin.n
-        )
+        packet.bmin_turn = self.tables.turn(packet.src, packet.dst)
         packet.bmin_going_up = True
         packet.bmin_boundary = 0
         packet.bmin_line = packet.src
 
     def candidates(self, packet: Packet) -> list[PhysChannel]:
-        """Fig. 7's decision, as concrete channels (see module docs)."""
-        k, n = self.bmin.k, self.bmin.n
+        """Fig. 7's decision, as concrete channels (see module docs).
+
+        All three branches answer from the memoized
+        :class:`~repro.routing.memo.BminTables` (callers never mutate
+        the returned lists):
+
+        * turnaround (up, b == turn): left output port l_{d_b}
+          (Fig. 7, step 2);
+        * forward (up): any right port (Fig. 7, step 3);
+        * down, at the stage-(b-1) switch: left port l_{d_{b-1}}
+          (Fig. 7, step 4; b == 0 never asks -- that hop was delivery).
+        """
         b = packet.bmin_boundary
         line = packet.bmin_line
-        digits = list(to_digits(line, k, n))
-        d_digits = to_digits(packet.dst, k, n)
         if packet.bmin_going_up:
-            # Header sits at the stage-b switch it reached going up.
             if b == packet.bmin_turn:
-                # Turnaround: left output port l_{d_b} (Fig. 7, step 2).
-                digits[b] = d_digits[b]
-                return [self.bwd[(b, from_digits(digits, k))]]
-            # Forward: any right port (Fig. 7, step 3).
-            out = []
-            for i in range(k):
-                digits[b] = i
-                out.append(self.fwd[(b + 1, from_digits(digits, k))])
-            return out
-        # Going down, at the stage-(b-1) switch: left port l_{d_{b-1}}
-        # (Fig. 7, step 4).  b == 0 never asks: that hop was delivery.
-        digits[b - 1] = d_digits[b - 1]
-        return [self.bwd[(b - 1, from_digits(digits, k))]]
+                return self.tables.turn_candidates(b, line, packet.dst)
+            return self.tables.up_candidates(b, line)
+        return self.tables.down_candidates(b, line, packet.dst)
 
     def advance(self, packet: Packet, channel: PhysChannel) -> None:
         """Update phase/boundary/line from the acquired channel."""

@@ -52,6 +52,14 @@ class Packet:
         "bmin_turn",
         "slots",
         "_sanitize_aborting",
+        "_blk_usable",
+        "_blk_epoch",
+        "_blk_token",
+        "_moving",
+        "_order",
+        "_lz_base",
+        "_lz_sent0",
+        "_lz_token",
     )
 
     def __init__(
@@ -92,6 +100,34 @@ class Packet:
         #: runtime sanitizer (REPRO_SANITIZE=1) exempt the abort's
         #: early lane releases from the tail-crossed pairing check.
         self._sanitize_aborting = False
+
+        # Fast-engine blocked-header cache (see
+        # :meth:`WormholeEngine._phase_allocate_fast`): the usable
+        # candidate list computed when this header last blocked, the
+        # channel-layer fault epoch it was computed under, and a wake
+        # token that invalidates stale release-waiter registrations.
+        self._blk_usable: Optional[list] = None
+        self._blk_epoch = -1
+        self._blk_token = 0
+        #: True while the worm sits on the fast engine's per-worm
+        #: advance list (see ``WormholeEngine._phase_advance_worms``);
+        #: cleared when it stalls, delivers, or aborts.
+        self._moving = False
+        #: ``topo_order`` of the newest acquired lane's channel -- the
+        #: fast engine's worm-list sort key, maintained at its two
+        #: acquire sites (injection and route grant) so sorting uses a
+        #: C-level attrgetter instead of chasing ``lanes[-1].channel``.
+        self._order = 0
+
+        # Free-run fast-forward state (see
+        # ``WormholeEngine._enter_lazy``): the engine cycle at which the
+        # worm entered lazy streaming, the head lane's ``sent`` at that
+        # instant (together they reconstruct per-lane progress for
+        # abort/mode-switch materialization), and a token that
+        # invalidates the worm's scheduled lazy actions when bumped.
+        self._lz_base = -1
+        self._lz_sent0 = 0
+        self._lz_token = 0
 
     @property
     def latency(self) -> float:

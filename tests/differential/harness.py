@@ -1,0 +1,202 @@
+"""Shared machinery of the fast-vs-reference differential suite.
+
+The optimized engine path ("fast": calendar scheduler, active-set
+allocation, per-worm advance, free-run fast-forward, routing memos) is
+certified against the straightforward reference path ("reference":
+binary-heap scheduler, full scans) by running the *same* seeded
+simulation twice and asserting the outcomes are bit-identical -- not
+statistically close: the same packets take the same routes on the same
+cycles, block on the same candidate sets, and produce byte-equal
+delivery records and measurement windows.
+
+Every helper here builds its point exactly like
+:func:`repro.experiments.runner.build_point` does (same RNG fork
+labels), so the streams consumed by topology construction, traffic
+generation, and allocation shuffles match between the two runs by
+construction; any observable divergence is then an engine bug.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.experiments.config import PRESETS, NetworkConfig
+from repro.experiments.runner import _run_until_delivered, build_point
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.faults.mtbf import fabric_channels
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.metrics.collector import MeasurementWindow
+from repro.wormhole import channel as channel_mod
+
+#: Network kinds under test (all four of the paper's networks).
+NETWORK_KINDS = ("tmin", "dmin", "vmin", "bmin")
+
+#: A short but non-trivial run: enough traffic that worms contend,
+#: block, wake, and (on the fast path) enter free-run streaming.
+CFG = replace(
+    PRESETS["smoke"],
+    warmup_packets=40,
+    measure_packets=200,
+    max_cycles=12_000,
+)
+
+
+def fault_plan(engine) -> FaultPlan:
+    """A deterministic two-event plan resolved against a live network.
+
+    One soft transient fault early (routing-table removal; in-flight
+    worms keep streaming) and one *hard* transient fault mid-run (wire
+    cut: worms on the channel are aborted -- on the fast path this
+    forces free-running worms to materialize).  Labels are taken from
+    the network's own fabric-channel list, so the identical plan
+    applies to both engine runs of a case.
+    """
+    fabric = fabric_channels(engine.network)
+    soft = fabric[3 % len(fabric)].label
+    hard = fabric[7 % len(fabric)].label
+    return FaultPlan(
+        (
+            FaultEvent(at=250.0, channels=(soft,), duration=500.0),
+            FaultEvent(
+                at=600.0, channels=(hard,), duration=800.0, severity="hard"
+            ),
+        )
+    )
+
+
+def run_case(
+    kind: str,
+    pattern: str,
+    load: float,
+    engine: str,
+    *,
+    faults: bool = False,
+    sanitize: bool = False,
+    sink=None,
+    run_cfg=CFG,
+):
+    """Run one seeded point under ``engine`` and snapshot its outcome.
+
+    Returns a tuple of every observable the suite compares:
+    measurement window, engine counters, the full delivery-record
+    stream, simulator-kernel counters, and (with ``faults``) the
+    injector's tallies.  Two snapshots compare equal iff the runs were
+    bit-identical.
+    """
+    network = NetworkConfig(kind)
+    spec = WorkloadSpec(pattern=pattern)
+    saved_env = os.environ.get("REPRO_SANITIZE")
+    saved_observer = channel_mod.release_observer
+    if sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+    try:
+        env, eng, root = build_point(network, load, run_cfg, engine)
+        if sink is not None:
+            eng.bus.attach(sink)
+        injector = None
+        if faults:
+            injector = fault_plan(eng).install(env, eng.network, eng)
+        workload = spec.builder(run_cfg)(load)
+        workload.install(
+            env, eng, root.fork(f"workload/{network.label}/{load}")
+        )
+        eng.start()
+        _run_until_delivered(
+            eng, run_cfg.warmup_packets, env.now + run_cfg.max_cycles / 4
+        )
+        window = MeasurementWindow(eng)
+        window.begin()
+        _run_until_delivered(
+            eng, run_cfg.measure_packets, env.now + run_cfg.max_cycles
+        )
+        measurement = window.finish()
+    finally:
+        if sanitize:
+            if saved_env is None:
+                os.environ.pop("REPRO_SANITIZE", None)
+            else:
+                os.environ["REPRO_SANITIZE"] = saved_env
+            channel_mod.release_observer = saved_observer
+    stats = eng.stats
+    return (
+        measurement,
+        stats.offered_packets,
+        stats.offered_flits,
+        stats.delivered_packets,
+        stats.delivered_flits,
+        stats.failed_packets,
+        stats.max_queue_len,
+        tuple(stats.records),
+        eng.cycles_run,
+        env.now,
+        env.events_scheduled,
+        env.events_fired,
+        None
+        if injector is None
+        else (injector.injected, injector.repaired, injector.killed_worms),
+    )
+
+
+class EventRecorder:
+    """A bus sink that records every published event as a plain tuple.
+
+    Subscribing to the hot kinds makes ``bus.hot`` true, which forces
+    the fast engine onto its exact-event-order channel sweep -- so the
+    recorded streams of a fast and a reference run must match
+    element-for-element, certifying the fast path's publish sites, not
+    just its end state.  Packets/channels are flattened to stable
+    identifiers (pid, label, lane index) so tuples compare by value.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def on_offer(self, t, packet) -> None:
+        self.events.append(("offer", t, packet.pid))
+
+    def on_inject(self, t, packet) -> None:
+        self.events.append(("inject", t, packet.pid))
+
+    def on_acquire(self, t, packet, channel, lane_index) -> None:
+        self.events.append(
+            ("acquire", t, packet.pid, channel.label, lane_index)
+        )
+
+    def on_blocked(self, t, packet, channels) -> None:
+        self.events.append(
+            ("block", t, packet.pid, tuple(ch.label for ch in channels))
+        )
+
+    def on_release(self, t, packet, channel, lane_index) -> None:
+        self.events.append(
+            ("release", t, packet.pid, channel.label, lane_index)
+        )
+
+    def on_transmit(self, t, channel, lane) -> None:
+        owner = lane.owner
+        self.events.append(
+            (
+                "transmit",
+                t,
+                channel.label,
+                lane.index,
+                None if owner is None else owner.pid,
+            )
+        )
+
+    def on_deliver(self, t, packet) -> None:
+        self.events.append(("deliver", t, packet.pid))
+
+    def on_abort(self, t, packet) -> None:
+        self.events.append(("abort", t, packet.pid))
+
+
+def assert_identical(kind: str, pattern: str, load: float, **kwargs) -> None:
+    """Run a case under both engines and assert snapshot equality."""
+    fast = run_case(kind, pattern, load, "fast", **kwargs)
+    ref = run_case(kind, pattern, load, "reference", **kwargs)
+    assert fast == ref, (
+        f"fast/reference divergence at {kind}/{pattern}/load={load} "
+        f"({kwargs or 'no options'})"
+    )
