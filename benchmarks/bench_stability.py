@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Prove the progress watchdog is (nearly) free on healthy traffic.
+
+The watchdog (:class:`repro.stability.ProgressWatchdog`) added one
+per-cycle hook to the engine loop: a ``None`` check, and once per
+``check_every`` cycles a signature sweep over in-flight worms.  On
+healthy (progressing) traffic it must never intervene -- so its whole
+cost is bookkeeping.  This benchmark times three variants on the same
+workload and FAILS (exit 1) if the watchdog-attached engine is more
+than ``--threshold`` slower than the bare one (default x1.05 -- the
+<=5% acceptance gate; smoke x1.15 for noisy CI runners).
+
+For information only it also times the full overload stack (bounded
+admission + AIMD governor + watchdog + retry), which *does* pay
+per-offer and per-delivery work through the event bus.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_stability.py           # full
+    PYTHONPATH=src python benchmarks/bench_stability.py --smoke   # CI
+
+Timing protocol mirrors ``bench_obs_overhead.py``: fresh engines per
+round, identical seeds, variants interleaved round-robin, best-of-N
+compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Standalone-script bootstrap: make `python benchmarks/bench_stability.py`
+# work without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.faults.recovery import RetryPolicy, SourceRetry  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.sim.rng import RandomStream  # noqa: E402
+from repro.stability import (  # noqa: E402
+    AIMDConfig,
+    AIMDGovernor,
+    BoundedQueue,
+    ProgressWatchdog,
+)
+from repro.traffic.clusters import global_cluster  # noqa: E402
+from repro.traffic.patterns import UniformPattern  # noqa: E402
+from repro.traffic.workload import MessageSizeModel, Workload  # noqa: E402
+from repro.wormhole import WormholeEngine, build_network  # noqa: E402
+
+
+def _attach_watchdog(engine: WormholeEngine) -> None:
+    engine.watchdog = ProgressWatchdog(
+        engine, check_every=64, stall_age=4096, deadlock_after=1024,
+        recover=True,
+    )
+
+
+def _attach_full_stack(engine: WormholeEngine) -> SourceRetry:
+    BoundedQueue(capacity=128).install(engine)
+    governor = AIMDGovernor(engine, AIMDConfig())
+    retry = SourceRetry(
+        engine,
+        RetryPolicy(max_attempts=3, base_delay=64.0, max_delay=512.0),
+        RandomStream(7, name="retry"),
+    )
+    _attach_watchdog(engine)
+    retry.governor = governor  # keep both alive on the engine's lifetime
+    return retry
+
+
+def _timed_run(kind, load, warmup, cycles, attach=None):
+    """Wall seconds for `cycles` loaded cycles (after `warmup`)."""
+    env = Environment()
+    engine = WormholeEngine(
+        env, build_network(kind, k=4, n=3), rng=RandomStream(1)
+    )
+    keepalive = attach(engine) if attach is not None else None
+    workload = Workload(
+        global_cluster(),
+        UniformPattern,
+        offered_load=load,
+        sizes=MessageSizeModel.scaled(),
+    )
+    workload.install(env, engine, RandomStream(2))
+    engine.start()
+    env.run(until=warmup)
+    t0 = time.perf_counter()  # lint-sim: ignore[RPV002] -- benchmark harness wall time
+    env.run(until=warmup + cycles)
+    wall = time.perf_counter() - t0  # lint-sim: ignore[RPV002] -- benchmark harness wall time
+    if engine.stats.delivered_packets == 0:
+        raise RuntimeError("benchmark run delivered nothing; config error")
+    if engine.watchdog is not None and engine.watchdog.aborted:
+        raise RuntimeError(
+            "watchdog intervened on healthy traffic; overhead numbers "
+            "would be meaningless"
+        )
+    del keepalive
+    return wall
+
+
+VARIANTS = (
+    ("no watchdog baseline", None),
+    ("watchdog attached", _attach_watchdog),
+    ("full overload stack", _attach_full_stack),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="quick CI mode")
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--cycles", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--kind", default="dmin")
+    parser.add_argument("--load", type=float, default=0.7)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="max allowed (watchdog)/(baseline) wall ratio "
+        "(default 1.05 -- the <=5%% gate; smoke 1.15 for noisy CI)",
+    )
+    args = parser.parse_args(argv)
+    rounds = args.rounds or (3 if args.smoke else 7)
+    cycles = args.cycles or (1_000 if args.smoke else 4_000)
+    threshold = args.threshold or (1.15 if args.smoke else 1.05)
+
+    best = {name: float("inf") for name, _ in VARIANTS}
+    for _ in range(rounds):  # interleave variants within each round
+        for name, attach in VARIANTS:
+            wall = _timed_run(args.kind, args.load, args.warmup, cycles, attach)
+            best[name] = min(best[name], wall)
+
+    base = best["no watchdog baseline"]
+    print(
+        f"stability-overhead benchmark: {args.kind} @ load {args.load:g}, "
+        f"{cycles} cycles x best-of-{rounds}"
+    )
+    for name, _ in VARIANTS:
+        wall = best[name]
+        print(
+            f"  {name:24} {wall * 1e3:8.1f} ms  "
+            f"({cycles / wall:>9,.0f} cyc/s)  x{wall / base:.3f}"
+        )
+    ratio = best["watchdog attached"] / base
+    verdict = "PASS" if ratio <= threshold else "FAIL"
+    print(
+        f"[{verdict}] watchdog overhead x{ratio:.3f} "
+        f"(threshold x{threshold:.2f})"
+    )
+    return 0 if ratio <= threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

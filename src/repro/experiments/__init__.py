@@ -13,6 +13,9 @@
 * :mod:`repro.experiments.availability` -- degradation sweeps
   (throughput / latency / delivery ratio vs. channel fault rate) using
   :mod:`repro.faults`;
+* :mod:`repro.experiments.stability` -- post-saturation overload
+  sweeps (steady-state classification past the knee) using
+  :mod:`repro.stability`;
 * :mod:`repro.experiments.parallel` -- crash-tolerant multi-process
   execution with per-point retry, JSON checkpoint/resume, and a
   ``progress`` heartbeat callback;
@@ -21,7 +24,7 @@
   ledgers, latency histograms, optional Perfetto trace).
 
 Command line: ``python -m repro.experiments --figure 18 --mode scaled``
-(or ``--availability``).
+(or ``--availability`` / ``--stability``).
 """
 
 from repro.experiments.config import (
@@ -40,11 +43,35 @@ from repro.experiments.figures import (
     fig19,
     fig20,
 )
-from repro.experiments.runner import LoadPoint, SweepResult, run_point, sweep
+from repro.experiments.runner import (
+    LoadPoint,
+    PointTimeout,
+    SweepResult,
+    run_point,
+    set_point_deadline,
+    sweep,
+)
 from repro.experiments.report import render_figure, shape_checks
 from repro.experiments.plotting import ascii_curve_plot, plot_figure
 from repro.experiments.export import write_figure_csv, write_figure_json
-from repro.experiments.saturation import SaturationPoint, find_saturation
+from repro.experiments.saturation import (
+    CONVERGED,
+    HI_SUSTAINABLE,
+    LO_SATURATED,
+    SATURATION_STATUSES,
+    SaturationPoint,
+    find_saturation,
+)
+from repro.experiments.stability import (
+    LOAD_FACTORS,
+    StabilityPoint,
+    StabilityResult,
+    render_stability,
+    stability_checks,
+    stability_comparison,
+    stability_point,
+    stability_sweep,
+)
 from repro.experiments.workload_spec import WorkloadSpec
 from repro.experiments.parallel import (
     ProgressFn,
@@ -66,6 +93,14 @@ from repro.experiments.availability import (
 __all__ = [
     "AvailabilityPoint",
     "AvailabilityResult",
+    "CONVERGED",
+    "HI_SUSTAINABLE",
+    "LOAD_FACTORS",
+    "LO_SATURATED",
+    "PointTimeout",
+    "SATURATION_STATUSES",
+    "StabilityPoint",
+    "StabilityResult",
     "FIGURE_BUILDERS",
     "FULL_FIDELITY",
     "FigureResult",
@@ -95,9 +130,15 @@ __all__ = [
     "find_saturation",
     "plot_figure",
     "render_figure",
+    "render_stability",
     "run_point",
     "run_traced_point",
+    "set_point_deadline",
     "shape_checks",
+    "stability_checks",
+    "stability_comparison",
+    "stability_point",
+    "stability_sweep",
     "sweep",
     "write_figure_csv",
     "write_figure_json",

@@ -3,6 +3,7 @@
     python -m repro.experiments --figure fig18 --mode scaled
     python -m repro.experiments --all --mode smoke
     python -m repro.experiments --availability --mode smoke
+    python -m repro.experiments --stability --mode smoke
 
 One simulation point can also be run with the observability subsystem
 attached (:mod:`repro.obs`): ``--obs-report`` prints the contention /
@@ -96,6 +97,18 @@ def main(argv: list[str] | None = None) -> int:
         help="per-channel unavailability ladder for --availability",
     )
     parser.add_argument(
+        "--stability",
+        action="store_true",
+        help="run the post-saturation stability sweep (beyond the paper)",
+    )
+    parser.add_argument(
+        "--load-factors",
+        type=float,
+        nargs="+",
+        metavar="X",
+        help="knee-multiple ladder for --stability (default 0.8 1.0 1.2 1.5)",
+    )
+    parser.add_argument(
         "--mode",
         choices=sorted(PRESETS),
         default="scaled",
@@ -161,10 +174,16 @@ def main(argv: list[str] | None = None) -> int:
         # every nested run_point inherit the choice.
         os.environ["REPRO_ENGINE"] = args.engine
     traced_mode = bool(args.trace or args.obs_report or args.obs_json)
-    if not args.all and not args.figure and not args.availability and not traced_mode:
+    if (
+        not args.all
+        and not args.figure
+        and not args.availability
+        and not args.stability
+        and not traced_mode
+    ):
         parser.error(
-            "pick --figure <id>, --all, --availability, or a traced-point "
-            "flag (--trace/--obs-report/--obs-json)"
+            "pick --figure <id>, --all, --availability, --stability, or a "
+            "traced-point flag (--trace/--obs-report/--obs-json)"
         )
 
     run_cfg = PRESETS[args.mode]
@@ -192,6 +211,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n(availability sweep in {elapsed:.1f}s, mode={args.mode})")
         print("\nshape checks:")
         for chk in availability_checks(results):
+            print(f"  {chk}")
+            if not chk.passed:
+                failures += 1
+        print()
+        if not args.all and not args.figure and not args.stability:
+            return 1 if failures else 0
+
+    if args.stability:
+        from repro.experiments.stability import (
+            LOAD_FACTORS,
+            render_stability,
+            stability_checks,
+            stability_comparison,
+        )
+
+        start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
+        factors = (
+            tuple(args.load_factors) if args.load_factors else LOAD_FACTORS
+        )
+        results = stability_comparison(run_cfg, load_factors=factors)
+        elapsed = time.perf_counter() - start  # lint-sim: ignore[RPV002] -- harness wall time
+        print(render_stability(results))
+        print(f"\n(stability sweep in {elapsed:.1f}s, mode={args.mode})")
+        print("\nshape checks:")
+        for chk in stability_checks(results):
             print(f"  {chk}")
             if not chk.passed:
                 failures += 1

@@ -15,7 +15,9 @@ Robustness (long sweeps survive their infrastructure):
 * **future per task** -- one crashed worker loses one point, never the
   pool's other results;
 * **per-point timeout** -- ``timeout=`` seconds of wall clock per
-  point, enforced by SIGALRM inside the worker (plus a phase-level
+  point, enforced by a cooperative monotonic deadline checked inside
+  the simulation loop (works in any thread, on any platform; SIGALRM
+  stays armed as a main-thread-only backstop, plus a phase-level
   backstop), so a hung point cannot wedge the whole figure;
 * **retry with backoff** -- crashed/timed-out points are re-run
   sequentially in the parent (``retries=`` attempts, exponential
@@ -40,7 +42,12 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.experiments.config import NetworkConfig, RunConfig
-from repro.experiments.runner import LoadPoint, SweepResult, run_point
+from repro.experiments.runner import (
+    LoadPoint,
+    SweepResult,
+    run_point,
+    set_point_deadline,
+)
 from repro.experiments.workload_spec import WorkloadSpec
 from repro.metrics.collector import Measurement
 
@@ -68,26 +75,46 @@ def _point_task(args: PointTask) -> LoadPoint:
 def _alarmed_runner(
     payload: tuple[PointRunner, float, PointTask],
 ) -> LoadPoint:
-    """Run one point under a SIGALRM wall-clock limit (in the worker).
+    """Run one point under a wall-clock limit (in the worker).
 
-    Converts a hung point into an ordinary ``TimeoutError`` failure the
-    parent handles like any crash; the phase deadline in
-    :func:`_run_tasks` remains as a backstop for workers stuck in
-    uninterruptible code.
+    The primary mechanism is *cooperative*: the worker arms a
+    per-thread monotonic deadline
+    (:func:`repro.experiments.runner.set_point_deadline`) that the
+    simulation loop checks between chunks and converts into an ordinary
+    :class:`~repro.experiments.runner.PointTimeout` the parent handles
+    like any crash.  Cooperative checks work in any thread on any
+    platform and interrupt at a clean chunk boundary.
+
+    SIGALRM remains as a *backstop* -- armed only when available (Unix)
+    and only in a main thread (its hard constraint) -- for points hung
+    somewhere that never reaches the cooperative check (e.g. a
+    pathological pure-Python spin outside the runner loop).  The phase
+    deadline in :func:`_run_tasks` is the final backstop for workers
+    stuck in uninterruptible code.
     """
     runner, seconds, task = payload
     import signal
+    import threading
+
+    use_alarm = hasattr(signal, "SIGALRM") and (
+        threading.current_thread() is threading.main_thread()
+    )
 
     def _fire(signum, frame):
         raise TimeoutError(f"point exceeded {seconds}s")
 
-    old = signal.signal(signal.SIGALRM, _fire)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    if use_alarm:
+        # Backstop only: give the cooperative deadline first claim.
+        old = signal.signal(signal.SIGALRM, _fire)
+        signal.setitimer(signal.ITIMER_REAL, seconds * 1.5)
+    set_point_deadline(seconds)
     try:
         return runner(task)
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, old)
+        set_point_deadline(None)
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, old)
 
 
 def _task_key(task: PointTask) -> str:
@@ -303,8 +330,10 @@ def parallel_sweep(
 ) -> SweepResult:
     """Offered-load sweep with one process per point.
 
-    ``timeout`` is a per-point wall-clock limit in seconds (SIGALRM in
-    the worker, with a whole-phase backstop for uninterruptible hangs);
+    ``timeout`` is a per-point wall-clock limit in seconds (cooperative
+    deadline inside the worker's simulation loop, SIGALRM backstop in
+    main threads, and a whole-phase backstop for uninterruptible
+    hangs);
     ``retries``/``backoff`` re-run crashed points sequentially;
     ``checkpoint`` names a JSON file for resume; ``progress`` is called
     as ``progress(done, total, label)`` after every settled point (see

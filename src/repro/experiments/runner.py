@@ -9,6 +9,8 @@ throughput simply reflects what the network sustained).
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -51,6 +53,41 @@ def build_point(
 
 #: env.run() chunk size between progress checks.
 _CHUNK = 512
+
+
+class PointTimeout(TimeoutError):
+    """A point exceeded its wall-clock deadline (cooperative check)."""
+
+
+#: Per-thread wall-clock deadline for the *current* point, as a
+#: ``time.monotonic()`` instant.  Thread-local so worker threads (e.g.
+#: the parallel runner's in-thread retries, or tests) time out
+#: independently; SIGALRM cannot do that (main thread only).
+_point_deadline = threading.local()
+
+
+def set_point_deadline(seconds: Optional[float]) -> None:
+    """Arm (or with None, disarm) a wall-clock limit for this thread.
+
+    The limit is checked cooperatively inside the simulation loop
+    (:func:`_run_until_delivered`), every ``_CHUNK`` sim-cycles; a point
+    past it raises :class:`PointTimeout`.  Wall clock is the right
+    clock here: the limit guards the *experiment harness* against hung
+    infrastructure, it is not part of the simulated model.
+    """
+    if seconds is None:
+        _point_deadline.at = None
+        return
+    if seconds <= 0:
+        raise ValueError("deadline seconds must be positive")
+    _point_deadline.at = time.monotonic() + seconds  # lint-sim: ignore[RPV002]
+
+
+def _check_point_deadline() -> None:
+    at = getattr(_point_deadline, "at", None)
+    if at is not None and time.monotonic() > at:  # lint-sim: ignore[RPV002]
+        _point_deadline.at = None  # disarm: one timeout per arming
+        raise PointTimeout("point exceeded its wall-clock deadline")
 
 
 @dataclass(frozen=True)
@@ -122,6 +159,7 @@ def _run_until_delivered(
 ) -> None:
     env = engine.env
     while engine.stats.delivered_packets < target and env.now < deadline:
+        _check_point_deadline()
         env.run(until=min(env.now + _CHUNK, deadline))
 
 

@@ -5,31 +5,85 @@ The single most quoted number per (network, workload) pair is the
 source queue exceeding the paper's 100-message criterion).  This module
 finds it by bisection over offered load -- cheaper and more precise
 than reading it off a fixed load ladder.
+
+The search always returns an explicit :class:`SaturationPoint`; the
+edge cases that used to be exceptions are now statuses so sweep drivers
+(e.g. :mod:`repro.experiments.stability`) can react instead of crash:
+
+* ``"converged"`` -- the bisection bracketed the boundary to within
+  ``tolerance``; ``load`` is the highest *sustainable* probe.
+* ``"lo_saturated"`` -- even the lightest probe ``lo`` was
+  unsustainable; ``load`` is ``lo`` and the measurement describes that
+  saturated point.  The true knee lies below ``lo``.
+* ``"hi_sustainable"`` -- even ``hi`` was sustainable; ``load`` is
+  ``hi``.  The true knee lies above ``hi`` (or does not exist: the
+  fabric outruns the offered-load ceiling).
+
+``probe`` is injectable for unit tests: any callable mapping an offered
+load to a :class:`~repro.metrics.collector.Measurement`-like object
+with ``sustainable`` / ``throughput_percent`` / ``avg_latency``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.experiments.config import NetworkConfig, RunConfig
 from repro.experiments.runner import WorkloadBuilder, run_point
+from repro.metrics.collector import SUSTAINABILITY_QUEUE_LIMIT
+
+#: Search statuses (see module docs).
+CONVERGED = "converged"
+LO_SATURATED = "lo_saturated"
+HI_SUSTAINABLE = "hi_sustainable"
+
+SATURATION_STATUSES = (CONVERGED, LO_SATURATED, HI_SUSTAINABLE)
 
 
 @dataclass(frozen=True)
 class SaturationPoint:
     """Result of a saturation search."""
 
-    load: float               # highest sustainable offered load found
+    load: float                # highest sustainable offered load found
     throughput_percent: float  # measured throughput there
     avg_latency: float
     iterations: int
+    #: Queue-length criterion the probes classified against (messages).
+    queue_limit: int = SUSTAINABILITY_QUEUE_LIMIT
+    #: How the search ended (see module docs).
+    status: str = CONVERGED
+
+    def __post_init__(self) -> None:
+        if self.status not in SATURATION_STATUSES:
+            raise ValueError(
+                f"unknown saturation status {self.status!r}; "
+                f"valid: {', '.join(SATURATION_STATUSES)}"
+            )
+
+    @property
+    def bracketed(self) -> bool:
+        """True when the knee was actually bracketed by the search."""
+        return self.status == CONVERGED
 
     def __str__(self) -> str:
+        if self.status == LO_SATURATED:
+            return (
+                f"saturates below load {self.load:.3f} "
+                f"(lightest probe already unsustainable, "
+                f"queue limit {self.queue_limit})"
+            )
+        qualifier = "sustains up to" if self.status == HI_SUSTAINABLE \
+            else "saturates near"
         return (
-            f"saturates near load {self.load:.3f} "
+            f"{qualifier} load {self.load:.3f} "
             f"({self.throughput_percent:.1f}% throughput, "
             f"latency {self.avg_latency:.0f} cyc)"
         )
+
+
+#: A saturation probe: offered load -> Measurement(-like).
+SaturationProbe = Callable[[float], object]
 
 
 def find_saturation(
@@ -40,32 +94,54 @@ def find_saturation(
     hi: float = 1.0,
     tolerance: float = 0.02,
     max_iterations: int = 12,
+    queue_limit: int = SUSTAINABILITY_QUEUE_LIMIT,
+    probe: Optional[SaturationProbe] = None,
 ) -> SaturationPoint:
     """Bisect offered load for the sustainability boundary.
 
     Assumes sustainability is monotone in load (true up to simulation
     noise; the tolerance bounds how finely we chase the boundary).
-    Raises if even ``lo`` saturates.
+    Never raises on the edge cases: a ``lo`` that already saturates or
+    a ``hi`` that still sustains is reported through
+    :attr:`SaturationPoint.status` (see module docs).
+
+    ``probe`` overrides the default ``run_point`` call -- unit tests
+    stub it; production callers leave it None.
     """
     if not 0 < lo < hi:
         raise ValueError("need 0 < lo < hi")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if max_iterations < 2:
+        raise ValueError("max_iterations must be >= 2")
 
-    def probe(load: float):
-        return run_point(network, workload_builder, load, run_cfg)
+    if probe is None:
+        def probe(load: float):
+            return run_point(network, workload_builder, load, run_cfg)
 
     best = probe(lo)
+    iterations = 1
     if not best.sustainable:
-        raise RuntimeError(
-            f"{network.label} saturates below load {lo}; lower `lo`"
+        return SaturationPoint(
+            lo,
+            best.throughput_percent,
+            best.avg_latency,
+            iterations,
+            queue_limit=queue_limit,
+            status=LO_SATURATED,
         )
     best_load = lo
-    iterations = 1
 
     top = probe(hi)
     iterations += 1
     if top.sustainable:
         return SaturationPoint(
-            hi, top.throughput_percent, top.avg_latency, iterations
+            hi,
+            top.throughput_percent,
+            top.avg_latency,
+            iterations,
+            queue_limit=queue_limit,
+            status=HI_SUSTAINABLE,
         )
 
     while hi - best_load > tolerance and iterations < max_iterations:
@@ -77,5 +153,10 @@ def find_saturation(
         else:
             hi = mid
     return SaturationPoint(
-        best_load, best.throughput_percent, best.avg_latency, iterations
+        best_load,
+        best.throughput_percent,
+        best.avg_latency,
+        iterations,
+        queue_limit=queue_limit,
+        status=CONVERGED,
     )

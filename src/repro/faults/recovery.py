@@ -24,6 +24,17 @@ so installing recovery costs the per-flit hot loop nothing:
 Every re-injection increments ``stats.retried_packets``, so the
 degradation accounting flows into
 :class:`~repro.metrics.collector.Measurement` without further wiring.
+
+Bounded admission (:mod:`repro.stability.admission`) interacts with
+recovery in two ways, both handled here:
+
+* a **shed** message (cold ``shed`` bus kind, ``PacketState.SHED``) is
+  a *deliberate* drop, not a failure -- its outcome settles as
+  ``"shed"`` and it is never retried;
+* a **refused** re-injection (blocking policy: ``engine.offer``
+  returned None, or shed-newest dropped the clone at the door) counts
+  as a used attempt and takes another backoff, so the retry layer
+  backs off of a saturated source instead of spinning.
 """
 
 from __future__ import annotations
@@ -80,7 +91,7 @@ class SourceRetry:
 
     The manager identifies a *message* by its first injection's pid and
     follows it across re-injections; :attr:`outcomes` maps that root pid
-    to ``"delivered"`` or ``"dropped"`` once settled.
+    to ``"delivered"``, ``"dropped"`` or ``"shed"`` once settled.
     """
 
     def __init__(
@@ -101,6 +112,7 @@ class SourceRetry:
         self.retried = 0
         self.dropped = 0
         self.recovered = 0  # delivered on attempt >= 2
+        self._reoffering = False  # True inside _reinject's offer call
         # Cold-kind bus subscriber: offer/deliver/abort only, so the
         # per-flit hot path stays untaxed (bus.hot remains False).
         engine.bus.attach(self)
@@ -124,6 +136,20 @@ class SourceRetry:
 
     def on_abort(self, t: float, p: Packet) -> None:
         self._on_fail(p)
+
+    def on_shed(self, t: float, p: Packet) -> None:
+        # Deliberate admission drop: settle the outcome, never retry.
+        # Shed-oldest victims were QUEUED packets registered at offer
+        # time (possibly retry clones: pop maps them to their root);
+        # shed-newest rejects never entered the queue and -- unless
+        # they are the clone a _reinject call is offering right now,
+        # whose fate that call settles itself -- are fresh messages
+        # whose whole life is this one shed event.
+        if p.pid in self._attempts:
+            root, _ = self._attempts.pop(p.pid)
+            self.outcomes[root] = "shed"
+        elif not self._reoffering:
+            self.outcomes[p.pid] = "shed"
 
     def _on_fail(self, p: Packet) -> None:
         root, attempts = self._attempts.pop(p.pid, (p.pid, 1))
@@ -150,7 +176,25 @@ class SourceRetry:
         self.pending_retries -= 1
         self.retried += 1
         self.engine.stats.retried_packets += 1
-        clone = self.engine.offer(p.src, p.dst, p.length)
+        self._reoffering = True
+        try:
+            clone = self.engine.offer(p.src, p.dst, p.length)
+        finally:
+            self._reoffering = False
+        if clone is None or clone.state is PacketState.SHED:
+            # Bounded admission refused the re-injection (blocking
+            # policy) or shed it at the door.  The attempt is spent;
+            # either back off again or give the message up.
+            if attempts + 1 >= self.policy.max_attempts:
+                self.dropped += 1
+                self.engine.stats.dropped_packets += 1
+                self.outcomes[root] = "dropped"
+                return
+            self.pending_retries += 1
+            self.env.process(
+                self._reinject(p, root, attempts + 1), name=f"retry-{root}"
+            )
+            return
         # _on_offer already registered attempt 1; overwrite with truth.
         self._attempts[clone.pid] = (root, attempts + 1)
 

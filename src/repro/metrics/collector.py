@@ -49,6 +49,11 @@ class Measurement:
     failed_packets: int = 0       # aborted worms + dead-injection kills
     retried_packets: int = 0      # re-injections by a recovery layer
     dropped_packets: int = 0      # messages whose retries were exhausted
+    # Overload accounting (bounded admission + progress watchdog; all
+    # zero when neither is installed, so they default likewise).
+    shed_packets: int = 0         # deliberate admission drops
+    throttled_packets: int = 0    # offers refused by a blocking policy
+    stall_aborted_packets: int = 0  # watchdog timeout-aborts (in failed)
     # Distribution tail (added with the observability subsystem; nan
     # defaults keep old checkpoints and callers constructible).
     p50_latency: float = float("nan")
@@ -67,9 +72,16 @@ class Measurement:
 
     @property
     def degraded(self) -> bool:
-        """True when any packet failed, retried or dropped in the window."""
+        """True when any packet failed, retried, dropped, shed or
+        throttled in the window (i.e. not every offered message sailed
+        straight through)."""
         return bool(
-            self.failed_packets or self.retried_packets or self.dropped_packets
+            self.failed_packets
+            or self.retried_packets
+            or self.dropped_packets
+            or self.shed_packets
+            or self.throttled_packets
+            or self.stall_aborted_packets
         )
 
     @property
@@ -152,6 +164,9 @@ class MeasurementWindow:
             failed_packets=stats.failed_packets,
             retried_packets=stats.retried_packets,
             dropped_packets=stats.dropped_packets,
+            shed_packets=stats.shed_packets,
+            throttled_packets=stats.throttled_packets,
+            stall_aborted_packets=stats.stall_aborted_packets,
             p50_latency=lat.p50,
             p99_latency=lat.p99,
             max_latency=lat.max,

@@ -174,7 +174,8 @@ MEASUREMENT_COLUMNS: tuple[ColumnSpec, ...] = (
                report_header="pkts", report_width=6, report_fmt="d"),
     ColumnSpec("delivered_flits", "delivered_flits", "int"),
     ColumnSpec("offered_packets", "offered_packets", "int"),
-    ColumnSpec("max_queue_len", "max_queue_len", "int"),
+    ColumnSpec("max_queue_len", "max_queue_len", "int",
+               report_header="maxq", report_width=5, report_fmt="d"),
     ColumnSpec("sustainable", "sustainable", "bool",
                report_header="sust", report_width=4),
     ColumnSpec("cycles", "cycles", "float"),
@@ -184,6 +185,14 @@ MEASUREMENT_COLUMNS: tuple[ColumnSpec, ...] = (
                report_header="retry", report_width=5, report_fmt="d"),
     ColumnSpec("dropped_packets", "dropped_packets", "int", fault_only=True,
                report_header="drop", report_width=5, report_fmt="d"),
+    ColumnSpec("shed_packets", "shed_packets", "int", fault_only=True,
+               report_header="shed", report_width=5, report_fmt="d"),
+    ColumnSpec("throttled_packets", "throttled_packets", "int",
+               fault_only=True,
+               report_header="thrtl", report_width=5, report_fmt="d"),
+    ColumnSpec("stall_aborted_packets", "stall_aborted_packets", "int",
+               fault_only=True,
+               report_header="stall", report_width=5, report_fmt="d"),
 )
 
 

@@ -38,12 +38,26 @@ kind        callback signature                                  tier
 ``transmit`` ``on_transmit(t, channel, lane)``                  hot
 ``deliver``  ``on_deliver(t, packet)``                          cold
 ``abort``    ``on_abort(t, packet)``                            cold
+``shed``     ``on_shed(t, packet)``                             cold
+``throttle`` ``on_throttle(t, node)``                           cold
+``stall``    ``on_stall(t, packet, age, verdict)``              cold
+``rate``     ``on_rate(t, node, rate)``                         cold
 =========== =================================================== ======
 
 ``block`` fires once per cycle per blocked header (sinks wanting
 per-spell events dedup themselves, as the Tracer does); ``transmit``
 fires once per flit moved, so it only exists while a hot sink is
 attached.
+
+The last four kinds belong to the overload-robustness subsystem
+(:mod:`repro.stability`): ``shed`` fires when a bounded admission
+policy drops a message (the packet is in ``PacketState.SHED``),
+``throttle`` when the *block* policy refuses an offer outright (no
+packet exists -- only the source node id is published), ``stall`` when
+the progress watchdog flags a worm (``verdict`` is one of the
+:mod:`repro.stability.watchdog` classifications), and ``rate`` when the
+AIMD injection governor changes a source's rate multiplier.  All four
+are cold: publishing them never taxes the per-flit loop.
 
 A *sink* is any object; :meth:`EventBus.attach` registers whichever of
 the ``on_<kind>`` methods above the object defines.  Individual
@@ -64,6 +78,10 @@ KIND_METHODS: dict[str, str] = {
     "transmit": "on_transmit",
     "deliver": "on_deliver",
     "abort": "on_abort",
+    "shed": "on_shed",
+    "throttle": "on_throttle",
+    "stall": "on_stall",
+    "rate": "on_rate",
 }
 
 #: Every valid event kind, in publish order of a typical packet life.
@@ -208,6 +226,26 @@ class EventBus:
         self.published += 1
         for fn in self._subs["abort"]:
             fn(t, packet)
+
+    def publish_shed(self, t: float, packet) -> None:
+        self.published += 1
+        for fn in self._subs["shed"]:
+            fn(t, packet)
+
+    def publish_throttle(self, t: float, node: int) -> None:
+        self.published += 1
+        for fn in self._subs["throttle"]:
+            fn(t, node)
+
+    def publish_stall(self, t: float, packet, age: int, verdict: str) -> None:
+        self.published += 1
+        for fn in self._subs["stall"]:
+            fn(t, packet, age, verdict)
+
+    def publish_rate(self, t: float, node: int, rate: float) -> None:
+        self.published += 1
+        for fn in self._subs["rate"]:
+            fn(t, node, rate)
 
     def __repr__(self) -> str:
         kinds = [k for k in KINDS if self._subs[k]]

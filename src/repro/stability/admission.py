@@ -1,0 +1,84 @@
+"""Bounded source queues with pluggable admission policies.
+
+The paper's sources queue FCFS without bound; its experiments stop at
+the load where a queue first exceeds 100 messages, so unbounded growth
+is never observed.  Past saturation it is the *only* thing observed:
+queue memory grows linearly with simulated time and latency diverges.
+A bounded-admission policy caps each source queue at ``capacity``
+messages and decides what happens to the overflow:
+
+* ``"block"`` -- the offer is refused (``engine.offer`` returns None);
+  the source holds the message and re-offers later.  This models
+  hardware backpressure into the producer and counts in
+  ``stats.throttled_packets``.
+* ``"shed-newest"`` (tail drop) -- the new message is dropped; counts
+  in ``stats.shed_packets``.  Preserves the oldest (longest-waiting)
+  work, the classic router-queue policy.
+* ``"shed-oldest"`` (head drop) -- the head of the queue is dropped to
+  admit the newcomer.  Bounds *queueing latency* rather than loss:
+  under sustained overload every admitted-and-kept message is recent.
+
+The engine owns the mechanism (see
+:meth:`repro.wormhole.engine.WormholeEngine.offer`); the policy object
+only supplies ``capacity`` and a per-overflow ``decide`` call, so
+adaptive policies (e.g. mode switched by queue age or a governor
+signal) plug in by overriding :meth:`BoundedQueue.decide`.
+
+Shed messages publish the cold ``shed`` bus kind and end in
+``PacketState.SHED``; they are deliberate drops, not failures, so the
+failure hooks and ``abort`` events never fire for them and recovery
+layers do not retry them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The three built-in overflow decisions.
+BLOCK = "block"
+SHED_NEWEST = "shed-newest"
+SHED_OLDEST = "shed-oldest"
+
+ADMISSION_MODES = (BLOCK, SHED_NEWEST, SHED_OLDEST)
+
+
+@dataclass(frozen=True)
+class BoundedQueue:
+    """A fixed-capacity admission policy with one static overflow mode.
+
+    Install onto a live engine with :meth:`install` (or assign
+    ``engine.admission`` directly)::
+
+        BoundedQueue(capacity=128, mode=SHED_NEWEST).install(engine)
+
+    ``capacity`` is in *messages* per source queue.  The default (128)
+    sits just above the paper's 100-message sustainability criterion,
+    so every sustainable point is admission-transparent: the policy
+    only ever acts in the post-saturation regime.
+    """
+
+    capacity: int = 128
+    mode: str = SHED_NEWEST
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        if self.mode not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {self.mode!r}; "
+                f"valid: {', '.join(ADMISSION_MODES)}"
+            )
+
+    def decide(self, engine, src: int) -> str:
+        """Called by the engine when ``src``'s queue is at capacity.
+
+        Returns one of :data:`ADMISSION_MODES`.  The base policy is
+        static; subclasses may inspect the engine (queue ages, governor
+        rates) to decide per overflow.
+        """
+        return self.mode
+
+    def install(self, engine) -> "BoundedQueue":
+        """Attach this policy to ``engine`` and return it (chainable)."""
+        engine.admission = self
+        return self

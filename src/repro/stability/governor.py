@@ -1,0 +1,145 @@
+"""Per-source AIMD injection governor, closed over the telemetry bus.
+
+Bounded admission (:mod:`repro.stability.admission`) makes overload
+*survivable*; the governor makes it *efficient*.  Each source node
+carries a rate multiplier in ``[min_rate, max_rate]`` that scales its
+offered load (the workload divides its mean inter-arrival time by the
+multiplier -- see :class:`repro.traffic.workload.Workload`).  The loop
+closes on congestion signals published on the engine's
+:class:`~repro.obs.bus.EventBus` -- *cold* kinds only, so a governed
+run never taxes the per-flit hot path:
+
+* **multiplicative decrease** (``rate *= md_factor``) when the source
+  shows distress: its queue length at offer time exceeds
+  ``backlog_threshold``, one of its messages is shed or throttled by
+  admission, or a delivery's end-to-end latency exceeds
+  ``latency_target`` (if set).  Decreases are rate-limited per source
+  by ``decrease_holdoff`` sim-cycles, the AIMD analogue of one backoff
+  per RTT: a burst of signals from the same congestion episode causes
+  one cut, not a collapse to ``min_rate``.
+* **additive increase** (``rate += ai_step``) on each clean delivery
+  from the source, probing back toward full offered load once the
+  backlog drains.
+
+The governor publishes every rate change on the cold ``rate`` bus kind
+for observability, and keeps per-source counters for reporting.  All
+arithmetic is deterministic (no RNG), so a governed run is bit-identical
+across the fast and reference engine paths (``tests/differential``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wormhole.packet import Packet
+
+
+@dataclass(frozen=True)
+class AIMDConfig:
+    """Gains and thresholds of the per-source AIMD loop."""
+
+    ai_step: float = 0.01          # additive increase per clean delivery
+    md_factor: float = 0.5         # multiplicative decrease per signal
+    min_rate: float = 0.05         # floor: sources never fully silence
+    max_rate: float = 1.0          # ceiling: at most the configured load
+    backlog_threshold: int = 32    # queue length that signals congestion
+    latency_target: float | None = None  # cycles; None = backlog-only loop
+    decrease_holdoff: float = 256.0      # min cycles between decreases
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_rate <= self.max_rate:
+            raise ValueError("need 0 < min_rate <= max_rate")
+        if self.ai_step <= 0:
+            raise ValueError("ai_step must be positive")
+        if not 0.0 < self.md_factor < 1.0:
+            raise ValueError("md_factor must be in (0, 1)")
+        if self.backlog_threshold < 1:
+            raise ValueError("backlog_threshold must be >= 1")
+        if self.latency_target is not None and self.latency_target <= 0:
+            raise ValueError("latency_target must be positive")
+        if self.decrease_holdoff < 0:
+            raise ValueError("decrease_holdoff must be >= 0")
+
+
+class AIMDGovernor:
+    """Installs the AIMD loop onto a live engine's bus.
+
+    Usage::
+
+        governor = AIMDGovernor(engine)          # attaches to engine.bus
+        workload = Workload(..., governor=governor)
+
+    The governor is a plain cold-kind bus sink; detach with
+    ``engine.bus.detach(governor)``.
+    """
+
+    def __init__(self, engine, config: AIMDConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else AIMDConfig()
+        n = engine.network.N
+        #: Per-source rate multiplier (read by the workload per draw).
+        self.rates: list[float] = [self.config.max_rate] * n
+        self._last_decrease: list[float] = [float("-inf")] * n
+        self.increases = 0
+        self.decreases = 0
+        engine.bus.attach(self)
+
+    def rate_of(self, node: int) -> float:
+        """The current rate multiplier of one source."""
+        return self.rates[node]
+
+    def mean_rate(self) -> float:
+        """Fleet-wide average multiplier (reporting convenience)."""
+        return sum(self.rates) / len(self.rates)
+
+    # -- AIMD steps --------------------------------------------------------
+
+    def _decrease(self, t: float, node: int) -> None:
+        if t - self._last_decrease[node] < self.config.decrease_holdoff:
+            return  # one cut per congestion episode
+        self._last_decrease[node] = t
+        old = self.rates[node]
+        new = max(old * self.config.md_factor, self.config.min_rate)
+        if new == old:
+            return
+        self.rates[node] = new
+        self.decreases += 1
+        bus = self.engine.bus
+        if bus.enabled:
+            bus.publish_rate(t, node, new)
+
+    def _increase(self, t: float, node: int) -> None:
+        old = self.rates[node]
+        if old >= self.config.max_rate:
+            return
+        new = min(old + self.config.ai_step, self.config.max_rate)
+        self.rates[node] = new
+        self.increases += 1
+        bus = self.engine.bus
+        if bus.enabled:
+            bus.publish_rate(t, node, new)
+
+    # -- bus callbacks (cold kinds only) -----------------------------------
+
+    def on_offer(self, t: float, p: Packet) -> None:
+        if self.engine.queue_length(p.src) > self.config.backlog_threshold:
+            self._decrease(t, p.src)
+
+    def on_shed(self, t: float, p: Packet) -> None:
+        self._decrease(t, p.src)
+
+    def on_throttle(self, t: float, node: int) -> None:
+        self._decrease(t, node)
+
+    def on_deliver(self, t: float, p: Packet) -> None:
+        target = self.config.latency_target
+        if target is not None and (t - p.created) > target:
+            self._decrease(t, p.src)
+        else:
+            self._increase(t, p.src)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AIMDGovernor mean_rate={self.mean_rate():.3f} "
+            f"inc={self.increases} dec={self.decreases}>"
+        )

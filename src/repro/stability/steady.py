@@ -1,0 +1,138 @@
+"""Steady-state detection and per-point stability classification.
+
+A post-saturation point cannot be summarized by "did a queue exceed
+100 messages" -- past the knee *every* queue does.  What matters is
+what the delivered-throughput time series settles into.  This module
+implements the two standard pieces:
+
+* **MSER truncation** (:func:`mser_truncation`) -- given a series of
+  per-batch throughput samples, find the warmup prefix whose removal
+  minimizes the standard error of the remaining mean (White's MSER
+  rule, the usual alternative to eyeballed warmup).  The search is
+  capped at half the series so a majority of the data always remains.
+* **stability classes** (:func:`classify`) -- the truncated series is
+  labelled
+
+  - ``stable``: the steady-state mean holds near the saturation
+    (knee) throughput with low variability -- the fabric sustains its
+    peak under overload (what bounded admission + AIMD should buy);
+  - ``metastable``: the mean survives but the series oscillates or
+    drifts beyond the thresholds -- the fabric alternates between
+    clearing and congesting, the Omega-MIN "unstable region" signature
+    (arXiv:1202.1062);
+  - ``collapsed``: the steady-state mean fell below
+    ``collapse_ratio`` x the knee throughput -- post-saturation
+    throughput collapse (tree saturation eating the fabric).
+
+Pure functions over plain float sequences; the sweep in
+:mod:`repro.experiments.stability` feeds them per-batch samples taken
+during the measurement window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Stability classes, healthiest first.
+STABLE = "stable"
+METASTABLE = "metastable"
+COLLAPSED = "collapsed"
+
+STABILITY_CLASSES = (STABLE, METASTABLE, COLLAPSED)
+
+_NAN = float("nan")
+
+
+def mser_truncation(series: Sequence[float]) -> int:
+    """Truncation index minimizing the MSER statistic.
+
+    ``MSER(d) = s^2(d) / (n - d)`` where ``s^2(d)`` is the sample
+    variance of ``series[d:]`` -- the squared standard error of the
+    truncated mean.  The search runs ``d`` in ``[0, n // 2]`` (White's
+    half-series rule: never discard the majority).  Returns 0 for
+    series shorter than 4 samples.
+    """
+    n = len(series)
+    if n < 4:
+        return 0
+    best_d, best = 0, math.inf
+    for d in range(0, n // 2 + 1):
+        tail = series[d:]
+        m = len(tail)
+        if m < 2:
+            break
+        mean = sum(tail) / m
+        var = sum((x - mean) ** 2 for x in tail) / (m - 1)
+        stat = var / m
+        if stat < best:
+            best, best_d = stat, d
+    return best_d
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Summary of one throughput series after MSER truncation."""
+
+    samples: int       # series length before truncation
+    truncation: int    # batches discarded as warmup/transient
+    mean: float        # steady-state mean of the retained batches
+    cv: float          # coefficient of variation of retained batches
+    drift: float       # relative late-half vs early-half mean change
+
+    @property
+    def retained(self) -> int:
+        return self.samples - self.truncation
+
+
+def analyze_series(series: Sequence[float]) -> SteadyState:
+    """Truncate a throughput series and summarize its steady state."""
+    n = len(series)
+    if n == 0:
+        return SteadyState(0, 0, _NAN, _NAN, _NAN)
+    d = mser_truncation(series)
+    tail = list(series[d:])
+    m = len(tail)
+    mean = sum(tail) / m
+    if m < 2:
+        return SteadyState(n, d, mean, _NAN, _NAN)
+    var = sum((x - mean) ** 2 for x in tail) / (m - 1)
+    std = math.sqrt(var)
+    if mean > 0:
+        cv = std / mean
+    else:
+        cv = math.inf if std > 0 else 0.0
+    half = m // 2
+    early = sum(tail[:half]) / half if half else mean
+    late = sum(tail[half:]) / (m - half)
+    drift = (late - early) / mean if mean > 0 else 0.0
+    return SteadyState(n, d, mean, cv, drift)
+
+
+def classify(
+    steady: SteadyState,
+    knee_throughput: Optional[float],
+    collapse_ratio: float = 0.75,
+    metastable_cv: float = 0.35,
+    drift_limit: float = 0.30,
+) -> str:
+    """Label one point's steady state (see module docs).
+
+    ``knee_throughput`` is the throughput measured at the saturation
+    knee (same units as the series mean); None skips the collapse test
+    (e.g. when the knee itself is being probed).
+    """
+    if steady.samples == 0 or math.isnan(steady.mean):
+        return METASTABLE  # nothing settled enough to call stable
+    if (
+        knee_throughput is not None
+        and knee_throughput > 0
+        and steady.mean < collapse_ratio * knee_throughput
+    ):
+        return COLLAPSED
+    if math.isnan(steady.cv):
+        return METASTABLE
+    if steady.cv > metastable_cv or abs(steady.drift) > drift_limit:
+        return METASTABLE
+    return STABLE

@@ -91,6 +91,19 @@ class Workload:
         Flits per cycle per node in the busiest cluster (0..~1).
     sizes:
         Message-length model.
+    governor:
+        Optional rate governor (anything with ``rate_of(node) -> float``,
+        e.g. :class:`repro.stability.AIMDGovernor`).  When set, each
+        source divides its mean inter-arrival time by the governor's
+        current multiplier *before* its single exponential draw -- the
+        RNG draw count per message is unchanged, so governed and
+        ungoverned runs consume streams identically and the fast and
+        reference engine paths stay bit-identical.
+    block_retry:
+        Cycles a source waits before re-offering a message refused by a
+        blocking admission policy (``engine.offer`` returned None).  The
+        retry wait is a fixed timeout -- no RNG -- modelling hardware
+        backpressure polling.
     """
 
     def __init__(
@@ -99,13 +112,19 @@ class Workload:
         pattern_factory: Callable[[list[int]], TrafficPattern],
         offered_load: float,
         sizes: Optional[MessageSizeModel] = None,
+        governor: Optional[object] = None,
+        block_retry: float = 8.0,
     ) -> None:
         if offered_load <= 0:
             raise ValueError("offered_load must be positive")
+        if block_retry <= 0:
+            raise ValueError("block_retry must be positive")
         self.clusters = clusters
         self.pattern_factory = pattern_factory
         self.offered_load = offered_load
         self.sizes = sizes if sizes is not None else MessageSizeModel.paper()
+        self.governor = governor
+        self.block_retry = block_retry
 
     def install(
         self, env: Environment, engine: WormholeEngine, rng: RandomStream
@@ -142,9 +161,23 @@ class Workload:
         mean_iat: float,
         stream: RandomStream,
     ):
+        governor = self.governor
         while True:
-            yield env.timeout(stream.exponential(mean_iat))
+            iat = mean_iat
+            if governor is not None:
+                # Scale the *mean* before the single draw: one
+                # exponential per message regardless of the multiplier,
+                # keeping RNG stream consumption bit-identical to an
+                # ungoverned run at the same seed.
+                rate = governor.rate_of(node)
+                if rate > 0:
+                    iat = mean_iat / rate
+            yield env.timeout(stream.exponential(iat))
             dest = pattern.pick(node, stream)
             if dest is None:  # pragma: no cover - silenced sources skipped
                 continue
-            engine.offer(node, dest, self.sizes.draw(stream))
+            length = self.sizes.draw(stream)
+            while engine.offer(node, dest, length) is None:
+                # Blocking admission refused the message: hold it and
+                # re-offer after a fixed (RNG-free) backpressure wait.
+                yield env.timeout(self.block_retry)

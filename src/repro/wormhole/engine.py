@@ -130,6 +130,16 @@ class EngineStats:
     retried_packets: int = 0
     #: Failed packets a recovery layer gave up on (attempts exhausted).
     dropped_packets: int = 0
+    #: Messages dropped by a bounded-admission policy (shed-newest /
+    #: shed-oldest; see :mod:`repro.stability.admission`).
+    shed_packets: int = 0
+    #: Offers refused outright by the *block* admission policy (the
+    #: source holds the message and retries -- backpressure).
+    throttled_packets: int = 0
+    #: Worms aborted by the progress watchdog (livelock / deadlock
+    #: recovery; see :mod:`repro.stability.watchdog`).  These also
+    #: count in ``failed_packets`` (the abort path is shared).
+    stall_aborted_packets: int = 0
     max_queue_len: int = 0
     records: list[DeliveryRecord] = field(default_factory=list)
     window_start: float = 0.0
@@ -143,6 +153,9 @@ class EngineStats:
         self.failed_packets = 0
         self.retried_packets = 0
         self.dropped_packets = 0
+        self.shed_packets = 0
+        self.throttled_packets = 0
+        self.stall_aborted_packets = 0
         self.max_queue_len = 0
         self.records = []
         self.window_start = now
@@ -243,6 +256,15 @@ class WormholeEngine:
         self.deadlock_watchdog = 0
         self._stalled_cycles = 0
         self._progressed = False
+        #: Optional bounded-admission policy consulted by :meth:`offer`
+        #: (any object with ``capacity`` and ``decide(engine, src)``;
+        #: see :mod:`repro.stability.admission`).  None -- the default,
+        #: and the paper's model -- grows source queues without bound.
+        self.admission = None
+        #: Optional runtime progress monitor called once per cycle
+        #: (see :class:`repro.stability.watchdog.ProgressWatchdog`).
+        #: None costs one ``is`` test per cycle.
+        self.watchdog = None
 
         #: Observer hooks (e.g. :class:`repro.faults.recovery.SourceRetry`).
         #: Each is a list of callables invoked with the packet; exceptions
@@ -286,8 +308,56 @@ class WormholeEngine:
 
     # -- workload interface ---------------------------------------------------
 
-    def offer(self, src: int, dst: int, length: int) -> Packet:
-        """Submit a message at the current simulation time (FCFS queue)."""
+    def offer(self, src: int, dst: int, length: int) -> Optional[Packet]:
+        """Submit a message at the current simulation time (FCFS queue).
+
+        With :attr:`admission` unset (the default) the message is
+        always queued and the engine behaves exactly as the paper
+        models it.  With a bounded-admission policy installed and the
+        source queue at capacity, the policy decides:
+
+        * ``"block"`` -- the offer is refused; returns None and counts
+          in ``stats.throttled_packets`` (the caller should hold the
+          message and retry: backpressure);
+        * ``"shed-newest"`` -- the new message is dropped; returns the
+          packet in :attr:`~repro.wormhole.packet.PacketState.SHED`
+          state and counts in ``stats.shed_packets``;
+        * ``"shed-oldest"`` -- the head of the source queue is shed to
+          make room and the new message is admitted normally.
+
+        Shed packets are *not* failures: they never fire the failure
+        hooks or ``abort`` events (a recovery layer must not retry a
+        deliberate load-shedding drop); they publish the cold ``shed``
+        bus kind instead.
+        """
+        adm = self.admission
+        if adm is not None and len(self.queues[src]) >= adm.capacity:
+            decision = adm.decide(self, src)
+            if decision == "block":
+                self.stats.throttled_packets += 1
+                if self.bus.enabled:
+                    self.bus.publish_throttle(self.env.now, src)
+                return None
+            if decision == "shed-newest":
+                p = Packet(
+                    self._next_pid, src, dst, length, created=self.env.now
+                )
+                self._next_pid += 1
+                p.state = PacketState.SHED
+                self.stats.shed_packets += 1
+                if self.bus.enabled:
+                    self.bus.publish_shed(self.env.now, p)
+                return p
+            if decision != "shed-oldest":
+                raise ValueError(
+                    f"unknown admission decision {decision!r} "
+                    "(expected 'block', 'shed-newest' or 'shed-oldest')"
+                )
+            victim = self.queues[src].popleft()
+            victim.state = PacketState.SHED
+            self.stats.shed_packets += 1
+            if self.bus.enabled:
+                self.bus.publish_shed(self.env.now, victim)
         p = Packet(self._next_pid, src, dst, length, created=self.env.now)
         self._next_pid += 1
         self.queues[src].append(p)
@@ -357,6 +427,8 @@ class WormholeEngine:
         self.cycles_run += 1
         if self.sanitizer is not None:
             self.sanitizer.check_cycle(self)
+        if self.watchdog is not None:
+            self.watchdog.on_cycle(self)
         if self.deadlock_watchdog:
             if self._progressed or self._active_packets == 0:
                 self._stalled_cycles = 0

@@ -24,6 +24,7 @@ class PacketState(Enum):
     ACTIVE = "active"        # header routing / flits moving
     DELIVERED = "delivered"  # tail consumed at the destination
     FAILED = "failed"        # killed: every next-hop channel is faulty
+    SHED = "shed"            # dropped by a bounded-admission policy
 
 
 class Packet:

@@ -74,6 +74,9 @@ def run_case(
     faults: bool = False,
     sanitize: bool = False,
     sink=None,
+    overload: str | None = None,
+    governed: bool = False,
+    watchdog: bool = False,
     run_cfg=CFG,
 ):
     """Run one seeded point under ``engine`` and snapshot its outcome.
@@ -83,6 +86,18 @@ def run_case(
     stream, simulator-kernel counters, and (with ``faults``) the
     injector's tallies.  Two snapshots compare equal iff the runs were
     bit-identical.
+
+    ``overload`` installs a deliberately tight
+    :class:`~repro.stability.BoundedQueue` in the named admission mode
+    so the policy actually acts during the short run; ``governed`` adds
+    an aggressive AIMD governor closing the injection loop (its default
+    latency_target=None keeps same-cycle rate updates commutative, so
+    the loop is order-insensitive within a cycle and hence
+    path-identical); ``watchdog`` arms a recovering
+    :class:`~repro.stability.ProgressWatchdog` with a
+    :class:`~repro.faults.recovery.SourceRetry` layer behind it.  The
+    snapshot then additionally carries the shed/throttle/stall counters
+    and the governor's final per-source rate vector.
     """
     network = NetworkConfig(kind)
     spec = WorkloadSpec(pattern=pattern)
@@ -97,7 +112,39 @@ def run_case(
         injector = None
         if faults:
             injector = fault_plan(eng).install(env, eng.network, eng)
+        governor = None
+        if overload is not None:
+            from repro.stability import AIMDConfig, AIMDGovernor, BoundedQueue
+
+            BoundedQueue(capacity=12, mode=overload).install(eng)
+            if governed:
+                governor = AIMDGovernor(
+                    eng,
+                    AIMDConfig(
+                        ai_step=0.02,
+                        md_factor=0.5,
+                        backlog_threshold=6,
+                        decrease_holdoff=64.0,
+                    ),
+                )
+        if watchdog:
+            from repro.faults.recovery import RetryPolicy, SourceRetry
+            from repro.stability import ProgressWatchdog
+
+            retry = SourceRetry(  # noqa: F841 -- holds the bus subscription
+                eng,
+                RetryPolicy(max_attempts=3, base_delay=32.0, max_delay=256.0),
+                root.fork(f"retry/{network.label}/{load}"),
+            )
+            eng.watchdog = ProgressWatchdog(
+                eng,
+                check_every=32,
+                stall_age=1024,
+                deadlock_after=256,
+                recover=True,
+            )
         workload = spec.builder(run_cfg)(load)
+        workload.governor = governor
         workload.install(
             env, eng, root.fork(f"workload/{network.label}/{load}")
         )
@@ -119,6 +166,7 @@ def run_case(
                 os.environ["REPRO_SANITIZE"] = saved_env
             channel_mod.release_observer = saved_observer
     stats = eng.stats
+    wd = eng.watchdog
     return (
         measurement,
         stats.offered_packets,
@@ -127,15 +175,27 @@ def run_case(
         stats.delivered_flits,
         stats.failed_packets,
         stats.max_queue_len,
+        stats.shed_packets,
+        stats.throttled_packets,
+        stats.stall_aborted_packets,
         tuple(stats.records),
         eng.cycles_run,
         env.now,
         env.events_scheduled,
         env.events_fired,
+        None if governor is None else tuple(governor.rates),
+        None
+        if wd is None
+        else (wd.aborted, wd.deadlocks, wd.livelocks,
+              tuple(map(_stall_tuple, wd.events))),
         None
         if injector is None
         else (injector.injected, injector.repaired, injector.killed_worms),
     )
+
+
+def _stall_tuple(e) -> tuple:
+    return (e.t, e.pid, e.age, e.verdict, e.recovered)
 
 
 class EventRecorder:

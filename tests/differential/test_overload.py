@@ -1,0 +1,75 @@
+"""Fast-vs-reference bit-identity under the overload toolkit.
+
+The stability subsystem (:mod:`repro.stability`) is wired into the
+engine's offer path (bounded admission), its cycle loop (progress
+watchdog) and its RNG-free control plane (AIMD governor reading cold
+bus events).  Each of those claims path-independence:
+
+* admission decisions depend only on the source queue length at offer
+  time -- process-driven state the schedulers already order
+  identically;
+* the governor's arithmetic is deterministic and its same-cycle rate
+  updates commute (default config: additive increases only on deliver),
+  so intra-cycle delivery-order differences between the engine paths
+  cannot leak into rates;
+* the watchdog samples per-worm progress signatures at cycle
+  boundaries from end-of-cycle engine state, exempting fast-path
+  free-running worms (progressing by construction) rather than reading
+  their stale counters.
+
+These tests drive every network well past its knee with a deliberately
+tight queue capacity, so shed/throttle/recovery machinery actually
+fires, and assert the complete snapshots -- measurement, delivery
+records, overload counters, final governor rate vectors, watchdog
+event streams -- are equal between the fast and reference engines.
+"""
+
+import pytest
+
+from tests.differential.harness import NETWORK_KINDS, assert_identical
+
+#: Past-saturation load for the tight capacity-12 admission queue.
+OVERLOAD = 0.9
+
+
+@pytest.mark.parametrize("kind", NETWORK_KINDS)
+@pytest.mark.parametrize("mode", ["block", "shed-newest", "shed-oldest"])
+def test_admission_modes_identical(kind, mode):
+    assert_identical(kind, "uniform", OVERLOAD, overload=mode)
+
+
+@pytest.mark.parametrize("kind", NETWORK_KINDS)
+def test_governed_overload_identical(kind):
+    assert_identical(
+        kind, "uniform", OVERLOAD, overload="shed-newest", governed=True
+    )
+
+
+@pytest.mark.parametrize("kind", NETWORK_KINDS)
+def test_watchdog_armed_identical(kind):
+    """A recovering watchdog (plus retry layer) must not perturb either
+    path: on deadlock-free fabrics under congestion it observes without
+    intervening, and its observations are cycle-boundary state."""
+    assert_identical(kind, "uniform", OVERLOAD, watchdog=True)
+
+
+def test_full_stack_identical():
+    """Admission + governor + watchdog together, the stability-sweep
+    configuration, on the two contention-heavy fabrics."""
+    for kind in ("tmin", "bmin"):
+        assert_identical(
+            kind,
+            "uniform",
+            OVERLOAD,
+            overload="shed-oldest",
+            governed=True,
+            watchdog=True,
+        )
+
+
+def test_block_mode_sanitized_identical():
+    """Backpressure mode with the runtime sanitizer armed on both
+    paths: the sanitizer's invariants must hold while offers bounce."""
+    assert_identical(
+        "dmin", "uniform", OVERLOAD, overload="block", sanitize=True
+    )

@@ -164,6 +164,60 @@ def test_sequential_retry_recovers_transient_crash(tmp_path, monkeypatch):
     assert result.points == seq.points
 
 
+def test_cooperative_deadline_fires_inside_the_simulation_loop():
+    """set_point_deadline + a practically endless point: the simulation
+    loop's cooperative check converts the overrun into PointTimeout."""
+    from repro.experiments.runner import (
+        PointTimeout,
+        run_point,
+        set_point_deadline,
+    )
+
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    endless = replace(
+        QUICK, warmup_packets=10**9, measure_packets=10**9,
+        max_cycles=10**9,
+    )
+    set_point_deadline(0.3)
+    try:
+        with pytest.raises(PointTimeout):
+            run_point(net, spec.builder(endless), 0.5, endless)
+    finally:
+        set_point_deadline(None)
+    # One timeout per arming: a fresh (undeadlined) point runs fine.
+    assert run_point(net, spec.builder(QUICK), 0.2, QUICK).cycles > 0
+
+
+def test_deadline_validation_and_disarm():
+    from repro.experiments.runner import set_point_deadline
+
+    with pytest.raises(ValueError):
+        set_point_deadline(0.0)
+    set_point_deadline(None)  # disarm is always legal
+
+
+def test_cutoff_works_in_a_worker_thread():
+    """SIGALRM cannot be armed outside the main thread; the cooperative
+    deadline can.  _alarmed_runner in a thread pool must still cut the
+    point off (and must not die on signal.signal)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.experiments.parallel import _alarmed_runner
+
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    endless = replace(
+        QUICK, warmup_packets=10**9, measure_packets=10**9,
+        max_cycles=10**9,
+    )
+    task = (net, spec, 0.5, endless)
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        fut = pool.submit(_alarmed_runner, (_point_task, 0.3, task))
+        with pytest.raises(TimeoutError):
+            fut.result(timeout=60)
+
+
 def test_per_point_timeout_converts_hang_to_error():
     net = NetworkConfig("dmin", k=2, n=3)
     spec = WorkloadSpec(k=2, n=3)

@@ -1,0 +1,132 @@
+"""Bisection unit tests for find_saturation with a stubbed probe --
+no simulation runs, so the search logic (bracketing, edge statuses,
+tolerance, iteration cap) is tested exactly."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.saturation import (
+    CONVERGED,
+    HI_SUSTAINABLE,
+    LO_SATURATED,
+    SaturationPoint,
+    find_saturation,
+)
+from repro.metrics.collector import SUSTAINABILITY_QUEUE_LIMIT
+
+
+@dataclass(frozen=True)
+class FakeMeasurement:
+    sustainable: bool
+    throughput_percent: float = 50.0
+    avg_latency: float = 200.0
+
+
+class KneeProbe:
+    """Sustainable strictly below ``knee``; records every probed load."""
+
+    def __init__(self, knee: float) -> None:
+        self.knee = knee
+        self.probed: list[float] = []
+
+    def __call__(self, load: float) -> FakeMeasurement:
+        self.probed.append(load)
+        return FakeMeasurement(
+            sustainable=load <= self.knee,
+            throughput_percent=100.0 * min(load, self.knee),
+        )
+
+
+NET = NetworkConfig("tmin")
+
+
+def wb(load):  # never called: the stub probe short-circuits run_point
+    raise AssertionError("stubbed probe must bypass the workload builder")
+
+
+def test_bisection_converges_to_the_knee():
+    probe = KneeProbe(knee=0.42)
+    sat = find_saturation(
+        NET, wb, SMOKE, lo=0.05, hi=1.0, tolerance=0.01, probe=probe
+    )
+    assert sat.status == CONVERGED
+    assert sat.bracketed
+    # The returned load is sustainable and within tolerance of the knee.
+    assert sat.load <= 0.42
+    assert 0.42 - sat.load <= 0.01
+    assert sat.iterations == len(probe.probed)
+
+
+def test_bisection_only_probes_inside_the_bracket():
+    probe = KneeProbe(knee=0.3)
+    find_saturation(NET, wb, SMOKE, lo=0.1, hi=0.9, probe=probe)
+    assert all(0.1 <= load <= 0.9 for load in probe.probed)
+
+
+def test_lo_saturated_returns_explicit_status():
+    probe = KneeProbe(knee=0.01)  # even lo=0.05 is past the knee
+    sat = find_saturation(NET, wb, SMOKE, lo=0.05, hi=1.0, probe=probe)
+    assert sat.status == LO_SATURATED
+    assert not sat.bracketed
+    assert sat.load == 0.05
+    assert sat.iterations == 1  # the search stops immediately
+    assert "below" in str(sat)
+
+
+def test_hi_sustainable_short_circuits():
+    probe = KneeProbe(knee=2.0)  # everything sustains
+    sat = find_saturation(NET, wb, SMOKE, lo=0.05, hi=1.0, probe=probe)
+    assert sat.status == HI_SUSTAINABLE
+    assert sat.load == 1.0
+    assert sat.iterations == 2  # lo probe + hi probe, nothing else
+    assert "sustains up to" in str(sat)
+
+
+def test_iteration_cap_bounds_the_search():
+    probe = KneeProbe(knee=0.3333333)
+    sat = find_saturation(
+        NET, wb, SMOKE, tolerance=1e-9, max_iterations=6, probe=probe
+    )
+    assert sat.iterations == 6
+    assert len(probe.probed) == 6
+    assert sat.status == CONVERGED
+
+
+def test_queue_limit_recorded_on_the_point():
+    probe = KneeProbe(knee=0.4)
+    sat = find_saturation(NET, wb, SMOKE, probe=probe, queue_limit=64)
+    assert sat.queue_limit == 64
+    default = find_saturation(NET, wb, SMOKE, probe=KneeProbe(0.4))
+    assert default.queue_limit == SUSTAINABILITY_QUEUE_LIMIT
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        find_saturation(NET, wb, SMOKE, lo=0.5, hi=0.4)
+    with pytest.raises(ValueError):
+        find_saturation(NET, wb, SMOKE, tolerance=0.0)
+    with pytest.raises(ValueError):
+        find_saturation(NET, wb, SMOKE, max_iterations=1)
+    with pytest.raises(ValueError):
+        SaturationPoint(0.5, 50.0, 100.0, 3, status="divergent")
+
+
+def test_monotone_probe_sequence_is_a_true_bisection():
+    """Each unsustainable probe halves the bracket from above, each
+    sustainable one from below: loads alternate inside a shrinking
+    interval."""
+    probe = KneeProbe(knee=0.55)
+    sat = find_saturation(
+        NET, wb, SMOKE, lo=0.1, hi=1.0, tolerance=0.02, probe=probe
+    )
+    assert sat.status == CONVERGED
+    lo_bound, hi_bound = 0.1, 1.0
+    for load in probe.probed[2:]:  # after the two bracket probes
+        assert lo_bound < load < hi_bound
+        if load <= 0.55:
+            lo_bound = load
+        else:
+            hi_bound = load
+    assert hi_bound - lo_bound <= 0.02 or sat.iterations >= 12

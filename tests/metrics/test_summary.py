@@ -111,6 +111,9 @@ def test_measurement_row_and_report_columns():
         "failed_packets",
         "retried_packets",
         "dropped_packets",
+        "shed_packets",
+        "throttled_packets",
+        "stall_aborted_packets",
     }
     # Cells render with the declared width; nan shows as '-'.
     p99_col = next(c for c in clean if c.name == "p99_latency")

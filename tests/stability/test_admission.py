@@ -1,0 +1,140 @@
+"""Bounded-admission policy tests: the three overflow modes, the
+counters they feed, and the invariant they exist for (queue memory
+never exceeds capacity)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.stability import (
+    ADMISSION_MODES,
+    BLOCK,
+    SHED_NEWEST,
+    SHED_OLDEST,
+    BoundedQueue,
+)
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import PacketState
+
+
+def make_engine():
+    env = Environment()
+    eng = WormholeEngine(env, build_network("tmin", 2, 3), rng=RandomStream(3))
+    return env, eng
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BoundedQueue(capacity=0)
+    with pytest.raises(ValueError):
+        BoundedQueue(mode="evict-random")
+    assert set(ADMISSION_MODES) == {BLOCK, SHED_NEWEST, SHED_OLDEST}
+
+
+def test_install_chains():
+    _, eng = make_engine()
+    policy = BoundedQueue(capacity=4).install(eng)
+    assert eng.admission is policy
+
+
+def test_unbounded_by_default():
+    _, eng = make_engine()
+    assert eng.admission is None
+    for _ in range(300):
+        assert eng.offer(0, 7, 4) is not None
+    assert eng.queue_length(0) >= 299  # one may have injected
+    assert eng.stats.shed_packets == 0
+    assert eng.stats.throttled_packets == 0
+
+
+def test_block_refuses_and_counts():
+    _, eng = make_engine()
+    BoundedQueue(capacity=3, mode=BLOCK).install(eng)
+    admitted = [eng.offer(0, 7, 4) for _ in range(10)]
+    accepted = [p for p in admitted if p is not None]
+    refused = [p for p in admitted if p is None]
+    assert len(refused) == 10 - len(accepted)
+    assert refused  # the tiny capacity definitely overflowed
+    assert eng.stats.throttled_packets == len(refused)
+    assert eng.stats.shed_packets == 0
+    assert eng.queue_length(0) <= 3
+
+
+def test_shed_newest_drops_the_newcomer():
+    _, eng = make_engine()
+    BoundedQueue(capacity=3, mode=SHED_NEWEST).install(eng)
+    kept = [eng.offer(0, 7, 4) for _ in range(4)]
+    tail = eng.offer(0, 7, 4)
+    assert tail is not None and tail.state is PacketState.SHED
+    assert eng.stats.shed_packets >= 1
+    # The earlier messages survived (first may have gone ACTIVE).
+    survivors = [p for p in kept if p.state is not PacketState.SHED]
+    assert len(survivors) >= 3
+    assert eng.queue_length(0) <= 3
+
+
+def test_shed_oldest_drops_the_head():
+    _, eng = make_engine()
+    BoundedQueue(capacity=3, mode=SHED_OLDEST).install(eng)
+    offered = [eng.offer(0, 7, 4) for _ in range(8)]
+    assert all(p is not None for p in offered)
+    # The newcomers were admitted; overflow fell on queue heads.
+    assert offered[-1].state is not PacketState.SHED
+    assert eng.stats.shed_packets >= 1
+    assert any(p.state is PacketState.SHED for p in offered[:-1])
+    assert eng.queue_length(0) <= 3
+
+
+@pytest.mark.parametrize("mode", ADMISSION_MODES)
+def test_capacity_respected_under_sustained_overload(mode):
+    env, eng = make_engine()
+    BoundedQueue(capacity=5, mode=mode).install(eng)
+    rs = RandomStream(11)
+    for _ in range(400):
+        src = rs.uniform_int(0, 7)
+        dst = rs.uniform_int(0, 7)
+        if dst == src:
+            dst = (dst + 1) % 8
+        eng.offer(src, dst, 6)
+    assert max(eng.queue_length(n) for n in range(8)) <= 5
+    assert eng.stats.max_queue_len <= 5
+    eng.drain(max_cycles=200_000)
+    assert eng.idle
+
+
+def test_shed_packets_are_not_failures():
+    """Shed is a deliberate drop: no failure hooks, no abort events."""
+    _, eng = make_engine()
+    events = []
+
+    class Sink:
+        def on_abort(self, t, p):
+            events.append(("abort", p.pid))
+
+        def on_shed(self, t, p):
+            events.append(("shed", p.pid))
+
+    eng.bus.attach(Sink())
+    BoundedQueue(capacity=2, mode=SHED_NEWEST).install(eng)
+    for _ in range(6):
+        eng.offer(0, 7, 4)
+    kinds = {k for k, _ in events}
+    assert "shed" in kinds and "abort" not in kinds
+    assert eng.stats.failed_packets == 0
+
+
+def test_decide_hook_is_overridable():
+    """Subclasses may pick the mode per overflow from live state."""
+
+    class AgeAware(BoundedQueue):
+        def decide(self, engine, src):
+            # Block even sources, shed odd ones.
+            return BLOCK if src % 2 == 0 else SHED_NEWEST
+
+    _, eng = make_engine()
+    AgeAware(capacity=1).install(eng)
+    for _ in range(4):
+        eng.offer(2, 7, 4)
+        eng.offer(3, 7, 4)
+    assert eng.stats.throttled_packets >= 1
+    assert eng.stats.shed_packets >= 1

@@ -1,0 +1,156 @@
+"""AIMD governor unit tests (stubbed engine) plus one closed-loop
+integration check (real engine, bounded admission, overload)."""
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.stability import AIMDConfig, AIMDGovernor, BoundedQueue
+from repro.wormhole import WormholeEngine, build_network
+from repro.wormhole.packet import Packet
+
+
+class StubNetwork:
+    N = 4
+
+
+class StubEngine:
+    """Just enough engine for the governor: a network size, a bus, and
+    controllable queue lengths."""
+
+    def __init__(self) -> None:
+        self.network = StubNetwork()
+        self.bus = EventBus()
+        self.qlen = {n: 0 for n in range(4)}
+
+    def queue_length(self, node: int) -> int:
+        return self.qlen[node]
+
+
+def pkt(pid, src=0, dst=1, length=8, created=0.0):
+    return Packet(pid, src, dst, length, created=created)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AIMDConfig(min_rate=0.0)
+    with pytest.raises(ValueError):
+        AIMDConfig(min_rate=0.9, max_rate=0.5)
+    with pytest.raises(ValueError):
+        AIMDConfig(ai_step=0.0)
+    with pytest.raises(ValueError):
+        AIMDConfig(md_factor=1.0)
+    with pytest.raises(ValueError):
+        AIMDConfig(backlog_threshold=0)
+    with pytest.raises(ValueError):
+        AIMDConfig(latency_target=-1.0)
+    with pytest.raises(ValueError):
+        AIMDConfig(decrease_holdoff=-1.0)
+
+
+def test_starts_at_max_rate_and_attaches():
+    eng = StubEngine()
+    g = AIMDGovernor(eng)
+    assert g.rate_of(2) == 1.0
+    assert g.mean_rate() == 1.0
+    assert eng.bus.enabled  # attached as a sink
+
+
+def test_multiplicative_decrease_on_shed_with_holdoff():
+    eng = StubEngine()
+    g = AIMDGovernor(eng, AIMDConfig(md_factor=0.5, decrease_holdoff=100.0))
+    g.on_shed(10.0, pkt(1, src=2))
+    assert g.rate_of(2) == 0.5
+    # Within the holdoff: one cut per congestion episode.
+    g.on_shed(50.0, pkt(2, src=2))
+    assert g.rate_of(2) == 0.5
+    # Past the holdoff: the next episode cuts again.
+    g.on_shed(200.0, pkt(3, src=2))
+    assert g.rate_of(2) == 0.25
+    assert g.decreases == 2
+
+
+def test_rate_floor():
+    eng = StubEngine()
+    g = AIMDGovernor(
+        eng, AIMDConfig(md_factor=0.1, min_rate=0.05, decrease_holdoff=0.0)
+    )
+    for i in range(10):
+        g.on_throttle(float(i * 1000), 1)
+    assert g.rate_of(1) == pytest.approx(0.05)
+
+
+def test_additive_increase_on_clean_delivery_and_ceiling():
+    eng = StubEngine()
+    g = AIMDGovernor(eng, AIMDConfig(ai_step=0.3, decrease_holdoff=0.0))
+    g.on_shed(0.0, pkt(1, src=0))  # down to 0.5
+    g.on_deliver(10.0, pkt(2, src=0, created=5.0))
+    assert g.rate_of(0) == pytest.approx(0.8)
+    g.on_deliver(11.0, pkt(3, src=0, created=6.0))
+    g.on_deliver(12.0, pkt(4, src=0, created=7.0))
+    assert g.rate_of(0) == 1.0  # clamped at max_rate
+    assert g.increases == 2  # the ceiling hit does not count
+
+
+def test_backlog_signal_on_offer():
+    eng = StubEngine()
+    g = AIMDGovernor(eng, AIMDConfig(backlog_threshold=8))
+    eng.qlen[3] = 8
+    g.on_offer(1.0, pkt(1, src=3))
+    assert g.rate_of(3) == 1.0  # at threshold: no signal
+    eng.qlen[3] = 9
+    g.on_offer(2.0, pkt(2, src=3))
+    assert g.rate_of(3) == 0.5
+
+
+def test_latency_target_drives_decrease():
+    eng = StubEngine()
+    g = AIMDGovernor(
+        eng, AIMDConfig(latency_target=100.0, decrease_holdoff=0.0)
+    )
+    g.on_deliver(250.0, pkt(1, src=0, created=0.0))  # 250 cycles: too slow
+    assert g.rate_of(0) == 0.5
+    g.on_deliver(300.0, pkt(2, src=0, created=250.0))  # 50 cycles: clean
+    assert g.rate_of(0) == pytest.approx(0.51)
+
+
+def test_rate_changes_published_on_bus():
+    eng = StubEngine()
+    seen = []
+
+    class Sink:
+        def on_rate(self, t, node, rate):
+            seen.append((t, node, rate))
+
+    eng.bus.attach(Sink())
+    g = AIMDGovernor(eng, AIMDConfig(decrease_holdoff=0.0))
+    g.on_shed(5.0, pkt(1, src=2))
+    g.on_deliver(9.0, pkt(2, src=2, created=1.0))
+    assert seen == [(5.0, 2, 0.5), (9.0, 2, 0.51)]
+
+
+def test_closed_loop_backs_off_under_overload():
+    """On a real engine at overload, the loop must actually cut rates:
+    the governed fleet ends well below full injection."""
+    env = Environment()
+    eng = WormholeEngine(
+        env, build_network("tmin", 4, 3), rng=RandomStream(5)
+    )
+    BoundedQueue(capacity=16).install(eng)
+    governor = AIMDGovernor(
+        eng, AIMDConfig(backlog_threshold=8, decrease_holdoff=128.0)
+    )
+    from repro.experiments.config import SMOKE
+    from repro.experiments.workload_spec import WorkloadSpec
+
+    spec = WorkloadSpec()
+    workload = spec.builder(SMOKE)(1.5)  # far past saturation
+    workload.governor = governor
+    root = RandomStream(SMOKE.seed, name="root")
+    workload.install(env, eng, root.fork("workload"))
+    eng.start()
+    env.run(until=15_000)
+    assert governor.decreases > 0
+    assert governor.mean_rate() < 0.9
+    assert eng.stats.max_queue_len <= 16

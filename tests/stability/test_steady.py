@@ -1,0 +1,101 @@
+"""MSER truncation + stability classification unit tests (pure
+functions over synthetic series, so expectations are exact)."""
+
+import math
+
+import pytest
+
+from repro.stability import (
+    COLLAPSED,
+    METASTABLE,
+    STABLE,
+    analyze_series,
+    classify,
+    mser_truncation,
+)
+
+
+def test_mser_short_series_returns_zero():
+    assert mser_truncation([]) == 0
+    assert mser_truncation([1.0, 2.0, 3.0]) == 0
+
+
+def test_mser_flat_series_keeps_everything():
+    assert mser_truncation([5.0] * 40) == 0
+
+
+def test_mser_removes_warmup_transient():
+    # A ramp-up prefix followed by a flat steady state: the minimum
+    # standard error is achieved exactly at the end of the ramp.
+    series = [0.0, 1.0, 2.0, 3.0] + [10.0] * 36
+    assert mser_truncation(series) == 4
+
+
+def test_mser_never_discards_the_majority():
+    # A series that keeps drifting: truncation is capped at n // 2.
+    series = [float(i) for i in range(30)]
+    assert mser_truncation(series) <= 15
+
+
+def test_analyze_empty_series():
+    s = analyze_series([])
+    assert s.samples == 0 and math.isnan(s.mean)
+
+
+def test_analyze_flat_series():
+    s = analyze_series([4.0] * 20)
+    assert s.truncation == 0
+    assert s.retained == 20
+    assert s.mean == pytest.approx(4.0)
+    assert s.cv == pytest.approx(0.0)
+    assert s.drift == pytest.approx(0.0)
+
+
+def test_analyze_detects_drift():
+    # A continuous decline survives truncation (every suffix still
+    # declines), so the retained tail's late half sits clearly below
+    # its early half.
+    series = [10.0 - 0.2 * i for i in range(40)]
+    s = analyze_series(series)
+    assert s.drift < -0.2
+
+
+def test_classify_stable():
+    s = analyze_series([0.5 + 0.001 * (i % 2) for i in range(32)])
+    assert classify(s, knee_throughput=0.5) == STABLE
+
+
+def test_classify_collapsed_against_knee():
+    s = analyze_series([0.2] * 32)  # well below a 0.5 knee at ratio 0.75
+    assert classify(s, knee_throughput=0.5) == COLLAPSED
+
+
+def test_classify_metastable_on_oscillation():
+    series = [0.8 if i % 2 else 0.2 for i in range(32)]
+    s = analyze_series(series)
+    assert s.cv > 0.35
+    assert classify(s, knee_throughput=0.5) == METASTABLE
+
+
+def test_classify_metastable_on_drift():
+    # A slow continuous decline: mean still near the knee (not
+    # collapsed), variability low, but the retained tail drifts.
+    series = [0.6 - 0.005 * i for i in range(40)]
+    s = analyze_series(series)
+    assert classify(s, knee_throughput=0.5, drift_limit=0.1) == METASTABLE
+
+
+def test_classify_without_knee_skips_collapse_test():
+    s = analyze_series([0.2] * 32)
+    assert classify(s, knee_throughput=None) == STABLE
+
+
+def test_classify_empty_is_metastable():
+    assert classify(analyze_series([]), knee_throughput=0.5) == METASTABLE
+
+
+def test_classify_thresholds_are_parameters():
+    series = [0.45] * 32
+    s = analyze_series(series)
+    assert classify(s, 0.5, collapse_ratio=0.75) == STABLE
+    assert classify(s, 0.5, collapse_ratio=0.95) == COLLAPSED
