@@ -1,0 +1,151 @@
+"""Perf gate of the sweep service's content-addressed cache.
+
+Times one job served **cold** (every point computed by the supervised
+worker pool) against the identical job re-submitted **warm** (every
+point answered from the content-addressed cache), and gates on the
+ratio: the issue's acceptance bar is a >= 10x warm speedup.  The ratio,
+not absolute seconds, is compared, so the gate is stable across
+machines of different speed.
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # rebaseline
+    PYTHONPATH=src python benchmarks/bench_serve.py --check   # CI gate
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # tiny grid
+
+The warm run must also be *correct*: the gate asserts it served every
+unique point from cache and computed nothing.
+"""
+
+import pathlib
+import sys
+
+# Standalone-script bootstrap (mirrors bench_engine.py): make
+# `python benchmarks/bench_serve.py` work without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+HARD_FLOOR = 10.0  # the acceptance bar: warm must be >= 10x faster
+
+
+def _spec(smoke: bool):
+    from repro.experiments.config import PRESETS, NetworkConfig
+    from repro.experiments.workload_spec import WorkloadSpec
+    from repro.serve.job import JobSpec
+
+    if smoke:
+        networks = (NetworkConfig("dmin", k=2, n=3),)
+        loads, seeds = (0.2, 0.4), (1,)
+    else:
+        networks = (NetworkConfig("dmin"), NetworkConfig("tmin"))
+        loads, seeds = (0.2, 0.4, 0.6), (1, 2)
+    return JobSpec(
+        networks=networks,
+        run=PRESETS["smoke"],
+        workload=WorkloadSpec(),
+        loads=loads,
+        seeds=seeds,
+    )
+
+
+def run_gate(smoke: bool = False, workers: int = 2) -> dict:
+    import tempfile
+    import time
+
+    from repro.serve.service import SweepService
+    from repro.serve.supervisor import SupervisePolicy
+
+    spec = _spec(smoke)
+    clock = time.perf_counter  # lint-sim: ignore[RPV002] -- harness wall time
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+        service = SweepService(
+            cache=pathlib.Path(tmp) / "cache",
+            policy=SupervisePolicy(workers=workers),
+        )
+        t0 = clock()
+        cold = service.run_job_sync(spec)
+        cold_s = clock() - t0
+        assert cold.complete, f"cold run incomplete: {cold.incomplete}"
+        assert cold.counts["computed"] == cold.counts["unique"]
+
+        t0 = clock()
+        warm = service.run_job_sync(spec)
+        warm_s = clock() - t0
+        assert warm.complete
+        assert warm.counts["cached"] == warm.counts["unique"], (
+            f"warm run missed the cache: {warm.counts}"
+        )
+        assert warm.counts["computed"] == 0
+
+    return {
+        "schema": 1,
+        "scenario": {
+            "networks": [n.label for n in spec.networks],
+            "preset": "smoke",
+            "loads": list(spec.effective_loads),
+            "seeds": list(spec.effective_seeds),
+            "unique_points": cold.counts["unique"],
+            "workers": workers,
+            "smoke": smoke,
+        },
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="sweep-service perf gate: cold compute vs warm cache"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny 8-node grid (CI); never rewrites the baseline",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+    path = pathlib.Path(__file__).parent / "BENCH_serve.json"
+
+    record = run_gate(smoke=args.smoke, workers=args.workers)
+    print(
+        f"cold {record['cold_seconds']:.2f}s   "
+        f"warm {record['warm_seconds']*1000:.1f}ms   "
+        f"speedup {record['speedup']:.0f}x "
+        f"({record['scenario']['unique_points']} unique points)"
+    )
+    if record["speedup"] < HARD_FLOOR:
+        print(
+            f"FAIL: warm speedup {record['speedup']:.1f}x is below the "
+            f"{HARD_FLOOR:.0f}x acceptance floor -- the cache path regressed"
+        )
+        return 1
+
+    if args.smoke:
+        print(f"ok: cache holds >= {HARD_FLOOR:.0f}x on the smoke grid")
+        return 0
+    if not args.check:
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0
+
+    baseline = json.loads(path.read_text())
+    if record["scenario"] != baseline["scenario"]:
+        print("NOTE: benchmark scenario changed; rebaseline before gating")
+    print(
+        f"baseline speedup {baseline['speedup']:.0f}x; "
+        f"hard floor {HARD_FLOOR:.0f}x"
+    )
+    print("ok: cache holds its speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

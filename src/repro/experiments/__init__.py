@@ -74,6 +74,7 @@ from repro.experiments.stability import (
 )
 from repro.experiments.workload_spec import WorkloadSpec
 from repro.experiments.parallel import (
+    DispatchStats,
     ProgressFn,
     SweepCheckpoint,
     parallel_matrix,
@@ -93,6 +94,7 @@ from repro.experiments.availability import (
 __all__ = [
     "AvailabilityPoint",
     "AvailabilityResult",
+    "DispatchStats",
     "CONVERGED",
     "HI_SUSTAINABLE",
     "LOAD_FACTORS",

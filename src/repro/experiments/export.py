@@ -43,15 +43,29 @@ def sweep_rows(sweep: SweepResult) -> list[dict]:
     return rows
 
 
-def write_figure_csv(fig: FigureResult, path: Union[str, Path]) -> Path:
-    """Write every series of a figure as long-form CSV; returns the path."""
+def write_rows_csv(
+    rows, fields: list[str], path: Union[str, Path]
+) -> Path:
+    """Write dict rows under a fixed header; returns the path.
+
+    The shared CSV back end of the figure exporter and the sweep
+    service's manifest exporter (:mod:`repro.serve.export`).
+    """
     path = Path(path)
     with path.open("w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+        writer = csv.DictWriter(fh, fieldnames=fields)
         writer.writeheader()
-        for sweep in fig.series:
-            writer.writerows(sweep_rows(sweep))
+        writer.writerows(rows)
     return path
+
+
+def write_figure_csv(fig: FigureResult, path: Union[str, Path]) -> Path:
+    """Write every series of a figure as long-form CSV; returns the path."""
+    return write_rows_csv(
+        [row for sweep in fig.series for row in sweep_rows(sweep)],
+        CSV_FIELDS,
+        path,
+    )
 
 
 def _jsonable(value):

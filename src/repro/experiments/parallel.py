@@ -27,17 +27,23 @@ Robustness (long sweeps survive their infrastructure):
   :class:`~repro.experiments.runner.LoadPoint` with ``measurement=None``
   and the error string attached, so every completed point is kept;
 * **checkpoint/resume** -- ``checkpoint="sweep.json"`` persists each
-  finished point as it lands; re-running with the same path skips them.
+  finished point as it lands; re-running with the same path skips them
+  (a corrupt/truncated checkpoint is quarantined to ``*.corrupt`` and
+  the sweep restarts cleanly);
+* **dedupe before dispatch** -- identical ``(network, spec, load)``
+  entries simulate once and fan out; the fold is reported in
+  ``SweepResult.dispatch`` (:class:`DispatchStats`).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
+import logging
 import os
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
@@ -49,7 +55,12 @@ from repro.experiments.runner import (
     set_point_deadline,
 )
 from repro.experiments.workload_spec import WorkloadSpec
-from repro.metrics.collector import Measurement
+from repro.metrics.collector import (
+    measurement_from_dict,
+    measurement_to_dict,
+)
+
+logger = logging.getLogger(__name__)
 
 #: One task: (network, spec, load, run_cfg); its key inside a matrix is
 #: (network.label, load).
@@ -125,12 +136,21 @@ def _task_key(task: PointTask) -> str:
 # ------------------------------------------------------------- checkpointing
 
 
-def _measurement_to_dict(m: Measurement) -> dict:
-    return dataclasses.asdict(m)
+@dataclass(frozen=True)
+class DispatchStats:
+    """How the parallel runner actually served one phase of tasks.
 
+    ``requested`` counts the tasks handed in, ``unique`` the distinct
+    ``(network, spec, load)`` keys left after dedupe, ``deduplicated``
+    the duplicates folded onto a representative, and ``checkpointed``
+    how many of the unique keys were answered from a resume checkpoint
+    without any dispatch at all.
+    """
 
-def _measurement_from_dict(d: dict) -> Measurement:
-    return Measurement(**d)
+    requested: int
+    unique: int
+    deduplicated: int
+    checkpointed: int = 0
 
 
 class SweepCheckpoint:
@@ -139,18 +159,44 @@ class SweepCheckpoint:
     The file is rewritten atomically (write-temp-then-rename) after each
     completed point, so an interrupted sweep resumes from the last point
     that finished, never from a torn file.
+
+    Loading is crash-tolerant too: a truncated, corrupt or structurally
+    alien checkpoint (e.g. a torn write from a pre-atomic tool, or a
+    file from a different schema) is logged, renamed to
+    ``<name>.corrupt`` beside the original, and the sweep restarts
+    cleanly from zero instead of raising.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._done: dict[str, LoadPoint] = {}
         if self.path.exists():
-            payload = json.loads(self.path.read_text())
-            for key, entry in payload.get("points", {}).items():
-                self._done[key] = LoadPoint(
-                    entry["offered_load"],
-                    _measurement_from_dict(entry["measurement"]),
+            try:
+                self._load()
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    AttributeError) as exc:
+                quarantined = self.path.with_name(self.path.name + ".corrupt")
+                serial = 0
+                while quarantined.exists():
+                    serial += 1
+                    quarantined = self.path.with_name(
+                        f"{self.path.name}.corrupt.{serial}"
+                    )
+                os.replace(self.path, quarantined)
+                self._done = {}
+                logger.warning(
+                    "checkpoint %s is corrupt (%s: %s); moved to %s, "
+                    "restarting the sweep from scratch",
+                    self.path, type(exc).__name__, exc, quarantined,
                 )
+
+    def _load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        for key, entry in payload.get("points", {}).items():
+            self._done[key] = LoadPoint(
+                entry["offered_load"],
+                measurement_from_dict(entry["measurement"]),
+            )
 
     def __len__(self) -> int:
         return len(self._done)
@@ -173,7 +219,7 @@ class SweepCheckpoint:
             "points": {
                 key: {
                     "offered_load": p.offered_load,
-                    "measurement": _measurement_to_dict(p.measurement),
+                    "measurement": measurement_to_dict(p.measurement),
                 }
                 for key, p in self._done.items()
             },
@@ -207,26 +253,53 @@ def _run_tasks(
     point_runner: PointRunner,
     checkpoint: Optional[SweepCheckpoint],
     progress: Optional[ProgressFn] = None,
-) -> list[LoadPoint]:
-    """Run every task crash-tolerantly; returns points in task order."""
+) -> tuple[list[LoadPoint], DispatchStats]:
+    """Run every task crash-tolerantly; returns points in task order.
+
+    Identical tasks -- same ``(network, spec, load)`` key -- are folded
+    onto one representative before dispatch, so a spec that names the
+    same point twice simulates it once; every duplicate index receives
+    the representative's result.  The fold is reported in the returned
+    :class:`DispatchStats`.
+    """
     total = len(tasks)
+
+    # Dedupe: first index with a given key computes, the rest fan out.
+    rep_of_key: dict[str, int] = {}
+    fanout: list[int] = []
+    for i, task in enumerate(tasks):
+        fanout.append(rep_of_key.setdefault(_task_key(task), i))
+    unique_idx = [i for i, rep in enumerate(fanout) if rep == i]
+    if len(unique_idx) < total:
+        logger.info(
+            "deduplicated %d duplicate point(s): %d requested -> %d dispatched",
+            total - len(unique_idx), total, len(unique_idx),
+        )
 
     def _tick(i: int) -> None:
         if progress is not None:
-            progress(len(results), total, _task_key(tasks[i]))
+            progress(len(results), len(unique_idx), _task_key(tasks[i]))
 
     results: dict[int, LoadPoint] = {}
     pending_idx: list[int] = []
+    checkpointed = 0
     if checkpoint is not None:
-        for i, task in enumerate(tasks):
-            done = checkpoint.get(task)
+        for i in unique_idx:
+            done = checkpoint.get(tasks[i])
             if done is not None:
                 results[i] = done
+                checkpointed += 1
                 _tick(i)
             else:
                 pending_idx.append(i)
     else:
-        pending_idx = list(range(len(tasks)))
+        pending_idx = list(unique_idx)
+    stats = DispatchStats(
+        requested=total,
+        unique=len(unique_idx),
+        deduplicated=total - len(unique_idx),
+        checkpointed=checkpointed,
+    )
 
     failed: dict[int, str] = {}
     if pending_idx:
@@ -308,7 +381,8 @@ def _run_tasks(
             results[i] = LoadPoint(tasks[i][2], None, error=error)
         _tick(i)
 
-    return [results[i] for i in range(len(tasks))]
+    # Fan the representatives' results out to their duplicates.
+    return [results[fanout[i]] for i in range(len(tasks))], stats
 
 
 # ------------------------------------------------------------- entry points
@@ -344,11 +418,14 @@ def parallel_sweep(
     loads = tuple(loads) if loads is not None else run_cfg.loads
     tasks = [(network, spec, load, run_cfg) for load in loads]
     ckpt = _coerce_checkpoint(checkpoint)
-    points = _run_tasks(
+    points, stats = _run_tasks(
         tasks, max_workers, timeout, retries, backoff, point_runner, ckpt,
         progress,
     )
-    return SweepResult(label or f"{network.label} / {spec.label}", tuple(points))
+    return SweepResult(
+        label or f"{network.label} / {spec.label}", tuple(points),
+        dispatch=stats,
+    )
 
 
 def parallel_matrix(
@@ -372,7 +449,7 @@ def parallel_matrix(
         for load in loads
     ]
     ckpt = _coerce_checkpoint(checkpoint)
-    flat = _run_tasks(
+    flat, stats = _run_tasks(
         tasks, max_workers, timeout, retries, backoff, point_runner, ckpt,
         progress,
     )
@@ -380,7 +457,9 @@ def parallel_matrix(
     for i, network in enumerate(networks):
         chunk = tuple(flat[i * len(loads) : (i + 1) * len(loads)])
         out.append(
-            SweepResult(f"{network.label} / {spec.label}", chunk)
+            SweepResult(
+                f"{network.label} / {spec.label}", chunk, dispatch=stats
+            )
         )
     return out
 

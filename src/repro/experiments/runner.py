@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.experiments.config import NetworkConfig, RunConfig
@@ -83,7 +83,23 @@ def set_point_deadline(seconds: Optional[float]) -> None:
     _point_deadline.at = time.monotonic() + seconds  # lint-sim: ignore[RPV002]
 
 
+#: Per-thread liveness callback beaten from the simulation loop at the
+#: same cadence as the deadline check (every ``_CHUNK`` sim-cycles), so
+#: a supervisor can distinguish "long point, still advancing" from
+#: "worker wedged" (see :class:`repro.obs.progress.HeartbeatSlot` and
+#: :mod:`repro.serve.supervisor`).
+_point_heartbeat = threading.local()
+
+
+def set_point_heartbeat(beat: Optional[Callable[[], None]]) -> None:
+    """Install (or with None, remove) this thread's liveness beat."""
+    _point_heartbeat.fn = beat
+
+
 def _check_point_deadline() -> None:
+    beat = getattr(_point_heartbeat, "fn", None)
+    if beat is not None:
+        beat()
     at = getattr(_point_deadline, "at", None)
     if at is not None and time.monotonic() > at:  # lint-sim: ignore[RPV002]
         _point_deadline.at = None  # disarm: one timeout per arming
@@ -111,10 +127,19 @@ class LoadPoint:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """A full offered-load sweep for one (network, workload) series."""
+    """A full offered-load sweep for one (network, workload) series.
+
+    ``dispatch`` reports how the parallel runner served the sweep
+    (requested vs unique points, dedupe and checkpoint-resume counts;
+    see :class:`repro.experiments.parallel.DispatchStats`).  It is
+    None for sequential sweeps and excluded from equality so a
+    deduplicated parallel sweep still compares equal to its sequential
+    twin.
+    """
 
     label: str
     points: tuple[LoadPoint, ...]
+    dispatch: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def complete(self) -> bool:

@@ -71,9 +71,19 @@ class RetryPolicy:
         if self.attempt_timeout is not None and self.attempt_timeout <= 0:
             raise ValueError("attempt_timeout must be positive")
 
+    def nominal_delay(self, attempt: int) -> float:
+        """Jitter-free backoff before attempt number ``attempt`` (1-based).
+
+        The deterministic core of :meth:`delay`; harness-side users
+        with no simulation RNG (e.g. the sweep-service supervisor's
+        re-dispatch scheduling, where delays are wall seconds rather
+        than cycles) reuse exactly this schedule.
+        """
+        return min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+
     def delay(self, attempt: int, rng: RandomStream) -> float:
         """Backoff before re-injection number ``attempt`` (1-based)."""
-        raw = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        raw = self.nominal_delay(attempt)
         if self.jitter:
             raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
         return max(raw, 1.0)

@@ -16,6 +16,7 @@ steady-state methodology the paper's experiments imply.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -107,6 +108,20 @@ class Measurement:
             f"p95 {self.p95_latency:.0f}, ±{self.latency_ci_half:.1f})  "
             f"pkts={self.delivered_packets}{faults}{status}"
         )
+
+
+def measurement_to_dict(m: Measurement) -> dict:
+    """Field mapping of a measurement (checkpoint / cache persistence)."""
+    return dataclasses.asdict(m)
+
+
+def measurement_from_dict(d: dict) -> Measurement:
+    """Rebuild a measurement persisted by :func:`measurement_to_dict`.
+
+    Raises ``TypeError`` on unknown fields (a torn or foreign record),
+    which the crash-tolerant loaders convert into quarantine-and-redo.
+    """
+    return Measurement(**d)
 
 
 class MeasurementWindow:

@@ -28,6 +28,42 @@ def _fmt_eta(seconds: float) -> str:
     return f"{int(round(seconds))}s"
 
 
+class HeartbeatSlot:
+    """One worker's liveness slot in a shared heartbeat array.
+
+    The sweep service's supervisor allocates one ``multiprocessing``
+    double array for its pool; each worker owns index ``index`` and
+    writes ``time.monotonic()`` into it via :meth:`beat` -- from the
+    simulation loop's cooperative check
+    (:func:`repro.experiments.runner.set_point_heartbeat`), so a beat
+    costs one float store every ``_CHUNK`` sim-cycles.  The supervisor
+    reads :meth:`age` to separate a *slow* point (recent beat) from a
+    *wedged* worker (stale beat), which is what decides killing and
+    re-dispatching.  ``CLOCK_MONOTONIC`` is system-wide on the
+    platforms we run on, so parent and child timestamps compare
+    directly.
+    """
+
+    def __init__(self, array, index: int) -> None:
+        self.array = array
+        self.index = index
+
+    def beat(self) -> None:
+        """Record liveness now (called from the owning worker)."""
+        self.array[self.index] = time.monotonic()  # lint-sim: ignore[RPV002] -- harness liveness, not sim state
+
+    def last(self) -> float:
+        """The slot's last beat instant (0.0 = never beaten)."""
+        return self.array[self.index]
+
+    def age(self) -> float:
+        """Seconds since the last beat (inf if never beaten)."""
+        at = self.array[self.index]
+        if at <= 0.0:
+            return float("inf")
+        return time.monotonic() - at  # lint-sim: ignore[RPV002] -- harness liveness, not sim state
+
+
 class ProgressMeter:
     """Throttled stderr heartbeat: call with ``(done, total, label)``.
 

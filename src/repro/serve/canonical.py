@@ -1,0 +1,111 @@
+"""Canonical configuration form and content-addressed hashing.
+
+A simulation point is a pure function of its configuration, so two
+requests for the same ``(network, pattern, load, seed, engine, faults,
+stability)`` tuple must map to the same cache entry no matter how the
+request was spelled.  :func:`canonical_value` normalizes any
+configuration object (dataclasses, mappings, sequences, scalars) into
+a plain JSON-able structure; :func:`canonical_json` renders it with
+sorted keys and fixed separators; :func:`config_hash` is the SHA-256 of
+those bytes.
+
+The invariants tests rely on (``tests/serve/test_canonical.py``):
+
+* **key order** -- mappings hash identically regardless of insertion
+  order (``sort_keys=True``);
+* **whitespace / formatting** -- hashing happens after parsing, on the
+  canonical dump (fixed ``separators``, no indentation);
+* **default materialization** -- dataclasses are expanded field by
+  field, so ``NetworkConfig("dmin")`` and
+  ``NetworkConfig("dmin", dilation=2, topology="cube")`` canonicalize
+  to the same mapping;
+* **cross-process stability** -- SHA-256 over a deterministic byte
+  string; ``PYTHONHASHSEED`` never enters the picture.
+
+Floats are rendered by :mod:`json` via ``repr`` (shortest round-trip),
+which is deterministic across processes and platforms for equal
+values.  ``-0.0`` is normalized to ``0.0``.  NaN/Inf are rejected in
+*configuration* hashing (a config containing them is a bug) but
+allowed in *payload* serialization (:func:`payload_json`), because
+measurements legitimately carry NaN sentinels (e.g. an undefined CI
+half-width).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+
+def canonical_value(obj: Any) -> Any:
+    """Recursively normalize ``obj`` into plain JSON-able structure.
+
+    Dataclasses become dicts of *all* their fields (defaults
+    materialized), mappings become dicts with stringified keys, tuples
+    and lists become lists, ``-0.0`` becomes ``0.0``.  Anything that is
+    not a scalar / mapping / sequence / dataclass raises ``TypeError``
+    so un-hashable configuration never silently degrades to ``repr``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonical_value(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): canonical_value(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(v) for v in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if obj == 0.0:
+            return 0.0  # normalize -0.0
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} ({obj!r}); "
+        "use scalars, mappings, sequences or dataclasses"
+    )
+
+
+def canonical_json(obj: Any, *, allow_nan: bool = False) -> str:
+    """The canonical JSON rendering of ``obj`` (sorted keys, no spaces).
+
+    Two configurations hash equal iff their canonical JSON is equal.
+    """
+    return json.dumps(
+        canonical_value(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=allow_nan,
+    )
+
+
+def payload_json(obj: Any) -> str:
+    """Canonical JSON for *result payloads* (NaN/Inf permitted).
+
+    Cache integrity checksums and the byte-equality determinism tests
+    are computed over this rendering, so a cached record is byte-equal
+    to a fresh recomputation iff the underlying values are identical.
+    """
+    return canonical_json(obj, allow_nan=True)
+
+
+def config_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``obj``.
+
+    This is the content address of a simulation point: equal configs
+    (after canonicalization) always collide, distinct configs never do
+    in practice (256-bit digest).
+    """
+    try:
+        text = canonical_json(obj, allow_nan=False)
+    except ValueError as exc:  # NaN / Inf in a config
+        raise ValueError(f"non-finite value in configuration: {exc}") from exc
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def checksum(text: str) -> str:
+    """SHA-256 hex digest of a canonical JSON string (integrity check)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

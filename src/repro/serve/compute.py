@@ -1,0 +1,97 @@
+"""Executing one :class:`~repro.serve.job.PointSpec` to a cache payload.
+
+This is the module workers import: :func:`run_point_spec` must be a
+picklable module-level callable (it crosses the task queue), and its
+output must be *canonically serializable* so a cached record is
+byte-equal to a fresh recomputation (``tests/serve/test_cache.py``
+proves this for every network on both engines).
+
+Fault-free points go through the ordinary
+:func:`repro.experiments.runner.run_point` path -- the same code the
+figures use, so the service's answers are the repro's answers.  Faulted
+points reuse the availability sweep's wiring (MTBF churn + source
+retry) with the engine choice honored.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import _run_until_delivered, run_point
+from repro.metrics.collector import MeasurementWindow, measurement_to_dict
+from repro.serve.job import PointSpec
+
+PAYLOAD_VERSION = 1
+
+
+def run_point_spec(point: PointSpec) -> dict:
+    """Simulate one point; returns the cacheable payload mapping."""
+    if point.stability is not None:
+        raise NotImplementedError(
+            "stability-config points are key-reserved but not yet runnable"
+        )
+    run_cfg = point.run.with_seed(point.seed)
+    if point.faults is None:
+        measurement = run_point(
+            point.network,
+            point.workload.builder(run_cfg),
+            point.load,
+            run_cfg,
+            engine=point.engine,
+        )
+    else:
+        measurement = _run_faulted_point(point, run_cfg)
+    return {
+        "version": PAYLOAD_VERSION,
+        "measurement": measurement_to_dict(measurement),
+    }
+
+
+def _run_faulted_point(point: PointSpec, run_cfg) -> "object":
+    """The availability-style execution path, engine choice included."""
+    from repro.faults.mtbf import MTBFChurn
+    from repro.faults.recovery import RetryPolicy, SourceRetry
+    from repro.sim.core import Environment
+    from repro.sim.rng import RandomStream
+    from repro.wormhole.engine import WormholeEngine, resolve_engine
+
+    faults = point.faults
+    fast = resolve_engine(point.engine) == "fast"
+    env = Environment(scheduler="calendar" if fast else "heap")
+    root = RandomStream(run_cfg.seed, name="root")
+    label = point.network.label
+    engine = WormholeEngine(
+        env,
+        point.network.build(),
+        rng=root.fork(f"engine/{label}/{point.load}"),
+        fast=fast,
+    )
+    SourceRetry(
+        engine,
+        RetryPolicy(max_attempts=faults.max_attempts),
+        root.fork(f"retry/{label}/{point.load}"),
+    )
+    if faults.rate > 0.0:
+        mtbf = faults.mttr * (1.0 - faults.rate) / faults.rate
+        MTBFChurn(
+            env,
+            engine.network,
+            root.fork(f"faults/{label}/{point.load}"),
+            mtbf=mtbf,
+            mttr=faults.mttr,
+            engine=engine,
+            severity=faults.severity,
+        )
+    workload = point.workload.builder(run_cfg)(point.load)
+    installed = workload.install(
+        env, engine, root.fork(f"workload/{label}/{point.load}")
+    )
+    if installed == 0:
+        raise RuntimeError("workload installed no traffic sources")
+    engine.start()
+
+    warmup_deadline = env.now + run_cfg.max_cycles / 4
+    _run_until_delivered(engine, run_cfg.warmup_packets, warmup_deadline)
+    window = MeasurementWindow(engine)
+    window.begin()
+    deadline = env.now + run_cfg.max_cycles
+    _run_until_delivered(engine, run_cfg.measure_packets, deadline)
+    return window.finish()

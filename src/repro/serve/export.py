@@ -1,0 +1,70 @@
+"""Manifest-to-table export: served job results as long-form CSV.
+
+A manifest names *which* points a job served; the measurements
+themselves live in the content-addressed cache.  This module joins the
+two back into the repo's standard long-form rows (the same
+:data:`repro.metrics.summary.MEASUREMENT_COLUMNS` registry the figure
+exports use), so served sweeps drop into the existing pandas/R
+pipelines unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.export import write_rows_csv
+from repro.metrics.collector import measurement_from_dict
+from repro.metrics.summary import MEASUREMENT_COLUMNS, measurement_row
+from repro.serve.cache import ResultCache
+from repro.serve.job import JobManifest
+
+#: Manifest CSV columns: point identity plus the shared registry.
+MANIFEST_CSV_FIELDS = [
+    "series", "offered_load", "seed", "engine", "point_key",
+] + [c.name for c in MEASUREMENT_COLUMNS]
+
+
+def manifest_rows(manifest: JobManifest, cache: ResultCache) -> list[dict]:
+    """Long-form dict rows of every served point in a manifest.
+
+    Unserved (failed / pending) points are skipped -- the manifest's
+    ``incomplete`` list is the authoritative record of those.  A point
+    whose cache entry has since been corrupted or evicted is skipped
+    likewise (its quarantine is visible in the cache stats).
+    """
+    rows = []
+    seen: set[str] = set()
+    for entry in manifest.points:
+        if entry["status"] not in ("cached", "computed"):
+            continue
+        dedupe_key = (
+            f"{entry['key']}|{entry['network']}|{entry['workload']}"
+            f"|{entry['load']}|{entry['seed']}"
+        )
+        if dedupe_key in seen:  # grid duplicates share one cache entry
+            continue
+        seen.add(dedupe_key)
+        payload = cache.get(entry["key"])
+        if payload is None:
+            continue
+        m = measurement_from_dict(payload["measurement"])
+        row = {
+            "series": f"{entry['network']} / {entry['workload']}",
+            "offered_load": entry["load"],
+            "seed": entry["seed"],
+            "engine": entry["engine"],
+            "point_key": entry["key"],
+        }
+        row.update(measurement_row(m))
+        rows.append(row)
+    return rows
+
+
+def write_manifest_csv(
+    manifest: JobManifest, cache: ResultCache, path: Union[str, Path]
+) -> Path:
+    """Write a served job as long-form CSV; returns the path."""
+    return write_rows_csv(
+        manifest_rows(manifest, cache), MANIFEST_CSV_FIELDS, path
+    )

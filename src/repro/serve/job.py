@@ -1,0 +1,364 @@
+"""Job, point and manifest records of the sweep service.
+
+A :class:`JobSpec` names a whole sweep grid (networks x loads x seeds,
+one workload, one fidelity preset, one engine, optional fault model).
+It expands into :class:`PointSpec` records -- one per simulation point
+-- each of which canonicalizes into the content-addressed cache key of
+:mod:`repro.serve.canonical`.  A finished (or interrupted) job is
+described by a :class:`JobManifest`: the per-point serving status
+(``cached`` / ``computed`` / ``failed`` / ``pending``), dedupe and
+cache counters, and an explicit ``incomplete`` list when the job was
+degraded rather than failed wholesale.
+
+Everything here is plain data: picklable (points cross process
+boundaries), JSON-able (specs arrive as files, manifests leave as
+files), and deterministic (the same spec always expands to the same
+points in the same order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.experiments.config import PRESETS, NetworkConfig, RunConfig
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.serve.canonical import canonical_value, config_hash
+from repro.traffic.workload import MessageSizeModel
+from repro.wormhole.engine import ENGINE_KINDS, resolve_engine
+from repro.wormhole.network import NetworkKind
+
+#: Per-point serving statuses a manifest can record.
+POINT_STATUSES = ("cached", "computed", "failed", "pending")
+
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Optional fault model of a point (the cache key's ``faults`` part).
+
+    Mirrors the availability sweep's wiring: MTBF channel churn at a
+    target per-channel unavailability ``rate`` with mean-time-to-repair
+    ``mttr``, plus exponential-backoff source retry capped at
+    ``max_attempts`` injections per message.
+    """
+
+    rate: float
+    mttr: float = 500.0
+    severity: str = "hard"
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("fault rate is an unavailability fraction in [0, 1)")
+        if self.severity not in ("soft", "hard"):
+            raise ValueError("severity must be 'soft' or 'hard'")
+        if self.mttr <= 0 or self.max_attempts < 1:
+            raise ValueError("need mttr > 0 and max_attempts >= 1")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One content-addressed simulation point.
+
+    ``run.seed`` and ``run.loads`` are *ignored* -- the point's own
+    ``seed`` and ``load`` fields are authoritative, so a preset's
+    incidental defaults never split the cache.  ``stability`` is a
+    reserved canonical mapping for admission/governor configuration:
+    it participates in the key today (so future wiring cannot collide
+    with existing entries) but only ``None`` is runnable.
+    """
+
+    network: NetworkConfig
+    workload: WorkloadSpec
+    load: float
+    seed: int
+    run: RunConfig
+    engine: str = "fast"
+    faults: Optional[FaultSpec] = None
+    stability: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "load", float(self.load))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "engine", resolve_engine(self.engine))
+
+    def config(self) -> dict:
+        """The canonical configuration mapping this point hashes over."""
+        return {
+            "network": canonical_value(self.network),
+            "workload": canonical_value(self.workload),
+            "run": {
+                "warmup_packets": self.run.warmup_packets,
+                "measure_packets": self.run.measure_packets,
+                "max_cycles": self.run.max_cycles,
+                "sizes": canonical_value(self.run.sizes),
+            },
+            "load": self.load,
+            "seed": self.seed,
+            "engine": self.engine,
+            "faults": canonical_value(self.faults) if self.faults else None,
+            "stability": (
+                canonical_value(self.stability) if self.stability else None
+            ),
+        }
+
+    def key(self) -> str:
+        """SHA-256 content address of this point's configuration."""
+        return config_hash(self.config())
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.network.label}/{self.workload.label}"
+            f"@{self.load:g}#s{self.seed}"
+        )
+
+    def describe(self) -> dict:
+        """The manifest's per-point identity block."""
+        return {
+            "network": self.network.label,
+            "workload": self.workload.label,
+            "load": self.load,
+            "seed": self.seed,
+            "engine": self.engine,
+            "faults": canonical_value(self.faults) if self.faults else None,
+        }
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A whole sweep request: networks x loads x seeds, one workload."""
+
+    networks: tuple[NetworkConfig, ...]
+    run: RunConfig
+    workload: WorkloadSpec = WorkloadSpec()
+    loads: tuple[float, ...] = ()   # empty -> run.loads
+    seeds: tuple[int, ...] = ()     # empty -> (run.seed,)
+    engine: str = "fast"
+    faults: Optional[FaultSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.networks:
+            raise ValueError("a job needs at least one network")
+        object.__setattr__(self, "networks", tuple(self.networks))
+        object.__setattr__(
+            self, "loads", tuple(float(x) for x in self.loads)
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+    @property
+    def effective_loads(self) -> tuple[float, ...]:
+        return self.loads or self.run.loads
+
+    @property
+    def effective_seeds(self) -> tuple[int, ...]:
+        return self.seeds or (self.run.seed,)
+
+    def points(self) -> list[PointSpec]:
+        """Expand the grid (duplicates preserved -- the service dedupes
+        and reports them, so the requester sees the redundancy).
+
+        The workload's geometry follows each network (one workload
+        spec serves a grid of mixed-size networks), so its ``k``/``n``
+        fields are replaced per point.
+        """
+        return [
+            PointSpec(
+                network=network,
+                workload=dataclasses.replace(
+                    self.workload, k=network.k, n=network.n
+                ),
+                load=load,
+                seed=seed,
+                run=self.run,
+                engine=self.engine,
+                faults=self.faults,
+            )
+            for network in self.networks
+            for load in self.effective_loads
+            for seed in self.effective_seeds
+        ]
+
+    @property
+    def job_id(self) -> str:
+        """Short stable identifier: hash prefix of the canonical spec."""
+        return config_hash(self.to_dict())[:12]
+
+    def to_dict(self) -> dict:
+        return {
+            "networks": [canonical_value(n) for n in self.networks],
+            "workload": canonical_value(self.workload),
+            "run": {
+                "mode": self.run.name,
+                "warmup_packets": self.run.warmup_packets,
+                "measure_packets": self.run.measure_packets,
+                "max_cycles": self.run.max_cycles,
+                "sizes": canonical_value(self.run.sizes),
+                "seed": self.run.seed,
+            },
+            "loads": list(self.effective_loads),
+            "seeds": list(self.effective_seeds),
+            "engine": self.engine,
+            "faults": canonical_value(self.faults) if self.faults else None,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JobSpec":
+        """Parse a job spec from its JSON form.
+
+        ``run`` may be a preset name (``{"run": {"mode": "smoke"}}`` or
+        simply ``"smoke"``) or a full field mapping; network/workload
+        entries are keyword mappings of their dataclasses, so omitted
+        fields take the canonical defaults.
+        """
+        nets_raw = raw.get("networks")
+        if isinstance(nets_raw, (str, bytes)) or not isinstance(
+            nets_raw, (list, tuple)
+        ):
+            raise ValueError(
+                "spec field 'networks' must be a list of kind names or "
+                f"field mappings, got {nets_raw!r}"
+            )
+        networks = tuple(
+            NetworkConfig(**n) if isinstance(n, dict) else NetworkConfig(str(n))
+            for n in nets_raw
+        )
+        for net in networks:
+            NetworkKind(net.kind)  # fail fast, before any dispatch
+        workload = WorkloadSpec(**raw.get("workload", {}))
+        run = _run_from_dict(raw.get("run", "scaled"))
+        faults_raw = raw.get("faults")
+        faults = FaultSpec(**faults_raw) if faults_raw else None
+        return cls(
+            networks=networks,
+            run=run,
+            workload=workload,
+            loads=tuple(raw.get("loads", ())),
+            seeds=tuple(raw.get("seeds", ())),
+            engine=raw.get("engine", "fast"),
+            faults=faults,
+        )
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "JobSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _run_from_dict(raw: Union[str, dict]) -> RunConfig:
+    if isinstance(raw, str):
+        return PRESETS[raw]
+    raw = dict(raw)
+    mode = raw.pop("mode", None)
+    base = PRESETS[mode] if mode else PRESETS["scaled"]
+    sizes = raw.pop("sizes", None)
+    if sizes is not None:
+        raw["sizes"] = MessageSizeModel(**sizes)
+    if not raw:
+        return base
+    return dataclasses.replace(base, **raw)
+
+
+# ----------------------------------------------------------------- manifest
+
+
+@dataclass
+class JobManifest:
+    """What one job run actually served, point by point."""
+
+    job_id: str
+    spec: dict
+    points: list[dict] = field(default_factory=list)
+    counts: dict = field(default_factory=dict)
+    complete: bool = False
+    incomplete: list[str] = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    supervisor: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "job_id": self.job_id,
+            "spec": self.spec,
+            "points": self.points,
+            "counts": self.counts,
+            "complete": self.complete,
+            "incomplete": self.incomplete,
+            "cache": self.cache,
+            "supervisor": self.supervisor,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Atomic write-temp-then-rename persistence (crash-safe)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self.to_dict(), fh, indent=2)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "JobManifest":
+        raw = json.loads(Path(path).read_text())
+        if raw.get("version") != MANIFEST_VERSION:
+            raise ValueError(f"unknown manifest version {raw.get('version')!r}")
+        return cls(
+            job_id=raw["job_id"],
+            spec=raw["spec"],
+            points=raw["points"],
+            counts=raw["counts"],
+            complete=raw["complete"],
+            incomplete=list(raw["incomplete"]),
+            cache=raw["cache"],
+            supervisor=raw.get("supervisor", {}),
+            elapsed_s=raw.get("elapsed_s", 0.0),
+        )
+
+    def statuses(self) -> dict[str, int]:
+        """Status -> point count tally over the manifest."""
+        tally = {s: 0 for s in POINT_STATUSES}
+        for entry in self.points:
+            tally[entry["status"]] = tally.get(entry["status"], 0) + 1
+        return tally
+
+
+def summarize_points(
+    points: Sequence[PointSpec],
+    statuses: dict[str, str],
+    errors: Optional[dict[str, str]] = None,
+) -> list[dict]:
+    """Manifest ``points`` entries for an expanded grid.
+
+    ``statuses`` maps point key -> status; ``errors`` maps key -> error
+    string for failed points.  Duplicate grid entries share their key's
+    status (they were served by the same cache entry).
+    """
+    errors = errors or {}
+    out = []
+    for p in points:
+        key = p.key()
+        entry = {"key": key, **p.describe()}
+        entry["status"] = statuses.get(key, "pending")
+        if key in errors:
+            entry["error"] = errors[key]
+        out.append(entry)
+    return out

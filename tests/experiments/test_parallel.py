@@ -50,6 +50,19 @@ def sleeping_runner(task):
     return _point_task(task)  # pragma: no cover - killed by timeout
 
 
+def counting_runner(task):
+    """Tallies one line per invocation under REPRO_COUNT_DIR, per key."""
+    from pathlib import Path
+
+    from repro.experiments.parallel import _task_key
+
+    outdir = Path(os.environ["REPRO_COUNT_DIR"])
+    name = _task_key(task).replace("/", "_").replace(" ", "")
+    with open(outdir / name, "a") as fh:
+        fh.write("ran\n")
+    return _point_task(task)
+
+
 # ------------------------------------------------------------- WorkloadSpec
 
 
@@ -269,6 +282,84 @@ def test_checkpoint_completes_partial_run(tmp_path):
     # And it matches a from-scratch sequential sweep.
     seq = sweep(net, spec.builder(QUICK), QUICK)
     assert resumed.points == seq.points
+
+
+def test_duplicate_points_simulate_once(tmp_path, monkeypatch):
+    """Identical (network, spec, load) entries fold onto one dispatch;
+    the duplicates share the representative's result."""
+    monkeypatch.setenv("REPRO_COUNT_DIR", str(tmp_path))
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    result = parallel_sweep(
+        net, spec, QUICK, loads=(0.2, 0.5, 0.5, 0.2), max_workers=2,
+        point_runner=counting_runner,
+    )
+    assert result.complete and len(result.points) == 4
+    assert result.points[1] == result.points[2]
+    assert result.points[0] == result.points[3]
+    assert result.dispatch.requested == 4
+    assert result.dispatch.unique == 2
+    assert result.dispatch.deduplicated == 2
+    # proof of a single simulation per unique point
+    tallies = {p.name: len(p.read_text().splitlines())
+               for p in tmp_path.iterdir()}
+    assert len(tallies) == 2 and set(tallies.values()) == {1}
+    # dedupe never changes the answers
+    seq = sweep(net, spec.builder(QUICK), QUICK, loads=(0.2, 0.5, 0.5, 0.2))
+    assert result.points == seq.points
+
+
+def test_dispatch_stats_report_checkpoint_hits(tmp_path):
+    path = tmp_path / "sweep.json"
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    first = parallel_sweep(net, spec, QUICK, max_workers=2, checkpoint=path)
+    assert first.dispatch.checkpointed == 0
+
+    resumed = parallel_sweep(
+        net, spec, QUICK, max_workers=2, checkpoint=path,
+        point_runner=always_crashing_runner,
+    )
+    assert resumed.dispatch.checkpointed == 2
+    assert resumed.dispatch.unique == 2       # distinct keys, all from disk
+    assert resumed.dispatch.deduplicated == 0
+
+
+@pytest.mark.parametrize(
+    "content",
+    [
+        '{"version": 1, "points": {"k"',            # truncated mid-write
+        "not json at all",
+        '{"version": 1, "points": {"k": {"nope": true}}}',  # alien schema
+        '["a", "list"]',
+    ],
+    ids=["truncated", "garbage", "bad_schema", "not_object"],
+)
+def test_corrupt_checkpoint_quarantined_and_restarted(tmp_path, content, caplog):
+    """A corrupt checkpoint never raises: it is renamed to *.corrupt,
+    logged, and the sweep restarts (and re-persists) cleanly."""
+    import logging
+
+    path = tmp_path / "sweep.json"
+    path.write_text(content)
+    net = NetworkConfig("dmin", k=2, n=3)
+    spec = WorkloadSpec(k=2, n=3)
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
+        result = parallel_sweep(net, spec, QUICK, max_workers=2, checkpoint=path)
+    assert result.complete
+    assert (tmp_path / "sweep.json.corrupt").read_text() == content
+    assert any("corrupt" in r.message for r in caplog.records)
+    # the fresh checkpoint is healthy and resumable
+    assert len(SweepCheckpoint(path)) == 2
+
+
+def test_repeated_corruption_keeps_all_evidence(tmp_path):
+    path = tmp_path / "sweep.json"
+    for round_no in range(2):
+        path.write_text(f"garbage round {round_no}")
+        assert len(SweepCheckpoint(path)) == 0
+    assert (tmp_path / "sweep.json.corrupt").exists()
+    assert (tmp_path / "sweep.json.corrupt.1").exists()
 
 
 def test_checkpoint_file_is_valid_json_and_atomic(tmp_path):

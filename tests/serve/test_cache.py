@@ -1,0 +1,173 @@
+"""Result-cache integrity: roundtrip, corruption quarantine, byte identity.
+
+The acceptance bar for the service's determinism claim lives here:
+for every one of the paper's four networks, on both engines, the cached
+record is *byte-equal* (canonical payload JSON) to a fresh
+recomputation.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.serve.cache import CorruptEntry, ResultCache
+from repro.serve.canonical import payload_json
+from repro.serve.compute import run_point_spec
+from repro.serve.job import PointSpec
+
+#: Small geometry + tiny windows: 8-node networks, a few dozen packets.
+TINY = dataclasses.replace(
+    SMOKE, warmup_packets=10, measure_packets=40, max_cycles=20_000
+)
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def _payload(value=1.5):
+    return {"version": 1, "measurement": {"x": value, "nan_ok": float("nan")}}
+
+
+# ------------------------------------------------------------- basic API
+
+
+def test_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get(KEY_A) is None
+    path = cache.put(KEY_A, _payload())
+    assert path.exists() and path == cache.path_for(KEY_A)
+    got = cache.get(KEY_A)
+    assert payload_json(got) == payload_json(_payload())
+    assert cache.stats.to_dict() == {
+        "hits": 1, "misses": 1, "corrupt": 0, "writes": 1,
+    }
+    assert len(cache) == 1
+
+
+def test_two_level_fanout_layout(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.path_for(KEY_A).parent.name == "aa"
+    assert cache.path_for(KEY_B).parent.name == "bb"
+
+
+def test_invalid_keys_rejected(tmp_path):
+    cache = ResultCache(tmp_path)
+    for bad in ("", "abc", "A" * 64, "../" + "a" * 61, "g" * 64):
+        with pytest.raises(ValueError, match="content key"):
+            cache.path_for(bad)
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(5):
+        cache.put(KEY_A, _payload(float(i)))
+    leftovers = [p for p in tmp_path.rglob("*.tmp")]
+    assert leftovers == []
+    # last write wins
+    assert cache.get(KEY_A)["measurement"]["x"] == 4.0
+
+
+def test_overwrite_is_idempotent(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY_A, _payload())
+    first = cache.path_for(KEY_A).read_bytes()
+    cache.put(KEY_A, _payload())
+    assert cache.path_for(KEY_A).read_bytes() == first
+
+
+# ------------------------------------------------------- corruption paths
+
+
+def _corruption_cases():
+    return [
+        ("truncated", lambda raw: raw[: len(raw) // 2]),
+        ("bit_flip", lambda raw: raw.replace(b'"x":1.5', b'"x":1.6')),
+        ("not_json", lambda raw: b"hello, entropy"),
+        ("not_object", lambda raw: b'["array"]'),
+        ("bad_version", lambda raw: raw.replace(b'"version":1', b'"version":9')),
+        ("no_payload", lambda raw: b'{"version":1,"key":"' + b"a" * 64 + b'"}'),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,mutate", _corruption_cases(), ids=[c[0] for c in _corruption_cases()]
+)
+def test_corruption_quarantined_and_recomputed(tmp_path, name, mutate):
+    cache = ResultCache(tmp_path)
+    path = cache.put(KEY_A, _payload())
+    path.write_bytes(mutate(path.read_bytes()))
+
+    assert cache.get(KEY_A) is None           # read as a miss, not a crash
+    assert not path.exists()                  # moved aside ...
+    quarantined = list(cache.quarantine_dir.iterdir())
+    assert len(quarantined) == 1              # ... never deleted
+    assert quarantined[0].name.endswith(".corrupt")
+    assert cache.stats.corrupt == 1 and cache.stats.misses == 1
+
+    # the rewrite heals the slot
+    cache.put(KEY_A, _payload())
+    assert cache.get(KEY_A)["measurement"]["x"] == 1.5
+
+
+def test_wrong_key_entry_quarantined(tmp_path):
+    """An entry copied under another name fails the self-key check."""
+    cache = ResultCache(tmp_path)
+    src = cache.put(KEY_A, _payload())
+    dst = cache.path_for(KEY_B)
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    dst.write_bytes(src.read_bytes())
+    assert cache.get(KEY_B) is None
+    assert cache.stats.corrupt == 1
+    assert cache.get(KEY_A) is not None       # the original is untouched
+
+
+def test_repeated_corruption_serializes_quarantine_names(tmp_path):
+    cache = ResultCache(tmp_path)
+    for _ in range(3):
+        path = cache.put(KEY_A, _payload())
+        path.write_text("garbage")
+        assert cache.get(KEY_A) is None
+    names = sorted(p.name for p in cache.quarantine_dir.iterdir())
+    assert len(names) == 3 and len(set(names)) == 3
+
+
+def test_verify_reports_checksum_mismatch(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put(KEY_A, _payload())
+    raw = json.loads(path.read_text())
+    raw["payload"]["measurement"]["x"] = 99.0
+    with pytest.raises(CorruptEntry, match="checksum mismatch"):
+        cache._verify(KEY_A, json.dumps(raw))
+
+
+# --------------------------------------------- determinism acceptance bar
+
+
+@pytest.mark.parametrize("kind", ["tmin", "dmin", "vmin", "bmin"])
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_cache_hit_byte_equals_recomputation(tmp_path, kind, engine):
+    """Cached record == fresh recomputation, byte for byte.
+
+    All four networks, both engines (the issue's determinism gate).
+    """
+    point = PointSpec(
+        network=NetworkConfig(kind, k=2, n=3),
+        workload=WorkloadSpec(k=2, n=3),
+        load=0.4,
+        seed=11,
+        run=TINY,
+        engine=engine,
+    )
+    cache = ResultCache(tmp_path)
+    first = run_point_spec(point)
+    cache.put(point.key(), first)
+
+    cached = cache.get(point.key())
+    recomputed = run_point_spec(point)
+    assert payload_json(cached) == payload_json(recomputed)
+    assert payload_json(cached) == payload_json(first)
+    # a sanity floor: the payload carries a real measurement
+    assert cached["measurement"]["delivered_packets"] > 0

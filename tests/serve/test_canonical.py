@@ -1,0 +1,210 @@
+"""Property tests of the canonical form and content hashing.
+
+The cache key must be a pure function of the point's *meaning*, not its
+spelling.  Hypothesis drives the invariances (key order, formatting,
+container spelling); dataclass defaults and cross-process stability get
+directed tests.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.serve.canonical import (
+    canonical_json,
+    canonical_value,
+    config_hash,
+    payload_json,
+)
+from repro.serve.job import FaultSpec, PointSpec
+
+# ------------------------------------------------------------ strategies
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=16),
+)
+
+_configs = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+def _reordered(obj):
+    """The same structure with every mapping's keys in reverse order."""
+    if isinstance(obj, dict):
+        return {k: _reordered(obj[k]) for k in reversed(list(obj))}
+    if isinstance(obj, list):
+        return [_reordered(v) for v in obj]
+    return obj
+
+
+# ------------------------------------------------------------ invariances
+
+
+@settings(max_examples=200, deadline=None)
+@given(_configs)
+def test_key_order_invariance(cfg):
+    """Insertion order of mapping keys never changes the hash."""
+    assert config_hash(_reordered(cfg)) == config_hash(cfg)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_configs)
+def test_whitespace_invariance(cfg):
+    """Hashing happens after parsing: formatting cannot split the cache."""
+    pretty = json.loads(json.dumps(cfg, indent=4, sort_keys=True))
+    compact = json.loads(json.dumps(cfg, separators=(",", ":")))
+    assert config_hash(pretty) == config_hash(compact) == config_hash(cfg)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_configs)
+def test_canonical_json_round_trips(cfg):
+    """The canonical dump re-canonicalizes to itself (a fixed point)."""
+    once = canonical_json(cfg)
+    assert canonical_json(json.loads(once)) == once
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_scalars, max_size=6))
+def test_tuple_list_equivalence(values):
+    assert config_hash(tuple(values)) == config_hash(list(values))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_configs, _configs)
+def test_distinct_configs_distinct_hashes(a, b):
+    """Different canonical forms never collide (and equal ones always do)."""
+    same = canonical_json(a) == canonical_json(b)
+    assert (config_hash(a) == config_hash(b)) == same
+
+
+# ------------------------------------------------- defaults / dataclasses
+
+
+def test_default_materialization_network():
+    """Omitted dataclass fields hash identically to explicit defaults."""
+    implicit = NetworkConfig("dmin")
+    explicit = NetworkConfig(
+        "dmin", k=4, n=3, topology="cube", dilation=2,
+        virtual_channels=2, bmin_virtual_channels=1,
+    )
+    assert canonical_value(implicit) == canonical_value(explicit)
+    assert config_hash(implicit) == config_hash(explicit)
+
+
+def test_default_materialization_point_key():
+    net = NetworkConfig("vmin", k=2, n=3)
+    a = PointSpec(net, WorkloadSpec(k=2, n=3), 0.4, 7, SMOKE)
+    b = PointSpec(
+        net,
+        WorkloadSpec(
+            pattern="uniform", clustering="global", ratios=None,
+            hot_fraction=0.05, butterfly_i=2, k=2, n=3,
+        ),
+        0.4, 7, SMOKE, engine="fast", faults=None, stability=None,
+    )
+    assert a.key() == b.key()
+
+
+def test_point_key_sensitivity():
+    """Every semantic field of a point splits the key."""
+    net = NetworkConfig("dmin", k=2, n=3)
+    wl = WorkloadSpec(k=2, n=3)
+    base = PointSpec(net, wl, 0.4, 7, SMOKE)
+    variants = [
+        PointSpec(NetworkConfig("tmin", k=2, n=3), wl, 0.4, 7, SMOKE),
+        PointSpec(net, WorkloadSpec(pattern="hotspot", k=2, n=3), 0.4, 7, SMOKE),
+        PointSpec(net, wl, 0.5, 7, SMOKE),
+        PointSpec(net, wl, 0.4, 8, SMOKE),
+        PointSpec(net, wl, 0.4, 7, SMOKE, engine="reference"),
+        PointSpec(net, wl, 0.4, 7, SMOKE, faults=FaultSpec(rate=0.01)),
+        PointSpec(net, wl, 0.4, 7, SMOKE, stability={"admission": "aimd"}),
+    ]
+    keys = {base.key(), *[v.key() for v in variants]}
+    assert len(keys) == 1 + len(variants)
+    # and recomputation is stable
+    assert base.key() == base.key()
+
+
+def test_seed_and_loads_of_run_config_do_not_split_key():
+    """A preset's incidental seed/loads never shadow the point's own."""
+    net = NetworkConfig("dmin", k=2, n=3)
+    wl = WorkloadSpec(k=2, n=3)
+    a = PointSpec(net, wl, 0.4, 7, SMOKE)
+    b = PointSpec(net, wl, 0.4, 7, SMOKE.with_seed(999).with_loads((0.1,)))
+    assert a.key() == b.key()
+
+
+# ------------------------------------------------------------ edge cases
+
+
+def test_negative_zero_normalized():
+    assert config_hash({"x": -0.0}) == config_hash({"x": 0.0})
+    assert canonical_json({"x": -0.0}) == '{"x":0.0}'
+
+
+def test_nan_rejected_in_config_hash():
+    with pytest.raises(ValueError, match="non-finite"):
+        config_hash({"x": float("nan")})
+    with pytest.raises(ValueError, match="non-finite"):
+        config_hash({"x": float("inf")})
+
+
+def test_nan_allowed_in_payload_json():
+    text = payload_json({"ci": float("nan")})
+    assert "NaN" in text
+
+
+def test_unserializable_config_rejected():
+    with pytest.raises(TypeError, match="canonicalize"):
+        config_hash({"x": object()})
+
+
+def test_mapping_keys_stringified():
+    assert config_hash({1: "a"}) == config_hash({"1": "a"})
+
+
+# ----------------------------------------------------- cross-process
+
+
+def test_hash_stable_across_processes():
+    """PYTHONHASHSEED never enters the content address."""
+    script = (
+        "from repro.experiments.config import SMOKE, NetworkConfig\n"
+        "from repro.experiments.workload_spec import WorkloadSpec\n"
+        "from repro.serve.job import PointSpec\n"
+        "p = PointSpec(NetworkConfig('dmin', k=2, n=3),"
+        " WorkloadSpec(k=2, n=3), 0.4, 7, SMOKE)\n"
+        "print(p.key())\n"
+    )
+    expected = PointSpec(
+        NetworkConfig("dmin", k=2, n=3), WorkloadSpec(k=2, n=3), 0.4, 7, SMOKE
+    ).key()
+    for hashseed in ("0", "42"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert out.stdout.strip() == expected

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""End-to-end crash drill for the sweep service (CI's ``serve`` job).
+
+The drill:
+
+1. launch ``python -m repro.serve`` on an inline spec;
+2. wait until at least one result lands in the content-addressed cache,
+   then SIGTERM the service mid-job;
+3. expect a graceful exit (code 3) with a partial manifest
+   (``complete: false``, non-empty ``incomplete`` list);
+4. re-run the identical command and expect completion (code 0) with the
+   first run's points served from cache;
+5. verify one cached entry is byte-identical to an in-process
+   recomputation (the determinism gate, end to end).
+
+Usage::
+
+    python tools/serve_smoke.py [--workdir DIR] [--keep] [--verbose]
+
+Exits 0 on PASS, 1 on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: 6 smoke points (1 network x 3 loads x 2 seeds) -- enough runway that
+#: the SIGTERM reliably lands mid-job, small enough for CI.
+SERVE_ARGS = [
+    "--networks", "dmin",
+    "--mode", "smoke",
+    "--loads", "0.2", "0.4", "0.6",
+    "--seeds", "1", "2",
+    "--workers", "2",
+    "--quiet",
+]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    return env
+
+
+def _cache_entries(cache: Path) -> list[Path]:
+    return [
+        p
+        for d in cache.iterdir()
+        if d.is_dir() and d.name not in ("quarantine", "jobs")
+        for p in d.glob("*.json")
+    ]
+
+
+def _serve(cache: Path, verbose: bool) -> subprocess.Popen:
+    cmd = [sys.executable, "-m", "repro.serve", "--cache", str(cache),
+           *SERVE_ARGS]
+    if verbose:
+        print(f"[smoke] $ {' '.join(cmd)}")
+    return subprocess.Popen(
+        cmd, env=_env(), cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _fail(msg: str) -> None:
+    print(f"[smoke] FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="working directory (default: a fresh tempdir)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the workdir for inspection")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="serve_smoke_")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    cache = workdir / "cache"
+    print(f"[smoke] workdir {workdir}")
+
+    try:
+        # ---- phase 1: start, let some points finish, SIGTERM ----------
+        proc = _serve(cache, args.verbose)
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if cache.exists() and _cache_entries(cache):
+                break
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                _fail(
+                    "service exited before any point finished "
+                    f"(rc={proc.returncode})\n{out}\n{err}"
+                )
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            _fail("no cache entry appeared within 120s")
+
+        persisted = len(_cache_entries(cache))
+        print(f"[smoke] {persisted} point(s) persisted; sending SIGTERM")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+        if args.verbose:
+            print(out, err, sep="\n")
+
+        manifests = list((cache / "jobs").glob("*.manifest.json"))
+        if proc.returncode == 0:
+            # The whole grid finished before the signal landed (very
+            # fast machine).  The resume leg still proves its point.
+            print("[smoke] note: job completed before SIGTERM landed")
+        elif proc.returncode == 3:
+            if len(manifests) != 1:
+                _fail(f"expected one partial manifest, found {manifests}")
+            partial = json.loads(manifests[0].read_text())
+            if partial["complete"] or not partial["incomplete"]:
+                _fail("interrupted run should report an incomplete manifest")
+            print(
+                f"[smoke] partial manifest: "
+                f"{len(partial['incomplete'])} point(s) incomplete"
+            )
+        else:
+            _fail(f"unexpected exit code {proc.returncode}\n{out}\n{err}")
+
+        # ---- phase 2: identical command resumes to completion ---------
+        proc = _serve(cache, args.verbose)
+        out, err = proc.communicate(timeout=300)
+        if proc.returncode != 0:
+            _fail(f"resume run failed (rc={proc.returncode})\n{out}\n{err}")
+        manifests = list((cache / "jobs").glob("*.manifest.json"))
+        if len(manifests) != 1:
+            _fail(f"resume should rewrite the same manifest: {manifests}")
+        final = json.loads(manifests[0].read_text())
+        if not final["complete"] or final["incomplete"]:
+            _fail(f"resumed manifest not complete: {final['counts']}")
+        counts = final["counts"]
+        if counts["cached"] < persisted:
+            _fail(
+                f"resume recomputed persisted points: {counts} "
+                f"(expected >= {persisted} cached)"
+            )
+        if counts["cached"] + counts["computed"] != counts["unique"]:
+            _fail(f"served points do not cover the grid: {counts}")
+        print(
+            f"[smoke] resumed to completion: {counts['cached']} cached + "
+            f"{counts['computed']} computed of {counts['unique']} unique"
+        )
+
+        # ---- phase 3: cache determinism, end to end -------------------
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.serve.cache import ResultCache
+        from repro.serve.canonical import payload_json
+        from repro.serve.compute import run_point_spec
+        from repro.serve.job import JobSpec
+
+        spec = JobSpec.from_dict(final["spec"])
+        point = spec.points()[0]
+        store = ResultCache(cache)
+        cached = store.get(point.key())
+        if cached is None:
+            _fail(f"first grid point {point.label} missing from cache")
+        fresh = run_point_spec(point)
+        if payload_json(cached) != payload_json(fresh):
+            _fail(f"cached payload differs from recomputation for {point.label}")
+        print(f"[smoke] cache entry for {point.label} byte-equals recomputation")
+        print("[smoke] PASS")
+        return 0
+    finally:
+        if not args.keep and args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
