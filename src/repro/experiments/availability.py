@@ -37,6 +37,7 @@ from repro.faults.mtbf import MTBFChurn
 from repro.faults.recovery import RetryPolicy, SourceRetry
 from repro.metrics.collector import Measurement, MeasurementWindow
 from repro.sim.core import Environment
+from repro.traffic.workload import Workload
 from repro.sim.rng import RandomStream
 from repro.wormhole.engine import WormholeEngine
 
@@ -119,7 +120,7 @@ def availability_point(
             severity=severity,
         )
     spec = WorkloadSpec(k=network.k, n=network.n)
-    workload = spec.builder(run_cfg)(load)
+    workload: Workload = spec.builder(run_cfg)(load)
     installed = workload.install(
         env, engine, root.fork(f"workload/{network.label}/{fault_rate}")
     )

@@ -201,7 +201,7 @@ def run_point(
     the execution path; results are identical either way.
     """
     env, sim_engine, root = build_point(network, offered_load, run_cfg, engine)
-    workload = workload_builder(offered_load)
+    workload: Workload = workload_builder(offered_load)
     installed = workload.install(
         env, sim_engine, root.fork(f"workload/{network.label}/{offered_load}")
     )

@@ -38,6 +38,7 @@ from repro.experiments.runner import _check_point_deadline, build_point
 from repro.experiments.saturation import SaturationPoint, find_saturation
 from repro.faults.recovery import RetryPolicy, SourceRetry
 from repro.metrics.collector import Measurement, MeasurementWindow
+from repro.traffic.workload import Workload
 from repro.stability import (
     AIMDConfig,
     AIMDGovernor,
@@ -141,7 +142,7 @@ def stability_point(
         )
 
     spec = WorkloadSpec(k=network.k, n=network.n)
-    workload = spec.builder(run_cfg)(offered_load)
+    workload: Workload = spec.builder(run_cfg)(offered_load)
     workload.governor = governor
     installed = workload.install(
         env,

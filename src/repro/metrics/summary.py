@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.metrics.stats import batch_means, mean, percentile
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import Measurement
     from repro.obs.histogram import LatencyHistogram
 
 _NAN = float("nan")
@@ -96,7 +97,7 @@ class LatencySummary:
         )
 
     def to_dict(self) -> dict:
-        def clean(v: float):
+        def clean(v: float) -> "float | None":
             return None if isinstance(v, float) and math.isnan(v) else v
 
         return {
@@ -136,7 +137,7 @@ class ColumnSpec:
         if self.kind not in ("float", "int", "bool"):
             raise ValueError(f"unknown column kind {self.kind!r}")
 
-    def convert(self, raw: str):
+    def convert(self, raw: str) -> "float | int | bool":
         """Parse a CSV cell back to the Python value."""
         if self.kind == "float":
             return float(raw) if raw not in ("", "None") else _NAN
@@ -144,7 +145,7 @@ class ColumnSpec:
             return int(raw or 0)
         return raw == "True"
 
-    def cell(self, m) -> str:
+    def cell(self, m: "Measurement") -> str:
         """Render the aligned text-table cell for one measurement."""
         value = getattr(m, self.attr)
         if self.kind == "bool":
@@ -196,7 +197,7 @@ MEASUREMENT_COLUMNS: tuple[ColumnSpec, ...] = (
 )
 
 
-def measurement_row(m) -> dict:
+def measurement_row(m: "Measurement") -> dict:
     """Measurement -> {column name: value} for every registry column."""
     return {c.name: getattr(m, c.attr) for c in MEASUREMENT_COLUMNS}
 

@@ -12,6 +12,7 @@ Fig. 19 numbers; see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.sim.core import Environment
 from repro.wormhole.engine import WormholeEngine
@@ -65,7 +66,7 @@ class ThroughputSampler:
         self._installed = True
         env.process(self._run(env), name="throughput-sampler")
 
-    def _run(self, env: Environment):
+    def _run(self, env: Environment) -> "Iterator[object]":
         last_delivered = self.engine.stats.delivered_flits
         last_offered = self.engine.stats.offered_flits
         while True:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 from pathlib import Path
@@ -31,7 +32,7 @@ from pathlib import Path
 from repro.experiments.config import PRESETS, NetworkConfig
 from repro.experiments.workload_spec import PATTERNS, WorkloadSpec
 from repro.obs.progress import ProgressMeter
-from repro.serve.job import FaultSpec, JobSpec
+from repro.serve.job import FaultSpec, JobManifest, JobSpec
 from repro.serve.service import SweepService
 from repro.serve.supervisor import DEFAULT_RETRY, SupervisePolicy
 from repro.wormhole.engine import ENGINE_KINDS
@@ -59,7 +60,7 @@ def _build_spec(args: argparse.Namespace) -> JobSpec:
     )
 
 
-def _render_summary(manifest, elapsed_note: str = "") -> str:
+def _render_summary(manifest: JobManifest, elapsed_note: str = "") -> str:
     c = manifest.counts
     lines = [
         f"=== job {manifest.job_id} "
@@ -179,12 +180,16 @@ def main(argv: list[str] | None = None) -> int:
         progress=None if args.quiet else ProgressMeter(prefix="serve"),
     )
 
-    def _wind_down(signum, frame):
-        print(
-            f"[serve] signal {signum}: finishing in-flight bookkeeping, "
-            "writing partial manifest",
-            file=sys.stderr,
-            flush=True,
+    def _wind_down(signum: int, frame: object) -> None:
+        # Signal handlers must stay async-signal-safe-ish (RPV008):
+        # print() takes the stderr buffer lock and can deadlock the very
+        # process we are winding down; os.write is a single syscall.
+        os.write(
+            2,
+            (
+                f"[serve] signal {signum}: finishing in-flight "
+                "bookkeeping, writing partial manifest\n"
+            ).encode(),
         )
         service.request_stop()
 

@@ -15,20 +15,20 @@ retry) with the engine choice honored.
 
 from __future__ import annotations
 
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import _run_until_delivered, run_point
-from repro.metrics.collector import MeasurementWindow, measurement_to_dict
+from repro.metrics.collector import Measurement, MeasurementWindow, measurement_to_dict
 from repro.serve.job import PointSpec
+from repro.traffic.workload import Workload
 
 PAYLOAD_VERSION = 1
 
 
 def run_point_spec(point: PointSpec) -> dict:
     """Simulate one point; returns the cacheable payload mapping."""
-    if point.stability is not None:
-        raise NotImplementedError(
-            "stability-config points are key-reserved but not yet runnable"
-        )
     run_cfg = point.run.with_seed(point.seed)
+    if point.stability is not None:
+        return _run_stability_point(point, run_cfg)
     if point.faults is None:
         measurement = run_point(
             point.network,
@@ -45,7 +45,53 @@ def run_point_spec(point: PointSpec) -> dict:
     }
 
 
-def _run_faulted_point(point: PointSpec, run_cfg) -> "object":
+def _run_stability_point(point: PointSpec, run_cfg: RunConfig) -> dict:
+    """The overload-toolkit execution path (bounded admission, AIMD
+    governor, watchdog), selected by ``point.stability``.
+
+    The payload carries the ordinary measurement block plus a
+    ``stability`` block: the normalized configuration it ran under and
+    the steady-state series summary.  ``knee_throughput`` is None --
+    one point cannot know its network's knee -- so the classification
+    distinguishes stable from metastable but never reports collapse.
+    """
+    from repro.experiments.stability import stability_point
+    from repro.stability import BoundedQueue
+
+    cfg = point.stability
+    sp = stability_point(
+        point.network,
+        run_cfg,
+        point.load,
+        knee_throughput=None,
+        admission=BoundedQueue(capacity=cfg["capacity"], mode=cfg["mode"]),
+        governed=cfg["governed"],
+        watchdog=cfg["watchdog"],
+        batches=cfg["batches"],
+        engine=point.engine,
+    )
+    return {
+        "version": PAYLOAD_VERSION,
+        "measurement": measurement_to_dict(sp.measurement),
+        "stability": {
+            "config": dict(cfg),
+            "classification": sp.stability,
+            "steady": {
+                "samples": sp.steady.samples,
+                "truncation": sp.steady.truncation,
+                "mean": sp.steady.mean,
+                "cv": sp.steady.cv,
+                "drift": sp.steady.drift,
+            },
+            "mean_rate": sp.mean_rate,
+            "stall_events": sp.stall_events,
+            "sheds": sp.sheds,
+            "throttles": sp.throttles,
+        },
+    }
+
+
+def _run_faulted_point(point: PointSpec, run_cfg: RunConfig) -> Measurement:
     """The availability-style execution path, engine choice included."""
     from repro.faults.mtbf import MTBFChurn
     from repro.faults.recovery import RetryPolicy, SourceRetry
@@ -80,7 +126,7 @@ def _run_faulted_point(point: PointSpec, run_cfg) -> "object":
             engine=engine,
             severity=faults.severity,
         )
-    workload = point.workload.builder(run_cfg)(point.load)
+    workload: Workload = point.workload.builder(run_cfg)(point.load)
     installed = workload.install(
         env, engine, root.fork(f"workload/{label}/{point.load}")
     )

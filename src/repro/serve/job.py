@@ -29,12 +29,67 @@ from typing import Optional, Sequence, Union
 from repro.experiments.config import PRESETS, NetworkConfig, RunConfig
 from repro.experiments.workload_spec import WorkloadSpec
 from repro.serve.canonical import canonical_value, config_hash
+from repro.stability.admission import ADMISSION_MODES, SHED_NEWEST
 from repro.traffic.workload import MessageSizeModel
 from repro.wormhole.engine import ENGINE_KINDS, resolve_engine
 from repro.wormhole.network import NetworkKind
 
 #: Per-point serving statuses a manifest can record.
 POINT_STATUSES = ("cached", "computed", "failed", "pending")
+
+#: Canonical defaults of a stability-config mapping.  ``batches``
+#: mirrors :data:`repro.experiments.stability.DEFAULT_BATCHES`;
+#: ``capacity``/``mode`` mirror the :class:`BoundedQueue` defaults.
+STABILITY_DEFAULTS = {
+    "batches": 32,
+    "capacity": 128,
+    "governed": True,
+    "mode": SHED_NEWEST,
+    "watchdog": True,
+}
+
+
+def validate_stability(raw: Optional[dict]) -> Optional[dict]:
+    """Normalize a stability-config mapping to its canonical form.
+
+    A stability point runs through the overload toolkit
+    (:func:`repro.experiments.stability.stability_point`): bounded
+    admission (``capacity``/``mode``), optional AIMD governor
+    (``governed``), optional progress watchdog + retry (``watchdog``),
+    and a ``batches``-sample steady-state series.  Defaults are made
+    explicit here so two spellings of the same configuration can never
+    hash to different cache keys.  (No cached stability payloads
+    predate this normalization: before it, any non-None ``stability``
+    refused to run.)
+    """
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ValueError(
+            f"stability must be a mapping or None, got {type(raw).__name__}"
+        )
+    unknown = sorted(set(raw) - set(STABILITY_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown stability key(s) {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(STABILITY_DEFAULTS))}"
+        )
+    cfg = {**STABILITY_DEFAULTS, **raw}
+    cfg["batches"] = int(cfg["batches"])
+    cfg["capacity"] = int(cfg["capacity"])
+    cfg["governed"] = bool(cfg["governed"])
+    cfg["mode"] = str(cfg["mode"])
+    cfg["watchdog"] = bool(cfg["watchdog"])
+    if cfg["batches"] < 8:
+        raise ValueError("stability batches must be >= 8 (classifiable series)")
+    if cfg["capacity"] < 1:
+        raise ValueError("stability admission capacity must be >= 1")
+    if cfg["mode"] not in ADMISSION_MODES:
+        raise ValueError(
+            f"unknown admission mode {cfg['mode']!r}; "
+            f"valid: {', '.join(ADMISSION_MODES)}"
+        )
+    return dict(sorted(cfg.items()))
 
 MANIFEST_VERSION = 1
 
@@ -69,10 +124,12 @@ class PointSpec:
 
     ``run.seed`` and ``run.loads`` are *ignored* -- the point's own
     ``seed`` and ``load`` fields are authoritative, so a preset's
-    incidental defaults never split the cache.  ``stability`` is a
-    reserved canonical mapping for admission/governor configuration:
-    it participates in the key today (so future wiring cannot collide
-    with existing entries) but only ``None`` is runnable.
+    incidental defaults never split the cache.  ``stability`` selects
+    the overload-toolkit execution path: a canonical mapping validated
+    by :func:`validate_stability` (admission capacity/mode, governor,
+    watchdog, batch count) that routes the point through
+    :func:`repro.experiments.stability.stability_point` and adds a
+    ``stability`` block to the payload.
     """
 
     network: NetworkConfig
@@ -88,6 +145,14 @@ class PointSpec:
         object.__setattr__(self, "load", float(self.load))
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "engine", resolve_engine(self.engine))
+        object.__setattr__(
+            self, "stability", validate_stability(self.stability)
+        )
+        if self.stability is not None and self.faults is not None:
+            raise ValueError(
+                "a point cannot combine stability and faults: the "
+                "overload toolkit path has no fault-injection wiring"
+            )
 
     def config(self) -> dict:
         """The canonical configuration mapping this point hashes over."""
@@ -143,6 +208,7 @@ class JobSpec:
     seeds: tuple[int, ...] = ()     # empty -> (run.seed,)
     engine: str = "fast"
     faults: Optional[FaultSpec] = None
+    stability: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if not self.networks:
@@ -154,6 +220,9 @@ class JobSpec:
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         if self.engine not in ENGINE_KINDS:
             raise ValueError(f"unknown engine {self.engine!r}")
+        object.__setattr__(
+            self, "stability", validate_stability(self.stability)
+        )
 
     @property
     def effective_loads(self) -> tuple[float, ...]:
@@ -182,6 +251,7 @@ class JobSpec:
                 run=self.run,
                 engine=self.engine,
                 faults=self.faults,
+                stability=self.stability,
             )
             for network in self.networks
             for load in self.effective_loads
@@ -194,7 +264,7 @@ class JobSpec:
         return config_hash(self.to_dict())[:12]
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "networks": [canonical_value(n) for n in self.networks],
             "workload": canonical_value(self.workload),
             "run": {
@@ -210,6 +280,11 @@ class JobSpec:
             "engine": self.engine,
             "faults": canonical_value(self.faults) if self.faults else None,
         }
+        # Emitted only when set so plain jobs keep their pre-stability
+        # job_ids (the id hashes this mapping).
+        if self.stability is not None:
+            out["stability"] = canonical_value(self.stability)
+        return out
 
     @classmethod
     def from_dict(cls, raw: dict) -> "JobSpec":
@@ -246,6 +321,7 @@ class JobSpec:
             seeds=tuple(raw.get("seeds", ())),
             engine=raw.get("engine", "fast"),
             faults=faults,
+            stability=raw.get("stability"),
         )
 
     @classmethod

@@ -138,7 +138,14 @@ def _format_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _worker_main(worker_id, task_q, result_q, beats, runner, point_timeout):
+def _worker_main(
+    worker_id: int,
+    task_q: "queue_mod.Queue[object]",
+    result_q: "queue_mod.Queue[tuple]",
+    beats: Sequence[float],
+    runner: Callable[[object], object],
+    point_timeout: Optional[float],
+) -> None:
     """One worker process: pull tasks until the ``None`` sentinel.
 
     Protocol on ``result_q`` (all tuples lead with the message kind):
@@ -205,7 +212,7 @@ class WorkerSupervisor:
         """
         self._stop = True
 
-    def _event(self, kind: str, **info) -> None:
+    def _event(self, kind: str, **info: object) -> None:
         if self.on_event is not None:
             self.on_event(kind, **info)
 
@@ -236,6 +243,10 @@ class WorkerSupervisor:
         task_q = ctx.Queue()
         result_q = ctx.Queue()
         beats = ctx.RawArray("d", policy.workers)
+        # The parent never touches the raw array directly (RPV009):
+        # slot accessors keep the liveness protocol -- never-beaten
+        # sentinel, monotonic source, age semantics -- in one place.
+        slots = [HeartbeatSlot(beats, i) for i in range(policy.workers)]
 
         def spawn(index: int) -> _Worker:
             proc = ctx.Process(
@@ -247,7 +258,7 @@ class WorkerSupervisor:
                 daemon=True,
             )
             proc.start()
-            beats[index] = time.monotonic()  # lint-sim: ignore[RPV002] -- harness liveness, not sim state
+            slots[index].beat()
             return _Worker(index=index, proc=proc)
 
         workers = [spawn(i) for i in range(policy.workers)]
@@ -380,7 +391,7 @@ class WorkerSupervisor:
                     key = w.current
                     if key is None:
                         continue
-                    beat_age = now - beats[w.index]
+                    beat_age = slots[w.index].age()
                     if beat_age > policy.stall_after:
                         # Wedged: beating stopped but the process lives.
                         report.stall_kills += 1

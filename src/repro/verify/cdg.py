@@ -26,7 +26,7 @@ to machine-check Theorem 1's ``k**t`` path count and the ``2(t+1)`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 import networkx as nx
 
@@ -98,7 +98,9 @@ class CDGResult:
         )
 
 
-def _pairs(network: SimNetwork, pairs: Optional[Iterable[tuple[int, int]]]):
+def _pairs(
+    network: SimNetwork, pairs: Optional[Iterable[tuple[int, int]]]
+) -> Iterator[tuple[int, int]]:
     if pairs is not None:
         yield from pairs
         return

@@ -1,0 +1,74 @@
+"""Interprocedural purity & fork-safety analysis (``repro.verify.flow``).
+
+PR 6's sweep service claims a cached result is byte-equal to fresh
+recomputation.  That claim is only as sound as the *purity* of every
+function reachable from :func:`repro.serve.compute.run_point_spec`:
+one ``os.environ`` read, wall-clock draw or mutable-global dependence
+anywhere in the compute closure silently poisons the content-addressed
+cache.  In the spirit of the paper's approach -- prove the property of
+the design, don't test instances of it -- this package certifies the
+claim statically:
+
+* :mod:`~repro.verify.flow.callgraph` -- conservative call graph over
+  the ``src/repro`` AST (typed receivers, import tables, name-match
+  fallback; over-approximates, never under-approximates);
+* :mod:`~repro.verify.flow.effects` -- per-function ambient-effect
+  summaries (env / wall-clock / unseeded RNG / filesystem /
+  global-mutation / set-iteration-order);
+* :mod:`~repro.verify.flow.purity` -- fixed propagation over the
+  graph and the machine-checkable
+  :class:`~repro.verify.flow.purity.PurityCertificate`, failing with a
+  witness call chain (``run_point_spec -> build_point -> X reads
+  os.environ``) plus a documented, justification-carrying allowlist
+  (:mod:`~repro.verify.flow.allowlist`) for proven-benign sinks;
+* :mod:`~repro.verify.flow.forksafety` -- supervisor concurrency lint
+  rules RPV007-RPV010 (lock-before-fork, unsafe signal handlers, raw
+  shared-array access, fork-under-lock), served through the standard
+  :mod:`repro.verify.lint` front end;
+* :mod:`~repro.verify.flow.negative` -- a seeded impure fixture (env
+  read three calls deep) the analyzer must convict, so a vacuous
+  checker cannot go green.
+
+Command line::
+
+    python -m repro.verify.flow --certify            # the CI gate
+    python -m repro.verify.flow --negative-control   # prove it can fail
+    python -m repro.verify.flow --list-allowlist
+"""
+
+from repro.verify.flow.allowlist import PURITY_ALLOWLIST
+from repro.verify.flow.callgraph import FunctionNode, ProjectGraph
+from repro.verify.flow.effects import EFFECT_KINDS, Effect, function_effects
+from repro.verify.flow.forksafety import FORK_RULES, ForkSafetyScanner, scan_fork_safety
+from repro.verify.flow.negative import (
+    IMPURE_FIXTURE_ENTRY,
+    IMPURE_FIXTURE_SOURCES,
+    negative_control_certificate,
+)
+from repro.verify.flow.purity import (
+    DEFAULT_ENTRY_POINTS,
+    ProjectAnalysis,
+    PurityCertificate,
+    Violation,
+    certify,
+)
+
+__all__ = [
+    "DEFAULT_ENTRY_POINTS",
+    "EFFECT_KINDS",
+    "Effect",
+    "FORK_RULES",
+    "ForkSafetyScanner",
+    "FunctionNode",
+    "IMPURE_FIXTURE_ENTRY",
+    "IMPURE_FIXTURE_SOURCES",
+    "PURITY_ALLOWLIST",
+    "ProjectAnalysis",
+    "ProjectGraph",
+    "PurityCertificate",
+    "Violation",
+    "certify",
+    "function_effects",
+    "negative_control_certificate",
+    "scan_fork_safety",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro.verify.flow``.
+
+Examples::
+
+    # certify the cache compute closure ambient-free (the CI gate)
+    python -m repro.verify.flow --certify
+
+    # write the machine-checkable certificate next to the logs
+    python -m repro.verify.flow --certify --json flow-cert.json
+
+    # prove the analyzer is not vacuous (seeded impure fixture)
+    python -m repro.verify.flow --negative-control
+
+    # custom entry points / package root
+    python -m repro.verify.flow --certify --entry repro.serve.compute.run_point_spec
+
+Exit status 0 iff every requested check passed (for the negative
+control: iff the analyzer *convicted* the impure fixture with witness
+chains of the expected kinds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.verify.flow.allowlist import PURITY_ALLOWLIST
+from repro.verify.flow.negative import (
+    IMPURE_FIXTURE_EXPECTED_KINDS,
+    negative_control_certificate,
+)
+from repro.verify.flow.purity import (
+    DEFAULT_ENTRY_POINTS,
+    ProjectAnalysis,
+    certify,
+)
+
+#: Default package root: src/repro, resolved relative to this file so
+#: the CLI works from any working directory of a source checkout.
+_DEFAULT_ROOT = Path(__file__).resolve().parents[3] / "repro"
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.verify.flow",
+        description=(
+            "Interprocedural purity certification of the sweep "
+            "service's cache compute closure."
+        ),
+    )
+    p.add_argument(
+        "--certify",
+        action="store_true",
+        help="certify the entry points' reachable closure ambient-free",
+    )
+    p.add_argument(
+        "--negative-control",
+        action="store_true",
+        help=(
+            "analyze the seeded impure fixture; succeeds iff the "
+            "analyzer convicts it with witness call chains"
+        ),
+    )
+    p.add_argument(
+        "--entry",
+        action="append",
+        default=None,
+        metavar="QUALNAME",
+        help=(
+            "entry point qualname (repeatable; default: the certified "
+            "compute-closure set)"
+        ),
+    )
+    p.add_argument(
+        "--root",
+        type=Path,
+        default=_DEFAULT_ROOT,
+        help="package directory to analyze (default: the installed repro/)",
+    )
+    p.add_argument(
+        "--package",
+        default="repro",
+        help="dotted package name of --root (default repro)",
+    )
+    p.add_argument(
+        "--json",
+        type=Path,
+        metavar="PATH",
+        help="also write the machine-checkable certificate JSON here",
+    )
+    p.add_argument(
+        "--list-allowlist",
+        action="store_true",
+        help="print every allowlisted sink with its justification",
+    )
+    p.add_argument(
+        "-q", "--quiet", action="store_true", help="only print failures"
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print allowlist justifications inline",
+    )
+    return p
+
+
+def _run_negative_control(quiet: bool) -> int:
+    cert = negative_control_certificate()
+    kinds = {v.effect.kind for v in cert.violations}
+    missing = [k for k in IMPURE_FIXTURE_EXPECTED_KINDS if k not in kinds]
+    if cert.ok or missing:
+        print(
+            "NEGATIVE CONTROL FAILED: the impure fixture was not "
+            f"convicted (missing kinds: {missing or 'all'}) -- the "
+            "purity analyzer is vacuous"
+        )
+        return 1
+    if not quiet:
+        print("negative control convicted as required")
+        for v in cert.violations:
+            print(f"  witness: {v.witness()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    if args.list_allowlist:
+        for name, why in sorted(PURITY_ALLOWLIST.items()):
+            print(f"{name}\n    {why}")
+        return 0
+    if not (args.certify or args.negative_control):
+        _parser().error(
+            "nothing to do: pass --certify, --negative-control and/or "
+            "--list-allowlist"
+        )
+
+    failures = 0
+    if args.certify:
+        if not args.root.is_dir():
+            print(f"flow: no such package root: {args.root}", file=sys.stderr)
+            return 2
+        analysis = ProjectAnalysis.from_package(args.root, args.package)
+        entries = tuple(args.entry) if args.entry else DEFAULT_ENTRY_POINTS
+        cert = certify(analysis, entries=entries)
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(
+                json.dumps(cert.to_dict(), indent=2) + "\n", encoding="utf-8"
+            )
+        if not cert.ok or not args.quiet:
+            print(cert.render(verbose=args.verbose))
+        if not cert.ok:
+            failures += 1
+
+    if args.negative_control or args.certify:
+        # --certify always exercises the negative control, so a green
+        # gate also certifies the analyzer itself is alive.
+        failures += _run_negative_control(args.quiet)
+
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

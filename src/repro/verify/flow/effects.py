@@ -1,0 +1,347 @@
+"""Per-function ambient-effect detection.
+
+An *ambient effect* is any read of (or write to) state outside the
+function's arguments that can differ between two executions of the
+same configuration -- exactly the things that poison a
+content-addressed result cache keyed on the configuration alone
+(:mod:`repro.serve.canonical`).  Six kinds are detected:
+
+``env-read``
+    ``os.environ`` / ``os.getenv`` / ``os.environb`` in any position
+    (subscript, ``.get``, iteration, membership).
+``wall-clock``
+    ``time.time/`` ``perf_counter`` / ``monotonic`` / ``process_time``
+    (and ``_ns`` variants), ``datetime.now/utcnow/today``.
+``unseeded-rng``
+    the process-global :mod:`random` module (or ``numpy.random``
+    legacy functions) instead of a seeded
+    :class:`repro.sim.rng.RandomStream`.
+``filesystem``
+    ``open``, ``os``/``shutil``/``tempfile``/``glob`` filesystem
+    calls, and pathlib-style ``read_text`` / ``write_bytes`` /
+    ``iterdir`` / ``rglob`` / ``mkdir`` / ``unlink`` method names.
+``global-mut``
+    a ``global`` declaration that is written, or an in-place mutation
+    (attribute/subscript store, mutator-method call) whose base is a
+    module-level binding of the same module.
+``iter-order``
+    iteration over a syntactic ``set`` / ``frozenset`` display,
+    comprehension or constructor call that is not wrapped in
+    ``sorted(...)`` -- string hashing is randomized per process
+    (``PYTHONHASHSEED``), so bare set order is ambient state.
+
+Detection is *syntactic and local*: each function is scanned on its
+own, and :mod:`repro.verify.flow.purity` propagates the findings over
+the call graph.  Aliasing an ambient module through a container
+(``clock = {"t": time}``) defeats the scanner; the repo's own lint
+rules (RPV001/RPV002) and review discipline are the backstop for
+that, and the certificate documents the assumption.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.verify.flow.callgraph import FunctionNode, ModuleInfo, _dotted
+
+#: Effect kinds, in severity-neutral canonical order.
+EFFECT_KINDS = (
+    "env-read",
+    "wall-clock",
+    "unseeded-rng",
+    "filesystem",
+    "global-mut",
+    "iter-order",
+)
+
+_WALLCLOCK_TIME_FNS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime",
+}
+_WALLCLOCK_DATETIME_FNS = {"now", "utcnow", "today"}
+_FS_OS_FNS = {
+    "listdir", "scandir", "walk", "stat", "lstat", "remove", "unlink",
+    "rename", "replace", "mkdir", "makedirs", "rmdir", "open", "read",
+    "write", "fdopen", "kill", "getcwd", "chdir", "symlink", "link",
+    "truncate",
+}
+#: Pathlib-flavored method names distinctive enough to flag on any
+#: receiver.  ``replace``/``rename`` are NOT here -- they collide with
+#: ``str.replace`` -- so path renames are caught via ``os.replace`` /
+#: ``os.rename`` instead.
+_FS_PATH_METHODS = {
+    "read_text", "read_bytes", "write_text", "write_bytes", "iterdir",
+    "rglob", "mkdir", "unlink", "touch", "hardlink_to", "symlink_to",
+    "rmdir",
+}
+_FS_MODULES = {"shutil", "tempfile", "glob"}
+_MUTATOR_METHODS = {
+    "append", "add", "update", "pop", "clear", "extend", "insert",
+    "setdefault", "discard", "remove", "popitem", "appendleft",
+    "popleft", "sort",
+}
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One ambient effect at a source location."""
+
+    kind: str      # one of EFFECT_KINDS
+    detail: str    # human-readable sink, e.g. "os.environ['REPRO_ENGINE']"
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail} (line {self.line})"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "detail": self.detail, "line": self.line}
+
+
+def classify_external_call(dotted: str) -> Optional[str]:
+    """Effect kind of a call into a non-project module, if ambient."""
+    parts = dotted.split(".")
+    head, tail = parts[0], parts[-1]
+    if head == "os":
+        if tail in ("getenv", "environ", "environb", "putenv"):
+            return "env-read"
+        if tail in _FS_OS_FNS:
+            return "filesystem"
+    if head == "time" and tail in _WALLCLOCK_TIME_FNS:
+        return "wall-clock"
+    if head == "datetime" and tail in _WALLCLOCK_DATETIME_FNS:
+        return "wall-clock"
+    if head == "random":
+        # `random.Random` is excluded here: the *seeded* constructor
+        # `random.Random(seed)` is the sanctioned RandomStream
+        # implementation.  The syntactic scan flags the zero-argument
+        # (system-seeded) form, which does carry ambient state.
+        if tail == "Random":
+            return None
+        return "unseeded-rng"
+    if len(parts) >= 2 and parts[-2] == "random" and head in ("numpy", "np"):
+        return "unseeded-rng"
+    if head in _FS_MODULES:
+        return "filesystem"
+    if dotted == "open":
+        return "filesystem"
+    if dotted in ("input", "breakpoint"):
+        return "env-read"
+    return None
+
+
+class EffectScanner:
+    """Scan one function node for its *own* (local) ambient effects."""
+
+    def __init__(self, fn: FunctionNode, mod: ModuleInfo) -> None:
+        self.fn = fn
+        self.mod = mod
+        self.effects: List[Effect] = []
+        # Names this module binds at top level (global-mutation bases).
+        self.module_globals: Set[str] = set(mod.toplevel_names)
+        # time/random aliases visible in this module.
+        self.time_aliases = {
+            a for a, m in mod.module_aliases.items() if m.split(".")[0] == "time"
+        }
+        self.random_aliases = {
+            a for a, m in mod.module_aliases.items() if m.split(".")[0] == "random"
+        }
+        self.os_aliases = {
+            a for a, m in mod.module_aliases.items() if m.split(".")[0] == "os"
+        }
+        #: from-imports of ambient callables: local name -> dotted.
+        self.ambient_from = {
+            a: d
+            for a, d in mod.from_imports.items()
+            if classify_external_call(d) is not None
+            or d in ("os.environ", "os.environb")
+        }
+
+    # ------------------------------------------------------------------ API
+
+    def scan(self) -> List[Effect]:
+        declared_global: Set[str] = set()
+        for sub in ast.walk(self.fn.node):
+            if isinstance(sub, ast.Global):
+                declared_global.update(sub.names)
+        for sub in ast.walk(self.fn.node):
+            self._scan_node(sub, declared_global)
+        self.effects.sort(key=lambda e: (e.line, e.kind, e.detail))
+        return self.effects
+
+    def _add(self, kind: str, detail: str, line: int) -> None:
+        self.effects.append(Effect(kind, detail, line))
+
+    # ------------------------------------------------------------- scanners
+
+    def _scan_node(self, sub: ast.AST, declared_global: Set[str]) -> None:
+        if isinstance(sub, ast.Attribute):
+            self._scan_attribute(sub)
+        elif isinstance(sub, ast.Name):
+            self._scan_name(sub)
+        elif isinstance(sub, ast.Call):
+            self._scan_call(sub)
+        elif isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._scan_store(sub, declared_global)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            self._scan_iteration(sub.iter)
+        elif isinstance(sub, ast.comprehension):
+            self._scan_iteration(sub.iter)
+
+    def _scan_attribute(self, sub: ast.Attribute) -> None:
+        if (
+            isinstance(sub.value, ast.Name)
+            and sub.value.id in self.os_aliases
+            and sub.attr in ("environ", "environb")
+        ):
+            self._add("env-read", f"os.{sub.attr}", sub.lineno)
+
+    def _scan_name(self, sub: ast.Name) -> None:
+        if not isinstance(sub.ctx, ast.Load):
+            return
+        dotted = self.ambient_from.get(sub.id)
+        if dotted is None:
+            return
+        kind = classify_external_call(dotted)
+        if dotted in ("os.environ", "os.environb"):
+            kind = "env-read"
+        if kind is not None:
+            self._add(kind, dotted, sub.lineno)
+
+    def _scan_call(self, call: ast.Call) -> None:
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            if fn.id == "open":
+                self._add("filesystem", "open()", call.lineno)
+            return
+        dotted = _dotted(fn)
+        if dotted is not None:
+            head = dotted.split(".")[0]
+            target_mod = self.mod.module_aliases.get(head)
+            if target_mod is not None:
+                canon = dotted.replace(head, target_mod, 1)
+                if canon == "random.Random":
+                    if not call.args and not call.keywords:
+                        self._add(
+                            "unseeded-rng", "random.Random()", call.lineno
+                        )
+                    return
+                kind = classify_external_call(canon)
+                if kind is not None:
+                    self._add(kind, f"{canon}()", call.lineno)
+                return
+        # Receiver-style ambient methods (pathlib file I/O, mutators on
+        # module globals are handled in _scan_store-adjacent logic).
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in _FS_PATH_METHODS:
+                self._add("filesystem", f".{fn.attr}()", call.lineno)
+            elif (
+                fn.attr in _MUTATOR_METHODS
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in self.module_globals
+                and not self._is_local_shadow(fn.value.id)
+            ):
+                self._add(
+                    "global-mut",
+                    f"{fn.value.id}.{fn.attr}() on module-level binding",
+                    call.lineno,
+                )
+
+    def _scan_store(self, sub: ast.AST, declared_global: Set[str]) -> None:
+        targets: List[ast.expr]
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        else:
+            targets = [sub.target]
+        for tgt in targets:
+            if isinstance(tgt, ast.Name) and tgt.id in declared_global:
+                self._add(
+                    "global-mut",
+                    f"global {tgt.id} assigned",
+                    tgt.lineno,
+                )
+            elif isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                base = tgt.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in self.module_globals
+                    and not self._is_local_shadow(base.id)
+                ):
+                    what = (
+                        f"{base.id}[...]" if isinstance(tgt, ast.Subscript)
+                        else f"{base.id}.{tgt.attr}"
+                    )
+                    self._add(
+                        "global-mut",
+                        f"{what} store on module-level binding",
+                        tgt.lineno,
+                    )
+
+    def _scan_iteration(self, it: ast.expr) -> None:
+        if self._is_bare_set_expr(it):
+            self._add(
+                "iter-order",
+                "iteration over an unsorted set expression",
+                it.lineno,
+            )
+
+    # -------------------------------------------------------------- helpers
+
+    def _is_local_shadow(self, name: str) -> bool:
+        """True when the function rebinds ``name`` locally (params or
+        plain assignment), so stores target the local, not the global."""
+        node = self.fn.node
+        args = getattr(node, "args", None)
+        if args is not None:
+            all_args = [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]
+            if any(a.arg == name for a in all_args):
+                return True
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global) and name in sub.names:
+                return False
+            if isinstance(sub, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name for t in sub.targets
+            ):
+                return True
+            if isinstance(sub, (ast.AnnAssign, ast.AugAssign)) and isinstance(
+                sub.target, ast.Name
+            ) and sub.target.id == name:
+                return True
+            if isinstance(sub, (ast.For, ast.AsyncFor)) and isinstance(
+                sub.target, ast.Name
+            ) and sub.target.id == name:
+                return True
+        return False
+
+    @staticmethod
+    def _is_bare_set_expr(it: ast.expr) -> bool:
+        if isinstance(it, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(it, ast.Call):
+            fn = it.func
+            name = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else None
+            )
+            return name in ("set", "frozenset")
+        return False
+
+
+def function_effects(fn: FunctionNode, mod: ModuleInfo) -> List[Effect]:
+    """Local ambient effects of one function: syntactic scan plus the
+    classification of its already-resolved external calls."""
+    effects = EffectScanner(fn, mod).scan()
+    seen = {(e.kind, e.detail) for e in effects}
+    for dotted in sorted(fn.external_calls):
+        kind = classify_external_call(dotted)
+        if kind is not None and (kind, f"{dotted}()") not in seen:
+            # External-call classification has no line: callgraph
+            # resolution drops locations.  Use the def line.
+            effects.append(Effect(kind, f"{dotted}()", fn.lineno))
+    effects.sort(key=lambda e: (e.line, e.kind, e.detail))
+    return effects

@@ -1,0 +1,400 @@
+"""Fork- and signal-safety lint rules (RPV007-RPV010).
+
+The sweep service's supervisor (:mod:`repro.serve.supervisor`) manages
+raw ``multiprocessing`` workers, shared heartbeat arrays and signal
+handlers -- a combination with hazards no generic linter models:
+
+``RPV007`` **lock-before-fork**
+    A ``threading`` primitive (Thread/Lock/RLock/Condition/Semaphore/
+    Event/Barrier) constructed *before* a ``Process.start()`` in the
+    same function flow (or at module level of a module that forks).
+    Under the ``fork`` start method the child inherits the lock state
+    of every thread at fork instant -- a lock held by a non-forked
+    thread stays locked forever in the child.
+
+``RPV008`` **unsafe-signal-handler**
+    A handler registered via ``signal.signal`` doing more than
+    flag-setting: Python-level handlers run between bytecodes, but
+    they still interrupt arbitrary code, so anything that takes a lock
+    (``print``/ ``logging`` buffer locks, queue locks) can deadlock
+    the process the handler was meant to wind down.  Allowed inside a
+    handler: attribute/flag assignment, ``os.write``/``os.kill``,
+    ``signal.*``, ``sys.exit``, raising an exception (the SIGALRM
+    timeout idiom), and calls to methods named ``request_stop`` /
+    ``stop`` / ``set`` (the repo's documented signal-safe wind-down
+    surface).
+
+``RPV009`` **raw-shared-array**
+    Direct subscripting of a ``multiprocessing`` ``RawArray`` /
+    ``Array`` binding.  Shared heartbeat arrays must be touched only
+    through :class:`repro.obs.progress.HeartbeatSlot` accessors so the
+    liveness protocol (never-beaten sentinel, monotonic source, age
+    semantics) lives in exactly one place.
+
+``RPV010`` **fork-under-lock**
+    ``Process.start()`` (or ``os.fork()``) inside a ``with <lock>:``
+    block.  The child forks with the lock held; any code path in the
+    child that touches the same lock deadlocks.
+
+These rules are part of the standard :mod:`repro.verify.lint` catalog
+(``python tools/lint_sim.py``); suppression and ``--json`` output work
+exactly as for RPV001-RPV006.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+#: Rule catalogue fragment merged into :data:`repro.verify.lint.RULES`.
+FORK_RULES = {
+    "RPV007": (
+        "threading primitive created before Process.start() in the same "
+        "flow (fork inherits wedged lock state)"
+    ),
+    "RPV008": (
+        "signal handler does non-signal-safe work (only flag sets, "
+        "os.write/os.kill, signal.*, sys.exit, request_stop/stop/set "
+        "calls are allowed)"
+    ),
+    "RPV009": (
+        "raw subscript on a multiprocessing shared array; go through "
+        "HeartbeatSlot accessors"
+    ),
+    "RPV010": (
+        "process forked while holding a lock (child inherits the held "
+        "lock and deadlocks)"
+    ),
+}
+
+_THREADING_PRIMITIVES = {
+    "Thread", "Lock", "RLock", "Condition", "Semaphore",
+    "BoundedSemaphore", "Event", "Barrier", "Timer",
+}
+_SHARED_ARRAY_CTORS = {"RawArray", "Array", "RawValue", "Value"}
+_SAFE_HANDLER_DOTTED = {
+    "os.write", "os.kill", "os._exit", "os.getpid", "sys.exit",
+}
+_SAFE_HANDLER_METHODS = {"request_stop", "stop", "set", "fileno", "encode"}
+
+AddFn = Callable[[int, int, str, str], None]
+
+
+def _local_walk(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    """``a.b.c(...)`` -> "a.b.c", ``f(...)`` -> "f", else None."""
+    fn = call.func
+    parts: List[str] = []
+    while isinstance(fn, ast.Attribute):
+        parts.append(fn.attr)
+        fn = fn.value
+    if isinstance(fn, ast.Name):
+        parts.append(fn.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_threading_primitive(call: ast.Call, from_imports: Set[str]) -> bool:
+    name = _call_name(call)
+    if name is None:
+        return False
+    parts = name.split(".")
+    if len(parts) >= 2 and parts[0] == "threading":
+        return parts[-1] in _THREADING_PRIMITIVES
+    return len(parts) == 1 and parts[0] in from_imports
+
+
+def _is_process_ctor(call: ast.Call) -> bool:
+    name = _call_name(call)
+    return name is not None and name.split(".")[-1] == "Process"
+
+
+def _is_shared_array_ctor(call: ast.Call) -> bool:
+    name = _call_name(call)
+    return name is not None and name.split(".")[-1] in _SHARED_ARRAY_CTORS
+
+
+def _lockish_context(expr: ast.expr) -> bool:
+    """Heuristic: the with-item guards a lock (name mentions lock/mutex
+    /semaphore/condition, or it constructs a threading primitive)."""
+    for sub in ast.walk(expr):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Call):
+            if _is_threading_primitive(sub, _THREADING_PRIMITIVES):
+                return True
+            continue
+        if name is not None and any(
+            tok in name.lower() for tok in ("lock", "mutex", "semaphore", "cond")
+        ):
+            return True
+    return False
+
+
+class ForkSafetyScanner:
+    """Scan one module tree; violations go through the ``add`` callback
+    as ``add(line, col, rule, message)``."""
+
+    def __init__(self, tree: ast.Module, add: AddFn) -> None:
+        self.tree = tree
+        self.add = add
+        #: names from `from threading import X`.
+        self.threading_from: Set[str] = set()
+        #: names from `from signal import signal` style imports.
+        self.signal_aliases: Set[str] = {"signal"}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for stmt in ast.walk(self.tree):
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "threading":
+                for alias in stmt.names:
+                    if alias.name in _THREADING_PRIMITIVES:
+                        self.threading_from.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.name == "signal" and alias.asname:
+                        self.signal_aliases.add(alias.asname)
+
+    # ------------------------------------------------------------------ run
+
+    def scan(self) -> None:
+        module_forks = self._module_forks()
+        self._scan_scope(self.tree.body, toplevel=True, module_forks=module_forks)
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(node)
+        self._scan_handlers()
+        self._scan_shared_arrays()
+
+    def _module_forks(self) -> bool:
+        return any(
+            isinstance(node, ast.Call) and _is_process_ctor(node)
+            for node in ast.walk(self.tree)
+        )
+
+    # ---------------------------------------------------------- RPV007/010
+
+    def _scan_scope(
+        self, body: List[ast.stmt], toplevel: bool, module_forks: bool
+    ) -> None:
+        """Module top level: creating threading primitives in a module
+        that forks processes is flagged (RPV007)."""
+        if not (toplevel and module_forks):
+            return
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) and _is_threading_primitive(
+                    sub, self.threading_from
+                ):
+                    self.add(
+                        sub.lineno, sub.col_offset, "RPV007",
+                        "module-level threading primitive in a forking "
+                        "module: " + FORK_RULES["RPV007"],
+                    )
+
+    def _scan_function(self, fn: ast.AST) -> None:
+        """Flow order inside one function: primitive-then-start is
+        RPV007; start inside a lock `with` is RPV010."""
+        process_vars: Set[str] = set()
+        primitives: List[Tuple[int, int]] = []   # (line, col)
+        starts: List[int] = []                   # lines of process starts
+
+        # First pass: find process-typed locals and all events in line order.
+        for sub in _local_walk(fn):
+            if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                if _is_process_ctor(sub.value):
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            process_vars.add(tgt.id)
+
+        def is_process_start(call: ast.Call) -> bool:
+            f = call.func
+            if not (isinstance(f, ast.Attribute) and f.attr in ("start", "fork")):
+                return False
+            if isinstance(f.value, ast.Call) and _is_process_ctor(f.value):
+                return True   # Process(...).start()
+            if isinstance(f.value, ast.Name):
+                if f.value.id in process_vars:
+                    return True
+                if f.attr == "fork" and f.value.id == "os":
+                    return True
+            if (
+                isinstance(f.value, ast.Attribute)
+                and f.value.attr in ("proc", "process")
+            ):
+                return True   # worker.proc.start()
+            return False
+
+        for sub in _local_walk(fn):
+            if isinstance(sub, ast.Call):
+                if _is_threading_primitive(sub, self.threading_from):
+                    primitives.append((sub.lineno, sub.col_offset))
+                elif is_process_start(sub):
+                    starts.append(sub.lineno)
+
+        if starts:
+            first_start = min(starts)
+            for line, col in primitives:
+                if line < first_start:
+                    self.add(
+                        line, col, "RPV007",
+                        FORK_RULES["RPV007"],
+                    )
+
+        # RPV010: process start lexically inside a lock-guarded `with`.
+        self._scan_fork_under_lock(fn, is_process_start, under_lock=False)
+
+    def _scan_fork_under_lock(
+        self, node: ast.AST, is_start: Callable, under_lock: bool
+    ) -> None:
+        if isinstance(node, ast.Call) and under_lock and is_start(node):
+            self.add(
+                node.lineno, node.col_offset, "RPV010",
+                FORK_RULES["RPV010"],
+            )
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            locked = under_lock or any(
+                _lockish_context(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._scan_fork_under_lock(item, is_start, under_lock)
+            for stmt in node.body:
+                self._scan_fork_under_lock(stmt, is_start, locked)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            children = ast.iter_child_nodes(node)
+            for child in children:
+                self._scan_fork_under_lock(child, is_start, False)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan_fork_under_lock(child, is_start, under_lock)
+
+    # -------------------------------------------------------------- RPV008
+
+    def _scan_handlers(self) -> None:
+        """Resolve `signal.signal(SIG, handler)` registrations to local
+        defs and audit the handler bodies."""
+        defs = {}
+        audited: Set[int] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs[node.name] = node
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            is_register = (
+                (len(parts) == 2 and parts[0] in self.signal_aliases and parts[1] == "signal")
+                or name == "signal"  # from signal import signal
+            )
+            if not is_register or len(node.args) < 2:
+                continue
+            handler = node.args[1]
+            if isinstance(handler, ast.Name) and handler.id in defs:
+                target = defs[handler.id]
+                if id(target) not in audited:
+                    audited.add(id(target))
+                    self._audit_handler(target)
+
+    def _audit_handler(self, fn: ast.AST) -> None:
+        # `raise X(...)` is the canonical SIGALRM-timeout idiom and is
+        # safe: exception constructors take no locks, and the raise
+        # unwinds out of the handler immediately.
+        raised: Set[int] = set()
+        for sub in _local_walk(fn):
+            if isinstance(sub, ast.Raise) and sub.exc is not None:
+                raised.add(id(sub.exc))
+        for sub in _local_walk(fn):
+            if not isinstance(sub, ast.Call) or id(sub) in raised:
+                continue
+            name = _call_name(sub)
+            if name is None:
+                # Method on a non-name receiver, e.g. f"...".encode().
+                if (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _SAFE_HANDLER_METHODS
+                ):
+                    continue
+                self.add(
+                    sub.lineno, sub.col_offset, "RPV008",
+                    f"in handler {getattr(fn, 'name', '<handler>')}(): "
+                    + FORK_RULES["RPV008"],
+                )
+                continue
+            parts = name.split(".")
+            if name in _SAFE_HANDLER_DOTTED:
+                continue
+            if parts[0] in self.signal_aliases:
+                continue
+            if parts[-1] in _SAFE_HANDLER_METHODS:
+                continue
+            self.add(
+                sub.lineno, sub.col_offset, "RPV008",
+                f"{name}() in handler {getattr(fn, 'name', '<handler>')}(): "
+                + FORK_RULES["RPV008"],
+            )
+
+    # -------------------------------------------------------------- RPV009
+
+    def _scan_shared_arrays(self) -> None:
+        """Per scope: subscripts on names bound from RawArray/Array.
+
+        Scopes are each function *including* its nested defs (a closure
+        captures the binding, as the supervisor's ``spawn`` does) plus
+        the module top level.
+        """
+        scopes: List[ast.AST] = [self.tree]
+        scopes.extend(
+            n for n in ast.walk(self.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        flagged: Set[int] = set()
+        for fn in scopes:
+            walker = (
+                _local_walk(fn) if isinstance(fn, ast.Module) else ast.walk(fn)
+            )
+            nodes = list(walker)
+            shared: Set[str] = set()
+            for sub in nodes:
+                if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                    if _is_shared_array_ctor(sub.value):
+                        for tgt in sub.targets:
+                            if isinstance(tgt, ast.Name):
+                                shared.add(tgt.id)
+            if not shared:
+                continue
+            for sub in nodes:
+                if (
+                    isinstance(sub, ast.Subscript)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id in shared
+                    and id(sub) not in flagged
+                ):
+                    flagged.add(id(sub))
+                    self.add(
+                        sub.lineno, sub.col_offset, "RPV009",
+                        f"{sub.value.id}[...]: " + FORK_RULES["RPV009"],
+                    )
+
+
+def scan_fork_safety(tree: ast.Module, add: AddFn) -> None:
+    """Entry point used by :func:`repro.verify.lint.lint_source`."""
+    ForkSafetyScanner(tree, add).scan()

@@ -1,0 +1,77 @@
+"""Seeded-impure fixtures: the purity analyzer's negative control.
+
+Like :mod:`repro.verify.negative` for the CDG checker, these in-memory
+modules prove the *analyzer itself* is alive: a certification run over
+them must produce witness call chains, or the checker is vacuous and
+CI fails.  The fixture hides each ambient effect **three calls deep**
+behind pure-looking wrappers -- exactly the failure mode a local (per-
+function) scan cannot catch and the interprocedural pass must.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.flow.purity import PurityCertificate
+
+#: module name -> source.  `entry_point` -> `middle` -> `inner` where
+#: only `inner` touches ambient state, spread across two modules so the
+#: import-table resolution is exercised too.
+IMPURE_FIXTURE_SOURCES: Dict[str, str] = {
+    "fixture.depths": '''
+import os
+import time
+
+
+def read_mode():
+    """Three-deep env read: the classic cache poisoner."""
+    return os.environ.get("FIXTURE_MODE", "fast")
+
+
+def stamp():
+    return time.monotonic()
+''',
+    "fixture.wrappers": '''
+from fixture.depths import read_mode, stamp
+
+
+def choose_mode():
+    return read_mode()
+
+
+def latency_now():
+    return stamp()
+''',
+    "fixture.entry": '''
+from fixture.wrappers import choose_mode, latency_now
+
+
+def build_config():
+    return {"mode": choose_mode()}
+
+
+def run_fixture_point(load):
+    cfg = build_config()
+    t = latency_now()
+    return {"cfg": cfg, "t": t, "load": load}
+''',
+}
+
+#: The fixture's certified entry point.
+IMPURE_FIXTURE_ENTRY = "fixture.entry.run_fixture_point"
+
+#: Effect kinds the fixture must be convicted of (env read via
+#: run_fixture_point -> build_config -> choose_mode -> read_mode, and
+#: the wall-clock read via latency_now -> stamp).
+IMPURE_FIXTURE_EXPECTED_KINDS = ("env-read", "wall-clock")
+
+
+def negative_control_certificate() -> "PurityCertificate":
+    """Certify the fixture; a healthy analyzer returns violations."""
+    from repro.verify.flow.purity import ProjectAnalysis, certify
+
+    analysis = ProjectAnalysis.from_sources(
+        IMPURE_FIXTURE_SOURCES, package="fixture"
+    )
+    return certify(analysis, entries=(IMPURE_FIXTURE_ENTRY,), allowlist={})

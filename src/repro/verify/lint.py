@@ -39,6 +39,11 @@ These rules encode the repo's simulation discipline (see
     otherwise every simulated flit pays the publish cost even when no
     sink is attached.
 
+``RPV007``-``RPV010`` are the fork-/signal-safety family (lock before
+fork, unsafe signal handlers, raw shared-array subscripts, fork under
+lock), implemented in :mod:`repro.verify.flow.forksafety` and merged
+into this catalog.
+
 Suppression: append ``# lint-sim: ignore`` (all rules) or
 ``# lint-sim: ignore[RPV001,RPV005]`` to the offending line; a file
 containing ``# lint-sim: skip-file`` is skipped entirely.
@@ -53,7 +58,9 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
+
+from repro.verify.flow.forksafety import FORK_RULES, scan_fork_safety
 
 RULES: dict[str, str] = {
     "RPV001": "use repro.sim.rng.RandomStream, not the raw random module",
@@ -62,6 +69,9 @@ RULES: dict[str, str] = {
     "RPV004": "mutable default argument shares state across calls",
     "RPV005": "yielded hold (request/acquire) with no release path",
     "RPV006": "bus publish inside a loop without an enabled/hot guard",
+    # Fork-/signal-safety family, implemented in
+    # repro.verify.flow.forksafety (see its module docstring).
+    **FORK_RULES,
 }
 
 _SKIP_FILE = "lint-sim: skip-file"
@@ -130,7 +140,7 @@ def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
     return False
 
 
-def _local_walk(fn: ast.AST):
+def _local_walk(fn: ast.AST) -> Iterator[ast.AST]:
     """Walk a function body without descending into nested defs."""
     stack = list(ast.iter_child_nodes(fn))
     while stack:
@@ -258,7 +268,9 @@ class _Visitor(ast.NodeVisitor):
                     )
         self.generic_visit(node)
 
-    def _check_defaults(self, node) -> None:
+    def _check_defaults(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda"
+    ) -> None:
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None
         ]
@@ -423,6 +435,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     visitor = _Visitor(path)
     visitor.visit(tree)
     _PublishGuardScanner(visitor).scan(tree)
+    scan_fork_safety(tree, visitor._add)
     table = _suppressions(source)
     kept = []
     for v in visitor.violations:

@@ -38,8 +38,10 @@ from repro.partition.analysis import (
     clusters_are_contention_free,
 )
 from repro.partition.cubes import Cube
-from repro.topology.bmin import first_difference
+from repro.topology.bmin import BidirectionalMIN, first_difference
+from repro.topology.spec import MINSpec
 from repro.verify.cdg import CyclicRouteError, check_acyclic, enumerate_routes
+from repro.wormhole.channel import PhysChannel
 from repro.wormhole.network import (
     BidirectionalNetwork,
     NetworkKind,
@@ -155,7 +157,7 @@ def _check_unidirectional_paths(
 
 
 def net_slot_of(
-    net: UnidirectionalNetwork, channel
+    net: UnidirectionalNetwork, channel: PhysChannel
 ) -> Optional[tuple[int, int]]:
     """The (boundary, position) slot a channel of ``net`` serves."""
     for slot, chans in net.slots.items():
@@ -307,7 +309,7 @@ def _check_min_partitions(
         )
 
 
-def _min_balanced(spec, cluster: Cube) -> bool:
+def _min_balanced(spec: MINSpec, cluster: Cube) -> bool:
     usage = cluster_channel_usage(spec, cluster)
     return all(len(usage[b]) == cluster.size for b in range(spec.n + 1))
 
@@ -346,7 +348,7 @@ def _check_bmin_partitions(
     )
 
 
-def _bmin_balanced(bmin, cluster: Cube) -> bool:
+def _bmin_balanced(bmin: BidirectionalMIN, cluster: Cube) -> bool:
     usage = bmin_cluster_line_usage(bmin, cluster)
     members = cluster.member_list()
     top = max(

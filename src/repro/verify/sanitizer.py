@@ -33,7 +33,9 @@ import os
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.wormhole.channel import Lane
     from repro.wormhole.engine import WormholeEngine
+    from repro.wormhole.network import SimNetwork
 
 
 class SanitizerError(AssertionError):
@@ -56,7 +58,7 @@ def check_interval() -> int:
 class Sanitizer:
     """Per-engine invariant checker (created when sanitizing is on)."""
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: "SimNetwork") -> None:
         self.network = network
         self.every = check_interval()
         self.cycles_checked = 0
@@ -69,7 +71,7 @@ class Sanitizer:
 
     # -- release pairing (called from the channel layer) -----------------
 
-    def on_release(self, lane) -> None:
+    def on_release(self, lane: "Lane") -> None:
         """Validate one lane release (tail crossed, or explicit abort)."""
         if id(lane.channel) not in self._channel_ids:
             return  # not a channel of this sanitizer's network
@@ -252,6 +254,6 @@ class Sanitizer:
         raise SanitizerError(f"REPRO_SANITIZE: {message}")
 
 
-def maybe_sanitizer(network) -> "Sanitizer | None":
+def maybe_sanitizer(network: "SimNetwork") -> "Sanitizer | None":
     """A :class:`Sanitizer` when ``REPRO_SANITIZE`` is set, else None."""
     return Sanitizer(network) if sanitize_enabled() else None

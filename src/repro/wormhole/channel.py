@@ -40,6 +40,20 @@ release_observer: Optional[Callable[["Lane"], None]] = None
 fault_epoch: int = 0
 
 
+def bump_fault_epoch() -> int:
+    """Advance the global fault epoch (called by fail/repair).
+
+    The epoch is an invalidation *token*: consumers only ever compare
+    two reads for inequality, never interpret the absolute value, so
+    the process-global counter cannot leak into any result payload.
+    That property is what justifies this function's entry in the purity
+    allowlist (:mod:`repro.verify.flow.allowlist`).
+    """
+    global fault_epoch
+    fault_epoch += 1
+    return fault_epoch
+
+
 class Lane:
     """One virtual channel on a wire."""
 
@@ -147,15 +161,13 @@ class PhysChannel:
         :meth:`repro.wormhole.engine.WormholeEngine.abort_packet` on
         :meth:`owners`.
         """
-        global fault_epoch
         self.faulty = True
-        fault_epoch += 1
+        bump_fault_epoch()
 
     def repair(self) -> None:
         """Clear an injected fault."""
-        global fault_epoch
         self.faulty = False
-        fault_epoch += 1
+        bump_fault_epoch()
 
     def owners(self) -> list["Packet"]:
         """Distinct packets currently holding a lane of this wire."""

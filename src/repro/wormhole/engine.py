@@ -233,7 +233,9 @@ class WormholeEngine:
         #: explicit ``sanitize=True``); None costs nothing per cycle.
         self.sanitizer = None
         if sanitize is None:
-            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+            from repro.verify.sanitizer import sanitize_enabled
+
+            sanitize = sanitize_enabled()
         if sanitize:
             from repro.verify.sanitizer import Sanitizer
             from repro.wormhole import channel as _channel_mod

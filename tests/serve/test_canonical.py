@@ -135,7 +135,7 @@ def test_point_key_sensitivity():
         PointSpec(net, wl, 0.4, 8, SMOKE),
         PointSpec(net, wl, 0.4, 7, SMOKE, engine="reference"),
         PointSpec(net, wl, 0.4, 7, SMOKE, faults=FaultSpec(rate=0.01)),
-        PointSpec(net, wl, 0.4, 7, SMOKE, stability={"admission": "aimd"}),
+        PointSpec(net, wl, 0.4, 7, SMOKE, stability={"capacity": 64}),
     ]
     keys = {base.key(), *[v.key() for v in variants]}
     assert len(keys) == 1 + len(variants)

@@ -1,20 +1,23 @@
-"""Tests for the repository tooling (report assembler)."""
+"""Tests for the repository tooling (report assembler, lint driver)."""
 
+import importlib.util
+import json
 import sys
 from pathlib import Path
 
 TOOLS = Path(__file__).parent.parent / "tools"
 
 
-def test_make_report_assembles_results(tmp_path, monkeypatch, capsys):
-    # Point the tool at a fabricated results directory.
-    import importlib.util
-
-    spec = importlib.util.spec_from_file_location(
-        "make_report", TOOLS / "make_report.py"
-    )
+def load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
+    return mod
+
+
+def test_make_report_assembles_results(tmp_path, monkeypatch, capsys):
+    # Point the tool at a fabricated results directory.
+    mod = load_tool("make_report")
 
     results = tmp_path / "results"
     results.mkdir()
@@ -33,13 +36,49 @@ def test_make_report_assembles_results(tmp_path, monkeypatch, capsys):
 
 
 def test_make_report_handles_missing_results(tmp_path, monkeypatch):
-    import importlib.util
-
-    spec = importlib.util.spec_from_file_location(
-        "make_report", TOOLS / "make_report.py"
-    )
-    mod = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(mod)
+    mod = load_tool("make_report")
     monkeypatch.setattr(mod, "RESULTS", tmp_path / "nope")
     monkeypatch.setattr(sys, "argv", ["make_report.py", str(tmp_path / "r.md")])
     assert mod.main() == 1
+
+
+# ------------------------------------------------------- lint_sim --json
+
+
+DIRTY = "import random\nx = random.random()\n"
+
+
+def test_lint_sim_json_clean_is_empty_array(tmp_path, capsys):
+    mod = load_tool("lint_sim")
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(xs=None):\n    return xs or []\n")
+    assert mod.main(["--json", str(clean)]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_lint_sim_json_records(tmp_path, capsys):
+    mod = load_tool("lint_sim")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    assert mod.main(["--json", str(dirty)]) == 1
+    records = json.loads(capsys.readouterr().out)
+    assert records, "violations expected"
+    rec = records[0]
+    assert set(rec) == {"file", "line", "col", "rule", "message"}
+    assert rec["rule"] == "RPV001"
+    assert rec["file"].endswith("dirty.py")
+    assert isinstance(rec["line"], int) and isinstance(rec["col"], int)
+
+
+def test_lint_sim_human_mode_unchanged(tmp_path, capsys):
+    mod = load_tool("lint_sim")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    assert mod.main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "RPV001" in out and not out.lstrip().startswith("[")
+
+
+def test_lint_sim_missing_path_exits_2(tmp_path, capsys):
+    mod = load_tool("lint_sim")
+    assert mod.main(["--json", str(tmp_path / "nope.py")]) == 2

@@ -1,0 +1,267 @@
+"""Unit tests for the fork-/signal-safety lint rules (RPV007-RPV010).
+
+The deliberately-unsafe fixtures mirror real supervisor bugs: a lock
+created before the fork, a signal handler that prints, a heartbeat
+array poked without its accessors, a process started under a held
+lock.  Each has a minimally-different clean twin, so the rules are
+pinned from both sides.
+"""
+
+import re
+from pathlib import Path
+
+from repro.verify.lint import RULES, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FORK_RULE_IDS = ("RPV007", "RPV008", "RPV009", "RPV010")
+
+
+def rules_of(source: str) -> list[str]:
+    return [v.rule for v in lint_source(source)]
+
+
+# ------------------------------------------------------------ RPV007
+
+
+def test_rpv007_lock_before_fork():
+    src = (
+        "import threading\n"
+        "import multiprocessing\n"
+        "def spawn():\n"
+        "    lock = threading.Lock()\n"
+        "    p = multiprocessing.Process(target=print)\n"
+        "    p.start()\n"
+    )
+    assert "RPV007" in rules_of(src)
+
+
+def test_rpv007_from_import_alias():
+    src = (
+        "from threading import Lock\n"
+        "import multiprocessing\n"
+        "def spawn():\n"
+        "    lock = Lock()\n"
+        "    multiprocessing.Process(target=print).start()\n"
+    )
+    assert "RPV007" in rules_of(src)
+
+
+def test_rpv007_primitive_after_start_is_fine():
+    src = (
+        "import threading\n"
+        "import multiprocessing\n"
+        "def spawn():\n"
+        "    p = multiprocessing.Process(target=print)\n"
+        "    p.start()\n"
+        "    lock = threading.Lock()\n"
+    )
+    assert "RPV007" not in rules_of(src)
+
+
+def test_rpv007_module_level_primitive_in_forking_module():
+    src = (
+        "import threading\n"
+        "import multiprocessing\n"
+        "LOCK = threading.Lock()\n"
+        "def spawn():\n"
+        "    multiprocessing.Process(target=print).start()\n"
+    )
+    assert "RPV007" in rules_of(src)
+
+
+def test_rpv007_no_fork_no_flag():
+    src = "import threading\ndef f():\n    lock = threading.Lock()\n"
+    assert "RPV007" not in rules_of(src)
+
+
+# ------------------------------------------------------------ RPV008
+
+
+def test_rpv008_handler_calls_print():
+    src = (
+        "import signal\n"
+        "def _handler(signum, frame):\n"
+        "    print('going down')\n"
+        "signal.signal(signal.SIGTERM, _handler)\n"
+    )
+    assert "RPV008" in rules_of(src)
+
+
+def test_rpv008_flag_set_and_os_write_are_fine():
+    src = (
+        "import os\n"
+        "import signal\n"
+        "class S:\n"
+        "    def stop(self):\n"
+        "        pass\n"
+        "svc = S()\n"
+        "def _handler(signum, frame):\n"
+        "    os.write(2, b'down\\n')\n"
+        "    svc.request_stop()\n"
+        "signal.signal(signal.SIGTERM, _handler)\n"
+    )
+    assert "RPV008" not in rules_of(src)
+
+
+def test_rpv008_raise_is_the_sanctioned_timeout_idiom():
+    src = (
+        "import signal\n"
+        "def _fire(signum, frame):\n"
+        "    raise TimeoutError('too slow')\n"
+        "signal.signal(signal.SIGALRM, _fire)\n"
+    )
+    assert "RPV008" not in rules_of(src)
+
+
+def test_rpv008_fstring_encode_receiver_is_fine():
+    src = (
+        "import os\n"
+        "import signal\n"
+        "def _handler(signum, frame):\n"
+        "    os.write(2, f'sig {signum}\\n'.encode())\n"
+        "signal.signal(signal.SIGTERM, _handler)\n"
+    )
+    assert "RPV008" not in rules_of(src)
+
+
+def test_rpv008_unregistered_function_not_audited():
+    src = "def noisy():\n    print('fine, not a handler')\n"
+    assert "RPV008" not in rules_of(src)
+
+
+# ------------------------------------------------------------ RPV009
+
+
+def test_rpv009_raw_subscript_on_shared_array():
+    src = (
+        "import multiprocessing\n"
+        "def pool(n):\n"
+        "    beats = multiprocessing.RawArray('d', n)\n"
+        "    beats[0] = 1.0\n"
+    )
+    assert "RPV009" in rules_of(src)
+
+
+def test_rpv009_closure_subscript_also_flagged():
+    # The supervisor's own historical shape: a nested spawn() closure
+    # captures the array and pokes it directly.
+    src = (
+        "import multiprocessing\n"
+        "def pool(ctx, n):\n"
+        "    beats = ctx.RawArray('d', n)\n"
+        "    def spawn(i):\n"
+        "        beats[i] = 0.0\n"
+        "    return spawn\n"
+    )
+    assert "RPV009" in rules_of(src)
+
+
+def test_rpv009_accessor_use_is_fine():
+    src = (
+        "import multiprocessing\n"
+        "from repro.obs.progress import HeartbeatSlot\n"
+        "def pool(n):\n"
+        "    beats = multiprocessing.RawArray('d', n)\n"
+        "    HeartbeatSlot(beats, 0).beat()\n"
+    )
+    assert "RPV009" not in rules_of(src)
+
+
+def test_rpv009_ordinary_list_subscript_is_fine():
+    src = "def f():\n    xs = [0.0]\n    xs[0] = 1.0\n"
+    assert "RPV009" not in rules_of(src)
+
+
+# ------------------------------------------------------------ RPV010
+
+
+def test_rpv010_start_under_lock():
+    src = (
+        "import multiprocessing\n"
+        "import threading\n"
+        "LOCK = threading.Lock()\n"
+        "def f():\n"
+        "    p = multiprocessing.Process(target=print)\n"
+        "    with LOCK:\n"
+        "        p.start()\n"
+    )
+    assert "RPV010" in rules_of(src)
+
+
+def test_rpv010_start_outside_with_is_fine():
+    src = (
+        "import multiprocessing\n"
+        "import threading\n"
+        "LOCK = threading.Lock()\n"
+        "def f():\n"
+        "    p = multiprocessing.Process(target=print)\n"
+        "    with LOCK:\n"
+        "        pass\n"
+        "    p.start()\n"
+    )
+    assert "RPV010" not in rules_of(src)
+
+
+def test_rpv010_non_lock_context_is_fine():
+    src = (
+        "import multiprocessing\n"
+        "def f(path):\n"
+        "    p = multiprocessing.Process(target=print)\n"
+        "    with open(path) as fh:\n"
+        "        p.start()\n"
+    )
+    assert "RPV010" not in rules_of(src)
+
+
+# --------------------------------------------------- suppressions & catalog
+
+
+def test_fork_rules_in_catalog():
+    for rule in FORK_RULE_IDS:
+        assert rule in RULES and RULES[rule]
+
+
+def test_fork_rule_line_suppression():
+    src = (
+        "import multiprocessing\n"
+        "def pool(n):\n"
+        "    beats = multiprocessing.RawArray('d', n)\n"
+        "    beats[0] = 1.0  # lint-sim: ignore[RPV009]\n"
+    )
+    assert "RPV009" not in rules_of(src)
+
+
+# ------------------------------------------------------ repo hygiene
+
+
+def test_repo_clean_of_fork_safety_rules():
+    """src/ and benchmarks/ carry zero RPV007-RPV010 violations."""
+    violations = [
+        v
+        for v in lint_paths([REPO / "src", REPO / "benchmarks"])
+        if v.rule in FORK_RULE_IDS
+    ]
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_repo_has_no_fork_safety_suppressions():
+    """The clean bill of health is earned, not suppressed: no source
+    line under src/ waives any fork-safety rule."""
+    pattern = re.compile(r"lint-sim:\s*ignore(\[([^\]]*)\])?")
+    offenders = []
+    for path in sorted((REPO / "src").rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            m = pattern.search(line)
+            if not m:
+                continue
+            if "``" in line:
+                continue  # docstring showing the suppression syntax
+            rules = m.group(2)
+            if rules is None:
+                # bare `ignore` waives everything, fork rules included
+                offenders.append(f"{path}:{lineno}: blanket ignore")
+            elif any(r in rules for r in FORK_RULE_IDS):
+                offenders.append(f"{path}:{lineno}: {rules}")
+    assert offenders == [], "\n".join(offenders)

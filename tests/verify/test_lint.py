@@ -242,6 +242,11 @@ def test_rules_table_complete():
         "RPV004",
         "RPV005",
         "RPV006",
+        # fork-/signal-safety family (repro.verify.flow.forksafety)
+        "RPV007",
+        "RPV008",
+        "RPV009",
+        "RPV010",
     }
 
 

@@ -5,6 +5,7 @@ Usage::
 
     python tools/lint_sim.py              # lint src/ and benchmarks/
     python tools/lint_sim.py src tests    # lint explicit paths
+    python tools/lint_sim.py --json       # machine-readable records
     python tools/lint_sim.py --list-rules
 
 Exits 1 when any violation remains (CI's ``lint`` job gates on this).
@@ -15,6 +16,7 @@ Suppress single lines with ``# lint-sim: ignore[RPV002]``; see
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -39,6 +41,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit one JSON array of {file, line, col, rule, message} "
+            "records on stdout instead of the human format"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -56,12 +66,29 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     violations = lint_paths(roots)
-    for v in violations:
+
+    def rel(path: str) -> str:
         try:
-            shown = Path(v.path).relative_to(REPO_ROOT)
+            return str(Path(path).relative_to(REPO_ROOT))
         except ValueError:
-            shown = v.path
-        print(f"{shown}:{v.line}:{v.col}: {v.rule} {v.message}")
+            return path
+
+    if args.json:
+        records = [
+            {
+                "file": rel(v.path),
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ]
+        print(json.dumps(records, indent=2))
+        return 1 if violations else 0
+
+    for v in violations:
+        print(f"{rel(v.path)}:{v.line}:{v.col}: {v.rule} {v.message}")
     if violations:
         print(f"lint_sim: {len(violations)} violation(s)", file=sys.stderr)
         return 1
