@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Does credit-aware adaptivity actually spread torus traffic?  Look.
+
+The direct topologies (``repro.direct``) route node-to-node instead of
+through switch stages.  Under dimension-order routing every (src, dst)
+pair uses ONE fixed minimal path, so hotspot traffic piles onto the
+same few links; the adaptive router may take any minimal direction,
+scored by downstream credit, with a DOR-restricted escape lane keeping
+it deadlock-free (the scheme ``python -m repro.verify`` certifies).
+
+This example runs the same seeded mild-hotspot workload on a 4x4x4
+torus under both routers and renders the per-direction utilization
+heatmaps (rows ``x+ .. z-``; one cell per virtual lane) plus the
+blocked-time-ranked hot-channel table.  Under DOR bright cells mark the
+fixed paths into the hot node; adaptivity spreads them by routing
+around the congestion it can see in its credit counters, buying higher
+delivered throughput at lower latency.
+
+Run:  python examples/torus_adaptive.py [load]
+"""
+
+import sys
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.traced import run_traced_point
+from repro.experiments.workload_spec import WorkloadSpec
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.7
+    spec = WorkloadSpec(pattern="hotspot", hot_fraction=0.05)
+    print(
+        f"5% hotspot traffic on a 4x4x4 torus at offered load "
+        f"{load:.0%} (smoke fidelity)\n"
+    )
+    for router in ("dor", "adaptive"):
+        network = NetworkConfig("torus3d", router=router)
+        m, obs = run_traced_point(network, spec, load, SMOKE)
+        print(f"--- {network.label} ---")
+        print(
+            f"throughput {m.throughput_percent:5.1f}%   "
+            f"latency p50 {m.p50_latency:6.1f}  p99 {m.p99_latency:6.1f} cycles"
+        )
+        print()
+        print(obs.contention.stage_heatmap())
+        print()
+        elapsed = obs.contention.elapsed
+        print("hottest channels (blocked header-cycles attributed):")
+        for led in obs.contention.hot_channels(top=5):
+            print(
+                f"  {led.label:>16}  util {led.utilization(elapsed) * 100:5.1f}%  "
+                f"blocked {led.blocked_time:8.1f}"
+            )
+        print()
+    print("Reading the heatmaps: the dlv row's brightest cell is the hotspot")
+    print("sink -- both routers drain the same endpoints.  The difference is")
+    print("in the fabric rows: DOR funnels every worm over its one fixed")
+    print("minimal path, so a few cells glow while neighbours idle; adaptive")
+    print("routing spreads the same worms over every minimal direction (watch")
+    print("the rows even out), buying higher throughput and lower latency at")
+    print("identical offered load.  The escape lanes (.e0/.e1, the dateline")
+    print("pair) stay nearly dark: they are a deadlock-freedom guarantee,")
+    print("not a bandwidth resource.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Direct (node-to-node) topologies: 3D mesh / torus wormhole fabrics.
+
+The paper evaluates switch-based *indirect* networks only; this package
+generalizes the simulator to direct topologies (ROADMAP item 3): a
+k-ary n-dimensional mesh or torus (:mod:`repro.direct.topo`) with two
+routing functions (:mod:`repro.direct.network`):
+
+* deterministic dimension-order routing (DOR), the deadlock-free
+  baseline, and
+* a credit-aware adaptive minimal router with an escape-channel
+  fallback (Duato-style): adaptive lanes may form cyclic dependencies,
+  but every blocked header can always fall back to a DOR-restricted
+  escape lane whose sub-CDG is acyclic -- certified, not assumed, by
+  :func:`repro.verify.cdg.check_escape_acyclic`.
+"""
+
+from repro.direct.topo import DirectTopology, dim_name
+from repro.direct.network import ROUTERS, DirectNetwork
+
+__all__ = ["DirectTopology", "DirectNetwork", "ROUTERS", "dim_name"]

@@ -1,0 +1,145 @@
+"""Geometry of k-ary n-dimensional mesh and torus topologies.
+
+A :class:`DirectTopology` answers the coordinate-arithmetic questions
+the direct networks and their verifier ask -- neighbor lookup, minimal
+directions, hop distances, diameter, average distance -- with no
+channel or simulation state involved, so the same object backs the
+network builder, the CDG walker, and the independent graph cross-check
+(:func:`repro.topology.graph.direct_to_digraph`).
+
+Node numbering: dimension 0 is the fastest-varying digit, so node
+``i`` sits at coordinates ``(i % k, (i // k) % k, ...)`` -- the same
+digit convention :mod:`repro.topology.permutations` uses for the MINs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Optional
+
+#: Display names for the first dimensions ("x+", "y-", ... in channel
+#: labels); higher dimensions fall back to "d3", "d4", ...
+DIM_NAMES = ("x", "y", "z")
+
+
+def dim_name(dim: int) -> str:
+    """Short display name of a dimension ("x", "y", "z", "d3", ...)."""
+    return DIM_NAMES[dim] if dim < len(DIM_NAMES) else f"d{dim}"
+
+
+@dataclass(frozen=True)
+class DirectTopology:
+    """A k-ary n-dimensional mesh (``wrap=False``) or torus (``True``)."""
+
+    k: int
+    n: int = 3
+    wrap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("a direct topology needs k >= 2 nodes per dimension")
+        if self.n < 1:
+            raise ValueError("a direct topology needs n >= 1 dimensions")
+
+    @property
+    def N(self) -> int:
+        """Number of nodes."""
+        return self.k**self.n
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Node id -> per-dimension coordinates (dimension 0 first)."""
+        out = []
+        for _ in range(self.n):
+            node, c = divmod(node, self.k)
+            out.append(c)
+        return tuple(out)
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        """Per-dimension coordinates -> node id."""
+        node = 0
+        for c in reversed(coords):
+            node = node * self.k + c
+        return node
+
+    def neighbor(self, node: int, dim: int, sign: int) -> Optional[int]:
+        """The node one hop away in ``dim`` / ``sign``, or None at a mesh edge."""
+        c = (node // self.k**dim) % self.k
+        nc = c + sign
+        if self.wrap:
+            nc %= self.k
+        elif not 0 <= nc < self.k:
+            return None
+        return node + (nc - c) * self.k**dim
+
+    def links(self) -> Iterator[tuple[int, int, int, int]]:
+        """Every directed physical link as ``(u, v, dim, sign)``.
+
+        A k=2 torus ring yields two *parallel* links per node pair (the
+        + and - wires are physically distinct), matching the channel
+        set :class:`repro.direct.network.DirectNetwork` builds.
+        """
+        for u in range(self.N):
+            for dim in range(self.n):
+                for sign in (1, -1):
+                    v = self.neighbor(u, dim, sign)
+                    if v is not None:
+                        yield (u, v, dim, sign)
+
+    def dim_distance(self, a: int, b: int, dim: int) -> int:
+        """Minimal hops between ``a`` and ``b`` along one dimension."""
+        ca = (a // self.k**dim) % self.k
+        cb = (b // self.k**dim) % self.k
+        d = abs(cb - ca)
+        return min(d, self.k - d) if self.wrap else d
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop count between two nodes."""
+        return sum(self.dim_distance(a, b, dim) for dim in range(self.n))
+
+    def min_directions(self, cur: int, dst: int) -> list[tuple[int, int]]:
+        """Productive ``(dim, sign)`` hops on some minimal path cur -> dst.
+
+        Ordered by ascending dimension; on a torus tie (even k, the
+        destination exactly k/2 away) both signs are minimal and + is
+        listed first.  Empty exactly when ``cur == dst``.
+        """
+        out = []
+        cc, dc = self.coords(cur), self.coords(dst)
+        for dim in range(self.n):
+            c, d = cc[dim], dc[dim]
+            if c == d:
+                continue
+            if not self.wrap:
+                out.append((dim, 1 if d > c else -1))
+                continue
+            fwd = (d - c) % self.k
+            bwd = self.k - fwd
+            if fwd <= bwd:
+                out.append((dim, 1))
+            if bwd <= fwd:
+                out.append((dim, -1))
+        return out
+
+    @cached_property
+    def diameter(self) -> int:
+        """Maximum minimal-hop distance over all node pairs."""
+        per_dim = self.k // 2 if self.wrap else self.k - 1
+        return self.n * per_dim
+
+    @cached_property
+    def average_distance(self) -> float:
+        """Mean minimal-hop distance over ordered pairs ``src != dst``.
+
+        Dimensions are independent, so the total over all ordered node
+        pairs is ``n * S1 * k**(2*(n-1))`` where S1 sums the one-
+        dimensional distance over all k**2 coordinate pairs; same-node
+        pairs contribute zero and are excluded from the denominator.
+        """
+        s1 = 0
+        for a in range(self.k):
+            for b in range(self.k):
+                d = abs(b - a)
+                s1 += min(d, self.k - d) if self.wrap else d
+        total = self.n * s1 * self.k ** (2 * (self.n - 1))
+        return total / (self.N * (self.N - 1))

@@ -4,6 +4,7 @@
     python -m repro.experiments --all --mode smoke
     python -m repro.experiments --availability --mode smoke
     python -m repro.experiments --stability --mode smoke
+    python -m repro.experiments --direct --mode smoke
 
 One simulation point can also be run with the observability subsystem
 attached (:mod:`repro.obs`): ``--obs-report`` prints the contention /
@@ -28,7 +29,7 @@ from repro.experiments.workload_spec import PATTERNS, WorkloadSpec
 from repro.wormhole.engine import ENGINE_KINDS
 
 #: Network kinds the traced-point mode accepts.
-NETWORK_KINDS = ("tmin", "dmin", "vmin", "bmin")
+NETWORK_KINDS = ("tmin", "dmin", "vmin", "bmin", "mesh3d", "torus3d")
 
 
 def _run_traced(args: argparse.Namespace, run_cfg) -> int:
@@ -38,8 +39,12 @@ def _run_traced(args: argparse.Namespace, run_cfg) -> int:
 
     from repro.experiments.traced import run_traced_point
 
-    network = NetworkConfig(args.network)
-    spec = WorkloadSpec(pattern=args.pattern)
+    network = NetworkConfig(
+        args.network,
+        router=args.router,
+        vlink_slowdown=args.vlink_slowdown,
+    )
+    spec = WorkloadSpec(pattern=args.pattern, k=network.k, n=network.n)
     start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
     measurement, obs = run_traced_point(
         network, spec, args.load, run_cfg, trace=bool(args.trace)
@@ -102,6 +107,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the post-saturation stability sweep (beyond the paper)",
     )
     parser.add_argument(
+        "--direct",
+        action="store_true",
+        help="run the direct-topology sweep: 3D mesh/torus, DOR vs "
+        "adaptive routing (beyond the paper)",
+    )
+    parser.add_argument(
         "--load-factors",
         type=float,
         nargs="+",
@@ -144,6 +155,20 @@ def main(argv: list[str] | None = None) -> int:
         help="network for the traced point (default: dmin)",
     )
     parser.add_argument(
+        "--router",
+        choices=("dor", "adaptive"),
+        default="dor",
+        help="routing function for the direct kinds (default: dor)",
+    )
+    parser.add_argument(
+        "--vlink-slowdown",
+        type=int,
+        default=1,
+        metavar="S",
+        help="cycles per flit on last-dimension links of the direct "
+        "kinds (default: 1 = full speed)",
+    )
+    parser.add_argument(
         "--pattern",
         choices=PATTERNS,
         default="uniform",
@@ -179,11 +204,13 @@ def main(argv: list[str] | None = None) -> int:
         and not args.figure
         and not args.availability
         and not args.stability
+        and not args.direct
         and not traced_mode
     ):
         parser.error(
-            "pick --figure <id>, --all, --availability, --stability, or a "
-            "traced-point flag (--trace/--obs-report/--obs-json)"
+            "pick --figure <id>, --all, --availability, --stability, "
+            "--direct, or a traced-point flag "
+            "(--trace/--obs-report/--obs-json)"
         )
 
     run_cfg = PRESETS[args.mode]
@@ -191,7 +218,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if traced_mode:
         code = _run_traced(args, run_cfg)
-        if not args.all and not args.figure and not args.availability:
+        if (
+            not args.all
+            and not args.figure
+            and not args.availability
+            and not args.stability
+            and not args.direct
+        ):
             return code
         print()
 
@@ -215,7 +248,12 @@ def main(argv: list[str] | None = None) -> int:
             if not chk.passed:
                 failures += 1
         print()
-        if not args.all and not args.figure and not args.stability:
+        if (
+            not args.all
+            and not args.figure
+            and not args.stability
+            and not args.direct
+        ):
             return 1 if failures else 0
 
     if args.stability:
@@ -236,6 +274,27 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n(stability sweep in {elapsed:.1f}s, mode={args.mode})")
         print("\nshape checks:")
         for chk in stability_checks(results):
+            print(f"  {chk}")
+            if not chk.passed:
+                failures += 1
+        print()
+        if not args.all and not args.figure and not args.direct:
+            return 1 if failures else 0
+
+    if args.direct:
+        from repro.experiments.direct import (
+            direct_checks,
+            direct_comparison,
+            render_direct,
+        )
+
+        start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
+        series = direct_comparison(run_cfg)
+        elapsed = time.perf_counter() - start  # lint-sim: ignore[RPV002] -- harness wall time
+        print(render_direct(series))
+        print(f"\n(direct sweep in {elapsed:.1f}s, mode={args.mode})")
+        print("\nshape checks:")
+        for chk in direct_checks(series):
             print(f"  {chk}")
             if not chk.passed:
                 failures += 1

@@ -19,18 +19,23 @@ from dataclasses import dataclass, replace
 
 from repro.traffic.workload import MessageSizeModel
 
+#: Direct-topology kinds (node-to-node fabrics; see repro.direct).
+DIRECT_KINDS = ("mesh3d", "torus3d")
+
 
 @dataclass(frozen=True)
 class NetworkConfig:
-    """Which of the four networks to simulate, and its geometry."""
+    """Which network to simulate, and its geometry."""
 
-    kind: str                 # "tmin" | "dmin" | "vmin" | "bmin"
+    kind: str                 # "tmin" | "dmin" | "vmin" | "bmin" | direct
     k: int = 4
     n: int = 3
     topology: str = "cube"    # unidirectional kinds only
     dilation: int = 2         # DMIN
     virtual_channels: int = 2  # VMIN
     bmin_virtual_channels: int = 1
+    router: str = "dor"       # direct kinds: "dor" | "adaptive"
+    vlink_slowdown: int = 1   # direct kinds: vertical-link slowdown
 
     @property
     def N(self) -> int:
@@ -39,8 +44,13 @@ class NetworkConfig:
 
     @property
     def label(self) -> str:
-        """Display name, e.g. 'DMIN(d=2, cube)'."""
+        """Display name, e.g. 'DMIN(d=2, cube)' or 'TORUS3D(4^3, adaptive)'."""
         base = self.kind.upper()
+        if self.kind in DIRECT_KINDS:
+            label = f"{base}({self.k}^{self.n}, {self.router})"
+            if self.vlink_slowdown > 1:
+                label = f"{label[:-1]}, z/{self.vlink_slowdown})"
+            return label
         if self.kind == "bmin":
             return base
         if self.kind == "dmin":
@@ -61,7 +71,32 @@ class NetworkConfig:
             dilation=self.dilation,
             virtual_channels=self.virtual_channels,
             bmin_virtual_channels=self.bmin_virtual_channels,
+            router=self.router,
+            vlink_slowdown=self.vlink_slowdown,
         )
+
+    def canonical(self) -> dict:
+        """Cache-key form of this config (see repro.serve.canonical).
+
+        The direct-only fields are emitted only for the direct kinds,
+        so every MIN config keeps the exact canonical form -- and hence
+        point key / job_id -- it had before direct topologies existed
+        (the same compatibility rule ``JobSpec.to_dict`` applies to the
+        stability block).
+        """
+        out = {
+            "kind": self.kind,
+            "k": self.k,
+            "n": self.n,
+            "topology": self.topology,
+            "dilation": self.dilation,
+            "virtual_channels": self.virtual_channels,
+            "bmin_virtual_channels": self.bmin_virtual_channels,
+        }
+        if self.kind in DIRECT_KINDS:
+            out["router"] = self.router
+            out["vlink_slowdown"] = self.vlink_slowdown
+        return out
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ from repro.sim.core import Environment
 from repro.wormhole.channel import PhysChannel
 from repro.wormhole.engine import WormholeEngine
 from repro.wormhole.packet import PacketState
+from repro.direct.network import DirectNetwork
 from repro.wormhole.network import (
     BidirectionalNetwork,
     SimNetwork,
@@ -92,8 +93,20 @@ def switch_output_channels(
     ``k`` link positions ``j*k .. j*k+k-1`` at boundary ``s+1`` (every
     dilated channel of each slot).  For the BMIN, a stage-``s`` switch
     drives its forward right lines (boundary ``s+1``, if any) and its
-    backward left lines (boundary ``s``).
+    backward left lines (boundary ``s``).  The direct topologies have
+    one router per node and no stages: address it as ``(0, node)``; a
+    dead router silences every outgoing fabric lane plus the node's
+    delivery channel.
     """
+    if isinstance(network, DirectNetwork):
+        if stage != 0:
+            raise ValueError(
+                "direct topologies have a single router stage; "
+                f"use stage 0, not {stage}"
+            )
+        if not 0 <= switch < network.N:
+            raise ValueError(f"node {switch} out of range 0..{network.N - 1}")
+        return network.node_output_channels(switch)
     if isinstance(network, UnidirectionalNetwork):
         spec = network.spec
         if not 0 <= stage < spec.n:

@@ -157,7 +157,10 @@ class PointSpec:
     def config(self) -> dict:
         """The canonical configuration mapping this point hashes over."""
         return {
-            "network": canonical_value(self.network),
+            # NetworkConfig.canonical() (not the generic expansion):
+            # it omits the direct-only fields for MIN kinds, keeping
+            # every pre-direct point key byte-stable.
+            "network": self.network.canonical(),
             "workload": canonical_value(self.workload),
             "run": {
                 "warmup_packets": self.run.warmup_packets,
@@ -265,7 +268,7 @@ class JobSpec:
 
     def to_dict(self) -> dict:
         out = {
-            "networks": [canonical_value(n) for n in self.networks],
+            "networks": [n.canonical() for n in self.networks],
             "workload": canonical_value(self.workload),
             "run": {
                 "mode": self.run.name,

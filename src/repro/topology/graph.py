@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.direct.topo import DirectTopology, dim_name
 from repro.topology.bmin import BidirectionalMIN
 from repro.topology.spec import MINSpec
 
@@ -98,6 +99,35 @@ def bmin_to_digraph(bmin: BidirectionalMIN) -> "nx.DiGraph":
                         line=line,
                     )
     return g
+
+
+def direct_to_digraph(topo: DirectTopology) -> "nx.DiGraph":
+    """Directed link graph of a 3D mesh or torus.
+
+    Nodes are plain integers (one router per processor node -- no
+    stage/sink split needed, node-to-node distances are the object of
+    interest).  Each directed link is one edge carrying ``dim`` and
+    ``sign`` attributes matching :meth:`DirectTopology.links`, so graph
+    shortest paths measure hop distance independently of the builder's
+    own closed-form :meth:`~DirectTopology.distance` arithmetic.
+    """
+    kind = "torus" if topo.wrap else "mesh"
+    g = nx.DiGraph(name=f"{kind}{topo.n}d", k=topo.k, n=topo.n)
+    g.add_nodes_from(range(topo.N))
+    for u, v, dim, sign in topo.links():
+        g.add_edge(u, v, dim=dim_name(dim), sign=sign)
+    return g
+
+
+def direct_diameter_hops(g: "nx.DiGraph") -> int:
+    """Longest shortest node->node path of a direct-topology graph."""
+    return nx.diameter(g)
+
+
+def direct_average_distance(g: "nx.DiGraph") -> float:
+    """Mean shortest-path length over ordered node pairs (BFS-derived,
+    the independent check of :attr:`DirectTopology.average_distance`)."""
+    return nx.average_shortest_path_length(g)
 
 
 def count_paths(

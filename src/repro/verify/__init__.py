@@ -38,37 +38,53 @@ from repro.verify.cdg import (
     CDGResult,
     CyclicRouteError,
     build_cdg,
+    build_escape_cdg,
     check_acyclic,
+    check_escape_acyclic,
+    check_escape_coverage,
     enumerate_routes,
     find_cycle_witness,
+    iter_escape_dependencies,
 )
 from repro.verify.negative import (
+    BrokenDatelineTorus,
+    EscapelessNetwork,
     ReascendingBidirectionalNetwork,
+    build_direct_negative_control,
     build_negative_control,
 )
 from repro.verify.properties import (
     CheckResult,
     VerificationReport,
     all_small_configs,
+    all_small_direct_configs,
     verify_config,
     verify_network,
 )
 from repro.verify.sanitizer import Sanitizer, SanitizerError, sanitize_enabled
 
 __all__ = [
+    "BrokenDatelineTorus",
     "CDGResult",
     "CheckResult",
     "CyclicRouteError",
+    "EscapelessNetwork",
     "ReascendingBidirectionalNetwork",
     "Sanitizer",
     "SanitizerError",
     "VerificationReport",
     "all_small_configs",
+    "all_small_direct_configs",
     "build_cdg",
+    "build_direct_negative_control",
+    "build_escape_cdg",
     "build_negative_control",
     "check_acyclic",
+    "check_escape_acyclic",
+    "check_escape_coverage",
     "enumerate_routes",
     "find_cycle_witness",
+    "iter_escape_dependencies",
     "sanitize_enabled",
     "verify_config",
     "verify_network",

@@ -23,9 +23,16 @@ import sys
 import time  # lint-sim: ignore[RPV002] -- wall-clock CLI reporting
 from typing import Optional, Sequence
 
-from repro.verify.cdg import check_acyclic
-from repro.verify.negative import build_negative_control
-from repro.verify.properties import all_small_configs, verify_config
+from repro.verify.cdg import check_acyclic, check_escape_acyclic
+from repro.verify.negative import (
+    build_direct_negative_control,
+    build_negative_control,
+)
+from repro.verify.properties import (
+    all_small_configs,
+    all_small_direct_configs,
+    verify_config,
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -40,7 +47,7 @@ def _parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--network",
-        choices=("tmin", "dmin", "vmin", "bmin"),
+        choices=("tmin", "dmin", "vmin", "bmin", "mesh3d", "torus3d"),
         help="network kind to verify (with --k/--n)",
     )
     p.add_argument("--k", type=int, default=2, help="switch radix (default 2)")
@@ -61,9 +68,24 @@ def _parser() -> argparse.ArgumentParser:
         help="VMIN virtual channels (default 2)",
     )
     p.add_argument(
+        "--router",
+        choices=("dor", "adaptive"),
+        default="dor",
+        help="routing function for the direct kinds (default dor)",
+    )
+    p.add_argument(
+        "--vlink-slowdown",
+        type=int,
+        default=1,
+        help="vertical-link slowdown for the direct kinds (default 1)",
+    )
+    p.add_argument(
         "--all-small",
         action="store_true",
-        help="verify every TMIN/DMIN/VMIN/BMIN config with k**n <= 64",
+        help=(
+            "verify every TMIN/DMIN/VMIN/BMIN config with k**n <= 64 "
+            "plus every small mesh3d/torus3d config under both routers"
+        ),
     )
     p.add_argument(
         "--max-nodes",
@@ -90,12 +112,21 @@ def _parser() -> argparse.ArgumentParser:
         help="skip the Theorem 1 path count/length checks",
     )
     p.add_argument(
+        "--json",
+        metavar="PATH",
+        help=(
+            "also write a machine-readable certificate (per-config "
+            "check outcomes + negative-control witnesses) -- the CI "
+            "artifact"
+        ),
+    )
+    p.add_argument(
         "-q", "--quiet", action="store_true", help="only print failures"
     )
     return p
 
 
-def _run_negative_control(quiet: bool) -> int:
+def _run_negative_control(quiet: bool, cert: Optional[dict] = None) -> int:
     net = build_negative_control(k=2, n=3)
     result = check_acyclic(net)
     if result.acyclic:
@@ -107,6 +138,30 @@ def _run_negative_control(quiet: bool) -> int:
     if not quiet:
         print("negative control rejected as required")
         print(f"  cycle witness: {result.witness()}")
+    broken = build_direct_negative_control()
+    escape = check_escape_acyclic(broken)
+    if escape.acyclic:
+        print(
+            "NEGATIVE CONTROL FAILED: the broken-dateline torus was "
+            "certified escape-acyclic -- the escape verifier is vacuous"
+        )
+        return 1
+    if not quiet:
+        print("direct negative control rejected as required")
+        print(f"  cycle witness: {escape.witness()}")
+    if cert is not None:
+        cert["negative_controls"] = [
+            {
+                "name": "reascending-bmin",
+                "rejected": True,
+                "witness": result.witness(),
+            },
+            {
+                "name": "broken-dateline-torus",
+                "rejected": True,
+                "witness": escape.witness(),
+            },
+        ]
     return 0
 
 
@@ -121,20 +176,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     failures = 0
     started = time.perf_counter()  # lint-sim: ignore[RPV002]
+    # Each entry: (kind, k, n, topology-or-router); the direct kinds
+    # carry their router in the last slot.
+    direct_kinds = ("mesh3d", "torus3d")
     configs: list[tuple[str, int, int, str]] = []
     if args.network:
-        configs.append((args.network, args.k, args.n, args.topology))
+        last = (
+            args.router if args.network in direct_kinds else args.topology
+        )
+        configs.append((args.network, args.k, args.n, last))
     if args.all_small:
         configs.extend(all_small_configs(max_nodes=args.max_nodes))
+        configs.extend(all_small_direct_configs(max_nodes=args.max_nodes))
 
-    for kind, k, n, topology in configs:
+    cert: Optional[dict] = {"configs": []} if args.json else None
+    for kind, k, n, last in configs:
+        direct = kind in direct_kinds
         report = verify_config(
             kind,
             k,
             n,
-            topology=topology,
+            topology="cube" if direct else last,
             dilation=args.dilation,
             virtual_channels=args.virtual_channels,
+            router=last if direct else "dor",
+            vlink_slowdown=args.vlink_slowdown if direct else 1,
             check_paths=not args.skip_paths,
             check_partitions=not args.skip_partitions,
         )
@@ -143,11 +209,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(report)
         elif not args.quiet:
             print(report)
+        if cert is not None:
+            cert["configs"].append(
+                {
+                    "config": report.config,
+                    "ok": report.ok,
+                    "checks": [
+                        {"name": c.name, "ok": c.ok, "detail": c.detail}
+                        for c in report.checks
+                    ],
+                }
+            )
 
     if args.negative_control or args.all_small:
         # --all-small always exercises the negative control so a green
         # run also certifies the checker itself is alive.
-        failures += _run_negative_control(args.quiet)
+        failures += _run_negative_control(args.quiet, cert)
 
     elapsed = time.perf_counter() - started  # lint-sim: ignore[RPV002]
     verdict = "OK" if failures == 0 else f"{failures} FAILURE(S)"
@@ -156,6 +233,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{' + negative control' if args.negative_control or args.all_small else ''}"
         f" in {elapsed:.1f}s: {verdict}"
     )
+    if cert is not None:
+        import json
+        import pathlib
+
+        cert["ok"] = failures == 0
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(cert, indent=2) + "\n")
+        if not args.quiet:
+            print(f"(certificate written to {path})")
     return 0 if failures == 0 else 1
 
 

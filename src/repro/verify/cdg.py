@@ -209,6 +209,146 @@ def check_acyclic(
     )
 
 
+def iter_escape_dependencies(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    max_states_per_pair: int = 1_000_000,
+) -> Iterable[tuple[str, str]]:
+    """Every escape-channel dependency, *including indirect ones*.
+
+    Duato's theorem asks for acyclicity of the extended escape
+    sub-CDG: a packet may hold escape channel ``e1``, take any number
+    of adaptive hops (wormhole worms release nothing in between), and
+    then wait on escape channel ``e2`` -- an *indirect* dependency
+    ``e1 -> e2`` that a naive consecutive-hops walk would miss.  The
+    walk therefore threads the set of escape channels acquired so far
+    through every routing state (a per-pair fixpoint: a state is
+    re-expanded when reached with escapes not seen before) and yields
+    an edge from every held escape to every escape candidate.
+
+    ``network`` must expose ``is_escape(channel)`` (the direct
+    networks do); label pairs are yielded with repetitions.
+    """
+    is_escape = network.is_escape
+    for src, dst in _pairs(network, pairs):
+        probe = _Probe(src, dst)
+        network.prepare(probe)
+        held = network.injection_channel(src)
+        stack: list[tuple[_Probe, PhysChannel, frozenset]] = [
+            (probe, held, frozenset())
+        ]
+        best: dict[tuple, frozenset] = {}
+        while stack:
+            state, held, before = stack.pop()
+            key = (held.label, state.state_key())
+            prev = best.get(key)
+            if prev is not None:
+                if before <= prev:
+                    continue
+                before |= prev
+            best[key] = before
+            if len(best) > max_states_per_pair:  # pragma: no cover
+                raise RuntimeError(
+                    f"escape-walk state space of pair ({src}, {dst}) "
+                    f"exceeds {max_states_per_pair} states; aborting"
+                )
+            if held.is_delivery:
+                continue
+            for cand in network.candidates(state):
+                nxt_before = before
+                if is_escape(cand):
+                    for e in before:
+                        yield (e, cand.label)
+                    nxt_before = before | {cand.label}
+                nxt = state.clone()
+                network.advance(nxt, cand)
+                stack.append((nxt, cand, nxt_before))
+
+
+def build_escape_cdg(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+) -> "nx.DiGraph":
+    """The extended escape sub-CDG (every escape lane is a node)."""
+    g = nx.DiGraph(name=f"{network.kind.value}-escape-cdg", N=network.N)
+    for ch in network.topo_channels:
+        if network.is_escape(ch):
+            g.add_node(ch.label)
+    for a, b in iter_escape_dependencies(network, pairs):
+        g.add_edge(a, b)
+    return g
+
+
+def check_escape_acyclic(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+) -> CDGResult:
+    """Certify the extended escape sub-CDG acyclic (Duato condition 1).
+
+    For a deterministic router whose channels are all escape channels
+    this coincides with :func:`check_acyclic` restricted to fabric
+    channels; for an adaptive router it is the half of Duato's theorem
+    that the (expectedly cyclic) full CDG cannot give you.  Failure
+    carries a concrete cycle witness.
+    """
+    g = build_escape_cdg(network, pairs)
+    cycle = find_cycle_witness(g)
+    return CDGResult(
+        acyclic=cycle is None,
+        num_channels=g.number_of_nodes(),
+        num_dependencies=g.number_of_edges(),
+        cycle=cycle,
+        granularity="escape-channel",
+    )
+
+
+def check_escape_coverage(
+    network: SimNetwork,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    max_states_per_pair: int = 1_000_000,
+) -> tuple[bool, str]:
+    """Duato condition 2: every routing state keeps an escape open.
+
+    Walks every reachable routing state and demands at least one
+    candidate that is an escape channel (or the delivery channel --
+    the destination always consumes).  Returns ``(ok, witness)`` where
+    the witness pinpoints the first uncovered state.
+    """
+    is_escape = network.is_escape
+    for src, dst in _pairs(network, pairs):
+        probe = _Probe(src, dst)
+        network.prepare(probe)
+        held = network.injection_channel(src)
+        stack = [(probe, held)]
+        seen: set[tuple] = set()
+        while stack:
+            state, held = stack.pop()
+            key = (held.label, state.state_key())
+            if key in seen:
+                continue
+            seen.add(key)
+            if len(seen) > max_states_per_pair:  # pragma: no cover
+                raise RuntimeError(
+                    f"routing state space of pair ({src}, {dst}) exceeds "
+                    f"{max_states_per_pair} states; aborting coverage walk"
+                )
+            if held.is_delivery:
+                continue
+            cands = network.candidates(state)
+            if not any(c.is_delivery or is_escape(c) for c in cands):
+                labels = ", ".join(c.label for c in cands)
+                return (
+                    False,
+                    f"pair ({src}, {dst}): state holding {held.label} "
+                    f"offers no escape among [{labels}]",
+                )
+            for cand in cands:
+                nxt = state.clone()
+                network.advance(nxt, cand)
+                stack.append((nxt, cand))
+    return (True, "")
+
+
 def enumerate_routes(
     network: SimNetwork,
     src: int,

@@ -1,4 +1,4 @@
-"""Negative control: a deliberately deadlock-prone routing variant.
+"""Negative controls: deliberately deadlock-prone routing variants.
 
 A verifier that never fails is vacuous.  This module wires a BMIN whose
 routing *breaks* the turnaround discipline: once a packet is in its
@@ -15,10 +15,20 @@ The class is fully functional as a :class:`SimNetwork` -- tests may
 even run traffic through it (re-ascent is only *offered*, so a lucky
 run can still deliver) -- but ``python -m repro.verify
 --negative-control`` certifies that the static checker catches it.
+
+The direct topologies get the same treatment:
+:class:`BrokenDatelineTorus` collapses the torus escape scheme to a
+single class -- plain DOR on wrapped rings, the textbook torus
+deadlock -- so :func:`repro.verify.cdg.check_escape_acyclic` must
+reject it with a ring-cycle witness; and :class:`EscapelessNetwork`
+drops the escape candidate from every adaptive decision, which
+:func:`repro.verify.cdg.check_escape_coverage` must flag.
 """
 
 from __future__ import annotations
 
+from repro.direct.network import DirectNetwork
+from repro.direct.topo import DirectTopology
 from repro.topology.bmin import BidirectionalMIN
 from repro.topology.permutations import from_digits, to_digits
 from repro.wormhole.channel import PhysChannel
@@ -66,3 +76,47 @@ class ReascendingBidirectionalNetwork(BidirectionalNetwork):
 def build_negative_control(k: int = 2, n: int = 3) -> ReascendingBidirectionalNetwork:
     """The canonical cyclic-routing fixture for verifier tests."""
     return ReascendingBidirectionalNetwork(BidirectionalMIN(k, n))
+
+
+class BrokenDatelineTorus(DirectNetwork):
+    """Torus whose escape lanes ignore the dateline (cyclic!).
+
+    Every escape hop uses class 0, i.e. plain dimension-order routing
+    on wrapped rings -- the textbook torus deadlock.  Note the cycle
+    only closes for even radices k >= 4: a packet contributes a
+    ring dependency per *consecutive* hop pair, and minimal routes
+    take at most floor(k/2) hops per dimension, so k = 2 and k = 3
+    tori are deadlock-free even without a dateline (too short to
+    chain).  The verifier must find the k/2-hop chains closing the
+    ring at k = 4.
+    """
+
+    def _escape_class(self, c: int, d: int, sign: int) -> int:
+        return 0
+
+
+class EscapelessNetwork(DirectNetwork):
+    """Adaptive router with no escape fallback (uncovered states!).
+
+    Wherever an adaptive candidate exists, the escape lane is dropped
+    from the decision -- Duato's coverage condition fails on the very
+    first blocked header, and
+    :func:`repro.verify.cdg.check_escape_coverage` must name such a
+    state.
+    """
+
+    def _build_candidates(self, cur: int, dst: int) -> list[PhysChannel]:
+        full = super()._build_candidates(cur, dst)
+        adaptive_only = [
+            ch for ch in full if ch.meta is not None and ch.meta[4] == "adp"
+        ]
+        return adaptive_only or full
+
+
+def build_direct_negative_control(
+    k: int = 4, n: int = 2
+) -> BrokenDatelineTorus:
+    """The canonical broken-escape fixture for the direct verifier."""
+    return BrokenDatelineTorus(
+        DirectTopology(k=k, n=n, wrap=True), router="adaptive"
+    )

@@ -40,7 +40,14 @@ from repro.partition.analysis import (
 from repro.partition.cubes import Cube
 from repro.topology.bmin import BidirectionalMIN, first_difference
 from repro.topology.spec import MINSpec
-from repro.verify.cdg import CyclicRouteError, check_acyclic, enumerate_routes
+from repro.verify.cdg import (
+    CyclicRouteError,
+    check_acyclic,
+    check_escape_acyclic,
+    check_escape_coverage,
+    enumerate_routes,
+)
+from repro.direct.network import DirectNetwork
 from repro.wormhole.channel import PhysChannel
 from repro.wormhole.network import (
     BidirectionalNetwork,
@@ -240,6 +247,161 @@ def _check_bmin_paths(
     )
 
 
+class _Cursor:
+    """Just enough routing state to query a direct network."""
+
+    __slots__ = ("cur", "dst")
+
+    def __init__(self, cur: int, dst: int) -> None:
+        self.cur = cur
+        self.dst = dst
+
+
+def _check_direct_minimality(
+    net: DirectNetwork, report: VerificationReport
+) -> None:
+    """Every reachable candidate hop strictly reduces the distance.
+
+    Route *enumeration* explodes combinatorially under adaptive
+    routing (the 4-ary 3-cube already offers 1680 minimal orderings
+    for the worst pair), so minimality and delivery correctness are
+    checked on the reachable-state graph instead: linear in states,
+    and together they imply every route has exactly
+    ``distance(src, dst) + 2`` channels (injection + fabric hops +
+    delivery) and ends at the destination's delivery channel.
+    """
+    topo = net.topo
+    states = 0
+    for src in range(net.N):
+        for dst in range(net.N):
+            if src == dst:
+                continue
+            seen = set()
+            stack = [src]
+            while stack:
+                cur = stack.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                states += 1
+                for cand in net.candidates(_Cursor(cur, dst)):
+                    if cand.is_delivery:
+                        if cur != dst or cand.sink != dst:
+                            report.add(
+                                "routes-minimal",
+                                False,
+                                f"({src},{dst}): delivery candidate "
+                                f"{cand.label} offered away from the "
+                                f"destination (cur={cur})",
+                            )
+                            return
+                        continue
+                    nxt = cand.meta[3]
+                    if topo.distance(nxt, dst) != topo.distance(cur, dst) - 1:
+                        report.add(
+                            "routes-minimal",
+                            False,
+                            f"({src},{dst}): hop {cand.label} from node "
+                            f"{cur} is not distance-reducing",
+                        )
+                        return
+                    stack.append(nxt)
+    report.add(
+        "routes-minimal",
+        True,
+        f"{states} reachable states: every hop is distance-reducing, "
+        "so all routes have distance(src,dst)+2 channels",
+    )
+
+
+def _check_direct_dor_routes(
+    net: DirectNetwork, report: VerificationReport
+) -> None:
+    """DOR is deterministic: one route per pair, minimal length."""
+    topo = net.topo
+    worst = 0
+    for src in range(net.N):
+        for dst in range(net.N):
+            if src == dst:
+                continue
+            try:
+                routes = enumerate_routes(net, src, dst)
+            except CyclicRouteError as exc:
+                report.add("dor-unique-route", False, str(exc))
+                return
+            if len(routes) != 1:
+                report.add(
+                    "dor-unique-route",
+                    False,
+                    f"({src},{dst}): {len(routes)} routes under DOR",
+                )
+                return
+            route = routes[0]
+            expected = topo.distance(src, dst) + 2
+            if len(route) != expected:
+                report.add(
+                    "dor-unique-route",
+                    False,
+                    f"({src},{dst}): route of {len(route)} channels, "
+                    f"expected distance+2 = {expected}",
+                )
+                return
+            last = route[-1]
+            if not last.is_delivery or last.sink != dst:
+                report.add(
+                    "dor-unique-route",
+                    False,
+                    f"({src},{dst}): route ends at {last.label}",
+                )
+                return
+            worst = max(worst, expected - 2)
+    if worst != topo.diameter:
+        report.add(
+            "dor-unique-route",
+            False,
+            f"longest route spans {worst} hops, diameter is "
+            f"{topo.diameter}",
+        )
+        return
+    report.add(
+        "dor-unique-route",
+        True,
+        f"one minimal route per pair; longest = diameter = {worst} hops",
+    )
+
+
+def _verify_direct(
+    net: DirectNetwork, report: VerificationReport, check_paths: bool
+) -> None:
+    """Deadlock/routing certification for the direct fabrics.
+
+    Under DOR every lane is an escape lane and the *full* CDG must be
+    acyclic.  Under adaptive routing the full CDG is cyclic by design
+    (that is what the escape lanes are for), so the certified claims
+    are Duato's two conditions: the extended escape sub-CDG is acyclic
+    and every reachable state keeps an escape candidate.
+    """
+    if net.router == "dor":
+        cdg = check_acyclic(net)
+        report.add("cdg-acyclic", cdg.acyclic, str(cdg))
+        if not cdg.acyclic:
+            return
+    escape = check_escape_acyclic(net)
+    report.add("escape-cdg-acyclic", escape.acyclic, str(escape))
+    covered, witness = check_escape_coverage(net)
+    report.add(
+        "escape-coverage",
+        covered,
+        witness or "every reachable state keeps an escape candidate",
+    )
+    if not escape.acyclic or not covered:
+        return
+    if check_paths:
+        _check_direct_minimality(net, report)
+        if net.router == "dor":
+            _check_direct_dor_routes(net, report)
+
+
 # -- partition properties -----------------------------------------------------
 
 
@@ -374,6 +536,15 @@ def verify_network(
         config = f"{network.kind.value} N={network.N}"
     report = VerificationReport(config)
 
+    if isinstance(network, DirectNetwork):
+        # Direct fabrics have their own certification shape: adaptive
+        # routing makes the full CDG cyclic by design, so the claims
+        # are Duato's escape conditions (plus full-CDG acyclicity and
+        # route uniqueness under DOR).  Partition theorems are
+        # MIN-specific and do not apply.
+        _verify_direct(network, report, check_paths)
+        return report
+
     cdg = check_acyclic(network)
     report.add("cdg-acyclic", cdg.acyclic, str(cdg))
     multi_lane = any(ch.num_lanes > 1 for ch in network.topo_channels)
@@ -407,10 +578,12 @@ def verify_config(
     dilation: int = 2,
     virtual_channels: int = 2,
     bmin_virtual_channels: int = 1,
+    router: str = "dor",
+    vlink_slowdown: int = 1,
     check_paths: bool = True,
     check_partitions: bool = True,
 ) -> VerificationReport:
-    """Build one of the paper's networks and verify it."""
+    """Build one of the supported networks and verify it."""
     network = build_network(
         kind,
         k=k,
@@ -419,10 +592,15 @@ def verify_config(
         dilation=dilation,
         virtual_channels=virtual_channels,
         bmin_virtual_channels=bmin_virtual_channels,
+        router=router,
+        vlink_slowdown=vlink_slowdown,
     )
     kind_name = network.kind.value
-    topo = f" {topology}" if network.kind is not NetworkKind.BMIN else ""
-    config = f"{kind_name}{topo} k={k} n={n} (N={k**n})"
+    if isinstance(network, DirectNetwork):
+        config = f"{kind_name} {router} k={k} n={n} (N={k**n})"
+    else:
+        topo = f" {topology}" if network.kind is not NetworkKind.BMIN else ""
+        config = f"{kind_name}{topo} k={k} n={n} (N={k**n})"
     return verify_network(
         network,
         config=config,
@@ -452,3 +630,22 @@ def all_small_configs(
                     if kind == "tmin":
                         yield (kind, k, n, "butterfly")
             n += 1
+
+
+def all_small_direct_configs(
+    max_nodes: int = 64,
+    kinds: Sequence[str] = ("mesh3d", "torus3d"),
+    routers: Sequence[str] = ("dor", "adaptive"),
+) -> Iterator[tuple[str, int, int, str]]:
+    """Every small direct ``(kind, k, n, router)`` to certify.
+
+    Three-dimensional geometries with ``k**3 <= max_nodes`` -- k=3 is
+    included deliberately: odd radices exercise the tie-free torus
+    dateline, even ones the k/2 tie (verify-only; the synthetic
+    workloads' cluster math wants power-of-two radices).
+    """
+    for kind in kinds:
+        for k in (2, 3, 4):
+            if k**3 <= max_nodes:
+                for router in routers:
+                    yield (kind, k, 3, router)

@@ -115,6 +115,8 @@ class PhysChannel:
         "faulty",
         "owned_count",
         "in_active",
+        "slowdown",
+        "cooldown",
     )
 
     def __init__(
@@ -123,9 +125,12 @@ class PhysChannel:
         num_lanes: int = 1,
         is_delivery: bool = False,
         sink: Optional[int] = None,
+        slowdown: int = 1,
     ) -> None:
         if num_lanes < 1:
             raise ValueError("a channel needs at least one lane")
+        if slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
         if is_delivery != (sink is not None):
             raise ValueError("delivery channels (and only they) name a sink node")
         self.label = label
@@ -149,6 +154,15 @@ class PhysChannel:
         #: list (see :meth:`WormholeEngine._phase_advance_fast`);
         #: maintained by the engine, never by the channel itself.
         self.in_active = False
+        #: Cycles per flit (1 = full speed).  A slow wire rests
+        #: ``slowdown - 1`` cycles after each flit; used by the direct
+        #: topologies' ``vlink_slowdown`` knob for slow vertical links.
+        self.slowdown = slowdown
+        #: Remaining rest cycles before the next flit may cross.  Only
+        #: *visited* cycles count it down (busy channels are visited
+        #: exactly once per cycle on both engine paths; an idle wire
+        #: has nothing to rest from).
+        self.cooldown = 0
 
     def fail(self) -> None:
         """Inject a fault: new headers can no longer acquire this wire.
@@ -217,6 +231,8 @@ class PhysChannel:
             p.delivered_flits += 1
         else:
             lane.buf += 1
+        if self.slowdown > 1:
+            self.cooldown = self.slowdown - 1
 
     def transmit(self) -> Optional[Lane]:
         """Move one flit across the wire if any lane is ready.
@@ -225,6 +241,9 @@ class PhysChannel:
         active virtual channels each receive W/k bandwidth.  Returns the
         lane served, or None.
         """
+        if self.cooldown:
+            self.cooldown -= 1
+            return None
         lanes = self.lanes
         n = len(lanes)
         if n == 1:

@@ -210,9 +210,14 @@ class WormholeEngine:
         #: Per-worm Phase B is valid only when every channel has a
         #: single lane (TMIN/DMIN/BMIN): multi-lane wires (the VMIN's
         #: virtual channels) couple worms through the round-robin
-        #: arbiter, so those networks keep the channel sweep.
-        self._worm_mode = all(
-            len(ch.lanes) == 1 for ch in network.topo_channels
+        #: arbiter, so those networks keep the channel sweep.  Networks
+        #: whose routes may defy the topological channel order (the
+        #: direct topologies' adaptive routing; ``worm_phase_ok``) and
+        #: slowed wires (per-channel cooldown is channel-sweep
+        #: bookkeeping) keep it too.
+        self._worm_mode = network.worm_phase_ok and all(
+            len(ch.lanes) == 1 and ch.slowdown == 1
+            for ch in network.topo_channels
         )
         #: node -> injection channel, resolved once (fast path).
         self._inj = [
@@ -811,6 +816,9 @@ class WormholeEngine:
             lanes = ch.lanes
             dlv = ch.is_delivery
             if len(lanes) == 1:
+                if ch.cooldown:  # slowed wire resting (matches transmit())
+                    ch.cooldown -= 1
+                    continue
                 lane = lanes[0]
                 p = lane.owner
                 ridx = lane.route_idx
@@ -827,6 +835,8 @@ class WormholeEngine:
                     p.delivered_flits += 1
                 else:
                     lane.buf += 1
+                if ch.slowdown > 1:
+                    ch.cooldown = ch.slowdown - 1
             else:
                 lane = ch.transmit()
                 if lane is None:

@@ -29,12 +29,14 @@ from repro.wormhole.packet import Packet
 
 
 class NetworkKind(Enum):
-    """The four switch designs of Fig. 1."""
+    """The four switch designs of Fig. 1, plus the direct topologies."""
 
     TMIN = "tmin"
     DMIN = "dmin"
     VMIN = "vmin"
     BMIN = "bmin"
+    MESH3D = "mesh3d"
+    TORUS3D = "torus3d"
 
 
 class SimNetwork:
@@ -43,6 +45,13 @@ class SimNetwork:
     kind: NetworkKind
     N: int
     topo_channels: list[PhysChannel]
+
+    #: True when routes acquire channels in ascending topological
+    #: order, the precondition of the engine's per-worm Phase B.  The
+    #: MINs satisfy it by construction; the direct topologies
+    #: (adaptive routing, cyclic full CDG) opt out and keep the
+    #: bit-identical channel sweep.
+    worm_phase_ok = True
 
     def injection_channel(self, node: int) -> PhysChannel:
         """The node's single channel into the network (one-port)."""
@@ -345,16 +354,33 @@ def build_network(
     dilation: int = 2,
     virtual_channels: int = 2,
     bmin_virtual_channels: int = 1,
+    router: str = "dor",
+    vlink_slowdown: int = 1,
+    adaptive_lanes: int = 1,
 ) -> SimNetwork:
-    """Construct one of the paper's four networks.
+    """Construct one of the paper's four networks or a direct fabric.
 
-    ``kind`` is "tmin", "dmin", "vmin" or "bmin".  ``topology`` selects
-    the Delta MIN for the unidirectional kinds (the paper settles on
-    "cube"; "butterfly" reproduces Figs. 16-17).  ``dilation`` applies
-    to DMIN, ``virtual_channels`` to VMIN, ``bmin_virtual_channels`` to
-    the BMIN future-work variant.
+    ``kind`` is "tmin", "dmin", "vmin", "bmin", "mesh3d" or "torus3d".
+    ``topology`` selects the Delta MIN for the unidirectional kinds
+    (the paper settles on "cube"; "butterfly" reproduces Figs. 16-17).
+    ``dilation`` applies to DMIN, ``virtual_channels`` to VMIN,
+    ``bmin_virtual_channels`` to the BMIN future-work variant.  The
+    direct kinds read ``k``/``n`` as the k-ary n-dimensional geometry
+    plus ``router`` ("dor" | "adaptive"), ``vlink_slowdown`` and
+    ``adaptive_lanes`` (see :mod:`repro.direct.network`).
     """
     kind = NetworkKind(kind) if not isinstance(kind, NetworkKind) else kind
+    if kind in (NetworkKind.MESH3D, NetworkKind.TORUS3D):
+        # Local import: repro.direct imports this module at load time.
+        from repro.direct.network import DirectNetwork
+        from repro.direct.topo import DirectTopology
+
+        return DirectNetwork(
+            DirectTopology(k=k, n=n, wrap=kind is NetworkKind.TORUS3D),
+            router=router,
+            adaptive_lanes=adaptive_lanes,
+            vlink_slowdown=vlink_slowdown,
+        )
     if kind is NetworkKind.BMIN:
         return BidirectionalNetwork(
             BidirectionalMIN(k, n), virtual_channels=bmin_virtual_channels

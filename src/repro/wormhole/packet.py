@@ -47,6 +47,7 @@ class Packet:
         "delivered_flits",
         "needs_route",
         "hop",
+        "cur",
         "bmin_going_up",
         "bmin_boundary",
         "bmin_line",
@@ -86,6 +87,8 @@ class Packet:
         self.needs_route = False
         #: Next hop index (unidirectional: index into ``slots``).
         self.hop = 0
+        #: Current node (direct topologies; see repro.direct.network).
+        self.cur = src
 
         # BMIN routing state (unused for unidirectional networks).
         self.bmin_going_up = True

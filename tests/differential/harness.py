@@ -78,6 +78,7 @@ def run_case(
     governed: bool = False,
     watchdog: bool = False,
     run_cfg=CFG,
+    net_kwargs: dict | None = None,
 ):
     """Run one seeded point under ``engine`` and snapshot its outcome.
 
@@ -99,8 +100,8 @@ def run_case(
     snapshot then additionally carries the shed/throttle/stall counters
     and the governor's final per-source rate vector.
     """
-    network = NetworkConfig(kind)
-    spec = WorkloadSpec(pattern=pattern)
+    network = NetworkConfig(kind, **(net_kwargs or {}))
+    spec = WorkloadSpec(pattern=pattern, k=network.k, n=network.n)
     saved_env = os.environ.get("REPRO_SANITIZE")
     saved_observer = channel_mod.release_observer
     if sanitize:

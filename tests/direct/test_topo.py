@@ -1,0 +1,135 @@
+"""Geometry of :class:`repro.direct.topo.DirectTopology`.
+
+The closed-form arithmetic (coords, neighbours, distances, diameter,
+average distance) is cross-checked against brute force over every node
+pair; the graph-theoretic cross-check against networkx BFS lives in
+``tests/verify/test_direct_graph_crosscheck.py``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.direct.topo import DIM_NAMES, DirectTopology, dim_name
+
+GEOMETRIES = [
+    (2, 3, False), (3, 3, False), (4, 3, False),
+    (2, 3, True), (3, 3, True), (4, 3, True),
+    (4, 2, True), (5, 2, True),
+]
+
+
+def brute_distance(topo, a, b):
+    """1-D ring/line distances summed per dimension."""
+    total = 0
+    for ca, cb in zip(topo.coords(a), topo.coords(b)):
+        d = abs(ca - cb)
+        if topo.wrap:
+            d = min(d, topo.k - d)
+        total += d
+    return total
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_coords_roundtrip(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    assert topo.N == k**n
+    for node in range(topo.N):
+        assert topo.node_at(topo.coords(node)) == node
+
+
+def test_coords_dimension_zero_is_fastest_varying():
+    topo = DirectTopology(k=3, n=2)
+    assert topo.coords(0) == (0, 0)
+    assert topo.coords(1) == (1, 0)
+    assert topo.coords(3) == (0, 1)
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_neighbors(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    for node in range(topo.N):
+        coords = topo.coords(node)
+        for dim in range(n):
+            for sign in (1, -1):
+                nb = topo.neighbor(node, dim, sign)
+                at_edge = (coords[dim] == k - 1 if sign > 0
+                           else coords[dim] == 0)
+                if not wrap and at_edge:
+                    assert nb is None
+                else:
+                    expect = list(coords)
+                    expect[dim] = (coords[dim] + sign) % k
+                    assert nb == topo.node_at(tuple(expect))
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_links_are_neighbor_pairs_and_complete(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    links = list(topo.links())
+    seen = set()
+    for u, v, dim, sign in links:
+        assert topo.neighbor(u, dim, sign) == v
+        seen.add((u, dim, sign))
+    # Every non-edge (node, dim, sign) appears exactly once.
+    expected = sum(
+        1
+        for node in range(topo.N)
+        for dim in range(n)
+        for sign in (1, -1)
+        if topo.neighbor(node, dim, sign) is not None
+    )
+    assert len(links) == expected == len(seen)
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_distance_matches_brute_force(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    for a in range(topo.N):
+        for b in range(topo.N):
+            assert topo.distance(a, b) == brute_distance(topo, a, b)
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_min_directions_are_exactly_the_distance_reducers(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    for a, b in itertools.product(range(topo.N), repeat=2):
+        if a == b:
+            assert topo.min_directions(a, b) == []
+            continue
+        got = set(topo.min_directions(a, b))
+        want = set()
+        for dim in range(n):
+            for sign in (1, -1):
+                nb = topo.neighbor(a, dim, sign)
+                if nb is not None and (
+                    topo.distance(nb, b) == topo.distance(a, b) - 1
+                ):
+                    want.add((dim, sign))
+        assert got == want, (a, b)
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_diameter_and_average_distance_closed_forms(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    dists = [
+        topo.distance(a, b)
+        for a, b in itertools.product(range(topo.N), repeat=2)
+        if a != b
+    ]
+    assert topo.diameter == max(dists)
+    assert topo.average_distance == pytest.approx(
+        sum(dists) / len(dists)
+    )
+
+
+def test_dim_names():
+    assert [dim_name(i) for i in range(3)] == list(DIM_NAMES)
+    assert dim_name(3) == "d3"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DirectTopology(k=1, n=3)
+    with pytest.raises(ValueError):
+        DirectTopology(k=4, n=0)

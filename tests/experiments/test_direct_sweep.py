@@ -1,0 +1,55 @@
+"""The direct-topology comparison sweep (repro.experiments.direct)."""
+
+import dataclasses
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.direct import (
+    DIRECT_PANEL,
+    direct_checks,
+    direct_comparison,
+    direct_configs,
+    render_direct,
+)
+
+TINY = dataclasses.replace(
+    SMOKE, warmup_packets=10, measure_packets=60, max_cycles=20_000,
+    loads=(0.3,),
+)
+
+#: A 8-node panel keeps the whole module comfortably inside smoke time.
+SMALL = [
+    NetworkConfig(kind, k=2, n=3, router=router)
+    for kind, router in DIRECT_PANEL
+]
+
+
+def test_default_panel_configs():
+    cfgs = direct_configs()
+    assert [(c.kind, c.router) for c in cfgs] == list(DIRECT_PANEL)
+    assert all(c.k == 4 and c.n == 3 for c in cfgs)
+
+
+def test_comparison_sweeps_and_checks_pass():
+    series = direct_comparison(TINY, configs=SMALL)
+    assert len(series) == len(SMALL)
+    for s in series:
+        assert s.result.complete, s.result.errors()
+        assert len(s.result.points) == len(TINY.loads)
+    checks = direct_checks(series)
+    failed = [c for c in checks if not c.passed]
+    assert not failed, failed
+    # The cross-config torus-vs-mesh latency claims are present for
+    # both routers.
+    claims = [c.claim for c in checks]
+    assert any("torus3d(dor)" in c for c in claims)
+    assert any("torus3d(adaptive)" in c for c in claims)
+
+
+def test_render_direct_one_block_per_config():
+    series = direct_comparison(
+        TINY, configs=[NetworkConfig("mesh3d", k=2, n=3)]
+    )
+    text = render_direct(series)
+    assert "direct topologies" in text
+    assert "MESH3D(2^3, dor)" in text
+    assert f"{TINY.loads[0]:6.2f}" in text

@@ -1,0 +1,82 @@
+"""Fault plans against direct-topology networks.
+
+Satellite regression: ``find_channel`` near-miss suggestions and
+``FaultPlan.validate`` must understand direct-topology channel names
+(``"x+[1,2,0].e0"``-style labels, ``(0, node)`` switch addresses), so a
+typo'd plan fails loudly at install time with useful hints.
+"""
+
+import pytest
+
+from repro.direct import DirectNetwork, DirectTopology
+from repro.faults.mtbf import fabric_channels
+from repro.faults.plan import FaultEvent, FaultPlan, switch_output_channels
+
+
+@pytest.fixture
+def torus():
+    return DirectNetwork(
+        DirectTopology(k=3, n=3, wrap=True), router="adaptive"
+    )
+
+
+def test_find_channel_near_miss_suggests_direct_labels(torus):
+    with pytest.raises(KeyError) as exc:
+        torus.find_channel("x+[1,2,0].e9")
+    msg = exc.value.args[0]
+    assert "did you mean" in msg
+    assert "x+[1,2,0].e0" in msg
+
+
+def test_validate_aggregates_direct_problems(torus):
+    plan = FaultPlan(
+        (
+            FaultEvent(at=10.0, channels=("x+[1,2,0].e0",)),  # real
+            FaultEvent(at=20.0, channels=("y-[0,0].e0",)),    # 2D-style typo
+            FaultEvent(at=30.0, switch=(1, 5)),               # bad stage
+            FaultEvent(at=40.0, switch=(0, 99)),              # bad node
+        )
+    )
+    with pytest.raises(ValueError) as exc:
+        plan.validate(torus)
+    msg = str(exc.value)
+    assert "y-[0,0].e0" in msg
+    assert "single router stage" in msg
+    assert "out of range" in msg
+    # Three bad events reported together; the good one is silent.
+    assert msg.count("event[") == 3
+
+
+def test_switch_output_channels_is_the_node_router(torus):
+    out = switch_output_channels(torus, 0, 13)
+    assert torus.dlv[13] in out
+    # Every outgoing fabric lane of node 13, nothing of other nodes.
+    for ch in out:
+        if ch.is_delivery:
+            continue
+        assert ch.meta[2] == 13
+    fabric = [ch for ch in out if not ch.is_delivery]
+    # Torus interior node: 6 directed links x (2 escape + 1 adaptive).
+    assert len(fabric) == 6 * 3
+
+
+def test_whole_node_fault_installs(torus):
+    """A (0, node) switch fault resolves and fires on a live run."""
+    from repro.sim.core import Environment
+
+    env = Environment()
+    plan = FaultPlan((FaultEvent(at=5.0, switch=(0, 2), duration=10.0),))
+    injector = plan.install(env, torus)
+    env.run(until=6.0)
+    assert injector.injected == len(switch_output_channels(torus, 0, 2))
+    assert all(ch.faulty for ch in torus.node_output_channels(2))
+    env.run(until=20.0)
+    assert injector.repaired == injector.injected
+    assert not torus.faulty_channels()
+
+
+def test_fabric_channels_excludes_injection_and_delivery(torus):
+    fabric = fabric_channels(torus)
+    assert len(fabric) == torus.channel_count - 2 * torus.N
+    assert all(not ch.is_delivery for ch in fabric)
+    assert all(not ch.label.startswith("inj[") for ch in fabric)

@@ -1,0 +1,79 @@
+"""Direct-topology points through the sweep service's cache layer.
+
+Two properties matter:
+
+* **backward compatibility** -- the MIN kinds' canonical forms (and
+  hence every existing point key / job id) are byte-identical to what
+  they were before the direct-only ``router`` / ``vlink_slowdown``
+  fields existed;
+* **cacheability** -- direct points hash deterministically, distinct
+  routers produce distinct keys, and a cached record byte-equals a
+  fresh recomputation.
+"""
+
+import dataclasses
+
+from repro.experiments.config import SMOKE, NetworkConfig
+from repro.experiments.workload_spec import WorkloadSpec
+from repro.serve.canonical import payload_json
+from repro.serve.compute import run_point_spec
+from repro.serve.job import PointSpec
+
+TINY = dataclasses.replace(
+    SMOKE, warmup_packets=10, measure_packets=40, max_cycles=20_000
+)
+
+
+def _point(**net_kwargs) -> PointSpec:
+    return PointSpec(
+        network=NetworkConfig(k=2, n=3, **net_kwargs),
+        workload=WorkloadSpec(k=2, n=3),
+        load=0.4,
+        seed=11,
+        run=TINY,
+    )
+
+
+def test_min_canonical_omits_direct_fields():
+    """Pre-direct cache keys stay byte-stable: a MIN config's canonical
+    form has no router/vlink entries regardless of field defaults."""
+    canon = NetworkConfig("bmin", k=2, n=3).canonical()
+    assert "router" not in canon
+    assert "vlink_slowdown" not in canon
+    assert canon == {
+        "kind": "bmin",
+        "k": 2,
+        "n": 3,
+        "topology": "cube",
+        "dilation": 2,
+        "virtual_channels": 2,
+        "bmin_virtual_channels": 1,
+    }
+
+
+def test_direct_canonical_includes_router_fields():
+    canon = NetworkConfig(
+        "torus3d", k=4, n=3, router="adaptive", vlink_slowdown=2
+    ).canonical()
+    assert canon["router"] == "adaptive"
+    assert canon["vlink_slowdown"] == 2
+
+
+def test_router_splits_the_point_key():
+    dor = _point(kind="torus3d", router="dor")
+    adaptive = _point(kind="torus3d", router="adaptive")
+    slow = _point(kind="torus3d", router="adaptive", vlink_slowdown=2)
+    keys = {dor.key(), adaptive.key(), slow.key()}
+    assert len(keys) == 3
+
+
+def test_direct_point_key_is_stable():
+    assert _point(kind="mesh3d").key() == _point(kind="mesh3d").key()
+
+
+def test_direct_point_recomputation_is_byte_identical():
+    point = _point(kind="mesh3d", router="adaptive")
+    first = run_point_spec(point)
+    second = run_point_spec(point)
+    assert payload_json(first) == payload_json(second)
+    assert first["measurement"]["delivered_packets"] > 0

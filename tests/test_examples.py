@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "network_atlas.py",
     "multicast_broadcast.py",
     "hot_channels.py",
+    "torus_adaptive.py",
 ]
 
 

@@ -1,0 +1,117 @@
+"""Escape-channel certification of the direct topologies.
+
+Positive direction: every small mesh/torus passes under both routers
+(the escape sub-CDG -- including indirect dependencies threaded through
+held adaptive lanes -- is acyclic, and every reachable routing state
+keeps an escape candidate).  Negative direction: a torus whose escape
+scheme ignores the dateline must be rejected with a concrete ring-cycle
+witness, and an adaptive router that drops its escape fallback must be
+flagged by the coverage check.
+"""
+
+import pytest
+
+from repro.direct import DirectNetwork, DirectTopology
+from repro.verify import (
+    BrokenDatelineTorus,
+    EscapelessNetwork,
+    all_small_direct_configs,
+    build_direct_negative_control,
+    check_acyclic,
+    check_escape_acyclic,
+    check_escape_coverage,
+    verify_config,
+)
+from repro.verify.__main__ import main
+
+
+@pytest.mark.parametrize(
+    "kind,k,n,router", list(all_small_direct_configs(max_nodes=27))
+)
+def test_all_small_direct_configs_verify(kind, k, n, router):
+    report = verify_config(kind, k, n, router=router)
+    assert report.ok, report.render()
+    names = {c.name for c in report.checks}
+    assert "escape-cdg-acyclic" in names
+    assert "escape-coverage" in names
+    assert "routes-minimal" in names
+    if router == "dor":
+        assert "cdg-acyclic" in names
+        assert "dor-unique-route" in names
+
+
+def test_adaptive_full_cdg_is_cyclic_but_escape_subcdg_is_not():
+    """The point of Duato's construction: adaptivity cycles the full
+    CDG, the escape restriction breaks the knot."""
+    net = DirectNetwork(
+        DirectTopology(k=3, n=2, wrap=True), router="adaptive"
+    )
+    assert not check_acyclic(net).acyclic
+    assert check_escape_acyclic(net).acyclic
+    ok, witness = check_escape_coverage(net)
+    assert ok, witness
+
+
+def test_broken_dateline_rejected_with_ring_witness():
+    net = build_direct_negative_control()
+    result = check_escape_acyclic(net)
+    assert not result.acyclic
+    assert result.cycle, "expected a concrete cycle witness"
+    # The witness is a ring: every hop is an escape lane of one
+    # dimension/direction.
+    prefixes = {label.split("[")[0] for label in result.cycle}
+    assert len(prefixes) == 1
+    assert all(".e" in label for label in result.cycle)
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_broken_dateline_harmless_below_k4(k):
+    """Minimal routes take at most floor(k/2) hops per dimension, so
+    short rings cannot chain a cycle even without a dateline."""
+    net = BrokenDatelineTorus(
+        DirectTopology(k=k, n=2, wrap=True), router="adaptive"
+    )
+    assert check_escape_acyclic(net).acyclic
+
+
+def test_escapeless_network_fails_coverage():
+    net = EscapelessNetwork(
+        DirectTopology(k=3, n=2, wrap=True), router="adaptive"
+    )
+    ok, witness = check_escape_coverage(net)
+    assert not ok
+    assert witness  # names a concrete uncovered routing state
+
+
+def test_escape_checks_ignore_dor_trivially():
+    """A DOR network is all escape lanes; its escape sub-CDG equals the
+    full CDG and both checks agree."""
+    net = DirectNetwork(DirectTopology(k=3, n=2, wrap=True))
+    assert check_acyclic(net).acyclic
+    assert check_escape_acyclic(net).acyclic
+
+
+# -- command line ---------------------------------------------------------
+
+
+def test_cli_direct_config(capsys):
+    rc = main(
+        ["--network", "torus3d", "--k", "2", "--n", "3",
+         "--router", "adaptive", "-q"]
+    )
+    assert rc == 0
+    assert "verified 1 configuration(s)" in capsys.readouterr().out
+
+
+def test_cli_all_small_includes_direct(capsys):
+    assert main(["--all-small", "--max-nodes", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "mesh3d" in out
+    assert "torus3d" in out
+    assert "adaptive" in out
+
+
+def test_cli_negative_control_covers_direct(capsys):
+    assert main(["--negative-control"]) == 0
+    out = capsys.readouterr().out
+    assert "direct negative control rejected as required" in out

@@ -1,0 +1,86 @@
+"""Cross-validation: networkx graph model vs. the direct builders.
+
+Same philosophy as ``test_graph_crosscheck.py`` for the MINs: two
+*independent* implementations of each claim must agree.
+
+* :func:`repro.topology.graph.direct_to_digraph` builds a plain link
+  graph straight from :meth:`DirectTopology.links`; BFS distances over
+  it check the builders' closed-form ``distance`` / ``diameter`` /
+  ``average_distance`` arithmetic.
+* :func:`repro.verify.cdg.enumerate_routes` walks the live simulator's
+  routing interface; DOR route lengths must equal graph distance plus
+  the injection and delivery hops.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.direct import DirectNetwork, DirectTopology
+from repro.topology.graph import (
+    direct_average_distance,
+    direct_diameter_hops,
+    direct_to_digraph,
+)
+from repro.verify import enumerate_routes
+
+GEOMETRIES = [
+    (2, 3, False), (3, 3, False), (4, 3, False),
+    (2, 3, True), (3, 3, True), (4, 3, True),
+    (5, 2, True),
+]
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_distances_agree_with_bfs(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    g = direct_to_digraph(topo)
+    lengths = dict(nx.all_pairs_shortest_path_length(g))
+    for a in range(topo.N):
+        for b in range(topo.N):
+            assert topo.distance(a, b) == lengths[a][b]
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_diameter_agrees(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    assert direct_diameter_hops(direct_to_digraph(topo)) == topo.diameter
+
+
+@pytest.mark.parametrize("k,n,wrap", GEOMETRIES)
+def test_average_distance_agrees(k, n, wrap):
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    got = direct_average_distance(direct_to_digraph(topo))
+    assert got == pytest.approx(topo.average_distance, abs=1e-12)
+
+
+@pytest.mark.parametrize("k,n,wrap", [(3, 2, False), (3, 2, True), (2, 3, False)])
+def test_dor_route_lengths_match_graph_distance(k, n, wrap):
+    """Every DOR route spans distance(s, d) fabric channels plus the
+    injection and delivery wires."""
+    topo = DirectTopology(k=k, n=n, wrap=wrap)
+    net = DirectNetwork(topo)
+    g = direct_to_digraph(topo)
+    lengths = dict(nx.all_pairs_shortest_path_length(g))
+    for s in range(topo.N):
+        for d in range(topo.N):
+            if s == d:
+                continue
+            routes = enumerate_routes(net, s, d)
+            assert len(routes) == 1  # DOR is deterministic
+            assert len(routes[0]) == lengths[s][d] + 2
+
+
+def test_graph_edge_attributes_match_links():
+    topo = DirectTopology(k=3, n=3, wrap=True)
+    g = direct_to_digraph(topo)
+    assert g.number_of_nodes() == topo.N
+    assert g.number_of_edges() == len(
+        {(u, v) for u, v, _, _ in topo.links()}
+    )
+    for u, v, dim, sign in topo.links():
+        attrs = g.edges[u, v]
+        # A k=2 ring stores one of the two parallel links; larger
+        # radices are 1:1.
+        if topo.k > 2:
+            assert attrs["sign"] == sign
+            assert attrs["dim"] == "xyz"[dim]
