@@ -6,11 +6,13 @@ Two harnesses share this module:
   per second for each network kind under a fixed uniform load, and the
   cost of network construction;
 * a CLI perf gate (``python benchmarks/bench_engine.py``) that times
-  the N=64 uniform-traffic load sweep under both the reference and the
-  fast engine, records the result in ``benchmarks/BENCH_engine.json``,
-  and -- with ``--check`` -- fails when the fast-over-reference speedup
-  regressed more than 20% against the committed baseline.  The gate
-  compares the *ratio*, not absolute seconds, so it is stable across
+  the N=64 uniform-traffic load sweep under all three engine tiers
+  (reference, fast, batch), records the schema-2 result in
+  ``benchmarks/BENCH_engine.json``, and -- with ``--check`` -- fails
+  when an absolute tier gate breaks (batch >= 10x reference on the
+  sweep; batch >= 3x fast on the streaming point) or any recorded
+  ratio regressed more than 20% against the committed baseline.  The
+  gate compares *ratios*, not absolute seconds, so it is stable across
   machines of different speed (CI runners vs. laptops).
 
     PYTHONPATH=src python benchmarks/bench_engine.py          # rebaseline
@@ -94,17 +96,61 @@ def test_single_packet_end_to_end(benchmark):
 
 
 # ------------------------------------------------------------ CLI perf gate
+#
+# Schema 2 (three engine tiers).  Two scenarios, both the paper's N=64
+# uniform-traffic DMIN geometry with paper-fidelity 1024-flit messages
+# (the paper's longest; the figures fix the message length per curve):
+#
+# * ``sweep``     -- the offered-load ladder.  Gate: batch >= 10x
+#                    reference.
+# * ``streaming`` -- the load-0.1 point alone: long wormholes streaming
+#                    through a quiet network, the regime the batch
+#                    tier's span-sleep kernel targets.  Gate: batch
+#                    >= 3x fast.
+#
+# ``--check`` re-times both scenarios and fails when either absolute
+# gate breaks or any recorded ratio regressed more than ``--tolerance``
+# against the committed baseline.  Gating ratios (not seconds) keeps
+# the check stable across machines of different speed.
+
+#: Absolute floors the ISSUE's acceptance criteria name.
+GATE_SWEEP_BATCH_OVER_REFERENCE = 10.0
+GATE_STREAMING_BATCH_OVER_FAST = 3.0
+
+SWEEP_LOADS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+STREAMING_LOADS = (0.1,)
+_MESSAGE_FLITS = 1024
+_WARMUP_PACKETS = 60
+_MEASURE_PACKETS = 300
+_MAX_CYCLES = 600_000
 
 
-def _sweep_seconds(engine_name: str, repeats: int) -> tuple[float, object]:
+def _bench_cfg():
+    """The timing RunConfig: full-fidelity sizes, shortened windows."""
+    from dataclasses import replace
+
+    from repro.experiments.config import PRESETS
+
+    return replace(
+        PRESETS["full"],
+        warmup_packets=_WARMUP_PACKETS,
+        measure_packets=_MEASURE_PACKETS,
+        max_cycles=_MAX_CYCLES,
+        sizes=MessageSizeModel("fixed", _MESSAGE_FLITS, _MESSAGE_FLITS),
+    )
+
+
+def _sweep_seconds(
+    engine_name: str, loads: tuple, repeats: int
+) -> tuple[float, object]:
     """Best-of-``repeats`` wall-clock of the N=64 uniform DMIN sweep."""
     import time
 
-    from repro.experiments.config import PRESETS, NetworkConfig
+    from repro.experiments.config import NetworkConfig
     from repro.experiments.runner import sweep
     from repro.experiments.workload_spec import WorkloadSpec
 
-    cfg = PRESETS["scaled"]
+    cfg = _bench_cfg()
     network = NetworkConfig("dmin")  # N = 64 (k=4, n=3)
     builder = WorkloadSpec(pattern="uniform").builder(cfg)
     best = float("inf")
@@ -112,35 +158,82 @@ def _sweep_seconds(engine_name: str, repeats: int) -> tuple[float, object]:
     clock = time.perf_counter  # lint-sim: ignore[RPV002] -- harness wall time
     for _ in range(repeats):
         t0 = clock()
-        result = sweep(network, builder, cfg, label="bench", engine=engine_name)
+        result = sweep(
+            network, builder, cfg, loads=loads, label="bench", engine=engine_name
+        )
         best = min(best, clock() - t0)
     return best, result
 
 
-def run_gate(repeats: int = 2) -> dict:
-    """Time reference vs. fast on the acceptance scenario; return the
-    JSON-ready record (and assert the two engines still agree)."""
-    from repro.experiments.config import PRESETS
-
-    ref_s, ref = _sweep_seconds("reference", repeats)
-    fast_s, fast = _sweep_seconds("fast", repeats)
+def _time_scenario(loads: tuple, repeats: int) -> dict:
+    """Time all three engines on one load set; assert they agree."""
+    ref_s, ref = _sweep_seconds("reference", loads, repeats)
+    fast_s, fast = _sweep_seconds("fast", loads, repeats)
+    batch_s, batch = _sweep_seconds("batch", loads, repeats)
     assert fast.points == ref.points, (
         "fast and reference engines disagree -- run tests/differential"
     )
+    assert batch.points == ref.points, (
+        "batch and reference engines disagree -- run tests/differential"
+    )
     return {
-        "schema": 1,
+        "reference_seconds": round(ref_s, 3),
+        "fast_seconds": round(fast_s, 3),
+        "batch_seconds": round(batch_s, 3),
+        "fast_over_reference": round(ref_s / fast_s, 3),
+        "batch_over_reference": round(ref_s / batch_s, 3),
+        "batch_over_fast": round(fast_s / batch_s, 3),
+    }
+
+
+def run_gate(repeats: int = 3) -> dict:
+    """Time the three engine tiers on both scenarios; return the
+    JSON-ready schema-2 record."""
+    from repro.wormhole.batch import numpy_available
+
+    if not numpy_available():  # pragma: no cover - CI installs numpy
+        raise SystemExit(
+            "the perf gate times the batch tier, which requires numpy "
+            "(pip install repro[fast])"
+        )
+    return {
+        "schema": 2,
         "scenario": {
             "network": "dmin",
             "nodes": 64,
             "pattern": "uniform",
-            "preset": "scaled",
-            "loads": list(PRESETS["scaled"].loads),
+            "message_flits": _MESSAGE_FLITS,
+            "warmup_packets": _WARMUP_PACKETS,
+            "measure_packets": _MEASURE_PACKETS,
+            "sweep_loads": list(SWEEP_LOADS),
+            "streaming_loads": list(STREAMING_LOADS),
             "repeats": repeats,
         },
-        "reference_seconds": round(ref_s, 3),
-        "fast_seconds": round(fast_s, 3),
-        "speedup": round(ref_s / fast_s, 3),
+        "gates": {
+            "sweep_batch_over_reference_min": GATE_SWEEP_BATCH_OVER_REFERENCE,
+            "streaming_batch_over_fast_min": GATE_STREAMING_BATCH_OVER_FAST,
+        },
+        "sweep": _time_scenario(SWEEP_LOADS, repeats),
+        "streaming": _time_scenario(STREAMING_LOADS, repeats),
     }
+
+
+def _check_absolute_gates(record: dict) -> list[str]:
+    """The ISSUE's hard floors, evaluated on fresh timings."""
+    failures = []
+    got = record["sweep"]["batch_over_reference"]
+    if got < GATE_SWEEP_BATCH_OVER_REFERENCE:
+        failures.append(
+            f"sweep: batch is {got:.2f}x reference, gate requires "
+            f">= {GATE_SWEEP_BATCH_OVER_REFERENCE:.0f}x"
+        )
+    got = record["streaming"]["batch_over_fast"]
+    if got < GATE_STREAMING_BATCH_OVER_FAST:
+        failures.append(
+            f"streaming: batch is {got:.2f}x fast, gate requires "
+            f">= {GATE_STREAMING_BATCH_OVER_FAST:.0f}x"
+        )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -149,7 +242,7 @@ def main(argv=None) -> int:
     import pathlib
 
     parser = argparse.ArgumentParser(
-        description="engine perf gate: fast vs reference on the N=64 sweep"
+        description="engine perf gate: reference vs fast vs batch on the N=64 sweep"
     )
     parser.add_argument(
         "--check",
@@ -157,44 +250,66 @@ def main(argv=None) -> int:
         help="compare against the committed baseline instead of rewriting it",
     )
     parser.add_argument(
-        "--repeats", type=int, default=2, help="timing repeats (best-of)"
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.20,
-        help="allowed fractional speedup regression vs. baseline (default 0.20)",
+        help="allowed fractional ratio regression vs. baseline (default 0.20)",
     )
     args = parser.parse_args(argv)
     path = pathlib.Path(__file__).parent / "BENCH_engine.json"
 
     record = run_gate(repeats=args.repeats)
-    print(
-        f"reference {record['reference_seconds']:.2f}s   "
-        f"fast {record['fast_seconds']:.2f}s   "
-        f"speedup {record['speedup']:.2f}x"
-    )
+    for name in ("sweep", "streaming"):
+        row = record[name]
+        print(
+            f"{name:9s}  reference {row['reference_seconds']:6.2f}s   "
+            f"fast {row['fast_seconds']:6.2f}s   "
+            f"batch {row['batch_seconds']:6.2f}s   "
+            f"batch/ref {row['batch_over_reference']:6.2f}x   "
+            f"batch/fast {row['batch_over_fast']:5.2f}x"
+        )
     if not args.check:
+        failures = _check_absolute_gates(record)
+        for line in failures:
+            print(f"FAIL: {line}")
+        if failures:
+            return 1
         path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
         return 0
 
     baseline = json.loads(path.read_text())
-    floor = baseline["speedup"] * (1.0 - args.tolerance)
-    print(
-        f"baseline speedup {baseline['speedup']:.2f}x  "
-        f"(floor after {args.tolerance:.0%} tolerance: {floor:.2f}x)"
-    )
-    if record["scenario"] != baseline["scenario"]:
+    failures = _check_absolute_gates(record)
+    if baseline.get("scenario") != record["scenario"]:
         print("NOTE: benchmark scenario changed; rebaseline before gating")
-    if record["speedup"] < floor:
-        print(
-            f"FAIL: fast-path speedup {record['speedup']:.2f}x fell below "
-            f"{floor:.2f}x -- the fast path regressed; investigate or "
-            "rebaseline with benchmarks/bench_engine.py"
-        )
+    else:
+        for scenario, ratio in (
+            ("sweep", "batch_over_reference"),
+            ("sweep", "fast_over_reference"),
+            ("streaming", "batch_over_fast"),
+        ):
+            base = baseline[scenario][ratio]
+            floor = base * (1.0 - args.tolerance)
+            got = record[scenario][ratio]
+            print(
+                f"{scenario}.{ratio}: {got:.2f}x vs baseline {base:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+            if got < floor:
+                failures.append(
+                    f"{scenario}: {ratio} {got:.2f}x fell below the "
+                    f"{args.tolerance:.0%}-tolerance floor {floor:.2f}x -- "
+                    "the engine regressed; investigate or rebaseline with "
+                    "benchmarks/bench_engine.py"
+                )
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures:
         return 1
-    print("ok: fast path holds its speedup")
+    print("ok: engine tiers hold their speedups")
     return 0
 
 

@@ -34,20 +34,22 @@ def build_point(
     """Construct the (env, engine, root RNG) triple of one point.
 
     ``engine`` selects the execution path -- ``"fast"`` pairs the
-    calendar scheduler with the optimized engine phases,
-    ``"reference"`` the plain heap with the reference phases, and None
-    defers to ``REPRO_ENGINE`` (default fast).  The choice never
-    changes results (``tests/differential``), only wall-clock cost.
+    calendar scheduler with the optimized engine phases, ``"batch"``
+    adds the numpy SoA kernel on top (needs the ``repro[fast]``
+    extra), ``"reference"`` the plain heap with the reference phases,
+    and None defers to ``REPRO_ENGINE`` (default fast).  The choice
+    never changes results (``tests/differential``), only wall-clock
+    cost.
     """
     kind = resolve_engine(engine)
-    fast = kind == "fast"
-    env = Environment(scheduler="calendar" if fast else "heap")
+    env = Environment(scheduler="heap" if kind == "reference" else "calendar")
     root = RandomStream(run_cfg.seed, name="root")
     sim_engine = WormholeEngine(
         env,
         network.build(),
         rng=root.fork(f"engine/{network.label}/{offered_load}"),
-        fast=fast,
+        fast=kind != "reference",
+        batch=kind == "batch",
     )
     return env, sim_engine, root
 

@@ -100,15 +100,16 @@ def _run_faulted_point(point: PointSpec, run_cfg: RunConfig) -> Measurement:
     from repro.wormhole.engine import WormholeEngine, resolve_engine
 
     faults = point.faults
-    fast = resolve_engine(point.engine) == "fast"
-    env = Environment(scheduler="calendar" if fast else "heap")
+    kind = resolve_engine(point.engine)
+    env = Environment(scheduler="heap" if kind == "reference" else "calendar")
     root = RandomStream(run_cfg.seed, name="root")
     label = point.network.label
     engine = WormholeEngine(
         env,
         point.network.build(),
         rng=root.fork(f"engine/{label}/{point.load}"),
-        fast=fast,
+        fast=kind != "reference",
+        batch=kind == "batch",
     )
     SourceRetry(
         engine,

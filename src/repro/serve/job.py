@@ -170,7 +170,11 @@ class PointSpec:
             },
             "load": self.load,
             "seed": self.seed,
-            "engine": self.engine,
+            # The batch tier is an execution detail, not an identity:
+            # its results are bit-identical to fast's (the differential
+            # suite certifies this), so batch points share fast's cache
+            # entries -- and every pre-batch cache key stays byte-stable.
+            "engine": "fast" if self.engine == "batch" else self.engine,
             "faults": canonical_value(self.faults) if self.faults else None,
             "stability": (
                 canonical_value(self.stability) if self.stability else None

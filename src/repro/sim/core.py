@@ -141,6 +141,23 @@ class Environment:
         """Number of scheduled (not yet processed) events."""
         return self._ring_count + len(self._queue)
 
+    def advance_to(self, when: float) -> None:
+        """Advance the clock to ``when`` without dispatching an event.
+
+        The batched-wake fast path: a clock process that has proven --
+        via :meth:`peek` -- that no event is scheduled at or before
+        ``when`` may move time forward directly instead of scheduling
+        a wake event and round-tripping through :meth:`step`.  The
+        caller owns that proof; dispatch order is unaffected because
+        the skipped wake event would have been the only one in the
+        window.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"when ({when}) must not be before now ({self._now})"
+            )
+        self._now = when
+
     # -- scheduling --------------------------------------------------------
 
     def schedule(
@@ -184,6 +201,26 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event occurring ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """An event occurring at the *absolute* time ``when``.
+
+        The batched wake primitive: a clock that skips ``k`` provably
+        event-free cycles must land exactly on the tick-grid timestamp
+        ``t + k`` of its chained unit timeouts.  ``timeout(when - now)``
+        schedules at ``now + (when - now)``, which for fractional
+        ``now`` need not equal ``when`` in floating point; scheduling
+        the absolute value sidesteps the round trip entirely.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"when ({when}) must not be before now ({self._now})"
+            )
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self._schedule_at(when, PRIORITY_NORMAL, event)
+        return event
 
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None

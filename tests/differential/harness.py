@@ -1,18 +1,33 @@
-"""Shared machinery of the fast-vs-reference differential suite.
+"""Shared machinery of the engine-tier differential suite.
 
-The optimized engine path ("fast": calendar scheduler, active-set
-allocation, per-worm advance, free-run fast-forward, routing memos) is
-certified against the straightforward reference path ("reference":
-binary-heap scheduler, full scans) by running the *same* seeded
-simulation twice and asserting the outcomes are bit-identical -- not
-statistically close: the same packets take the same routes on the same
-cycles, block on the same candidate sets, and produce byte-equal
-delivery records and measurement windows.
+The optimized engine paths are certified against the straightforward
+reference path ("reference": binary-heap scheduler, full scans) by
+running the *same* seeded simulation under every tier and asserting
+the outcomes are bit-identical -- not statistically close: the same
+packets take the same routes on the same cycles, block on the same
+candidate sets, and produce byte-equal delivery records and
+measurement windows.
+
+Three tiers are compared:
+
+* ``fast`` (calendar scheduler, active-set allocation, per-worm
+  advance, free-run fast-forward, routing memos) must match the
+  reference on the *entire* snapshot, kernel event counters included.
+* ``batch`` (SoA free-run ledger, deferred service-order shuffles,
+  span-sleep clock with inline ticks) must match on every simulation
+  observable -- measurement window, all engine counters, delivery
+  records, ``cycles_run``, ``env.now``, governor/watchdog/injector
+  tallies -- but *not* on the kernel's event-count telemetry
+  (``events_scheduled`` / ``events_fired``): skipping provably-empty
+  wake events is precisely the batch clock's optimization, and those
+  two counters exist to measure scheduler cost, not simulation
+  behaviour.  The batch leg is skipped silently when numpy is absent
+  (the batch tier refuses to construct without it).
 
 Every helper here builds its point exactly like
 :func:`repro.experiments.runner.build_point` does (same RNG fork
 labels), so the streams consumed by topology construction, traffic
-generation, and allocation shuffles match between the two runs by
+generation, and allocation shuffles match between the runs by
 construction; any observable divergence is then an engine bug.
 """
 
@@ -31,6 +46,18 @@ from repro.wormhole import channel as channel_mod
 
 #: Network kinds under test (all four of the paper's networks).
 NETWORK_KINDS = ("tmin", "dmin", "vmin", "bmin")
+
+try:
+    from repro.wormhole.batch import numpy_available
+
+    BATCH_AVAILABLE = numpy_available()
+except Exception:  # pragma: no cover - defensive
+    BATCH_AVAILABLE = False
+
+#: Positions of the kernel event counters (``env.events_scheduled``,
+#: ``env.events_fired``) in a :func:`run_case` snapshot.  Batch-tier
+#: comparisons exclude exactly these two -- see the module docstring.
+KERNEL_COUNTER_INDICES = (13, 14)
 
 #: A short but non-trivial run: enough traffic that worms contend,
 #: block, wake, and (on the fast path) enter free-run streaming.
@@ -253,11 +280,31 @@ class EventRecorder:
         self.events.append(("abort", t, packet.pid))
 
 
+def strip_kernel_counters(snapshot: tuple) -> tuple:
+    """A snapshot without the kernel event-count telemetry."""
+    lo, hi = KERNEL_COUNTER_INDICES
+    assert hi == lo + 1
+    return snapshot[:lo] + snapshot[hi + 1:]
+
+
 def assert_identical(kind: str, pattern: str, load: float, **kwargs) -> None:
-    """Run a case under both engines and assert snapshot equality."""
+    """Run a case under every engine tier and assert snapshot equality.
+
+    fast vs reference compares the full snapshot; batch vs reference
+    compares every simulation observable (kernel event counters
+    excluded -- see the module docstring).  The batch leg is skipped
+    when numpy is unavailable.
+    """
     fast = run_case(kind, pattern, load, "fast", **kwargs)
     ref = run_case(kind, pattern, load, "reference", **kwargs)
     assert fast == ref, (
         f"fast/reference divergence at {kind}/{pattern}/load={load} "
+        f"({kwargs or 'no options'})"
+    )
+    if not BATCH_AVAILABLE:
+        return
+    batch = run_case(kind, pattern, load, "batch", **kwargs)
+    assert strip_kernel_counters(batch) == strip_kernel_counters(ref), (
+        f"batch/reference divergence at {kind}/{pattern}/load={load} "
         f"({kwargs or 'no options'})"
     )

@@ -1,0 +1,118 @@
+"""Adversarial mode-switch cases aimed at the batch tier's seams.
+
+The batch engine's speed comes from three mode switches the scalar
+tiers never make: the all-blocked exit (skip Phase A's scan), the
+span-sleep clock (skip whole cycles, deferring service-order shuffle
+draws as ``_shuffle_debt``), and the vectorized Phase B
+(``plan_moves`` over the SoA free-run ledger).  Every switch has an
+entry condition proven against engine state -- so the dangerous inputs
+are the ones that *invalidate* that state mid-flight: faults landing
+inside a burst, hard aborts while worms free-run, a governor
+rewriting injection rates under the vectorized path, and saturation
+workloads that thrash between quiet spans and contended scans every
+few cycles.
+
+Each case runs the full three-tier comparison of
+:func:`tests.differential.harness.assert_identical`; the
+``REPRO_BATCH_VECTOR_MIN`` cases additionally pin the vectorization
+threshold to 1 so ``plan_moves`` engages even for tiny eligible sets
+(the default threshold of 24 would route short tests through the
+scalar fallback and leave the vector path untested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.traffic.workload import MessageSizeModel
+from tests.differential.harness import CFG, NETWORK_KINDS, assert_identical
+
+#: Long fixed messages: worms stream for 128 cycles per hop-free
+#: stretch, so the batch clock builds real spans (and real shuffle
+#: debt) for the mid-run fault events at t=250/600 to tear down.
+CFG_LONG = replace(
+    CFG,
+    warmup_packets=20,
+    measure_packets=80,
+    max_cycles=30_000,
+    sizes=MessageSizeModel("fixed", 128, 128),
+)
+
+#: Past-saturation load for the governor cases (mirrors test_overload).
+OVERLOAD = 0.9
+
+
+@pytest.mark.parametrize("kind", NETWORK_KINDS)
+def test_fault_mid_burst(kind):
+    """Soft then hard faults land while long bursts are in flight:
+    the fault epoch bump must invalidate blocked-decision caches (and
+    the all-blocked exit's ``_blk_valid`` count) on all three tiers
+    identically."""
+    assert_identical(kind, "uniform", 0.9, faults=True, run_cfg=CFG_LONG)
+
+
+@pytest.mark.parametrize("kind", ("dmin", "bmin"))
+@pytest.mark.parametrize("load", (0.2, 0.4))
+def test_abort_during_free_run(kind, load):
+    """The t=600 hard fault cuts a wire under a quiet network: on the
+    optimized tiers the victims are *free-running* (batch: ledger rows
+    mid-span), so the abort must materialize them, unwind lane
+    ownership, and settle any deferred shuffle debt before the queue's
+    membership changes."""
+    assert_identical(kind, "uniform", load, faults=True, run_cfg=CFG_LONG)
+
+
+@pytest.mark.parametrize("kind", NETWORK_KINDS)
+def test_governor_throttle_on_vectorized_path(kind, monkeypatch):
+    """AIMD rate rewrites while Phase B runs vectorized: threshold
+    pinned to 1 so ``plan_moves`` handles every eligible set, and the
+    governor's same-cycle updates must stay commutative under it."""
+    monkeypatch.setenv("REPRO_BATCH_VECTOR_MIN", "1")
+    assert_identical(
+        kind, "uniform", OVERLOAD, overload="shed-newest", governed=True
+    )
+
+
+@pytest.mark.parametrize("kind", ("dmin", "tmin"))
+@pytest.mark.parametrize("vec_min", ("1", "4"))
+def test_forced_vector_with_faults(kind, vec_min, monkeypatch):
+    """Faults against the forced vector path: aborted ledger rows must
+    drop out of ``plan_moves`` eligibility on the exact cycle the
+    scalar tiers drop them."""
+    monkeypatch.setenv("REPRO_BATCH_VECTOR_MIN", vec_min)
+    assert_identical(kind, "uniform", 0.7, faults=True)
+
+
+@pytest.mark.parametrize("kind", ("dmin", "vmin"))
+def test_saturation_thrash_sanitized(kind):
+    """Hotspot saturation alternates all-blocked spans with contended
+    scans every few cycles -- maximal mode-switch churn -- with the
+    runtime sanitizer auditing channel state on every tier."""
+    assert_identical(kind, "hotspot", 1.0, faults=True, sanitize=True)
+
+
+@pytest.mark.parametrize("kind", ("dmin", "tmin"))
+def test_watchdog_recovery_thrash(kind):
+    """A recovering watchdog aborting stalled worms while the batch
+    clock span-sleeps: recovery runs at cycle boundaries, so the span
+    gate must refuse to sleep past an armed check."""
+    assert_identical(kind, "uniform", 0.8, faults=True, watchdog=True,
+                     run_cfg=CFG_LONG)
+
+
+@pytest.mark.parametrize("kind", ("bmin", "vmin"))
+def test_shuffle_pattern_faulted_sanitized(kind):
+    """Permutation traffic (every source one fixed destination) keeps
+    pending queues short and shuffle debt frequent; faults plus the
+    sanitizer audit the deferred-draw replay."""
+    assert_identical(kind, "shuffle", 0.6, faults=True, sanitize=True)
+
+
+def test_forced_vector_sanitized(monkeypatch):
+    """Vector path + sanitizer: the per-cycle invariant walk reads
+    ``_pending_route`` and lane state right after vectorized advances,
+    so any stale SoA mirror surfaces immediately."""
+    monkeypatch.setenv("REPRO_BATCH_VECTOR_MIN", "1")
+    assert_identical("dmin", "uniform", 0.6, sanitize=True)

@@ -1,11 +1,12 @@
-"""Fast vs. reference bit-identity on the direct topologies.
+"""Engine-tier bit-identity on the direct topologies.
 
 The direct networks exercise engine paths the MIN cases cannot: the
 ``worm_phase_ok`` opt-out (adaptive acquisition order violates the
 per-worm Phase B's ascending-rank assumption), the ``preferred_lane``
 credit/round-robin override, and the ``vlink_slowdown`` channel
-cooldowns.  Each case runs the same seeded point under both engines and
-asserts byte-equal snapshots (see :mod:`tests.differential.harness`).
+cooldowns.  Each case runs the same seeded point under every engine
+tier and asserts byte-equal snapshots (see
+:mod:`tests.differential.harness`).
 """
 
 import pytest
@@ -51,7 +52,11 @@ def test_direct_event_streams_identical():
     """Hot-bus mode: the exact publish order must match, not just the
     end state."""
     fast_rec, ref_rec = EventRecorder(), EventRecorder()
-    from tests.differential.harness import run_case
+    from tests.differential.harness import (
+        BATCH_AVAILABLE,
+        run_case,
+        strip_kernel_counters,
+    )
 
     kwargs = {"net_kwargs": {**GEOM, "router": "adaptive"}}
     fast = run_case("torus3d", "uniform", 0.6, "fast",
@@ -60,3 +65,9 @@ def test_direct_event_streams_identical():
                    sink=ref_rec, **kwargs)
     assert fast == ref
     assert fast_rec.events == ref_rec.events
+    if BATCH_AVAILABLE:
+        batch_rec = EventRecorder()
+        batch = run_case("torus3d", "uniform", 0.6, "batch",
+                         sink=batch_rec, **kwargs)
+        assert strip_kernel_counters(batch) == strip_kernel_counters(ref)
+        assert batch_rec.events == ref_rec.events

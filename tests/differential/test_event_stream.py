@@ -1,11 +1,11 @@
-"""Event-for-event certification of the fast engine's publish sites.
+"""Event-for-event certification of the optimized engines' publish sites.
 
 Attaching a hot bus sink (the :class:`EventRecorder`) makes the fast
-engine take its exact-event-order channel sweep, and every inject /
-acquire / block / release / transmit / deliver publish must then match
-the reference engine's stream element-for-element -- ordering
-included.  This is strictly stronger than end-state equality: it pins
-the *within-cycle* schedule of both paths.
+and batch engines take their exact-event-order channel sweep, and
+every inject / acquire / block / release / transmit / deliver publish
+must then match the reference engine's stream element-for-element --
+ordering included.  This is strictly stronger than end-state equality:
+it pins the *within-cycle* schedule of every path.
 """
 
 from __future__ import annotations
@@ -13,9 +13,11 @@ from __future__ import annotations
 import pytest
 
 from tests.differential.harness import (
+    BATCH_AVAILABLE,
     NETWORK_KINDS,
     EventRecorder,
     run_case,
+    strip_kernel_counters,
 )
 
 
@@ -35,6 +37,18 @@ def test_event_stream_identity(kind: str, load: float) -> None:
             f"{kind}/load={load}: event stream diverges at index {i}: "
             f"fast={a} reference={b}"
         )
+    if BATCH_AVAILABLE:
+        rec_batch = EventRecorder()
+        snap_batch = run_case(kind, "uniform", load, "batch", sink=rec_batch)
+        assert strip_kernel_counters(snap_batch) == strip_kernel_counters(
+            snap_ref
+        )
+        for i, (a, b) in enumerate(zip(rec_batch.events, rec_ref.events)):
+            assert a == b, (
+                f"{kind}/load={load}: batch event stream diverges at "
+                f"index {i}: batch={a} reference={b}"
+            )
+        assert len(rec_batch.events) == len(rec_ref.events)
 
 
 @pytest.mark.parametrize("kind", ("dmin", "bmin"))
@@ -50,3 +64,12 @@ def test_event_stream_identity_with_faults(kind: str) -> None:
     )
     assert snap_fast == snap_ref
     assert rec_fast.events == rec_ref.events
+    if BATCH_AVAILABLE:
+        rec_batch = EventRecorder()
+        snap_batch = run_case(
+            kind, "uniform", 0.7, "batch", sink=rec_batch, faults=True
+        )
+        assert strip_kernel_counters(snap_batch) == strip_kernel_counters(
+            snap_ref
+        )
+        assert rec_batch.events == rec_ref.events

@@ -1,0 +1,385 @@
+"""Property-based certification of the batch tier's SoA kernel.
+
+Three contracts back the batch engine's bit-identity claim
+(:mod:`repro.wormhole.batch`), and each gets a randomized oracle here:
+
+* :class:`BatchStream` -- every public variate, drawn from the numpy
+  ``MT19937`` mirror, must equal the stdlib :class:`RandomStream`'s
+  draw *by draw* over arbitrary interleaved call sequences, including
+  mid-stream :meth:`BatchStream.adopt` and the fused
+  :meth:`BatchStream.shuffle_k` (``k`` deferred service-order shuffles
+  must consume exactly the words, and produce exactly the permutation,
+  of ``k`` sequential ``shuffle`` calls);
+* :func:`plan_moves` -- the vectorized one-cycle advance plan must
+  equal an independent *sequential* walk of the reference semantics
+  (downstream-first flit movement over single-flit lane buffers,
+  mutating state as it goes) on every randomized worm suffix;
+* :class:`SoALedger` -- the action schedule expanded by :meth:`add`
+  must match an independent reimplementation of the documented
+  free-run schedule bucket for bucket (keys, tuples, and within-bucket
+  insertion order), ``next_due`` must never overshoot the true
+  horizon, and the slot columns must round-trip through
+  add/remove/grow/clear.
+
+The suite skips cleanly when Hypothesis or numpy is absent (both ship
+in the dev environment; neither is a runtime dependency of tier 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.sim.rng import RandomStream  # noqa: E402
+from repro.wormhole.batch import numpy_available  # noqa: E402
+
+if not numpy_available():  # pragma: no cover - numpy ships in dev env
+    pytest.skip("batch tier requires numpy", allow_module_level=True)
+
+from repro.wormhole.batch import (  # noqa: E402
+    FAR,
+    BatchStream,
+    SoALedger,
+    plan_moves,
+)
+
+# ------------------------------------------------------------ RNG mirror
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: One RNG call: (method name, args) applied identically to both
+#: streams.  Arguments are kept small so rejection sampling terminates
+#: fast; the *values* drawn are what must match, bit for bit.
+_ops = st.one_of(
+    st.tuples(st.just("random")),
+    st.tuples(st.just("uniform"), st.floats(-5, 5), st.floats(5, 10)),
+    st.tuples(
+        st.just("uniform_int"), st.integers(-50, 50), st.integers(0, 2000)
+    ),
+    st.tuples(st.just("exponential"), st.floats(0.01, 100)),
+    st.tuples(st.just("choice"), st.integers(1, 70)),
+    st.tuples(st.just("shuffle"), st.integers(0, 70)),
+    st.tuples(
+        st.just("bimodal_int"),
+        st.integers(1, 5),
+        st.integers(6, 20),
+        st.floats(0, 1),
+    ),
+    st.tuples(
+        st.just("weighted_index"),
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8),
+    ),
+)
+
+
+def _apply(stream, op):
+    """Run one op; return its observable result."""
+    name = op[0]
+    if name == "random":
+        return stream.random()
+    if name == "uniform":
+        return stream.uniform(op[1], op[1] + abs(op[2]))
+    if name == "uniform_int":
+        return stream.uniform_int(op[1], op[1] + op[2])
+    if name == "exponential":
+        return stream.exponential(op[1])
+    if name == "choice":
+        return stream.choice(list(range(op[1])))
+    if name == "shuffle":
+        seq = list(range(op[1]))
+        stream.shuffle(seq)
+        return seq
+    if name == "bimodal_int":
+        low, width, frac = op[1], op[2], op[3]
+        return stream.bimodal_int(low, low + width, frac, low)
+    if name == "weighted_index":
+        weights = op[1]
+        if sum(weights) <= 0:
+            return None  # invalid input; skip rather than filter upstream
+        return stream.weighted_index(weights)
+    raise AssertionError(name)  # pragma: no cover
+
+
+@given(seed=seeds, ops=st.lists(_ops, max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_batchstream_draw_identity(seed, ops):
+    """Arbitrary interleaved variate sequences match draw by draw."""
+    ref = RandomStream(seed)
+    mir = BatchStream(seed)
+    for op in ops:
+        assert _apply(ref, op) == _apply(mir, op), op
+
+
+@given(seed=seeds, warm=st.lists(_ops, max_size=15), ops=st.lists(_ops, max_size=25))
+@settings(max_examples=100, deadline=None)
+def test_batchstream_adopt_continues_stream(seed, warm, ops):
+    """Adoption mid-stream continues the stdlib stream verbatim --
+    exactly what the engine does to its allocation stream at batch
+    construction time."""
+    ref = RandomStream(seed)
+    victim = RandomStream(seed)
+    for op in warm:
+        _apply(ref, op)
+        _apply(victim, op)
+    mir = BatchStream.adopt(victim)
+    for op in ops:
+        assert _apply(ref, op) == _apply(mir, op), op
+
+
+@given(
+    seed=seeds,
+    n=st.integers(min_value=0, max_value=80),
+    k=st.integers(min_value=0, max_value=12),
+    tail=st.lists(_ops, max_size=10),
+)
+@settings(max_examples=150, deadline=None)
+def test_shuffle_k_equals_k_shuffles(seed, n, k, tail):
+    """``shuffle_k(seq, k)`` == ``k`` sequential shuffles: the same
+    permutation AND the same number of words consumed (the ``tail``
+    draws diverge otherwise)."""
+    ref = RandomStream(seed)
+    mir = BatchStream(seed)
+    a = list(range(n))
+    b = list(range(n))
+    for _ in range(k):
+        ref.shuffle(a)
+    mir.shuffle_k(b, k)
+    assert a == b
+    for op in tail:
+        assert _apply(ref, op) == _apply(mir, op), op
+
+
+@given(seed=seeds, ks=st.lists(st.integers(1, 64), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_getrandbits_word_derivation(seed, ks):
+    """The raw-word ``getrandbits`` derivation (the base of every
+    variate) matches CPython for widths spanning multiple words."""
+    ref = random.Random(seed)  # lint-sim: ignore[RPV001] -- oracle
+    mir = BatchStream(seed)
+    for k in ks:
+        assert ref.getrandbits(k) == mir._getrandbits(k), k
+
+
+# ------------------------------------------------------- plan_moves oracle
+
+
+class _Chan:
+    __slots__ = ("topo_order", "is_delivery", "label")
+
+    def __init__(self, topo_order, is_delivery=False):
+        self.topo_order = topo_order
+        self.is_delivery = is_delivery
+        self.label = f"c{topo_order}"
+
+
+class _Lane:
+    __slots__ = ("sent", "buf", "channel")
+
+    def __init__(self, sent, buf, channel):
+        self.sent = sent
+        self.buf = buf
+        self.channel = channel
+
+
+class _Pkt:
+    def __init__(self, lanes, length, token=7):
+        self.lanes = lanes
+        self.length = length
+        self._lz_token = token
+
+
+#: One worm: (s, owned suffix length, message length, head delivers,
+#: per-lane (sent offset, buf) pairs).  Buffers are single-flit, so
+#: ``buf`` is 0 or 1; ``sent`` is clamped to the message length.
+_worm = st.tuples(
+    st.integers(0, 2),
+    st.integers(1, 6),
+    st.integers(1, 40),
+    st.booleans(),
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 1)),
+        min_size=9,
+        max_size=9,
+    ),
+)
+
+
+def _build_worm(spec):
+    s, m, length, is_delivery, lane_specs = spec
+    n1 = s + m - 1
+    lanes = []
+    for i in range(n1 + 1):
+        sent, buf = lane_specs[i]
+        chan = _Chan(i, is_delivery=is_delivery and i == n1)
+        lanes.append(_Lane(min(sent, length), buf, chan))
+    return _Pkt(lanes, length), s, n1
+
+
+def _scalar_cycle(p, s, n1):
+    """Independent oracle: the reference engine's downstream-first walk
+    over the owned suffix, moving real (mutable) flit counters.
+
+    A lane moves when it still has flits to send, its upstream feed
+    buffer holds a flit *right now*, and its own buffer can accept one
+    (head delivery lanes emit straight into the node).  Moves mutate
+    the buffers as they happen, which is exactly how an earlier
+    (downstream) move enables a later one within the same cycle.
+    """
+    m = n1 - s + 1
+    lanes = p.lanes
+    sent = [lanes[n1 - j].sent for j in range(m)]
+    buf = [lanes[n1 - j].buf for j in range(m)]
+    # Feed of the tail position: the released lane just upstream, or
+    # the source's unbounded supply when the suffix starts at the head
+    # of the path.
+    tail_feed = lanes[s - 1].buf if s else 1 << 30
+    isdlv = lanes[n1].channel.is_delivery
+    mv = [False] * m
+    feed_take = 0
+    for j in range(m):
+        if sent[j] >= p.length:
+            continue
+        feed = buf[j + 1] if j + 1 < m else tail_feed
+        if feed <= 0:
+            continue
+        if buf[j] != 0 and not (j == 0 and isdlv):
+            continue
+        mv[j] = True
+        sent[j] += 1
+        if j + 1 < m:
+            buf[j + 1] -= 1
+        else:
+            tail_feed -= 1
+            if s:
+                feed_take = 1
+        if not (j == 0 and isdlv):
+            buf[j] += 1
+    return any(mv), mv, sent, buf, feed_take
+
+
+@given(specs=st.lists(_worm, min_size=1, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_plan_moves_matches_scalar_walk(specs):
+    """The vectorized plan equals the sequential reference walk on
+    every worm of a random batch -- movement bits, new counters, and
+    the upstream feed consumption."""
+    worms = [_build_worm(spec) for spec in specs]
+    plans = plan_moves(worms)
+    assert len(plans) == len(worms)
+    for (p, s, n1), plan in zip(worms, plans):
+        moved, mv, new_sent, new_buf, feed_take = plan
+        o_moved, o_mv, o_sent, o_buf, o_take = _scalar_cycle(p, s, n1)
+        assert moved == o_moved
+        assert [bool(x) for x in mv] == o_mv
+        assert new_sent == o_sent
+        assert new_buf == o_buf
+        assert feed_take == o_take
+
+
+# -------------------------------------------------------- SoALedger oracle
+
+#: One free-run registration: (s, suffix length, entry cycle, slack).
+#: ``deliver`` is placed so every expanded action lands strictly after
+#: the entry cycle, as the engine guarantees.
+_entry = st.tuples(
+    st.integers(0, 2),
+    st.integers(1, 5),
+    st.integers(0, 400),
+    st.integers(1, 50),
+)
+
+
+def _model_schedule(p, s, n1, cycle, deliver):
+    """The documented free-run schedule, reimplemented from scratch."""
+    lanes = p.lanes
+    tok = p._lz_token
+    out: dict = {}
+    for i in range(s, n1):
+        t = deliver - (n1 - i)
+        out.setdefault(t, []).append(
+            (lanes[i].channel.topo_order, 1, p, tok, lanes[i])
+        )
+        out.setdefault(t + 1, []).append(
+            (lanes[i + 1].channel.topo_order, 0, p, tok, lanes[i])
+        )
+    if s:
+        out.setdefault(cycle + 1, []).append(
+            (lanes[s].channel.topo_order, 0, p, tok, lanes[s - 1])
+        )
+    out.setdefault(deliver, []).append(
+        (lanes[n1].channel.topo_order, 2, p, tok, lanes[n1])
+    )
+    return out
+
+
+@given(entries=st.lists(_entry, min_size=1, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_ledger_schedule_equivalence(entries):
+    """Every bucket the ledger expands -- keys, tuples, insertion
+    order -- matches the independent model, and draining by ascending
+    cycle empties both the same way."""
+    ledger = SoALedger(capacity=2)  # force _grow on the way
+    model: dict = {}
+    for token, (s, m, cycle, slack) in enumerate(entries):
+        n1 = s + m - 1
+        lanes = [
+            _Lane(0, 0, _Chan(i, is_delivery=i == n1)) for i in range(n1 + 1)
+        ]
+        p = _Pkt(lanes, 16, token=token)
+        deliver = cycle + (n1 - s) + slack
+        ledger.add(p, s, n1, cycle, deliver)
+        for t, acts in _model_schedule(p, s, n1, cycle, deliver).items():
+            model.setdefault(t, []).extend(acts)
+    assert ledger.count == len(entries)
+    while model:
+        t = min(model)
+        assert ledger.next_due() <= t  # never overshoots the horizon
+        got = ledger.pop_due(t)
+        assert got == model.pop(t)
+    assert ledger.next_due() == FAR
+    assert ledger.pop_due(10**9) is None
+
+
+@given(
+    entries=st.lists(_entry, min_size=1, max_size=12),
+    drops=st.lists(st.integers(0, 11), max_size=12),
+)
+@settings(max_examples=150, deadline=None)
+def test_ledger_slot_round_trip(entries, drops):
+    """SoA columns round-trip through add/remove/grow, and the live
+    set (what bulk materialization reads) always equals the model."""
+    ledger = SoALedger(capacity=1)
+    slots = {}
+    worms = {}
+    for token, (s, m, cycle, slack) in enumerate(entries):
+        n1 = s + m - 1
+        lanes = [_Lane(3 + token, 0, _Chan(i)) for i in range(n1 + 1)]
+        p = _Pkt(lanes, 16, token=token)
+        deliver = cycle + (n1 - s) + slack
+        slots[token] = ledger.add(p, s, n1, cycle, deliver)
+        worms[token] = (p, s, n1, cycle, deliver)
+    for token in drops:
+        if token in slots:
+            ledger.remove(slots.pop(token))
+            del worms[token]
+    assert ledger.count == len(slots)
+    for token, slot in slots.items():
+        p, s, n1, cycle, deliver = worms[token]
+        assert bool(ledger.live[slot])
+        assert ledger.pkts[slot] is p
+        assert int(ledger.base[slot]) == cycle
+        assert int(ledger.sent0[slot]) == p.lanes[n1].sent
+        assert int(ledger.s[slot]) == s
+        assert int(ledger.n1[slot]) == n1
+        assert int(ledger.deliver[slot]) == deliver
+    assert set(ledger.live_packets()) == {p for p, *_ in worms.values()}
+    ledger.clear()
+    assert ledger.count == 0
+    assert ledger.live_packets() == []
+    assert ledger.next_due() == FAR
