@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Prove the transport hooks are free when no transport is attached.
+
+The reliability PR touched the per-message source loop
+(:meth:`repro.traffic.workload.Workload._source` gained arrival- and
+transport-dispatch branches) and grew ``EngineStats`` by six counters.
+A simulation that never attaches a :class:`ReliableTransport` must not
+pay for the machinery: the branches are two ``is not None`` checks per
+*message* (not per cycle or flit), and idle counters are just wider
+dataclass rows.  This benchmark quantifies that cost against a
+reconstructed pre-transport workload (the same source loop with the
+dispatch deleted) and FAILS (exit 1) if the shipped transport-off path
+is more than ``--threshold`` slower.
+
+It also reports, for information only, the cost of actually running
+the transport (acks, timers, windows) on the same traffic.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py           # full
+    PYTHONPATH=src python benchmarks/bench_transport.py --smoke   # CI
+
+Timing protocol mirrors ``bench_obs_overhead.py``: fresh-built engines
+per round (identical seeds, identical RNG draws), warmup then a timed
+chunk of cycles, variants interleaved round-robin, best-of-N compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+# Standalone-script bootstrap (mirrors tools/lint_sim.py): make
+# `python benchmarks/bench_transport.py` work without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.sim import Environment  # noqa: E402
+from repro.sim.rng import RandomStream  # noqa: E402
+from repro.traffic.clusters import global_cluster  # noqa: E402
+from repro.traffic.patterns import UniformPattern  # noqa: E402
+from repro.traffic.workload import MessageSizeModel, Workload  # noqa: E402
+from repro.transport import ReliableTransport, TransportConfig  # noqa: E402
+from repro.wormhole import WormholeEngine, build_network  # noqa: E402
+
+
+class PreTransportWorkload(Workload):
+    """The seed workload's source loop, reconstructed: no dispatch.
+
+    Overrides only ``_source`` -- the per-message generator body as it
+    was before arrival processes and the transport existed.  Behaviour
+    and RNG draws are identical to the stock transport-off workload.
+    """
+
+    def _source(  # pragma: no cover - benchmark only
+        self, env, engine, node, pattern, mean_iat, stream
+    ):
+        governor = self.governor
+        while True:
+            iat = mean_iat
+            if governor is not None:
+                rate = governor.rate_of(node)
+                if rate > 0:
+                    iat = mean_iat / rate
+            yield env.timeout(stream.exponential(iat))
+            dest = pattern.pick(node, stream)
+            if dest is None:
+                continue
+            length = self.sizes.draw(stream)
+            while engine.offer(node, dest, length) is None:
+                yield env.timeout(self.block_retry)
+
+
+def _build(workload_cls, kind: str, load: float, with_transport: bool):
+    env = Environment()
+    engine = WormholeEngine(
+        env,
+        build_network(kind, k=4, n=3),
+        rng=RandomStream(1),
+        sanitize=False,
+    )
+    workload = workload_cls(
+        global_cluster(),
+        UniformPattern,
+        offered_load=load,
+        sizes=MessageSizeModel.scaled(),
+    )
+    if with_transport:
+        workload.transport = ReliableTransport(
+            engine, TransportConfig(), RandomStream(3, name="transport")
+        )
+    workload.install(env, engine, RandomStream(2))
+    engine.start()
+    return env, engine
+
+
+def _timed_run(workload_cls, kind, load, warmup, cycles, with_transport):
+    """Wall seconds for `cycles` loaded cycles (after `warmup`)."""
+    env, engine = _build(workload_cls, kind, load, with_transport)
+    env.run(until=warmup)
+    t0 = time.perf_counter()  # lint-sim: ignore[RPV002] -- benchmark harness wall time
+    env.run(until=warmup + cycles)
+    wall = time.perf_counter() - t0  # lint-sim: ignore[RPV002] -- benchmark harness wall time
+    if engine.stats.delivered_packets == 0:
+        raise RuntimeError("benchmark run delivered nothing; config error")
+    return wall
+
+
+VARIANTS = (
+    ("pre-transport baseline", PreTransportWorkload, False),
+    ("transport-off (shipped)", Workload, False),
+    ("transport attached", Workload, True),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="quick CI mode")
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--cycles", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--kind", default="dmin")
+    parser.add_argument("--load", type=float, default=0.7)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="max allowed (transport-off)/(pre-transport) wall ratio "
+        "(default 1.05, smoke 1.15 for noisy CI runners)",
+    )
+    args = parser.parse_args(argv)
+    rounds = args.rounds or (3 if args.smoke else 7)
+    cycles = args.cycles or (1_000 if args.smoke else 4_000)
+    threshold = args.threshold or (1.15 if args.smoke else 1.05)
+
+    best = {name: float("inf") for name, _, _ in VARIANTS}
+    for _ in range(rounds):  # interleave variants within each round
+        for name, cls, with_tp in VARIANTS:
+            wall = _timed_run(
+                cls, args.kind, args.load, args.warmup, cycles, with_tp
+            )
+            best[name] = min(best[name], wall)
+
+    base = best["pre-transport baseline"]
+    print(
+        f"transport-overhead benchmark: {args.kind} @ load {args.load:g}, "
+        f"{cycles} cycles x best-of-{rounds}"
+    )
+    for name, _, _ in VARIANTS:
+        wall = best[name]
+        print(
+            f"  {name:28} {wall * 1e3:8.1f} ms  "
+            f"({cycles / wall:>9,.0f} cyc/s)  x{wall / base:.3f}"
+        )
+    ratio = best["transport-off (shipped)"] / base
+    verdict = "PASS" if ratio <= threshold else "FAIL"
+    print(
+        f"[{verdict}] transport-off overhead x{ratio:.3f} "
+        f"(threshold x{threshold:.2f})"
+    )
+    return 0 if ratio <= threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

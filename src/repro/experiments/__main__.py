@@ -5,6 +5,8 @@
     python -m repro.experiments --availability --mode smoke
     python -m repro.experiments --stability --mode smoke
     python -m repro.experiments --direct --mode smoke
+    python -m repro.experiments --transport --mode smoke
+    python -m repro.experiments --replay trace.bin --network dmin
 
 One simulation point can also be run with the observability subsystem
 attached (:mod:`repro.obs`): ``--obs-report`` prints the contention /
@@ -75,6 +77,75 @@ def _run_traced(args: argparse.Namespace, run_cfg) -> int:
     return 0
 
 
+def _run_replay(args: argparse.Namespace, run_cfg) -> int:
+    """The --replay mode: recorded trace through the reliable transport."""
+    from repro.sim.core import Environment
+    from repro.sim.rng import RandomStream
+    from repro.traffic.trace import TraceWorkload, read_trace
+    from repro.transport import ReliableTransport
+    from repro.wormhole.engine import WormholeEngine, resolve_engine
+
+    trace = read_trace(args.replay)
+    network = NetworkConfig(
+        args.network,
+        router=args.router,
+        vlink_slowdown=args.vlink_slowdown,
+    )
+    kind = resolve_engine(args.engine)
+    env = Environment(scheduler="heap" if kind == "reference" else "calendar")
+    root = RandomStream(run_cfg.seed, name="root")
+    label = network.label
+    engine = WormholeEngine(
+        env,
+        network.build(),
+        rng=root.fork(f"engine/{label}/replay"),
+        fast=kind != "reference",
+        batch=kind == "batch",
+    )
+    transport = ReliableTransport(
+        engine, rng=root.fork(f"transport/{label}/replay")
+    )
+    workload = TraceWorkload(trace, transport=transport)
+    workload.install(env, engine, root.fork(f"workload/{label}/replay"))
+    start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
+    engine.start()
+    # Drive the replay process to exhaustion first -- it lives outside
+    # both idle predicates until it hands messages to the transport --
+    # then quiesce drains retransmissions, acks and backoff timers.
+    total = len(trace.records)
+    horizon = (trace.records[-1].t if trace.records else 0.0) + run_cfg.max_cycles
+    while workload.replayed < total and env.now < horizon:
+        env.run(until=min(env.now + 256, horizon))
+    transport.quiesce()
+    elapsed = time.perf_counter() - start  # lint-sim: ignore[RPV002] -- harness wall time
+    settled = len(transport.outcomes)
+    print(
+        f"=== replay: {args.replay} -> {label} "
+        f"(engine={kind}, mode={args.mode}) ==="
+    )
+    print(
+        f"records {workload.replayed}/{len(trace.records)} replayed, "
+        f"{settled} outcomes settled over {env.now:g} cycles"
+    )
+    print(
+        f"delivered {transport.messages_delivered}  "
+        f"aborted {transport.messages_aborted}  "
+        f"retransmits {engine.stats.retransmitted_packets}  "
+        f"rto fires {engine.stats.rto_fires}  "
+        f"dup acks {engine.stats.dup_acks}  "
+        f"acks lost {transport.acks_lost}"
+    )
+    ratio = transport.delivered_ratio()
+    print(f"delivered ratio {ratio:.4f}" if ratio == ratio else
+          "delivered ratio n/a (no messages)")
+    print(f"\n(replay in {elapsed:.1f}s)")
+    unsettled = workload.replayed - settled
+    if unsettled or workload.replayed != len(trace.records):
+        print(f"FAIL: {unsettled} message(s) never settled")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a shell exit code (1 on failed checks)."""
     parser = argparse.ArgumentParser(
@@ -113,11 +184,25 @@ def main(argv: list[str] | None = None) -> int:
         "adaptive routing (beyond the paper)",
     )
     parser.add_argument(
+        "--transport",
+        action="store_true",
+        help="run the loss-storm sweep comparing the AIMD fabric "
+        "governor against end-to-end reliable transport (beyond the "
+        "paper)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="TRACE",
+        help="replay a recorded trace (tools/trace_gen.py) through "
+        "--network with the reliable transport and report outcomes",
+    )
+    parser.add_argument(
         "--load-factors",
         type=float,
         nargs="+",
         metavar="X",
-        help="knee-multiple ladder for --stability (default 0.8 1.0 1.2 1.5)",
+        help="knee-multiple ladder for --stability/--transport "
+        "(default 0.8 1.0 1.2 1.5)",
     )
     parser.add_argument(
         "--mode",
@@ -205,26 +290,36 @@ def main(argv: list[str] | None = None) -> int:
         and not args.availability
         and not args.stability
         and not args.direct
+        and not args.transport
+        and not args.replay
         and not traced_mode
     ):
         parser.error(
             "pick --figure <id>, --all, --availability, --stability, "
-            "--direct, or a traced-point flag "
-            "(--trace/--obs-report/--obs-json)"
+            "--direct, --transport, --replay <trace>, or a traced-point "
+            "flag (--trace/--obs-report/--obs-json)"
         )
 
     run_cfg = PRESETS[args.mode]
     failures = 0
+    more_work = bool(
+        args.all
+        or args.figure
+        or args.availability
+        or args.stability
+        or args.direct
+        or args.transport
+    )
 
     if traced_mode:
         code = _run_traced(args, run_cfg)
-        if (
-            not args.all
-            and not args.figure
-            and not args.availability
-            and not args.stability
-            and not args.direct
-        ):
+        if not more_work and not args.replay:
+            return code
+        print()
+
+    if args.replay:
+        code = _run_replay(args, run_cfg)
+        if not more_work:
             return code
         print()
 
@@ -253,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
             and not args.figure
             and not args.stability
             and not args.direct
+            and not args.transport
         ):
             return 1 if failures else 0
 
@@ -278,7 +374,12 @@ def main(argv: list[str] | None = None) -> int:
             if not chk.passed:
                 failures += 1
         print()
-        if not args.all and not args.figure and not args.direct:
+        if (
+            not args.all
+            and not args.figure
+            and not args.direct
+            and not args.transport
+        ):
             return 1 if failures else 0
 
     if args.direct:
@@ -295,6 +396,35 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n(direct sweep in {elapsed:.1f}s, mode={args.mode})")
         print("\nshape checks:")
         for chk in direct_checks(series):
+            print(f"  {chk}")
+            if not chk.passed:
+                failures += 1
+        print()
+        if not args.all and not args.figure and not args.transport:
+            return 1 if failures else 0
+
+    if args.transport:
+        from repro.experiments.transport import (
+            LOAD_FACTORS as TRANSPORT_FACTORS,
+        )
+        from repro.experiments.transport import (
+            render_transport,
+            transport_checks,
+            transport_comparison,
+        )
+
+        start = time.perf_counter()  # lint-sim: ignore[RPV002] -- harness wall time
+        factors = (
+            tuple(args.load_factors)
+            if args.load_factors
+            else TRANSPORT_FACTORS
+        )
+        results = transport_comparison(run_cfg, load_factors=factors)
+        elapsed = time.perf_counter() - start  # lint-sim: ignore[RPV002] -- harness wall time
+        print(render_transport(results))
+        print(f"\n(transport sweep in {elapsed:.1f}s, mode={args.mode})")
+        print("\nshape checks:")
+        for chk in transport_checks(results):
             print(f"  {chk}")
             if not chk.passed:
                 failures += 1

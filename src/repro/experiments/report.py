@@ -29,7 +29,11 @@ def render_sweep(s: SweepResult) -> str:
     degraded = any(
         p.measurement is not None and p.measurement.degraded for p in s.points
     )
-    cols = report_columns(degraded)
+    transport = any(
+        p.measurement is not None and p.measurement.transport_active
+        for p in s.points
+    )
+    cols = report_columns(degraded, transport)
     lines = [f"## {s.label}"]
     header = f"{'load':>6} | " + " | ".join(
         f"{c.report_header:>{c.report_width}}" for c in cols

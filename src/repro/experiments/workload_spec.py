@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.experiments.config import RunConfig
 from repro.experiments.runner import WorkloadBuilder
+from repro.traffic.bursty import ARRIVAL_KINDS, ArrivalSpec
 from repro.traffic.clusters import ClusterSpec, cluster_16, cluster_32, global_cluster
 from repro.traffic.patterns import (
     ButterflyPermutationPattern,
@@ -39,6 +40,13 @@ class WorkloadSpec:
     butterfly_i: int = 2
     k: int = 4
     n: int = 3
+    # Arrival-process choice (see repro.traffic.bursty); the defaults
+    # are the paper's Poisson source and are *omitted* from the
+    # canonical form so every pre-existing cache key stays byte-stable.
+    arrival: str = "poisson"
+    burst_alpha: float = 2.5
+    burst_on_gap: float = 0.25
+    burst_p: float = 0.2
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERNS:
@@ -47,6 +55,45 @@ class WorkloadSpec:
             raise ValueError(f"unknown clustering {self.clustering!r}")
         if self.pattern in ("shuffle", "butterfly") and self.clustering != "global":
             raise ValueError("permutation patterns are global workloads")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival kind {self.arrival!r}")
+        # Validate the bursty knobs eagerly (same errors as install time).
+        self.arrival_spec()
+
+    def arrival_spec(self) -> Optional[ArrivalSpec]:
+        """The bursty-arrival choice; None for the Poisson default."""
+        if self.arrival == "poisson":
+            return None
+        return ArrivalSpec(
+            kind=self.arrival,
+            alpha=self.burst_alpha,
+            on_gap=self.burst_on_gap,
+            p=self.burst_p,
+        )
+
+    def canonical(self) -> dict:
+        """Hash-stable field mapping for cache keys.
+
+        Arrival fields at their Poisson defaults are omitted, so every
+        workload expressible before bursty arrivals existed hashes to
+        exactly the bytes it always did (the NetworkConfig MIN-kind
+        omission precedent).
+        """
+        out: dict = {
+            "pattern": self.pattern,
+            "clustering": self.clustering,
+            "ratios": list(self.ratios) if self.ratios is not None else None,
+            "hot_fraction": self.hot_fraction,
+            "butterfly_i": self.butterfly_i,
+            "k": self.k,
+            "n": self.n,
+        }
+        if self.arrival != "poisson":
+            out["arrival"] = self.arrival
+            out["burst_alpha"] = self.burst_alpha
+            out["burst_on_gap"] = self.burst_on_gap
+            out["burst_p"] = self.burst_p
+        return out
 
     def clusters(self) -> ClusterSpec:
         """Materialize the named clustering."""
@@ -82,7 +129,10 @@ class WorkloadSpec:
             def factory(members):
                 return ButterflyPermutationPattern(k, n, i)
 
-        return lambda load: Workload(clusters, factory, load, run_cfg.sizes)
+        arrival = self.arrival_spec()
+        return lambda load: Workload(
+            clusters, factory, load, run_cfg.sizes, arrival=arrival
+        )
 
     @property
     def label(self) -> str:
@@ -96,4 +146,6 @@ class WorkloadSpec:
             bits.append(self.clustering)
         if self.ratios:
             bits.append(":".join(f"{r:g}" for r in self.ratios))
+        if self.arrival != "poisson":
+            bits.append(self.arrival)
         return " ".join(bits)

@@ -55,6 +55,14 @@ class Measurement:
     shed_packets: int = 0         # deliberate admission drops
     throttled_packets: int = 0    # offers refused by a blocking policy
     stall_aborted_packets: int = 0  # watchdog timeout-aborts (in failed)
+    # End-to-end transport accounting (repro.transport; all zero when
+    # no transport is installed, so they default likewise).
+    retransmitted_packets: int = 0  # segment re-injections by transport
+    rto_fires: int = 0            # retransmission timers that expired
+    dup_acks: int = 0             # duplicate data arrivals suppressed
+    flows_aborted: int = 0        # flows that exhausted max_attempts
+    ack_packets: int = 0          # ack packets (also in delivered)
+    goodput_flits: int = 0        # first-time end-to-end payload flits
     # Distribution tail (added with the observability subsystem; nan
     # defaults keep old checkpoints and callers constructible).
     p50_latency: float = float("nan")
@@ -83,7 +91,38 @@ class Measurement:
             or self.shed_packets
             or self.throttled_packets
             or self.stall_aborted_packets
+            or self.retransmitted_packets
+            or self.flows_aborted
         )
+
+    @property
+    def transport_active(self) -> bool:
+        """True when an end-to-end transport touched this window."""
+        return bool(
+            self.retransmitted_packets
+            or self.rto_fires
+            or self.dup_acks
+            or self.flows_aborted
+            or self.ack_packets
+            or self.goodput_flits
+        )
+
+    @property
+    def goodput(self) -> float:
+        """First-time end-to-end payload flits per node-cycle.
+
+        Excludes duplicate data and ack traffic; equals
+        :attr:`throughput` scaled by the goodput fraction of raw
+        delivered flits.  ``nan`` when nothing was delivered.
+        """
+        if self.delivered_flits == 0:
+            return float("nan")
+        return self.throughput * (self.goodput_flits / self.delivered_flits)
+
+    @property
+    def goodput_percent(self) -> float:
+        """Goodput in the paper's % -of-capacity unit."""
+        return 100.0 * self.goodput
 
     @property
     def delivery_ratio(self) -> float:
@@ -182,6 +221,12 @@ class MeasurementWindow:
             shed_packets=stats.shed_packets,
             throttled_packets=stats.throttled_packets,
             stall_aborted_packets=stats.stall_aborted_packets,
+            retransmitted_packets=stats.retransmitted_packets,
+            rto_fires=stats.rto_fires,
+            dup_acks=stats.dup_acks,
+            flows_aborted=stats.flows_aborted,
+            ack_packets=stats.ack_packets,
+            goodput_flits=stats.goodput_flits,
             p50_latency=lat.p50,
             p99_latency=lat.p99,
             max_latency=lat.max,

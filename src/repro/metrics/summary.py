@@ -132,6 +132,7 @@ class ColumnSpec:
     report_width: int = 9
     report_fmt: str = ".1f"   # format spec for the table cell
     fault_only: bool = False  # shown only when the series degraded
+    transport_only: bool = False  # shown only when a transport ran
 
     def __post_init__(self) -> None:
         if self.kind not in ("float", "int", "bool"):
@@ -194,6 +195,20 @@ MEASUREMENT_COLUMNS: tuple[ColumnSpec, ...] = (
     ColumnSpec("stall_aborted_packets", "stall_aborted_packets", "int",
                fault_only=True,
                report_header="stall", report_width=5, report_fmt="d"),
+    ColumnSpec("goodput_percent", "goodput_percent", "float",
+               transport_only=True,
+               report_header="good %", report_width=7, report_fmt=".2f"),
+    ColumnSpec("retransmitted_packets", "retransmitted_packets", "int",
+               transport_only=True,
+               report_header="retx", report_width=5, report_fmt="d"),
+    ColumnSpec("rto_fires", "rto_fires", "int", transport_only=True,
+               report_header="rto", report_width=5, report_fmt="d"),
+    ColumnSpec("dup_acks", "dup_acks", "int", transport_only=True,
+               report_header="dup", report_width=5, report_fmt="d"),
+    ColumnSpec("flows_aborted", "flows_aborted", "int", transport_only=True,
+               report_header="fabrt", report_width=5, report_fmt="d"),
+    ColumnSpec("ack_packets", "ack_packets", "int"),
+    ColumnSpec("goodput_flits", "goodput_flits", "int"),
 )
 
 
@@ -202,10 +217,12 @@ def measurement_row(m: "Measurement") -> dict:
     return {c.name: getattr(m, c.attr) for c in MEASUREMENT_COLUMNS}
 
 
-def report_columns(degraded: bool) -> list[ColumnSpec]:
+def report_columns(degraded: bool, transport: bool = False) -> list[ColumnSpec]:
     """Registry columns shown in the text table (in order)."""
     return [
         c
         for c in MEASUREMENT_COLUMNS
-        if c.report_header is not None and (degraded or not c.fault_only)
+        if c.report_header is not None
+        and (degraded or not c.fault_only)
+        and (transport or not c.transport_only)
     ]

@@ -29,6 +29,8 @@ def run_point_spec(point: PointSpec) -> dict:
     run_cfg = point.run.with_seed(point.seed)
     if point.stability is not None:
         return _run_stability_point(point, run_cfg)
+    if point.transport is not None:
+        return _run_transport_point(point, run_cfg)
     if point.faults is None:
         measurement = run_point(
             point.network,
@@ -87,6 +89,89 @@ def _run_stability_point(point: PointSpec, run_cfg: RunConfig) -> dict:
             "stall_events": sp.stall_events,
             "sheds": sp.sheds,
             "throttles": sp.throttles,
+        },
+    }
+
+
+def _run_transport_point(point: PointSpec, run_cfg: RunConfig) -> dict:
+    """The end-to-end reliability path, selected by ``point.transport``.
+
+    Sources hand messages to a :class:`ReliableTransport` (its own
+    forked stream -- engine and workload draws are untouched) instead
+    of offering raw packets; ``point.faults`` may overlay MTBF churn,
+    the loss storm the transport exists to survive (no SourceRetry --
+    retransmission *is* the recovery layer here).  The payload carries
+    the ordinary measurement block plus a ``transport`` block with the
+    normalized configuration and the end-to-end tallies.
+    """
+    from repro.faults.mtbf import MTBFChurn
+    from repro.sim.core import Environment
+    from repro.sim.rng import RandomStream
+    from repro.transport import ReliableTransport, TransportConfig
+    from repro.wormhole.engine import WormholeEngine, resolve_engine
+
+    kind = resolve_engine(point.engine)
+    env = Environment(scheduler="heap" if kind == "reference" else "calendar")
+    root = RandomStream(run_cfg.seed, name="root")
+    label = point.network.label
+    engine = WormholeEngine(
+        env,
+        point.network.build(),
+        rng=root.fork(f"engine/{label}/{point.load}"),
+        fast=kind != "reference",
+        batch=kind == "batch",
+    )
+    transport = ReliableTransport(
+        engine,
+        TransportConfig(**point.transport),
+        root.fork(f"transport/{label}/{point.load}"),
+    )
+    faults = point.faults
+    if faults is not None and faults.rate > 0.0:
+        mtbf = faults.mttr * (1.0 - faults.rate) / faults.rate
+        MTBFChurn(
+            env,
+            engine.network,
+            root.fork(f"faults/{label}/{point.load}"),
+            mtbf=mtbf,
+            mttr=faults.mttr,
+            engine=engine,
+            severity=faults.severity,
+        )
+    workload: Workload = point.workload.builder(run_cfg)(point.load)
+    workload.transport = transport
+    installed = workload.install(
+        env, engine, root.fork(f"workload/{label}/{point.load}")
+    )
+    if installed == 0:
+        raise RuntimeError("workload installed no traffic sources")
+    engine.start()
+
+    warmup_deadline = env.now + run_cfg.max_cycles / 4
+    _run_until_delivered(engine, run_cfg.warmup_packets, warmup_deadline)
+    window = MeasurementWindow(engine)
+    window.begin()
+    deadline = env.now + run_cfg.max_cycles
+    _run_until_delivered(engine, run_cfg.measure_packets, deadline)
+    measurement = window.finish()
+    settled = sum(
+        1 for o in transport.outcomes.values() if o == "delivered"
+    )
+    return {
+        "version": PAYLOAD_VERSION,
+        "measurement": measurement_to_dict(measurement),
+        "transport": {
+            "config": dict(point.transport),
+            "messages_sent": transport.messages_sent,
+            "messages_delivered": transport.messages_delivered,
+            "messages_aborted": transport.messages_aborted,
+            "flows_aborted": transport.flows_aborted,
+            "acks_lost": transport.acks_lost,
+            "delivered_ratio": (
+                settled / len(transport.outcomes)
+                if transport.outcomes
+                else None
+            ),
         },
     }
 

@@ -31,6 +31,7 @@ from repro.experiments.workload_spec import WorkloadSpec
 from repro.serve.canonical import canonical_value, config_hash
 from repro.stability.admission import ADMISSION_MODES, SHED_NEWEST
 from repro.traffic.workload import MessageSizeModel
+from repro.transport import TransportConfig
 from repro.wormhole.engine import ENGINE_KINDS, resolve_engine
 from repro.wormhole.network import NetworkKind
 
@@ -91,6 +92,58 @@ def validate_stability(raw: Optional[dict]) -> Optional[dict]:
         )
     return dict(sorted(cfg.items()))
 
+
+#: Canonical defaults of a transport-config mapping; mirror
+#: :class:`repro.transport.TransportConfig` exactly (pinned by test).
+TRANSPORT_DEFAULTS = {
+    "window": 4,
+    "max_window": 32,
+    "ai_step": 1,
+    "rto_base": 256.0,
+    "rto_factor": 2.0,
+    "rto_max": 8192.0,
+    "jitter": 0.25,
+    "max_attempts": 8,
+    "ack_length": 4,
+    "ack_delay": 4.0,
+}
+
+_TRANSPORT_INT_KEYS = ("window", "max_window", "ai_step", "max_attempts",
+                       "ack_length")
+_TRANSPORT_FLOAT_KEYS = ("rto_base", "rto_factor", "rto_max", "jitter",
+                         "ack_delay")
+
+
+def validate_transport(raw: Optional[dict]) -> Optional[dict]:
+    """Normalize a transport-config mapping to its canonical form.
+
+    A transport point runs the end-to-end reliability layer
+    (:class:`repro.transport.ReliableTransport`) instead of raw source
+    injection; defaults are made explicit here so two spellings of the
+    same configuration can never hash to different cache keys, and the
+    value set is validated eagerly by constructing the
+    :class:`~repro.transport.TransportConfig` itself.
+    """
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ValueError(
+            f"transport must be a mapping or None, got {type(raw).__name__}"
+        )
+    unknown = sorted(set(raw) - set(TRANSPORT_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown transport key(s) {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(TRANSPORT_DEFAULTS))}"
+        )
+    cfg = {**TRANSPORT_DEFAULTS, **raw}
+    for k in _TRANSPORT_INT_KEYS:
+        cfg[k] = int(cfg[k])
+    for k in _TRANSPORT_FLOAT_KEYS:
+        cfg[k] = float(cfg[k])
+    TransportConfig(**cfg)  # field-level validation, one place
+    return dict(sorted(cfg.items()))
+
 MANIFEST_VERSION = 1
 
 
@@ -129,7 +182,12 @@ class PointSpec:
     by :func:`validate_stability` (admission capacity/mode, governor,
     watchdog, batch count) that routes the point through
     :func:`repro.experiments.stability.stability_point` and adds a
-    ``stability`` block to the payload.
+    ``stability`` block to the payload.  ``transport`` likewise selects
+    the end-to-end reliability path (:func:`validate_transport`):
+    sources send through :class:`repro.transport.ReliableTransport`,
+    optionally combined with ``faults`` (the loss storm the transport
+    exists to survive) -- but not with ``stability``, whose toolkit
+    wiring owns the sources itself.
     """
 
     network: NetworkConfig
@@ -140,6 +198,7 @@ class PointSpec:
     engine: str = "fast"
     faults: Optional[FaultSpec] = None
     stability: Optional[dict] = None
+    transport: Optional[dict] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "load", float(self.load))
@@ -148,20 +207,30 @@ class PointSpec:
         object.__setattr__(
             self, "stability", validate_stability(self.stability)
         )
+        object.__setattr__(
+            self, "transport", validate_transport(self.transport)
+        )
         if self.stability is not None and self.faults is not None:
             raise ValueError(
                 "a point cannot combine stability and faults: the "
                 "overload toolkit path has no fault-injection wiring"
             )
+        if self.stability is not None and self.transport is not None:
+            raise ValueError(
+                "a point cannot combine stability and transport: the "
+                "overload toolkit owns the sources itself"
+            )
 
     def config(self) -> dict:
         """The canonical configuration mapping this point hashes over."""
-        return {
+        out = {
             # NetworkConfig.canonical() (not the generic expansion):
             # it omits the direct-only fields for MIN kinds, keeping
             # every pre-direct point key byte-stable.
             "network": self.network.canonical(),
-            "workload": canonical_value(self.workload),
+            # WorkloadSpec.canonical() likewise omits the arrival
+            # fields at their Poisson defaults.
+            "workload": self.workload.canonical(),
             "run": {
                 "warmup_packets": self.run.warmup_packets,
                 "measure_packets": self.run.measure_packets,
@@ -180,6 +249,11 @@ class PointSpec:
                 canonical_value(self.stability) if self.stability else None
             ),
         }
+        # Emitted only when set so every pre-transport key stays
+        # byte-stable (same precedent as JobSpec.to_dict's stability).
+        if self.transport is not None:
+            out["transport"] = canonical_value(self.transport)
+        return out
 
     def key(self) -> str:
         """SHA-256 content address of this point's configuration."""
@@ -216,6 +290,7 @@ class JobSpec:
     engine: str = "fast"
     faults: Optional[FaultSpec] = None
     stability: Optional[dict] = None
+    transport: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if not self.networks:
@@ -229,6 +304,9 @@ class JobSpec:
             raise ValueError(f"unknown engine {self.engine!r}")
         object.__setattr__(
             self, "stability", validate_stability(self.stability)
+        )
+        object.__setattr__(
+            self, "transport", validate_transport(self.transport)
         )
 
     @property
@@ -259,6 +337,7 @@ class JobSpec:
                 engine=self.engine,
                 faults=self.faults,
                 stability=self.stability,
+                transport=self.transport,
             )
             for network in self.networks
             for load in self.effective_loads
@@ -273,7 +352,7 @@ class JobSpec:
     def to_dict(self) -> dict:
         out = {
             "networks": [n.canonical() for n in self.networks],
-            "workload": canonical_value(self.workload),
+            "workload": self.workload.canonical(),
             "run": {
                 "mode": self.run.name,
                 "warmup_packets": self.run.warmup_packets,
@@ -288,9 +367,11 @@ class JobSpec:
             "faults": canonical_value(self.faults) if self.faults else None,
         }
         # Emitted only when set so plain jobs keep their pre-stability
-        # job_ids (the id hashes this mapping).
+        # (and pre-transport) job_ids (the id hashes this mapping).
         if self.stability is not None:
             out["stability"] = canonical_value(self.stability)
+        if self.transport is not None:
+            out["transport"] = canonical_value(self.transport)
         return out
 
     @classmethod
@@ -329,6 +410,7 @@ class JobSpec:
             engine=raw.get("engine", "fast"),
             faults=faults,
             stability=raw.get("stability"),
+            transport=raw.get("transport"),
         )
 
     @classmethod

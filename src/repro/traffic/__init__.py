@@ -13,6 +13,11 @@ Reproduces Section 5.1's workload model:
   per-cluster traffic ratios like 4:1:1:1 (:mod:`repro.traffic.clusters`).
 """
 
+from repro.traffic.bursty import (
+    ArrivalSpec,
+    MMPPArrivals,
+    ParetoOnOffArrivals,
+)
 from repro.traffic.clusters import (
     ClusterSpec,
     cluster_16,
@@ -27,19 +32,37 @@ from repro.traffic.patterns import (
     TrafficPattern,
     UniformPattern,
 )
+from repro.traffic.trace import (
+    Trace,
+    TraceFormatError,
+    TraceRecord,
+    TraceWorkload,
+    read_trace,
+    synthesize_trace,
+    write_trace,
+)
 from repro.traffic.workload import MessageSizeModel, Workload
 
 __all__ = [
+    "ArrivalSpec",
     "ButterflyPermutationPattern",
     "ClusterSpec",
     "HotSpotPattern",
+    "MMPPArrivals",
     "MessageSizeModel",
+    "ParetoOnOffArrivals",
     "PermutationPattern",
     "ShufflePattern",
-    "TrafficPattern",
+    "Trace",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceWorkload",
     "UniformPattern",
     "Workload",
     "cluster_16",
     "cluster_32",
     "global_cluster",
+    "read_trace",
+    "synthesize_trace",
+    "write_trace",
 ]

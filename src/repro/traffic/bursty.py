@@ -1,0 +1,164 @@
+"""Bursty arrival processes: Pareto on-off and 2-state MMPP.
+
+The paper's sources are Poisson (negative-exponential inter-arrival
+times).  Real parallel workloads are burstier; self-similar traffic is
+classically modelled by heavy-tailed on-off sources and Markov-
+modulated Poisson processes.  This module adds both as drop-in
+replacements for the exponential draw in
+:class:`repro.traffic.workload.Workload` under one strict contract:
+
+**exactly one RNG draw per arrival decision**, the same count as the
+exponential source.  Each ``next_iat`` call consumes a single
+``stream.random()`` and derives everything -- the state/branch choice
+*and* the conditional gap sample -- from that one uniform by branch-
+and-rescale (if ``u < p`` the branch is taken and ``u/p`` is again
+uniform on [0, 1)).  Swapping arrival kinds therefore never drifts the
+draw count, so the destination-pattern and size draws that follow stay
+aligned and every engine tier remains bit-identical.
+
+Both processes are *mean-calibrated*: for any target mean inter-arrival
+time ``m``, ``E[next_iat(m, rng)] == m`` exactly (unit-tested), so an
+offered load sweep means the same thing under every arrival kind.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.rng import RandomStream
+
+ARRIVAL_KINDS = ("poisson", "pareto", "mmpp")
+
+#: Largest float below 1.0: rescaled uniforms are clamped here so a
+#: draw landing within one ulp of a branch boundary cannot round to
+#: v == 1.0 and produce an infinite gap (log1p(-1) / Pareto pole).
+_V_MAX = math.nextafter(1.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative arrival-process choice (hash- and CLI-friendly).
+
+    ``kind``:
+
+    * ``"poisson"`` -- the paper's negative-exponential source (the
+      default; :class:`~repro.traffic.workload.Workload` keeps its
+      legacy single ``stream.exponential`` call, bit-compatible with
+      every pre-existing run);
+    * ``"pareto"`` -- on-off mixture: with probability ``1 - p`` a
+      short exponential gap with mean ``on_gap * m`` (the on-phase
+      back-to-back spacing), with probability ``p`` a heavy-tailed
+      Pareto(``alpha``) off-gap whose scale is solved so the overall
+      mean is exactly ``m``;
+    * ``"mmpp"`` -- 2-state Markov-modulated Poisson process: a fast
+      state with mean gap ``on_gap * m`` and a slow state with mean
+      gap ``(2 - on_gap) * m``, switching state with probability ``p``
+      at each arrival (symmetric chain, stationary mean exactly ``m``).
+
+    ``alpha`` (pareto only) must exceed 1 so the mean exists; values
+    at or below 2 give infinite variance -- the self-similar regime.
+    """
+
+    kind: str = "poisson"
+    alpha: float = 2.5     # pareto tail exponent
+    on_gap: float = 0.25   # on-phase / fast-state mean gap, fraction of m
+    p: float = 0.2         # off/burst probability (pareto) | switch prob
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival kind {self.kind!r}")
+        if not 0.0 < self.p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        if self.on_gap <= 0.0:
+            raise ValueError("on_gap must be positive")
+        if self.kind == "pareto":
+            if self.alpha <= 1.0:
+                raise ValueError("pareto needs alpha > 1 (finite mean)")
+            if 1.0 - (1.0 - self.p) * self.on_gap <= 0.0:
+                raise ValueError(
+                    "pareto needs (1 - p) * on_gap < 1 so the "
+                    "off-gap scale stays positive"
+                )
+        if self.kind == "mmpp" and self.on_gap >= 1.0:
+            raise ValueError("mmpp needs on_gap < 1 (fast state is fast)")
+
+    @property
+    def label(self) -> str:
+        if self.kind == "poisson":
+            return "poisson"
+        if self.kind == "pareto":
+            return f"pareto(a={self.alpha:g},on={self.on_gap:g},p={self.p:g})"
+        return f"mmpp(on={self.on_gap:g},p={self.p:g})"
+
+    def instantiate(self) -> "ArrivalProcess | None":
+        """Fresh per-source process state; None keeps the legacy
+        exponential path (bit-compatible, not merely equivalent)."""
+        if self.kind == "poisson":
+            return None
+        if self.kind == "pareto":
+            return ParetoOnOffArrivals(self.alpha, self.on_gap, self.p)
+        return MMPPArrivals(self.on_gap, self.p)
+
+
+class ArrivalProcess:
+    """One source's arrival state; ``next_iat`` draws exactly once."""
+
+    def next_iat(self, mean: float, stream: RandomStream) -> float:
+        raise NotImplementedError
+
+
+class ParetoOnOffArrivals(ArrivalProcess):
+    """On-off source with exponential on-gaps and Pareto off-gaps."""
+
+    __slots__ = ("alpha", "on_gap", "p")
+
+    def __init__(self, alpha: float, on_gap: float, p: float) -> None:
+        self.alpha = alpha
+        self.on_gap = on_gap
+        self.p = p
+
+    def next_iat(self, mean: float, stream: RandomStream) -> float:
+        u = stream.random()
+        p_on = 1.0 - self.p
+        if u < p_on:
+            # On-phase: exponential with mean on_gap * m.  u / p_on is
+            # uniform on [0, 1), so -log1p(-(u / p_on)) is Exp(1).
+            return -self.on_gap * mean * math.log1p(-min(u / p_on, _V_MAX))
+        # Off-phase: Pareto(alpha) by inverse transform on the rescaled
+        # tail v = (u - p_on) / p, with the scale x_m solved so the
+        # mixture mean is exactly `mean`:
+        #   (1-p) * on_gap * m  +  p * x_m * alpha / (alpha-1)  ==  m
+        v = min((u - p_on) / self.p, _V_MAX)
+        x_m = (
+            mean
+            * (1.0 - p_on * self.on_gap)
+            * (self.alpha - 1.0)
+            / (self.p * self.alpha)
+        )
+        return x_m * (1.0 - v) ** (-1.0 / self.alpha)
+
+
+class MMPPArrivals(ArrivalProcess):
+    """2-state Markov-modulated Poisson source (fast / slow)."""
+
+    __slots__ = ("on_gap", "p", "state")
+
+    def __init__(self, on_gap: float, p: float) -> None:
+        self.on_gap = on_gap
+        self.p = p
+        self.state = 0  # 0 = fast (bursting), 1 = slow (idle-ish)
+
+    def next_iat(self, mean: float, stream: RandomStream) -> float:
+        u = stream.random()
+        if u < self.p:
+            # Switch state, then reuse the remaining uniform mass:
+            # u / p is uniform on [0, 1) conditioned on switching.
+            self.state = 1 - self.state
+            v = min(u / self.p, _V_MAX)
+        else:
+            v = min((u - self.p) / (1.0 - self.p), _V_MAX)
+        # Symmetric switch probability -> stationary (1/2, 1/2), so
+        # gap means (on_gap * m, (2 - on_gap) * m) average exactly m.
+        scale = self.on_gap if self.state == 0 else 2.0 - self.on_gap
+        return -scale * mean * math.log1p(-v)

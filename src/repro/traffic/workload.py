@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStream
+from repro.traffic.bursty import ArrivalSpec
 from repro.traffic.clusters import ClusterSpec
 from repro.traffic.patterns import TrafficPattern
 from repro.wormhole.engine import WormholeEngine
@@ -104,6 +105,20 @@ class Workload:
         blocking admission policy (``engine.offer`` returned None).  The
         retry wait is a fixed timeout -- no RNG -- modelling hardware
         backpressure polling.
+    arrival:
+        Optional :class:`repro.traffic.bursty.ArrivalSpec`.  ``None``
+        (or kind ``"poisson"``) keeps the paper's single
+        ``stream.exponential`` draw -- bit-compatible with every
+        pre-existing run.  Bursty kinds replace that draw with exactly
+        one draw per arrival (see :mod:`repro.traffic.bursty`), so the
+        per-message draw count never drifts.
+    transport:
+        Optional end-to-end transport (anything with
+        ``send(src, dst, length)``, e.g.
+        :class:`repro.transport.ReliableTransport`).  When set, sources
+        hand messages to the transport instead of offering raw packets;
+        the transport absorbs admission pressure (its window/backoff),
+        so the block-retry loop is bypassed.
     """
 
     def __init__(
@@ -114,6 +129,8 @@ class Workload:
         sizes: Optional[MessageSizeModel] = None,
         governor: Optional[object] = None,
         block_retry: float = 8.0,
+        arrival: Optional[ArrivalSpec] = None,
+        transport: Optional[object] = None,
     ) -> None:
         if offered_load <= 0:
             raise ValueError("offered_load must be positive")
@@ -125,6 +142,8 @@ class Workload:
         self.sizes = sizes if sizes is not None else MessageSizeModel.paper()
         self.governor = governor
         self.block_retry = block_retry
+        self.arrival = arrival
+        self.transport = transport
 
     def install(
         self, env: Environment, engine: WormholeEngine, rng: RandomStream
@@ -162,6 +181,11 @@ class Workload:
         stream: RandomStream,
     ):
         governor = self.governor
+        transport = self.transport
+        # Per-source arrival state (MMPP carries its modulation state
+        # here); None keeps the legacy exponential call itself, so the
+        # poisson path is bit-compatible, not merely equivalent.
+        arrival = self.arrival.instantiate() if self.arrival else None
         while True:
             iat = mean_iat
             if governor is not None:
@@ -172,11 +196,20 @@ class Workload:
                 rate = governor.rate_of(node)
                 if rate > 0:
                     iat = mean_iat / rate
-            yield env.timeout(stream.exponential(iat))
+            if arrival is None:
+                gap = stream.exponential(iat)
+            else:
+                gap = arrival.next_iat(iat, stream)
+            yield env.timeout(gap)
             dest = pattern.pick(node, stream)
             if dest is None:  # pragma: no cover - silenced sources skipped
                 continue
             length = self.sizes.draw(stream)
+            if transport is not None:
+                # End-to-end reliability: the transport never refuses;
+                # its window/backoff absorbs admission pressure.
+                transport.send(node, dest, length)
+                continue
             while engine.offer(node, dest, length) is None:
                 # Blocking admission refused the message: hold it and
                 # re-offer after a fixed (RNG-free) backpressure wait.

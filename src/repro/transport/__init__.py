@@ -1,0 +1,14 @@
+"""End-to-end reliable transport over the lossy wormhole fabric.
+
+The fabric counters (sheds, faults, stall-aborts) are per-hop losses
+that open-loop sources silently eat.  :mod:`repro.transport` closes the
+loop: per-flow sequence numbers, cumulative + selective acks carried as
+small reverse-direction messages through the *same* fabric, timeout
+retransmission with seeded exponential backoff, duplicate suppression,
+and AIMD send windows -- so overload robustness becomes an end-to-end
+property (delivered-exactly-once goodput) rather than a per-hop one.
+"""
+
+from repro.transport.reliable import ReliableTransport, TransportConfig
+
+__all__ = ["ReliableTransport", "TransportConfig"]

@@ -160,6 +160,21 @@ class EngineStats:
     #: recovery; see :mod:`repro.stability.watchdog`).  These also
     #: count in ``failed_packets`` (the abort path is shared).
     stall_aborted_packets: int = 0
+    #: Data segments re-offered by the end-to-end transport layer
+    #: (see :mod:`repro.transport`; the engine only hosts the counter).
+    retransmitted_packets: int = 0
+    #: Transport retransmission timers that fired before an ack.
+    rto_fires: int = 0
+    #: Duplicate data arrivals suppressed by the transport receiver.
+    dup_acks: int = 0
+    #: Transport flows that exhausted max_attempts and were aborted.
+    flows_aborted: int = 0
+    #: Acknowledgement packets offered by the transport layer (these
+    #: also count in ``offered_packets``/``delivered_packets``).
+    ack_packets: int = 0
+    #: Flits of *first-time* end-to-end deliveries (excludes duplicate
+    #: data and ack traffic) -- goodput, vs. raw ``delivered_flits``.
+    goodput_flits: int = 0
     max_queue_len: int = 0
     records: list[DeliveryRecord] = field(default_factory=list)
     window_start: float = 0.0
@@ -176,6 +191,12 @@ class EngineStats:
         self.shed_packets = 0
         self.throttled_packets = 0
         self.stall_aborted_packets = 0
+        self.retransmitted_packets = 0
+        self.rto_fires = 0
+        self.dup_acks = 0
+        self.flows_aborted = 0
+        self.ack_packets = 0
+        self.goodput_flits = 0
         self.max_queue_len = 0
         self.records = []
         self.window_start = now

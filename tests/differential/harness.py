@@ -104,6 +104,8 @@ def run_case(
     overload: str | None = None,
     governed: bool = False,
     watchdog: bool = False,
+    transport: dict | None = None,
+    arrival: str | None = None,
     run_cfg=CFG,
     net_kwargs: dict | None = None,
 ):
@@ -126,9 +128,25 @@ def run_case(
     :class:`~repro.faults.recovery.SourceRetry` layer behind it.  The
     snapshot then additionally carries the shed/throttle/stall counters
     and the governor's final per-source rate vector.
+
+    ``transport`` routes every source message through a
+    :class:`~repro.transport.ReliableTransport` built from the given
+    :class:`~repro.transport.TransportConfig` kwargs (use a short
+    ``rto_base`` so retransmissions actually fire inside the 12k-cycle
+    run); the snapshot gains the end-to-end tallies and the full sorted
+    outcome map.  ``watchdog``'s SourceRetry layer is suppressed when a
+    transport is present -- both re-offer the same loss, and stacking
+    them double-injects.  ``arrival`` selects a bursty arrival process
+    from :data:`repro.traffic.bursty.ARRIVAL_KINDS` in place of the
+    Poisson default.
     """
     network = NetworkConfig(kind, **(net_kwargs or {}))
-    spec = WorkloadSpec(pattern=pattern, k=network.k, n=network.n)
+    spec = WorkloadSpec(
+        pattern=pattern,
+        k=network.k,
+        n=network.n,
+        arrival=arrival or "poisson",
+    )
     saved_env = os.environ.get("REPRO_SANITIZE")
     saved_observer = channel_mod.release_observer
     if sanitize:
@@ -156,14 +174,18 @@ def run_case(
                     ),
                 )
         if watchdog:
-            from repro.faults.recovery import RetryPolicy, SourceRetry
             from repro.stability import ProgressWatchdog
 
-            retry = SourceRetry(  # noqa: F841 -- holds the bus subscription
-                eng,
-                RetryPolicy(max_attempts=3, base_delay=32.0, max_delay=256.0),
-                root.fork(f"retry/{network.label}/{load}"),
-            )
+            if transport is None:
+                from repro.faults.recovery import RetryPolicy, SourceRetry
+
+                retry = SourceRetry(  # noqa: F841 -- holds the subscription
+                    eng,
+                    RetryPolicy(
+                        max_attempts=3, base_delay=32.0, max_delay=256.0
+                    ),
+                    root.fork(f"retry/{network.label}/{load}"),
+                )
             eng.watchdog = ProgressWatchdog(
                 eng,
                 check_every=32,
@@ -171,8 +193,18 @@ def run_case(
                 deadlock_after=256,
                 recover=True,
             )
+        reliability = None
+        if transport is not None:
+            from repro.transport import ReliableTransport, TransportConfig
+
+            reliability = ReliableTransport(
+                eng,
+                TransportConfig(**transport),
+                root.fork(f"transport/{network.label}/{load}"),
+            )
         workload = spec.builder(run_cfg)(load)
         workload.governor = governor
+        workload.transport = reliability
         workload.install(
             env, eng, root.fork(f"workload/{network.label}/{load}")
         )
@@ -219,6 +251,23 @@ def run_case(
         None
         if injector is None
         else (injector.injected, injector.repaired, injector.killed_worms),
+        # New observables append at the END: the kernel-counter indices
+        # above are positional and must not shift.
+        None
+        if reliability is None
+        else (
+            reliability.messages_sent,
+            reliability.messages_delivered,
+            reliability.messages_aborted,
+            reliability.flows_aborted,
+            reliability.acks_lost,
+            stats.retransmitted_packets,
+            stats.rto_fires,
+            stats.dup_acks,
+            stats.ack_packets,
+            stats.goodput_flits,
+            tuple(sorted(reliability.outcomes.items())),
+        ),
     )
 
 

@@ -1,0 +1,147 @@
+"""Bursty arrival processes: calibration, draw discipline, validation.
+
+The two contracts the rest of the system leans on:
+
+* **mean calibration** -- ``E[next_iat(m, rng)] == m`` for every kind,
+  so a load sweep means the same offered load under any arrival model;
+* **single-draw discipline** -- every ``next_iat`` consumes exactly
+  one uniform from the stream, the same count as the legacy
+  exponential source, so swapping arrival kinds can never desynchronize
+  the destination/size draws that share the source's stream.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.rng import RandomStream
+from repro.traffic.bursty import (
+    ArrivalSpec,
+    MMPPArrivals,
+    ParetoOnOffArrivals,
+)
+
+N = 200_000
+MEAN = 10.0
+
+
+def _empirical_mean(proc, seed=123, n=N, mean=MEAN):
+    rng = RandomStream(seed, name="bursty-test")
+    return sum(proc.next_iat(mean, rng) for _ in range(n)) / n
+
+
+# ----------------------------------------------------------- calibration
+
+
+def test_pareto_mean_calibrated():
+    proc = ParetoOnOffArrivals(alpha=2.5, on_gap=0.25, p=0.2)
+    assert _empirical_mean(proc) == pytest.approx(MEAN, rel=0.05)
+
+
+def test_pareto_mean_calibrated_heavy_tail():
+    """alpha < 2: infinite variance, the self-similar regime -- the
+    mean still calibrates (slow convergence, loose tolerance)."""
+    proc = ParetoOnOffArrivals(alpha=1.9, on_gap=0.25, p=0.2)
+    assert _empirical_mean(proc) == pytest.approx(MEAN, rel=0.15)
+
+
+def test_mmpp_mean_calibrated():
+    proc = MMPPArrivals(on_gap=0.25, p=0.2)
+    assert _empirical_mean(proc) == pytest.approx(MEAN, rel=0.05)
+
+
+def test_mmpp_mean_scales_with_target():
+    proc = MMPPArrivals(on_gap=0.5, p=0.1)
+    assert _empirical_mean(proc, mean=64.0) == pytest.approx(64.0, rel=0.05)
+
+
+def test_pareto_is_burstier_than_its_mean():
+    """On-off means clumping: the on-phase gap is far below the mean
+    and the off-gaps are far above -- both phases must actually occur."""
+    proc = ParetoOnOffArrivals(alpha=2.5, on_gap=0.25, p=0.2)
+    rng = RandomStream(7, name="bursty-test")
+    gaps = [proc.next_iat(MEAN, rng) for _ in range(10_000)]
+    assert min(gaps) < 0.25 * MEAN
+    assert max(gaps) > 3.0 * MEAN
+
+
+# ------------------------------------------------------ draw discipline
+
+
+@pytest.mark.parametrize(
+    "proc",
+    [
+        ParetoOnOffArrivals(alpha=2.5, on_gap=0.25, p=0.2),
+        MMPPArrivals(on_gap=0.25, p=0.2),
+    ],
+    ids=["pareto", "mmpp"],
+)
+def test_single_draw_per_decision(proc):
+    """1000 arrivals consume exactly 1000 uniforms: a shadow stream
+    advanced by plain random() calls stays in lockstep."""
+    a = RandomStream(99, name="lockstep")
+    b = RandomStream(99, name="lockstep")
+    for _ in range(1000):
+        proc.next_iat(MEAN, a)
+        b.random()
+    assert a.random() == b.random()
+
+
+def test_gaps_always_positive_and_finite():
+    """The _V_MAX clamp: no branch-boundary draw may round into an
+    infinite or zero gap."""
+    for proc in (
+        ParetoOnOffArrivals(alpha=2.5, on_gap=0.25, p=0.2),
+        MMPPArrivals(on_gap=0.25, p=0.2),
+    ):
+        rng = RandomStream(3, name="bursty-test")
+        for _ in range(50_000):
+            iat = proc.next_iat(MEAN, rng)
+            assert math.isfinite(iat)
+            assert iat >= 0.0
+
+
+# ------------------------------------------------------------ the spec
+
+
+def test_spec_instantiate():
+    assert ArrivalSpec().instantiate() is None
+    assert isinstance(
+        ArrivalSpec(kind="pareto").instantiate(), ParetoOnOffArrivals
+    )
+    assert isinstance(ArrivalSpec(kind="mmpp").instantiate(), MMPPArrivals)
+
+
+def test_spec_labels():
+    assert ArrivalSpec().label == "poisson"
+    assert "pareto" in ArrivalSpec(kind="pareto").label
+    assert "mmpp" in ArrivalSpec(kind="mmpp").label
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "weird"},
+        {"p": 0.0},
+        {"p": 1.0},
+        {"on_gap": 0.0},
+        {"kind": "pareto", "alpha": 1.0},
+        {"kind": "pareto", "p": 0.1, "on_gap": 1.2},
+        {"kind": "mmpp", "on_gap": 1.0},
+    ],
+)
+def test_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        ArrivalSpec(**kwargs)
+
+
+def test_mmpp_state_is_per_source():
+    """instantiate() returns fresh state: two sources' chains must not
+    share the modulation state."""
+    spec = ArrivalSpec(kind="mmpp")
+    a, b = spec.instantiate(), spec.instantiate()
+    assert a is not b
+    rng = RandomStream(1, name="bursty-test")
+    for _ in range(50):
+        a.next_iat(MEAN, rng)
+    assert b.state == 0

@@ -1,0 +1,211 @@
+"""Recorded-trace format and replay: round trips, rejection, determinism."""
+
+import struct
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.traffic.trace import (
+    Trace,
+    TraceFormatError,
+    TraceRecord,
+    TraceWorkload,
+    read_trace,
+    synthesize_trace,
+    write_trace,
+)
+from repro.wormhole import WormholeEngine, build_network
+
+RECORDS = (
+    TraceRecord(0.0, 0, 1, 8),
+    TraceRecord(3.5, 1, 2, 16),
+    TraceRecord(3.5, 0, 2, 4),
+    TraceRecord(12.25, 3, 0, 1024),
+)
+TRACE = Trace(4, RECORDS)
+
+
+# ----------------------------------------------------------- round trip
+
+
+def test_round_trip_identity(tmp_path):
+    path = tmp_path / "t.bin"
+    write_trace(path, TRACE)
+    assert read_trace(path) == TRACE
+
+
+def test_empty_trace_round_trips(tmp_path):
+    path = tmp_path / "t.bin"
+    write_trace(path, Trace(2, ()))
+    assert read_trace(path) == Trace(2, ())
+
+
+def test_write_is_deterministic(tmp_path):
+    a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+    write_trace(a, TRACE)
+    write_trace(b, TRACE)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_synthesize_is_seeded(tmp_path):
+    t1 = synthesize_trace(8, 50, RandomStream(5, name="g"))
+    t2 = synthesize_trace(8, 50, RandomStream(5, name="g"))
+    assert t1 == t2
+    t3 = synthesize_trace(8, 50, RandomStream(6, name="g"))
+    assert t1 != t3
+
+
+# ------------------------------------------------------------ rejection
+
+
+def _bytes(trace=TRACE) -> bytes:
+    import hashlib
+
+    from repro.traffic.trace import _HEADER, _RECORD, TRACE_MAGIC
+
+    header = _HEADER.pack(TRACE_MAGIC, 1, 0, trace.n_nodes, len(trace.records))
+    payload = b"".join(
+        _RECORD.pack(r.t, r.src, r.dst, r.size) for r in trace.records
+    )
+    return header + payload + hashlib.sha256(header + payload).digest()
+
+
+def _expect(tmp_path, blob: bytes, match: str):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(blob)
+    with pytest.raises(TraceFormatError, match=match):
+        read_trace(path)
+
+
+def test_truncated_header_rejected(tmp_path):
+    _expect(tmp_path, _bytes()[:10], "truncated header")
+
+
+def test_bad_magic_rejected(tmp_path):
+    blob = _bytes()
+    _expect(tmp_path, b"NOTATRAC" + blob[8:], "bad magic")
+
+
+def test_unknown_version_rejected(tmp_path):
+    blob = bytearray(_bytes())
+    blob[8:10] = struct.pack("<H", 99)
+    _expect(tmp_path, bytes(blob), "unsupported trace version")
+
+
+def test_flag_bits_rejected(tmp_path):
+    blob = bytearray(_bytes())
+    blob[10:12] = struct.pack("<H", 1)
+    _expect(tmp_path, bytes(blob), "unknown flag bits")
+
+
+def test_truncated_payload_rejected(tmp_path):
+    _expect(tmp_path, _bytes()[:40], "truncated payload")
+
+
+def test_missing_checksum_rejected(tmp_path):
+    _expect(tmp_path, _bytes()[:-20], "missing checksum")
+
+
+def test_trailing_bytes_rejected(tmp_path):
+    _expect(tmp_path, _bytes() + b"x", "trailing bytes")
+
+
+def test_bit_flip_rejected(tmp_path):
+    blob = bytearray(_bytes())
+    blob[30] ^= 0x40
+    _expect(tmp_path, bytes(blob), "checksum mismatch")
+
+
+def test_invalid_record_rejected(tmp_path):
+    """A well-checksummed trace whose record is semantically invalid
+    (src == dst) still fails -- with the record error, not a crash."""
+    bad = Trace.__new__(Trace)
+    object.__setattr__(bad, "n_nodes", 4)
+    rec = TraceRecord.__new__(TraceRecord)
+    object.__setattr__(rec, "t", 1.0)
+    object.__setattr__(rec, "src", 2)
+    object.__setattr__(rec, "dst", 2)
+    object.__setattr__(rec, "size", 8)
+    object.__setattr__(bad, "records", (rec,))
+    _expect(tmp_path, _bytes(bad), "invalid record")
+
+
+# ----------------------------------------------------------- validation
+
+
+def test_record_validation():
+    with pytest.raises(ValueError, match="finite"):
+        TraceRecord(float("nan"), 0, 1, 8)
+    with pytest.raises(ValueError, match="finite"):
+        TraceRecord(-1.0, 0, 1, 8)
+    with pytest.raises(ValueError, match="src == dst"):
+        TraceRecord(0.0, 1, 1, 8)
+    with pytest.raises(ValueError, match="size"):
+        TraceRecord(0.0, 0, 1, 0)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError, match="at least 2 nodes"):
+        Trace(1, ())
+    with pytest.raises(ValueError, match="outside"):
+        Trace(2, (TraceRecord(0.0, 0, 5, 8),))
+
+
+def test_synthesize_validation():
+    with pytest.raises(ValueError, match="at least 2"):
+        synthesize_trace(1, 10, RandomStream(0))
+    with pytest.raises(ValueError, match="count"):
+        synthesize_trace(4, -1, RandomStream(0))
+
+
+# --------------------------------------------------------------- replay
+
+
+def _replay(trace, seed=0):
+    env = Environment()
+    net = build_network("tmin", k=2, n=2)
+    eng = WormholeEngine(env, net, rng=RandomStream(seed, name="engine"))
+    wl = TraceWorkload(trace)
+    wl.install(env, eng, RandomStream(seed + 1, name="workload"))
+    eng.start()
+    horizon = (trace.records[-1].t if trace.records else 0.0) + 100_000
+    while wl.replayed < len(trace.records) and env.now < horizon:
+        env.run(until=min(env.now + 128, horizon))
+    while not eng.idle and env.now < horizon:
+        env.run(until=min(env.now + 128, horizon))
+    return eng, wl
+
+
+def test_replay_injects_every_record():
+    trace = synthesize_trace(4, 40, RandomStream(9, name="g"), mean_iat=8.0)
+    eng, wl = _replay(trace)
+    assert wl.replayed == 40
+    assert eng.stats.delivered_packets == 40
+
+
+def test_permutation_replays_identically():
+    """Any record permutation replays bit-identically: the canonical
+    sort makes record order in the file irrelevant."""
+    trace = synthesize_trace(4, 30, RandomStream(11, name="g"), mean_iat=8.0)
+    shuffled = Trace(
+        trace.n_nodes, tuple(reversed(trace.records))
+    )
+    a, _ = _replay(trace)
+    b, _ = _replay(shuffled)
+    assert tuple(a.stats.records) == tuple(b.stats.records)
+    assert a.env.now == b.env.now
+
+
+def test_replay_rejects_small_network():
+    env = Environment()
+    net = build_network("tmin", k=2, n=2)  # 4 nodes
+    eng = WormholeEngine(env, net, rng=RandomStream(0))
+    wl = TraceWorkload(Trace(16, (TraceRecord(0.0, 0, 15, 8),)))
+    with pytest.raises(ValueError, match="16 nodes"):
+        wl.install(env, eng, RandomStream(1))
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError, match="block_retry"):
+        TraceWorkload(TRACE, block_retry=0.0)

@@ -1,0 +1,214 @@
+"""Unit tests of the end-to-end reliable transport protocol machinery.
+
+Clean-fabric delivery, config validation, the serve-layer defaults
+pin, window dynamics, duplicate suppression under aggressive timers,
+and the graceful-degradation path (flow abort, never a hang) are each
+exercised on small networks where the exact behaviour is checkable.
+"""
+
+import pytest
+
+from repro.serve.job import TRANSPORT_DEFAULTS
+from repro.sim import Environment
+from repro.sim.rng import RandomStream
+from repro.transport import ReliableTransport, TransportConfig
+from repro.wormhole import WormholeEngine, build_network
+
+
+def _setup(kind="tmin", k=2, n=2, seed=0, config=None):
+    env = Environment()
+    net = build_network(kind, k=k, n=n)
+    eng = WormholeEngine(env, net, rng=RandomStream(seed, name="engine"))
+    tp = ReliableTransport(
+        eng, config, RandomStream(seed + 1, name="transport")
+    )
+    return env, eng, tp
+
+
+# ------------------------------------------------------------- config
+
+
+def test_config_defaults_mirror_serve_layer():
+    """The serve layer's TRANSPORT_DEFAULTS and the dataclass defaults
+    are the same ten values -- two spellings of one configuration."""
+    assert TransportConfig(**TRANSPORT_DEFAULTS) == TransportConfig()
+    assert len(TRANSPORT_DEFAULTS) == 10
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"window": 0},
+        {"window": 8, "max_window": 4},
+        {"ai_step": 0},
+        {"rto_base": 0.0},
+        {"rto_factor": 0.5},
+        {"rto_max": -1.0},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+        {"max_attempts": 0},
+        {"ack_length": 0},
+        {"ack_delay": 0.0},
+    ],
+)
+def test_config_validation(bad):
+    with pytest.raises(ValueError):
+        TransportConfig(**bad)
+
+
+def test_send_validation():
+    _env, _eng, tp = _setup()
+    with pytest.raises(ValueError, match="src != dst"):
+        tp.send(1, 1, 16)
+    with pytest.raises(ValueError, match="length"):
+        tp.send(0, 1, 0)
+
+
+# ------------------------------------------------- clean-fabric delivery
+
+
+def test_clean_fabric_delivers_everything():
+    env, eng, tp = _setup()
+    keys = [tp.send(0, 3, 16) for _ in range(20)]
+    keys += [tp.send(2, 1, 8) for _ in range(10)]
+    tp.quiesce()
+    assert tp.messages_sent == 30
+    assert tp.messages_delivered == 30
+    assert tp.messages_aborted == 0
+    assert tp.flows_aborted == 0
+    assert tp.delivered_ratio() == 1.0
+    assert all(tp.outcomes[k] == "delivered" for k in keys)
+    # Sequence numbers are per-flow and dense from zero.
+    assert keys[0] == (0, 3, 0)
+    assert keys[19] == (0, 3, 19)
+    assert keys[20] == (2, 1, 0)
+    assert eng.stats.goodput_flits == 20 * 16 + 10 * 8
+    # Every unique delivery was acked (dups would add more).
+    assert eng.stats.ack_packets >= 30
+    assert tp.idle
+
+
+def test_window_grows_on_clean_acks():
+    """AIMD additive increase: a loss-free flow's window climbs from
+    the initial size toward max_window."""
+    cfg = TransportConfig(window=1, max_window=8)
+    env, eng, tp = _setup(config=cfg)
+    for _ in range(30):
+        tp.send(0, 3, 8)
+    tp.quiesce()
+    flow = tp._flows[(0, 3)]
+    assert flow.window > 1
+    assert flow.window <= 8
+    assert tp.messages_delivered == 30
+
+
+def test_outcome_keys_returned_by_send():
+    _env, _eng, tp = _setup()
+    key = tp.send(1, 2, 12)
+    assert key == (1, 2, 0)
+    tp.quiesce()
+    assert tp.outcomes[key] == "delivered"
+
+
+# ---------------------------------------- duplicates under tight timers
+
+
+def test_aggressive_rto_duplicates_suppressed():
+    """An RTO shorter than the delivery latency makes retransmissions
+    cross their slow originals: the receiver must suppress every
+    duplicate, so end-to-end deliveries still equal messages sent."""
+    cfg = TransportConfig(
+        window=1, rto_base=8.0, rto_max=4096.0, ack_delay=1.0,
+        max_attempts=1000,
+    )
+    env, eng, tp = _setup(config=cfg)
+    for _ in range(4):
+        tp.send(0, 3, 64)
+    tp.quiesce()
+    assert eng.stats.rto_fires > 0
+    assert eng.stats.retransmitted_packets > 0
+    assert eng.stats.dup_acks > 0
+    # Exactly-once: dups never double-count.
+    assert tp.messages_delivered == tp.messages_sent == 4
+    assert all(o == "delivered" for o in tp.outcomes.values())
+    # Goodput counted unique payloads only.
+    assert eng.stats.goodput_flits == 4 * 64
+
+
+# ----------------------------------------- graceful degradation (abort)
+
+
+def test_total_loss_aborts_flow_never_hangs(monkeypatch):
+    """With every injection refused, attempts exhaust max_attempts and
+    the flow aborts: outcomes settle, quiesce returns, no hang."""
+    cfg = TransportConfig(
+        window=2, rto_base=8.0, rto_max=32.0, max_attempts=3
+    )
+    env, eng, tp = _setup(config=cfg)
+    monkeypatch.setattr(eng, "offer", lambda src, dst, length: None)
+    keys = [tp.send(0, 3, 16) for _ in range(5)]
+    tp.quiesce()
+    assert tp.messages_delivered == 0
+    assert tp.messages_aborted == 5
+    assert tp.flows_aborted >= 1
+    assert eng.stats.flows_aborted == tp.flows_aborted
+    assert all(tp.outcomes[k] == "aborted" for k in keys)
+    assert tp.delivered_ratio() == 0.0
+    # The aborted flow collapsed to the minimum window but stays usable.
+    assert tp._flows[(0, 3)].window == 1
+    assert tp.idle
+
+
+def test_flow_usable_after_abort(monkeypatch):
+    """A later send on an aborted flow goes through once the fabric
+    heals -- the abort cancels the backlog, not the flow."""
+    cfg = TransportConfig(rto_base=8.0, max_attempts=2)
+    env, eng, tp = _setup(config=cfg)
+    real_offer = eng.offer
+    monkeypatch.setattr(eng, "offer", lambda src, dst, length: None)
+    dead = tp.send(0, 3, 16)
+    tp.quiesce()
+    assert tp.outcomes[dead] == "aborted"
+    monkeypatch.setattr(eng, "offer", real_offer)
+    alive = tp.send(0, 3, 16)
+    tp.quiesce()
+    assert tp.outcomes[alive] == "delivered"
+    assert tp.messages_delivered == 1
+
+
+def test_refused_admission_spends_attempts_without_shrink(monkeypatch):
+    """A blocked-admission refusal (offer -> None) costs an attempt and
+    backs off but does not halve the window -- only real losses do."""
+    cfg = TransportConfig(
+        window=4, rto_base=8.0, max_attempts=10, jitter=0.0
+    )
+    env, eng, tp = _setup(config=cfg)
+    refusals = {"n": 0}
+    real_offer = eng.offer
+
+    def flaky(src, dst, length):
+        if refusals["n"] < 3:
+            refusals["n"] += 1
+            return None
+        return real_offer(src, dst, length)
+
+    monkeypatch.setattr(eng, "offer", flaky)
+    tp.send(0, 3, 16)
+    tp.quiesce()
+    assert refusals["n"] == 3
+    assert tp.messages_delivered == 1
+    assert tp._flows[(0, 3)].window >= 4  # never halved
+
+
+# ------------------------------------------------------------ reporting
+
+
+def test_delivered_ratio_nan_before_any_outcome():
+    _env, _eng, tp = _setup()
+    assert tp.delivered_ratio() != tp.delivered_ratio()  # NaN
+
+
+def test_repr_mentions_tallies():
+    _env, _eng, tp = _setup()
+    tp.send(0, 1, 8)
+    assert "sent=1" in repr(tp)
